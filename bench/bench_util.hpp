@@ -1,0 +1,52 @@
+// Shared helpers for the ITDOS benchmark harness.
+//
+// Two kinds of numbers appear in these benchmarks:
+//   * wall-clock time per iteration (google-benchmark's native metric) —
+//     the host CPU cost of running the protocol code;
+//   * simulated time / message counts (reported as counters, suffix
+//     "sim_us" / "pkts") — the protocol-level costs the paper's claims are
+//     about. Network delays are identical across configurations (50-200us
+//     per hop unless stated), so simulated-latency *ratios* are meaningful.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "itdos/system.hpp"
+
+namespace itdos::bench {
+
+/// A calculator servant shared by several benches.
+class BenchCalculator : public orb::Servant {
+ public:
+  std::string interface_name() const override { return "IDL:bench/Calc:1.0"; }
+  void dispatch(const std::string& operation, const cdr::Value& arguments,
+                orb::ServerContext&, orb::ReplySinkPtr sink) override {
+    if (operation == "add") {
+      std::int64_t sum = 0;
+      for (const cdr::Value& v : arguments.elements()) sum += v.as_int64();
+      sink->reply(cdr::Value::int64(sum));
+    } else if (operation == "echo") {
+      sink->reply(arguments);
+    } else {
+      sink->reply(error(Errc::kInvalidArgument, "unknown op"));
+    }
+  }
+};
+
+inline core::DomainElement::ServantInstaller calculator_installer() {
+  return [](orb::ObjectAdapter& adapter, int) {
+    (void)adapter.activate_with_key(ObjectId(1), std::make_shared<BenchCalculator>());
+  };
+}
+
+inline cdr::Value int_args(std::int64_t a, std::int64_t b) {
+  return cdr::Value::sequence({cdr::Value::int64(a), cdr::Value::int64(b)});
+}
+
+/// A payload Value of roughly `bytes` marshalled size.
+inline cdr::Value payload_of_size(std::size_t bytes) {
+  std::string blob(bytes, 'x');
+  return cdr::Value::sequence({cdr::Value::string(std::move(blob))});
+}
+
+}  // namespace itdos::bench

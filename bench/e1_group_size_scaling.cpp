@@ -1,0 +1,100 @@
+// E1 — §3.2 claim: "BFT total-ordering protocols are expensive;
+// additionally, the number of messages exchanged is directly related to the
+// number of members in the ordering group. Given the non-linear performance
+// penalties in large ordering groups, the ordering groups should be as small
+// as possible."
+//
+// Reproduced shape: per-request message count grows quadratically with
+// n = 3f+1 (PBFT's all-to-all PREPARE/COMMIT), and ordering latency grows
+// with it. This is the paper's architectural justification for keeping
+// clients OUT of the ordering group.
+#include <benchmark/benchmark.h>
+
+#include "bft/harness.hpp"
+
+namespace itdos::bench {
+namespace {
+
+using namespace itdos;
+
+void BM_E1OrderingCost(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  bft::ClusterOptions options;
+  options.f = f;
+  options.seed = 99;
+  bft::Cluster cluster(options,
+                       [](int) { return std::make_unique<bft::CounterStateMachine>(); });
+  bft::Client& client = cluster.add_client();
+  // Warm up (primary learns the client, log fills normally).
+  if (!cluster.invoke_sync(client, to_bytes("add:0")).is_ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+
+  std::int64_t total_sim_ns = 0;
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_bytes = 0;
+  for (auto _ : state) {
+    cluster.network().reset_stats();
+    const SimTime before = cluster.sim().now();
+    if (!cluster.invoke_sync(client, to_bytes("add:1")).is_ok()) {
+      state.SkipWithError("invocation failed");
+      return;
+    }
+    total_sim_ns += cluster.sim().now() - before;
+    total_packets += cluster.network().stats().packets_delivered;
+    total_bytes += cluster.network().stats().bytes_delivered;
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["n_replicas"] = benchmark::Counter(3.0 * f + 1);
+  state.counters["sim_us_per_req"] =
+      benchmark::Counter(static_cast<double>(total_sim_ns) / 1e3 / iters);
+  state.counters["pkts_per_req"] =
+      benchmark::Counter(static_cast<double>(total_packets) / iters);
+  state.counters["wire_kb_per_req"] =
+      benchmark::Counter(static_cast<double>(total_bytes) / 1024.0 / iters);
+}
+BENCHMARK(BM_E1OrderingCost)->DenseRange(1, 5)->Unit(benchmark::kMillisecond)
+    ->Iterations(40);
+
+void BM_E1ThroughputUnderLoad(benchmark::State& state) {
+  // 50 pipelined requests from 2 clients: aggregate ordering throughput
+  // (requests per simulated second) versus group size.
+  const int f = static_cast<int>(state.range(0));
+  std::int64_t total_sim_ns = 0;
+  const int kRequests = 50;
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    bft::ClusterOptions options;
+    options.f = f;
+    options.seed = seed++;
+    bft::Cluster cluster(
+        options, [](int) { return std::make_unique<bft::CounterStateMachine>(); });
+    bft::Client& alice = cluster.add_client();
+    bft::Client& bob = cluster.add_client();
+    int completed = 0;
+    for (int i = 0; i < kRequests / 2; ++i) {
+      alice.invoke(to_bytes("add:1"), [&](Result<Bytes> r) { completed += r.is_ok(); });
+      bob.invoke(to_bytes("add:1"), [&](Result<Bytes> r) { completed += r.is_ok(); });
+    }
+    const SimTime before = cluster.sim().now();
+    cluster.settle();
+    if (completed != kRequests) {
+      state.SkipWithError("not all requests completed");
+      return;
+    }
+    total_sim_ns += cluster.sim().now() - before;
+  }
+  const double sim_seconds = static_cast<double>(total_sim_ns) / 1e9;
+  state.counters["req_per_sim_sec"] = benchmark::Counter(
+      static_cast<double>(kRequests) * static_cast<double>(state.iterations()) /
+      sim_seconds);
+  state.counters["n_replicas"] = benchmark::Counter(3.0 * f + 1);
+}
+BENCHMARK(BM_E1ThroughputUnderLoad)->DenseRange(1, 4)->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+}  // namespace
+}  // namespace itdos::bench
+
+BENCHMARK_MAIN();

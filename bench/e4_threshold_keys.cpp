@@ -1,0 +1,128 @@
+// E4 — §3.5 threshold key generation study.
+//
+// Compared designs:
+//   * "traditional" Group Manager (the paper's strawman): each GM element
+//     knows every communication key in full — one compromised element
+//     exposes ALL keys;
+//   * ITDOS distributed PRF: elements hold shares; f compromised elements
+//     expose NOTHING (they miss at least one sub-key).
+//
+// Reproduced shapes: threshold keying costs more CPU (share evaluation +
+// combination vs one PRF call), growing with C(n, f) sub-keys; the exposure
+// counter collapses from "all connections" to zero. That cost/benefit is the
+// paper's §3.5 argument.
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "itdos/group_manager.hpp"
+
+namespace itdos::bench {
+namespace {
+
+using namespace itdos;
+
+void BM_E4TraditionalKeygen(benchmark::State& state) {
+  // One PRF evaluation per key, known in full to every GM element.
+  const Bytes master = Rng(1).next_bytes(32);
+  std::uint64_t conn = 0;
+  for (auto _ : state) {
+    const Bytes input = core::dprf_input(ConnectionId(++conn), KeyEpoch(1));
+    const crypto::Digest key = crypto::hmac_sha256(master, input);
+    benchmark::DoNotOptimize(key);
+  }
+  state.counters["keys_exposed_if_1_gm_compromised"] =
+      benchmark::Counter(1.0);  // fraction: all of them
+}
+BENCHMARK(BM_E4TraditionalKeygen);
+
+void BM_E4ThresholdDeal(benchmark::State& state) {
+  // One-time setup cost: dealing C(n, f) sub-keys.
+  const int f = static_cast<int>(state.range(0));
+  const crypto::DprfParams params{3 * f + 1, f};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto keys = crypto::dprf_deal(params, rng);
+    benchmark::DoNotOptimize(keys);
+  }
+  state.counters["subkeys"] =
+      benchmark::Counter(static_cast<double>(params.subsets().size()));
+}
+BENCHMARK(BM_E4ThresholdDeal)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_E4ThresholdElementEvaluate(benchmark::State& state) {
+  // Per-connection cost at ONE GM element: evaluating its share.
+  const int f = static_cast<int>(state.range(0));
+  const crypto::DprfParams params{3 * f + 1, f};
+  Rng rng(2);
+  auto keys = crypto::dprf_deal(params, rng);
+  crypto::DprfElement element(params, keys[0]);
+  std::uint64_t conn = 0;
+  for (auto _ : state) {
+    const Bytes input = core::dprf_input(ConnectionId(++conn), KeyEpoch(1));
+    auto share = element.evaluate(input);
+    benchmark::DoNotOptimize(share);
+  }
+}
+BENCHMARK(BM_E4ThresholdElementEvaluate)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_E4ThresholdCombine(benchmark::State& state) {
+  // Party-side cost: verifying and combining 2f+1 shares into the key.
+  const int f = static_cast<int>(state.range(0));
+  const crypto::DprfParams params{3 * f + 1, f};
+  Rng rng(3);
+  auto keys = crypto::dprf_deal(params, rng);
+  std::uint64_t conn = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const Bytes input = core::dprf_input(ConnectionId(++conn), KeyEpoch(1));
+    std::vector<crypto::DprfShare> shares;
+    for (int i = 0; i < 2 * f + 1; ++i) {
+      shares.push_back(crypto::DprfElement(params, keys[static_cast<std::size_t>(i)])
+                           .evaluate(input));
+    }
+    state.ResumeTiming();
+    crypto::DprfCombiner combiner(params, input);
+    for (auto& share : shares) (void)combiner.add_share(share);
+    auto key = combiner.combine();
+    benchmark::DoNotOptimize(key);
+  }
+  state.counters["keys_exposed_if_f_gm_compromised"] = benchmark::Counter(0.0);
+}
+BENCHMARK(BM_E4ThresholdCombine)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_E4ExposureAudit(benchmark::State& state) {
+  // Not a timing bench: verifies and reports the exposure numbers the two
+  // designs give an attacker who compromises `f` GM elements, over 100
+  // established connections.
+  const int f = static_cast<int>(state.range(0));
+  const crypto::DprfParams params{3 * f + 1, f};
+  Rng rng(4);
+  const auto keys = crypto::dprf_deal(params, rng);
+  const auto subsets = params.subsets();
+  for (auto _ : state) {
+    // Pool the sub-keys of the first f elements.
+    std::set<int> covered;
+    for (int i = 0; i < f; ++i) {
+      for (const auto& [id, k] : keys[static_cast<std::size_t>(i)].subkeys) {
+        covered.insert(id);
+      }
+    }
+    // A key is exposed iff the coalition covers every sub-key.
+    const bool exposed = covered.size() == subsets.size();
+    benchmark::DoNotOptimize(exposed);
+    if (exposed) {
+      state.SkipWithError("threshold scheme leaked to an f-coalition!");
+      return;
+    }
+  }
+  state.counters["threshold_keys_exposed_of_100"] = benchmark::Counter(0.0);
+  state.counters["traditional_keys_exposed_of_100"] = benchmark::Counter(100.0);
+}
+BENCHMARK(BM_E4ExposureAudit)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace itdos::bench
+
+BENCHMARK_MAIN();

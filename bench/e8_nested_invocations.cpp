@@ -1,0 +1,85 @@
+// E8 — §3.1 nested invocations: a chain of replicated forwarder domains
+// ending in a calculator domain, swept over chain depth. Each hop adds a
+// full replicated round trip (ordered request copies voted at the target,
+// direct replies voted at every caller element) while the caller's queue
+// consumption is paused — the two-actor model's cost.
+#include "bench_util.hpp"
+
+namespace itdos::bench {
+namespace {
+
+class ChainForwarder : public orb::Servant {
+ public:
+  explicit ChainForwarder(orb::ObjectRef next) : next_(std::move(next)) {}
+  std::string interface_name() const override { return "IDL:bench/Fwd:1.0"; }
+  void dispatch(const std::string& operation, const cdr::Value& arguments,
+                orb::ServerContext& context, orb::ReplySinkPtr sink) override {
+    if (operation != "relay") {
+      sink->reply(error(Errc::kInvalidArgument, "unknown op"));
+      return;
+    }
+    const std::string next_op = next_.interface_name == "IDL:bench/Calc:1.0"
+                                    ? "add"
+                                    : "relay";
+    context.invoke_nested(next_, next_op, arguments, [sink](Result<cdr::Value> r) {
+      sink->reply(std::move(r));
+    });
+  }
+
+ private:
+  orb::ObjectRef next_;
+};
+
+void BM_E8NestedDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));  // forwarder hops
+  core::SystemOptions options;
+  options.seed = 71;
+  core::ItdosSystem system(options);
+
+  const DomainId calc_domain =
+      system.add_domain(1, core::VotePolicy::exact(), calculator_installer());
+  orb::ObjectRef next = system.object_ref(calc_domain, ObjectId(1), "IDL:bench/Calc:1.0");
+  for (int hop = 0; hop < depth; ++hop) {
+    const DomainId fwd = system.add_domain(
+        1, core::VotePolicy::exact(), [next](orb::ObjectAdapter& adapter, int) {
+          (void)adapter.activate_with_key(ObjectId(1),
+                                          std::make_shared<ChainForwarder>(next));
+        });
+    next = system.object_ref(fwd, ObjectId(1), "IDL:bench/Fwd:1.0");
+  }
+
+  core::ItdosClient& client = system.add_client();
+  const std::string op = depth == 0 ? "add" : "relay";
+  // Warm all connections along the chain.
+  if (!system.invoke_sync(client, next, op, int_args(1, 1), seconds(60)).is_ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+
+  std::int64_t total_sim_ns = 0;
+  std::uint64_t total_packets = 0;
+  for (auto _ : state) {
+    system.network().reset_stats();
+    const SimTime before = system.sim().now();
+    const Result<cdr::Value> result =
+        system.invoke_sync(client, next, op, int_args(20, 22), seconds(60));
+    if (!result.is_ok() || result.value().as_int64() != 42) {
+      state.SkipWithError("nested invocation failed");
+      return;
+    }
+    total_sim_ns += system.sim().now() - before;
+    total_packets += system.network().stats().packets_delivered;
+  }
+  state.counters["sim_us_per_call"] = benchmark::Counter(
+      static_cast<double>(total_sim_ns) / 1e3 / static_cast<double>(state.iterations()));
+  state.counters["pkts_per_call"] = benchmark::Counter(
+      static_cast<double>(total_packets) / static_cast<double>(state.iterations()));
+  state.counters["domains_in_chain"] = benchmark::Counter(depth + 1.0);
+}
+BENCHMARK(BM_E8NestedDepth)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
+    ->Iterations(10);
+
+}  // namespace
+}  // namespace itdos::bench
+
+BENCHMARK_MAIN();

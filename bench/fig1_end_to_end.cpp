@@ -1,0 +1,54 @@
+// F1 — Figure 1 reproduction: singleton client -> replicated server through
+// the full ITDOS stack (GM connection establishment, BFT ordering, queue
+// consumption, voted replies), swept over the fault threshold f.
+//
+// Paper claim exercised: the nominal configuration works and its cost grows
+// with the replication degree (quantified further in e1/e7).
+#include "bench_util.hpp"
+
+namespace itdos::bench {
+namespace {
+
+void BM_Fig1EndToEnd(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  core::SystemOptions options;
+  options.seed = 42;
+  core::ItdosSystem system(options);
+  const DomainId domain =
+      system.add_domain(f, core::VotePolicy::exact(), calculator_installer());
+  core::ItdosClient& client = system.add_client();
+  const orb::ObjectRef ref = system.object_ref(domain, ObjectId(1), "IDL:bench/Calc:1.0");
+
+  // Warm the connection (establishment is measured separately in fig3).
+  if (!system.invoke_sync(client, ref, "add", int_args(1, 1), seconds(30)).is_ok()) {
+    state.SkipWithError("warmup invocation failed");
+    return;
+  }
+
+  std::int64_t total_sim_ns = 0;
+  std::uint64_t total_packets = 0;
+  for (auto _ : state) {
+    system.network().reset_stats();
+    const SimTime before = system.sim().now();
+    const Result<cdr::Value> result =
+        system.invoke_sync(client, ref, "add", int_args(20, 22), seconds(30));
+    if (!result.is_ok() || result.value().as_int64() != 42) {
+      state.SkipWithError("invocation failed");
+      return;
+    }
+    total_sim_ns += system.sim().now() - before;
+    total_packets += system.network().stats().packets_delivered;
+  }
+  state.counters["sim_us_per_call"] = benchmark::Counter(
+      static_cast<double>(total_sim_ns) / 1e3 / static_cast<double>(state.iterations()));
+  state.counters["pkts_per_call"] = benchmark::Counter(
+      static_cast<double>(total_packets) / static_cast<double>(state.iterations()));
+  state.counters["replicas"] = benchmark::Counter(3.0 * f + 1);
+}
+BENCHMARK(BM_Fig1EndToEnd)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond)
+    ->Iterations(30);
+
+}  // namespace
+}  // namespace itdos::bench
+
+BENCHMARK_MAIN();

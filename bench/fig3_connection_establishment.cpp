@@ -1,0 +1,97 @@
+// F3 — Figure 3 reproduction: connection establishment via the Group
+// Manager (open_request -> threshold key generation -> share distribution ->
+// combination) versus reuse of an established connection.
+//
+// Paper claim exercised (§3.4): "connection-establishment is a fairly
+// heavyweight process, connection reuse enhances performance". The bench
+// reports the simulated time of (a) the first invocation on a fresh
+// connection (which includes the Figure-3 exchange) and (b) a subsequent
+// invocation reusing it.
+#include "bench_util.hpp"
+
+namespace itdos::bench {
+namespace {
+
+void BM_Fig3ColdConnection(benchmark::State& state) {
+  const int gm_f = static_cast<int>(state.range(0));
+  std::int64_t total_sim_ns = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::SystemOptions options;
+    options.seed = seed++;
+    options.gm_f = gm_f;
+    core::ItdosSystem system(options);
+    const DomainId domain =
+        system.add_domain(1, core::VotePolicy::exact(), calculator_installer());
+    core::ItdosClient& client = system.add_client();
+    const orb::ObjectRef ref =
+        system.object_ref(domain, ObjectId(1), "IDL:bench/Calc:1.0");
+    const SimTime before = system.sim().now();
+    if (!system.invoke_sync(client, ref, "add", int_args(1, 1), seconds(30)).is_ok()) {
+      state.SkipWithError("cold invocation failed");
+      return;
+    }
+    total_sim_ns += system.sim().now() - before;
+  }
+  state.counters["sim_us_first_call"] = benchmark::Counter(
+      static_cast<double>(total_sim_ns) / 1e3 / static_cast<double>(state.iterations()));
+  state.counters["gm_elements"] = benchmark::Counter(3.0 * gm_f + 1);
+}
+BENCHMARK(BM_Fig3ColdConnection)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
+    ->Iterations(10);
+
+void BM_Fig3WarmConnection(benchmark::State& state) {
+  const int gm_f = static_cast<int>(state.range(0));
+  core::SystemOptions options;
+  options.seed = 7;
+  options.gm_f = gm_f;
+  core::ItdosSystem system(options);
+  const DomainId domain =
+      system.add_domain(1, core::VotePolicy::exact(), calculator_installer());
+  core::ItdosClient& client = system.add_client();
+  const orb::ObjectRef ref = system.object_ref(domain, ObjectId(1), "IDL:bench/Calc:1.0");
+  if (!system.invoke_sync(client, ref, "add", int_args(1, 1), seconds(30)).is_ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  std::int64_t total_sim_ns = 0;
+  for (auto _ : state) {
+    const SimTime before = system.sim().now();
+    if (!system.invoke_sync(client, ref, "add", int_args(1, 1), seconds(30)).is_ok()) {
+      state.SkipWithError("warm invocation failed");
+      return;
+    }
+    total_sim_ns += system.sim().now() - before;
+  }
+  state.counters["sim_us_per_call"] = benchmark::Counter(
+      static_cast<double>(total_sim_ns) / 1e3 / static_cast<double>(state.iterations()));
+  state.counters["gm_elements"] = benchmark::Counter(3.0 * gm_f + 1);
+}
+BENCHMARK(BM_Fig3WarmConnection)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
+    ->Iterations(30);
+
+void BM_Fig3SharesOnly(benchmark::State& state) {
+  // The cryptographic part of establishment in isolation: every GM element
+  // evaluates its DPRF share and the party combines 2f+1 of them.
+  const int gm_f = static_cast<int>(state.range(0));
+  const crypto::DprfParams params{3 * gm_f + 1, gm_f};
+  Rng rng(11);
+  const auto keys = crypto::dprf_deal(params, rng);
+  std::uint64_t conn = 0;
+  for (auto _ : state) {
+    const Bytes input = core::dprf_input(ConnectionId(++conn), KeyEpoch(1));
+    crypto::DprfCombiner combiner(params, input);
+    for (int i = 0; i < 2 * gm_f + 1; ++i) {
+      crypto::DprfElement element(params, keys[static_cast<std::size_t>(i)]);
+      (void)combiner.add_share(element.evaluate(input));
+    }
+    auto key = combiner.combine();
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_Fig3SharesOnly)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace itdos::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// The replicated state machine interface (Schneider [37]): the application a
+// bft::Replica drives. Implementations must be deterministic — the paper's
+// §2 assumption "Correct servers exhibit deterministic behavior" is what
+// makes f+1 matching replies meaningful.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+
+namespace itdos::bft {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Executes one totally-ordered request and returns the reply payload.
+  /// `seq` is the agreed sequence number (deterministic across replicas).
+  virtual Bytes execute(ByteView request, NodeId client, SeqNum seq) = 0;
+
+  /// Serializes the full application state (Castro-Liskov keeps state "in a
+  /// contiguous block of memory"; this is our equivalent).
+  virtual Bytes snapshot() const = 0;
+
+  /// Replaces the application state with a snapshot from a correct replica.
+  virtual Status restore(ByteView snapshot) = 0;
+};
+
+}  // namespace itdos::bft

@@ -1,0 +1,104 @@
+#include "bft/client.hpp"
+
+namespace itdos::bft {
+
+std::optional<Bytes> MatchingReplyCollector::add(NodeId replica, const Bytes& result) {
+  auto& voters = votes_[result];
+  voters.insert(replica);
+  if (static_cast<int>(voters.size()) >= f_ + 1) return result;
+  return std::nullopt;
+}
+
+Client::Client(net::Network& net, NodeId id, BftConfig config, const SessionKeys& keys)
+    : Process(net, id), config_(std::move(config)), keys_(keys) {
+  collector_factory_ = [](int f) { return std::make_unique<MatchingReplyCollector>(f); };
+}
+
+void Client::invoke(Bytes payload, Completion done) {
+  queue_.push_back(PendingRequest{std::move(payload), std::move(done)});
+  if (!current_) dispatch_next();
+}
+
+void Client::dispatch_next() {
+  if (queue_.empty()) return;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  current_timestamp_ = next_timestamp_++;
+  collector_ = collector_factory_(config_.f);
+  replied_.clear();
+  send_current(/*broadcast=*/false);
+  retry_timer_armed_ = true;
+  retry_timer_ = set_timer(config_.client_retry_ns, [this] { on_retry_timeout(); });
+}
+
+void Client::send_current(bool broadcast) {
+  RequestMsg request;
+  request.client = id();
+  request.timestamp = current_timestamp_;
+  request.payload = current_->payload;
+  const Bytes body = request.encode();
+
+  Envelope env;
+  env.type = MsgType::kRequest;
+  env.sender = id();
+  env.body = body;
+  // The request is authenticated to every replica so any of them can relay
+  // it to the primary without weakening authenticity.
+  for (NodeId replica : config_.replicas) {
+    env.auth.emplace_back(replica, keys_.tag(id(), replica, body));
+  }
+  const Bytes wire = env.encode();
+  if (broadcast) {
+    for (NodeId replica : config_.replicas) send_to(replica, wire);
+  } else {
+    send_to(config_.primary_for(view_estimate_), wire);
+  }
+}
+
+void Client::on_retry_timeout() {
+  retry_timer_armed_ = false;
+  if (!current_) return;
+  ++retransmissions_;
+  send_current(/*broadcast=*/true);  // suspect the primary; tell everyone
+  retry_timer_armed_ = true;
+  retry_timer_ = set_timer(config_.client_retry_ns, [this] { on_retry_timeout(); });
+}
+
+void Client::on_packet(const net::Packet& packet) {
+  Result<Envelope> decoded = Envelope::decode(packet.payload);
+  if (!decoded.is_ok()) return;
+  const Envelope env = std::move(decoded).take();
+  if (env.type != MsgType::kReply) return;
+  if (config_.rank_of(env.sender) < 0) return;
+  const crypto::MacTag* tag = env.tag_for(id());
+  if (tag == nullptr || !keys_.verify(env.sender, id(), env.body, *tag)) return;
+
+  Result<ReplyMsg> reply = ReplyMsg::decode(env.body);
+  if (!reply.is_ok()) return;
+  const ReplyMsg msg = std::move(reply).take();
+  if (msg.replica != env.sender || msg.client != id()) return;
+
+  // Track the view so retransmissions target the right primary.
+  if (msg.view.value > view_estimate_.value) view_estimate_ = msg.view;
+
+  if (!current_ || msg.timestamp != current_timestamp_) return;  // late/duplicate
+  if (!replied_.insert(msg.replica).second) return;  // one vote per replica
+
+  if (std::optional<Bytes> result = collector_->add(msg.replica, msg.result)) {
+    finish(std::move(*result));
+  }
+}
+
+void Client::finish(Result<Bytes> result) {
+  if (retry_timer_armed_) {
+    cancel_timer(retry_timer_);
+    retry_timer_armed_ = false;
+  }
+  const Completion done = std::move(current_->done);
+  current_.reset();
+  collector_.reset();
+  done(std::move(result));
+  dispatch_next();
+}
+
+}  // namespace itdos::bft

@@ -1,0 +1,96 @@
+// Castro-Liskov client: submits requests to the replica group and decides on
+// a result from the replies.
+//
+// Completion policy is pluggable. Stock Castro-Liskov "waits for f+1 replies
+// with the same result" — byte equality, which §3.6 shows cannot work across
+// heterogeneous replicas. ITDOS swaps in its unmarshalled voter by providing
+// a different ReplyCollector.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "bft/config.hpp"
+#include "bft/messages.hpp"
+#include "net/process.hpp"
+
+namespace itdos::bft {
+
+/// Accumulates authenticated replies for one request and decides when (and
+/// with what result) the invocation completes.
+class ReplyCollector {
+ public:
+  virtual ~ReplyCollector() = default;
+
+  /// Feeds one reply; returns the decided result once sufficient.
+  virtual std::optional<Bytes> add(NodeId replica, const Bytes& result) = 0;
+};
+
+/// Stock Castro-Liskov rule: f+1 byte-identical results.
+class MatchingReplyCollector : public ReplyCollector {
+ public:
+  explicit MatchingReplyCollector(int f) : f_(f) {}
+  std::optional<Bytes> add(NodeId replica, const Bytes& result) override;
+
+ private:
+  int f_;
+  std::map<Bytes, std::set<NodeId>> votes_;
+};
+
+class Client : public net::Process {
+ public:
+  using Completion = std::function<void(Result<Bytes>)>;
+  using CollectorFactory = std::function<std::unique_ptr<ReplyCollector>(int f)>;
+
+  Client(net::Network& net, NodeId id, BftConfig config, const SessionKeys& keys);
+
+  /// Overrides the completion policy (default: MatchingReplyCollector).
+  void set_collector_factory(CollectorFactory factory) {
+    collector_factory_ = std::move(factory);
+  }
+
+  /// Submits a request. Requests queue internally; one is outstanding at a
+  /// time (the paper's single-threaded model: "only one outstanding request
+  /// can exist for a connection at a time").
+  void invoke(Bytes payload, Completion done);
+
+  /// Number of requests submitted so far (== last timestamp used).
+  std::uint64_t timestamps_used() const { return next_timestamp_ - 1; }
+
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ protected:
+  void on_packet(const net::Packet& packet) override;
+
+ private:
+  struct PendingRequest {
+    Bytes payload;
+    Completion done;
+  };
+
+  void dispatch_next();
+  void send_current(bool broadcast);
+  void on_retry_timeout();
+  void finish(Result<Bytes> result);
+
+  BftConfig config_;
+  const SessionKeys& keys_;
+  CollectorFactory collector_factory_;
+
+  std::uint64_t next_timestamp_ = 1;
+  std::uint64_t retransmissions_ = 0;
+  ViewId view_estimate_;  // updated from replies; guides who we call primary
+
+  std::deque<PendingRequest> queue_;
+  std::optional<PendingRequest> current_;
+  std::uint64_t current_timestamp_ = 0;
+  std::unique_ptr<ReplyCollector> collector_;
+  std::set<NodeId> replied_;  // replicas already counted for this request
+  net::EventHandle retry_timer_{};
+  bool retry_timer_armed_ = false;
+};
+
+}  // namespace itdos::bft

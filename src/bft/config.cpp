@@ -1,0 +1,48 @@
+#include "bft/config.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace itdos::bft {
+
+Status BftConfig::validate() const {
+  if (f < 1) return error(Errc::kInvalidArgument, "f must be >= 1");
+  if (n() != 3 * f + 1) {
+    return error(Errc::kInvalidArgument, "replica count must be 3f+1");
+  }
+  const std::set<NodeId> distinct(replicas.begin(), replicas.end());
+  if (distinct.size() != replicas.size()) {
+    return error(Errc::kInvalidArgument, "duplicate replica ids");
+  }
+  if (checkpoint_interval < 1) {
+    return error(Errc::kInvalidArgument, "checkpoint interval must be >= 1");
+  }
+  return Status::ok();
+}
+
+bool BftConfig::is_replica(NodeId node) const { return rank_of(node) >= 0; }
+
+int BftConfig::rank_of(NodeId node) const {
+  const auto it = std::find(replicas.begin(), replicas.end(), node);
+  if (it == replicas.end()) return -1;
+  return static_cast<int>(it - replicas.begin());
+}
+
+Bytes SessionKeys::key_for(NodeId a, NodeId b) const {
+  if (b < a) std::swap(a, b);
+  Bytes info;
+  for (int i = 0; i < 8; ++i) info.push_back(static_cast<std::uint8_t>(a.value >> (i * 8)));
+  for (int i = 0; i < 8; ++i) info.push_back(static_cast<std::uint8_t>(b.value >> (i * 8)));
+  return crypto::derive_key(master_, "bft.pairwise", info);
+}
+
+crypto::MacTag SessionKeys::tag(NodeId a, NodeId b, ByteView data) const {
+  return crypto::mac_tag(key_for(a, b), data);
+}
+
+bool SessionKeys::verify(NodeId a, NodeId b, ByteView data,
+                         const crypto::MacTag& tag) const {
+  return crypto::mac_verify(key_for(a, b), data, tag);
+}
+
+}  // namespace itdos::bft

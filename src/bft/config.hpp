@@ -1,0 +1,70 @@
+// BFT group configuration and session-key material.
+//
+// A group of n = 3f+1 replicas tolerates f Byzantine members (paper §2,
+// Bracha-Toueg [4], Castro-Liskov [6,7]). Message authentication uses
+// pairwise symmetric MACs (the Castro-Liskov authenticator optimization);
+// view-change certificates additionally use signatures.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "crypto/hmac.hpp"
+
+namespace itdos::bft {
+
+struct BftConfig {
+  int f = 1;
+  std::vector<NodeId> replicas;  // size 3f+1, index == replica rank
+  McastGroupId group;            // replicas' ordering multicast group
+
+  /// Checkpoint every K executed requests; watermark window is 2K.
+  std::int64_t checkpoint_interval = 16;
+
+  /// Client resends its request (to all replicas) after this long.
+  std::int64_t client_retry_ns = millis(40);
+
+  /// Backup starts a view change this long after accepting a request whose
+  /// execution has not completed.
+  std::int64_t view_change_timeout_ns = millis(60);
+
+  int n() const { return static_cast<int>(replicas.size()); }
+  int quorum() const { return 2 * f + 1; }
+
+  Status validate() const;
+
+  bool is_replica(NodeId node) const;
+
+  /// Rank of a replica in [0, n), or -1.
+  int rank_of(NodeId node) const;
+
+  /// Round-robin primary: replica (v mod n) leads view v.
+  NodeId primary_for(ViewId view) const {
+    return replicas[view.value % replicas.size()];
+  }
+
+  std::int64_t watermark_window() const { return 2 * checkpoint_interval; }
+};
+
+/// Pairwise MAC keys between all parties (replicas and clients). Derived
+/// from a deployment master secret; stands in for the session-key exchange
+/// a production deployment would run.
+class SessionKeys {
+ public:
+  explicit SessionKeys(Bytes master_secret) : master_(std::move(master_secret)) {}
+
+  /// Symmetric key shared by nodes `a` and `b` (order-independent).
+  Bytes key_for(NodeId a, NodeId b) const;
+
+  /// MAC tag over `data` with the (a, b) pairwise key.
+  crypto::MacTag tag(NodeId a, NodeId b, ByteView data) const;
+
+  bool verify(NodeId a, NodeId b, ByteView data, const crypto::MacTag& tag) const;
+
+ private:
+  Bytes master_;
+};
+
+}  // namespace itdos::bft

@@ -1,0 +1,132 @@
+#include "bft/harness.hpp"
+
+#include <charconv>
+
+#include "common/rng.hpp"
+
+namespace itdos::bft {
+
+Cluster::Cluster(ClusterOptions options, const AppFactory& app_factory)
+    : options_(options),
+      sim_(options.seed),
+      net_(sim_, options.net_config),
+      keys_(Rng(options.seed ^ 0x5eed).next_bytes(32)),
+      keystore_(std::make_shared<crypto::Keystore>()),
+      app_factory_(app_factory) {
+  config_.f = options.f;
+  config_.group = McastGroupId(1);
+  config_.checkpoint_interval = options.checkpoint_interval;
+  config_.client_retry_ns = options.client_retry_ns;
+  config_.view_change_timeout_ns = options.view_change_timeout_ns;
+  for (int i = 0; i < 3 * options.f + 1; ++i) {
+    config_.replicas.push_back(NodeId(static_cast<std::uint64_t>(i + 1)));
+  }
+  Rng key_rng(options.seed ^ 0x6e75eedULL);
+  for (int rank = 0; rank < config_.n(); ++rank) {
+    const NodeId id = config_.replicas[rank];
+    replicas_.push_back(std::make_unique<Replica>(
+        net_, id, config_, keys_, keystore_->issue(id, key_rng), keystore_,
+        app_factory_(rank)));
+  }
+}
+
+void Cluster::crash_replica(int rank) {
+  // Destroying the Process detaches it; keep the slot for restart.
+  replicas_.at(rank).reset();
+}
+
+void Cluster::restart_replica(int rank) {
+  if (replicas_.at(rank)) return;
+  const NodeId id = config_.replicas.at(rank);
+  Rng key_rng(options_.seed ^ 0x0e5edULL ^ id.value);
+  replicas_.at(rank) = std::make_unique<Replica>(
+      net_, id, config_, keys_, keystore_->issue(id, key_rng), keystore_,
+      app_factory_(rank));
+}
+
+Client& Cluster::add_client() {
+  clients_.push_back(
+      std::make_unique<Client>(net_, NodeId(next_client_id_++), config_, keys_));
+  return *clients_.back();
+}
+
+Result<Bytes> Cluster::invoke_sync(Client& client, Bytes payload,
+                                   std::int64_t timeout_ns) {
+  std::optional<Result<Bytes>> outcome;
+  client.invoke(std::move(payload),
+                [&outcome](Result<Bytes> result) { outcome = std::move(result); });
+  const SimTime deadline = sim_.now() + timeout_ns;
+  while (!outcome && sim_.now() < deadline) {
+    if (!sim_.step()) break;
+    if (sim_.now() > deadline) break;
+  }
+  if (!outcome) {
+    return error(Errc::kUnavailable, "invocation did not complete in time");
+  }
+  return std::move(*outcome);
+}
+
+// ---------------------------------------------------------------------------
+// Sample state machines
+// ---------------------------------------------------------------------------
+
+Bytes LogStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
+  (void)client;
+  (void)seq;
+  entries_.emplace_back(request.begin(), request.end());
+  return to_bytes("OK:" + std::to_string(entries_.size()));
+}
+
+Bytes LogStateMachine::snapshot() const {
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  enc.write_uint32(static_cast<std::uint32_t>(entries_.size()));
+  for (const Bytes& e : entries_) enc.write_bytes(e);
+  return enc.take();
+}
+
+Status LogStateMachine::restore(ByteView snapshot) {
+  cdr::Decoder dec(snapshot, cdr::ByteOrder::kLittleEndian);
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t count, dec.read_uint32());
+  std::vector<Bytes> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ITDOS_ASSIGN_OR_RETURN(Bytes e, dec.read_bytes());
+    entries.push_back(std::move(e));
+  }
+  entries_ = std::move(entries);
+  return Status::ok();
+}
+
+Bytes CounterStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
+  (void)client;
+  (void)seq;
+  const std::string cmd = to_string(request);
+  if (cmd.rfind("add:", 0) == 0) {
+    std::int64_t delta = 0;
+    const char* begin = cmd.data() + 4;
+    const char* end = cmd.data() + cmd.size();
+    if (std::from_chars(begin, end, delta).ec != std::errc{}) {
+      return to_bytes("ERR:bad-number");
+    }
+    value_ += delta;
+    return to_bytes("VAL:" + std::to_string(value_));
+  }
+  if (cmd == "get") {
+    return to_bytes("VAL:" + std::to_string(value_));
+  }
+  return to_bytes("ERR:unknown-command");
+}
+
+Bytes CounterStateMachine::snapshot() const {
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  enc.write_int64(value_);
+  return enc.take();
+}
+
+Status CounterStateMachine::restore(ByteView snapshot) {
+  cdr::Decoder dec(snapshot, cdr::ByteOrder::kLittleEndian);
+  ITDOS_ASSIGN_OR_RETURN(value_, dec.read_int64());
+  return Status::ok();
+}
+
+}  // namespace itdos::bft

@@ -1,0 +1,190 @@
+// Castro-Liskov protocol messages and their wire codecs.
+//
+// The BFT layer has its own fixed little-endian wire format (it sits below
+// GIOP; heterogeneity concerns live above it). Every message travels inside
+// an Envelope carrying either an authenticator vector (pairwise MAC per
+// receiver — the Castro-Liskov MAC optimization [8]) or a signature (view
+// changes, whose certificates are relayed to third parties).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cdr/codec.hpp"
+#include "common/ids.hpp"
+#include "crypto/signing.hpp"
+
+namespace itdos::bft {
+
+using crypto::Digest;
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,
+  kPrePrepare = 2,
+  kPrepare = 3,
+  kCommit = 4,
+  kReply = 5,
+  kCheckpoint = 6,
+  kViewChange = 7,
+  kNewView = 8,
+  kStateRequest = 9,
+  kStateResponse = 10,
+};
+
+std::string_view msg_type_name(MsgType t);
+
+/// Client request. `timestamp` is the client's strictly-increasing request
+/// counter; replicas use it to deduplicate retransmissions.
+struct RequestMsg {
+  NodeId client;
+  std::uint64_t timestamp = 0;
+  Bytes payload;
+
+  bool operator==(const RequestMsg&) const = default;
+  Bytes encode() const;
+  static Result<RequestMsg> decode(ByteView data);
+  Digest digest() const;
+};
+
+/// Primary's ordering proposal; carries the full request (piggybacked).
+/// An empty `request` with the null digest is a null request (view-change
+/// filler that executes as a no-op).
+struct PrePrepareMsg {
+  ViewId view;
+  SeqNum seq;
+  Digest req_digest{};
+  Bytes request;  // encoded RequestMsg; empty for null requests
+
+  bool is_null_request() const { return request.empty(); }
+  bool operator==(const PrePrepareMsg&) const = default;
+  Bytes encode() const;
+  static Result<PrePrepareMsg> decode(ByteView data);
+};
+
+struct PrepareMsg {
+  ViewId view;
+  SeqNum seq;
+  Digest req_digest{};
+  NodeId replica;
+
+  bool operator==(const PrepareMsg&) const = default;
+  Bytes encode() const;
+  static Result<PrepareMsg> decode(ByteView data);
+};
+
+struct CommitMsg {
+  ViewId view;
+  SeqNum seq;
+  Digest req_digest{};
+  NodeId replica;
+
+  bool operator==(const CommitMsg&) const = default;
+  Bytes encode() const;
+  static Result<CommitMsg> decode(ByteView data);
+};
+
+struct ReplyMsg {
+  ViewId view;
+  std::uint64_t timestamp = 0;
+  NodeId client;
+  NodeId replica;
+  Bytes result;
+
+  bool operator==(const ReplyMsg&) const = default;
+  Bytes encode() const;
+  static Result<ReplyMsg> decode(ByteView data);
+};
+
+struct CheckpointMsg {
+  SeqNum seq;
+  Digest state_digest{};
+  NodeId replica;
+
+  bool operator==(const CheckpointMsg&) const = default;
+  Bytes encode() const;
+  static Result<CheckpointMsg> decode(ByteView data);
+};
+
+/// Evidence that a request prepared at (view, seq) — an entry of the P set
+/// in a VIEW-CHANGE. (Simplified: the digest stands for the pre-prepare plus
+/// 2f prepares; the view-change carrying it is signed.)
+struct PreparedProof {
+  ViewId view;
+  SeqNum seq;
+  Digest req_digest{};
+  Bytes request;  // piggybacked so the new primary can re-propose it
+
+  bool operator==(const PreparedProof&) const = default;
+};
+
+struct ViewChangeMsg {
+  ViewId new_view;
+  SeqNum stable_seq;        // h: last stable checkpoint
+  Digest stable_digest{};   // state digest at h
+  std::vector<PreparedProof> prepared;  // P: prepared above h
+  NodeId replica;
+
+  bool operator==(const ViewChangeMsg&) const = default;
+  Bytes encode() const;
+  static Result<ViewChangeMsg> decode(ByteView data);
+};
+
+/// A view change plus its signature, as relayed inside NEW-VIEW.
+struct SignedViewChange {
+  ViewChangeMsg msg;
+  crypto::Signature signature{};
+
+  bool operator==(const SignedViewChange&) const = default;
+};
+
+struct NewViewMsg {
+  ViewId view;
+  std::vector<SignedViewChange> view_changes;  // V: 2f+1 view changes
+  std::vector<PrePrepareMsg> pre_prepares;     // O: re-proposals for the new view
+  NodeId primary;
+
+  bool operator==(const NewViewMsg&) const = default;
+  Bytes encode() const;
+  static Result<NewViewMsg> decode(ByteView data);
+};
+
+struct StateRequestMsg {
+  SeqNum seq;  // requester wants the checkpoint at (or after) this seq
+  NodeId requester;
+
+  bool operator==(const StateRequestMsg&) const = default;
+  Bytes encode() const;
+  static Result<StateRequestMsg> decode(ByteView data);
+};
+
+struct StateResponseMsg {
+  SeqNum seq;
+  Digest state_digest{};
+  Bytes snapshot;
+  NodeId replica;
+  ViewId view;  // sender's current view: lets a recovering replica rejoin
+                // normal operation instead of spinning in view changes
+
+  bool operator==(const StateResponseMsg&) const = default;
+  Bytes encode() const;
+  static Result<StateResponseMsg> decode(ByteView data);
+};
+
+/// Authenticated wrapper. Exactly one of `auth` / `signature` is present:
+/// MAC-authenticated messages carry an authenticator vector with one entry
+/// per intended receiver; signed messages carry one signature.
+struct Envelope {
+  MsgType type = MsgType::kRequest;
+  NodeId sender;
+  Bytes body;
+  std::vector<std::pair<NodeId, crypto::MacTag>> auth;
+  std::optional<crypto::Signature> signature;
+
+  Bytes encode() const;
+  static Result<Envelope> decode(ByteView data);
+
+  /// The receiver's MAC entry, if any.
+  const crypto::MacTag* tag_for(NodeId receiver) const;
+};
+
+}  // namespace itdos::bft

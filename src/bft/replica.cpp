@@ -1,0 +1,978 @@
+#include "bft/replica.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "crypto/sha256.hpp"
+
+namespace itdos::bft {
+
+namespace {
+
+constexpr std::string_view kLog = "bft.replica";
+
+/// Digest binding a snapshot to its sequence number.
+Digest checkpoint_digest(std::uint64_t seq, ByteView snapshot) {
+  std::uint8_t seq_bytes[8];
+  for (int i = 0; i < 8; ++i) seq_bytes[i] = static_cast<std::uint8_t>(seq >> (i * 8));
+  return crypto::Sha256().update(ByteView(seq_bytes, 8)).update(snapshot).finish();
+}
+
+}  // namespace
+
+Replica::Replica(net::Network& net, NodeId id, BftConfig config,
+                 const SessionKeys& keys, crypto::SigningKey signing_key,
+                 std::shared_ptr<const crypto::Keystore> keystore,
+                 std::unique_ptr<StateMachine> app)
+    : Process(net, id),
+      config_(std::move(config)),
+      keys_(keys),
+      signing_key_(std::move(signing_key)),
+      keystore_(std::move(keystore)),
+      app_(std::move(app)) {
+  assert(config_.validate().is_ok());
+  assert(config_.is_replica(id));
+  join(config_.group);
+  // The state at seq 0 is the genesis snapshot; it seeds state transfer for
+  // replicas that fall behind before the first checkpoint.
+  stable_snapshot_ = make_snapshot();
+  stable_digest_ = checkpoint_digest(0, stable_snapshot_);
+}
+
+// ---------------------------------------------------------------------------
+// Packet dispatch
+// ---------------------------------------------------------------------------
+
+void Replica::on_packet(const net::Packet& packet) {
+  if (packet.from == id()) return;  // multicast loopback; own state recorded at send
+  Result<Envelope> decoded = Envelope::decode(packet.payload);
+  if (!decoded.is_ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const Envelope env = std::move(decoded).take();
+  if (const Status s = verify_envelope(env); !s.is_ok()) {
+    ++stats_.auth_failures;
+    ITDOS_DEBUG(kLog) << id().to_string() << " rejects " << msg_type_name(env.type)
+                      << " from " << env.sender.to_string() << ": " << s.to_string();
+    return;
+  }
+  switch (env.type) {
+    case MsgType::kRequest: handle_request(env); break;
+    case MsgType::kPrePrepare: handle_pre_prepare(env); break;
+    case MsgType::kPrepare: handle_prepare(env); break;
+    case MsgType::kCommit: handle_commit(env); break;
+    case MsgType::kCheckpoint: handle_checkpoint(env); break;
+    case MsgType::kViewChange: handle_view_change(env); break;
+    case MsgType::kNewView: handle_new_view(env); break;
+    case MsgType::kStateRequest: handle_state_request(env); break;
+    case MsgType::kStateResponse: handle_state_response(env); break;
+    case MsgType::kReply: break;  // replicas do not consume replies
+  }
+}
+
+Status Replica::verify_envelope(const Envelope& env) const {
+  if (env.signature) {
+    return keystore_->verify(env.sender, env.body, *env.signature);
+  }
+  const crypto::MacTag* tag = env.tag_for(id());
+  if (tag == nullptr) {
+    return error(Errc::kAuthFailure, "no authenticator entry for this replica");
+  }
+  if (!keys_.verify(env.sender, id(), env.body, *tag)) {
+    return error(Errc::kAuthFailure, "bad MAC");
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Sending helpers
+// ---------------------------------------------------------------------------
+
+void Replica::multicast_authenticated(MsgType type, const Bytes& body) {
+  Envelope env;
+  env.type = type;
+  env.sender = id();
+  env.body = body;
+  for (NodeId replica : config_.replicas) {
+    if (replica == id()) continue;
+    env.auth.emplace_back(replica, keys_.tag(id(), replica, body));
+  }
+  multicast_to(config_.group, env.encode());
+}
+
+void Replica::multicast_signed(MsgType type, const Bytes& body) {
+  Envelope env;
+  env.type = type;
+  env.sender = id();
+  env.body = body;
+  env.signature = signing_key_.sign(body);
+  multicast_to(config_.group, env.encode());
+}
+
+void Replica::send_authenticated(NodeId to, MsgType type, const Bytes& body) {
+  Envelope env;
+  env.type = type;
+  env.sender = id();
+  env.body = body;
+  env.auth.emplace_back(to, keys_.tag(id(), to, body));
+  send_to(to, env.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Normal case
+// ---------------------------------------------------------------------------
+
+bool Replica::in_window(std::uint64_t seq) const {
+  return seq > stable_seq_ &&
+         seq <= stable_seq_ + static_cast<std::uint64_t>(config_.watermark_window());
+}
+
+void Replica::handle_request(const Envelope& env) {
+  Result<RequestMsg> decoded = RequestMsg::decode(env.body);
+  if (!decoded.is_ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const RequestMsg request = std::move(decoded).take();
+  if (request.client != env.sender) {
+    ++stats_.auth_failures;  // spoofed client id
+    return;
+  }
+  ++stats_.requests_received;
+
+  ClientRecord& record = clients_[request.client];
+  if (request.timestamp <= record.last_timestamp) {
+    // Old or duplicate: retransmit the cached reply for the latest request.
+    if (request.timestamp == record.last_timestamp && record.reply_valid) {
+      ReplyMsg reply;
+      reply.view = view_;
+      reply.timestamp = request.timestamp;
+      reply.client = request.client;
+      reply.replica = id();
+      reply.result = record.last_reply;
+      send_authenticated(request.client, MsgType::kReply, reply.encode());
+      ++stats_.replies_sent;
+    }
+    return;
+  }
+  if (in_view_change_) return;  // client will retransmit
+
+  if (is_primary()) {
+    if (request.timestamp <= record.last_proposed) return;  // already in pipeline
+    record.last_proposed = request.timestamp;
+    assign_and_propose(request, env.body);
+  } else {
+    // Relay the (still client-authenticated) request to the primary and
+    // hold the primary accountable for ordering it.
+    if (request.timestamp > record.last_forwarded) {
+      record.last_forwarded = request.timestamp;
+      send_to(config_.primary_for(view_), env.encode());
+      arm_request_timer();
+    }
+  }
+}
+
+void Replica::assign_and_propose(const RequestMsg& request, const Bytes& encoded) {
+  (void)request;
+  const std::uint64_t seq = std::max(next_seq_, last_executed_) + 1;
+  if (!in_window(seq)) {
+    proposal_backlog_.push_back(encoded);
+    return;
+  }
+  next_seq_ = seq;
+  PrePrepareMsg pp;
+  pp.view = view_;
+  pp.seq = SeqNum(seq);
+  pp.request = encoded;
+  pp.req_digest = crypto::sha256(ByteView(encoded));
+  log_[seq].pre_prepare = pp;
+  multicast_authenticated(MsgType::kPrePrepare, pp.encode());
+  ++stats_.pre_prepares_sent;
+  arm_request_timer();
+}
+
+void Replica::drain_proposal_backlog() {
+  if (!is_primary() || in_view_change_) return;
+  while (!proposal_backlog_.empty()) {
+    const Bytes encoded = proposal_backlog_.front();
+    const std::uint64_t seq = std::max(next_seq_, last_executed_) + 1;
+    if (!in_window(seq)) break;
+    proposal_backlog_.pop_front();
+    Result<RequestMsg> request = RequestMsg::decode(encoded);
+    if (!request.is_ok()) continue;
+    assign_and_propose(request.value(), encoded);
+  }
+}
+
+void Replica::handle_pre_prepare(const Envelope& env) {
+  if (in_view_change_) return;
+  if (env.sender != config_.primary_for(view_)) return;  // only the primary proposes
+  Result<PrePrepareMsg> decoded = PrePrepareMsg::decode(env.body);
+  if (!decoded.is_ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const PrePrepareMsg pp = std::move(decoded).take();
+  if (pp.view != view_) return;
+  const std::uint64_t seq = pp.seq.value;
+  if (!in_window(seq)) {
+    observe_seq(seq);  // may reveal that we are far behind
+    return;
+  }
+
+  // Digest must bind the piggybacked request (or be the null digest).
+  if (pp.is_null_request()) {
+    if (pp.req_digest != Digest{}) return;
+  } else {
+    if (crypto::sha256(ByteView(pp.request)) != pp.req_digest) return;
+    Result<RequestMsg> request = RequestMsg::decode(pp.request);
+    if (!request.is_ok()) return;
+    // Remember the proposal so retransmissions are not re-forwarded.
+    ClientRecord& record = clients_[request.value().client];
+    record.last_proposed = std::max(record.last_proposed, request.value().timestamp);
+  }
+
+  LogEntry& entry = log_[seq];
+  if (entry.pre_prepare && entry.pre_prepare->req_digest != pp.req_digest) {
+    // Conflicting proposal for (view, seq): Byzantine primary. Keep the
+    // first; the view-change timeout deals with the equivocation.
+    return;
+  }
+  if (entry.pre_prepare) return;  // duplicate
+  entry.pre_prepare = pp;
+
+  PrepareMsg prepare;
+  prepare.view = view_;
+  prepare.seq = pp.seq;
+  prepare.req_digest = pp.req_digest;
+  prepare.replica = id();
+  entry.prepares[id()] = pp.req_digest;
+  multicast_authenticated(MsgType::kPrepare, prepare.encode());
+  ++stats_.prepares_sent;
+  arm_request_timer();
+  maybe_send_commit(seq);
+}
+
+void Replica::handle_prepare(const Envelope& env) {
+  if (in_view_change_) return;
+  if (config_.rank_of(env.sender) < 0) return;
+  Result<PrepareMsg> decoded = PrepareMsg::decode(env.body);
+  if (!decoded.is_ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const PrepareMsg msg = std::move(decoded).take();
+  if (msg.view != view_ || msg.replica != env.sender) return;
+  if (!in_window(msg.seq.value)) return;
+  if (env.sender == config_.primary_for(view_)) return;  // primary never prepares
+  log_[msg.seq.value].prepares[msg.replica] = msg.req_digest;
+  maybe_send_commit(msg.seq.value);
+}
+
+bool Replica::entry_prepared(const LogEntry& entry) const {
+  if (!entry.pre_prepare) return false;
+  int matching = 0;
+  for (const auto& [replica, digest] : entry.prepares) {
+    if (digest == entry.pre_prepare->req_digest) ++matching;
+  }
+  return matching >= 2 * config_.f;
+}
+
+void Replica::maybe_send_commit(std::uint64_t seq) {
+  LogEntry& entry = log_[seq];
+  if (!entry_prepared(entry)) return;
+  if (entry.commits.contains(id())) return;  // commit already sent
+  CommitMsg commit;
+  commit.view = view_;
+  commit.seq = SeqNum(seq);
+  commit.req_digest = entry.pre_prepare->req_digest;
+  commit.replica = id();
+  entry.commits[id()] = commit.req_digest;
+  multicast_authenticated(MsgType::kCommit, commit.encode());
+  ++stats_.commits_sent;
+  if (entry_committed(entry)) {
+    entry.committed = true;
+    try_execute();
+  }
+}
+
+void Replica::handle_commit(const Envelope& env) {
+  if (in_view_change_) return;
+  if (config_.rank_of(env.sender) < 0) return;
+  Result<CommitMsg> decoded = CommitMsg::decode(env.body);
+  if (!decoded.is_ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const CommitMsg msg = std::move(decoded).take();
+  if (msg.view != view_ || msg.replica != env.sender) return;
+  if (!in_window(msg.seq.value)) {
+    observe_seq(msg.seq.value);
+    return;
+  }
+  LogEntry& entry = log_[msg.seq.value];
+  entry.commits[msg.replica] = msg.req_digest;
+  if (entry_committed(entry)) {
+    entry.committed = true;
+    try_execute();
+  }
+  maybe_send_commit(msg.seq.value);
+}
+
+bool Replica::entry_committed(const LogEntry& entry) const {
+  if (!entry_prepared(entry)) return false;
+  int matching = 0;
+  for (const auto& [replica, digest] : entry.commits) {
+    if (digest == entry.pre_prepare->req_digest) ++matching;
+  }
+  return matching >= config_.quorum();
+}
+
+void Replica::try_execute() {
+  while (true) {
+    const auto it = log_.find(last_executed_ + 1);
+    if (it == log_.end() || !it->second.committed || it->second.executed) break;
+    execute_entry(it->first, it->second);
+  }
+  // Liveness timer: keep it armed while ordered-but-unexecuted work exists.
+  bool pending = false;
+  for (const auto& [seq, entry] : log_) {
+    if (seq > last_executed_ && entry.pre_prepare) {
+      pending = true;
+      break;
+    }
+  }
+  for (const auto& [client, record] : clients_) {
+    if (record.last_forwarded > record.last_timestamp) {
+      pending = true;
+      break;
+    }
+  }
+  if (!pending) disarm_request_timer();
+}
+
+void Replica::execute_entry(std::uint64_t seq, LogEntry& entry) {
+  entry.executed = true;
+  last_executed_ = seq;
+  if (!entry.pre_prepare->is_null_request()) {
+    Result<RequestMsg> decoded = RequestMsg::decode(entry.pre_prepare->request);
+    if (decoded.is_ok()) {
+      const RequestMsg& request = decoded.value();
+      ClientRecord& record = clients_[request.client];
+      if (request.timestamp > record.last_timestamp) {
+        record.last_reply = app_->execute(request.payload, request.client, SeqNum(seq));
+        record.last_timestamp = request.timestamp;
+        record.reply_valid = true;
+        ++stats_.executed;
+      }
+      send_reply(request, record.last_reply);
+    }
+  }
+  if (seq % static_cast<std::uint64_t>(config_.checkpoint_interval) == 0) {
+    take_checkpoint(seq);
+  }
+}
+
+void Replica::send_reply(const RequestMsg& request, const Bytes& result) {
+  ReplyMsg reply;
+  reply.view = view_;
+  reply.timestamp = request.timestamp;
+  reply.client = request.client;
+  reply.replica = id();
+  reply.result = result;
+  send_authenticated(request.client, MsgType::kReply, reply.encode());
+  ++stats_.replies_sent;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints and state transfer
+// ---------------------------------------------------------------------------
+
+Bytes Replica::make_snapshot() const {
+  // Snapshot = client table + application state. The client table must be
+  // part of the checkpointed state or a recovering replica would re-execute
+  // retransmitted requests.
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  enc.write_uint32(static_cast<std::uint32_t>(clients_.size()));
+  for (const auto& [client, record] : clients_) {
+    enc.write_uint64(client.value);
+    enc.write_uint64(record.last_timestamp);
+    enc.write_boolean(record.reply_valid);
+    enc.write_bytes(record.last_reply);
+  }
+  enc.write_bytes(app_->snapshot());
+  return enc.take();
+}
+
+Status Replica::install_snapshot(std::uint64_t seq, const Digest& digest,
+                                 ByteView snapshot) {
+  if (checkpoint_digest(seq, snapshot) != digest) {
+    return error(Errc::kAuthFailure, "snapshot does not match checkpoint digest");
+  }
+  cdr::Decoder dec(snapshot, cdr::ByteOrder::kLittleEndian);
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t client_count, dec.read_uint32());
+  std::map<NodeId, ClientRecord> clients;
+  for (std::uint32_t i = 0; i < client_count; ++i) {
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t client, dec.read_uint64());
+    ClientRecord record;
+    ITDOS_ASSIGN_OR_RETURN(record.last_timestamp, dec.read_uint64());
+    ITDOS_ASSIGN_OR_RETURN(record.reply_valid, dec.read_boolean());
+    ITDOS_ASSIGN_OR_RETURN(record.last_reply, dec.read_bytes());
+    record.last_proposed = record.last_timestamp;
+    record.last_forwarded = record.last_timestamp;
+    clients[NodeId(client)] = record;
+  }
+  ITDOS_ASSIGN_OR_RETURN(Bytes app_state, dec.read_bytes());
+  ITDOS_RETURN_IF_ERROR(app_->restore(app_state));
+
+  clients_ = std::move(clients);
+  last_executed_ = seq;
+  stable_seq_ = seq;
+  stable_digest_ = digest;
+  stable_snapshot_ = Bytes(snapshot.begin(), snapshot.end());
+  // Drop everything at or below the installed checkpoint.
+  log_.erase(log_.begin(), log_.upper_bound(seq));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(), checkpoint_votes_.upper_bound(seq));
+  pending_snapshots_.erase(pending_snapshots_.begin(),
+                           pending_snapshots_.upper_bound(seq));
+  ++stats_.state_transfers;
+  try_execute();
+  return Status::ok();
+}
+
+void Replica::take_checkpoint(std::uint64_t seq) {
+  const Bytes snapshot = make_snapshot();
+  const Digest digest = checkpoint_digest(seq, snapshot);
+  pending_snapshots_[seq] = snapshot;
+  CheckpointMsg msg;
+  msg.seq = SeqNum(seq);
+  msg.state_digest = digest;
+  msg.replica = id();
+  multicast_authenticated(MsgType::kCheckpoint, msg.encode());
+  ++stats_.checkpoints_sent;
+  process_checkpoint_vote(msg);
+}
+
+void Replica::handle_checkpoint(const Envelope& env) {
+  if (config_.rank_of(env.sender) < 0) return;
+  Result<CheckpointMsg> decoded = CheckpointMsg::decode(env.body);
+  if (!decoded.is_ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const CheckpointMsg msg = std::move(decoded).take();
+  if (msg.replica != env.sender) return;
+  if (msg.seq.value <= stable_seq_) return;
+  process_checkpoint_vote(msg);
+}
+
+void Replica::process_checkpoint_vote(const CheckpointMsg& msg) {
+  auto& votes = checkpoint_votes_[msg.seq.value][msg.state_digest];
+  votes.insert(msg.replica);
+  if (static_cast<int>(votes.size()) < config_.quorum()) return;
+  if (msg.seq.value <= stable_seq_) return;
+
+  const auto local = pending_snapshots_.find(msg.seq.value);
+  if (local != pending_snapshots_.end() &&
+      checkpoint_digest(msg.seq.value, local->second) == msg.state_digest) {
+    make_stable(msg.seq.value, msg.state_digest);
+  } else {
+    // We have not reached (or disagree with) this checkpoint: fetch state
+    // from a replica in the certificate.
+    request_state_transfer(msg.seq.value, msg.state_digest);
+  }
+}
+
+void Replica::make_stable(std::uint64_t seq, const Digest& digest) {
+  stable_seq_ = seq;
+  stable_digest_ = digest;
+  stable_snapshot_ = std::move(pending_snapshots_[seq]);
+  log_.erase(log_.begin(), log_.upper_bound(seq));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(), checkpoint_votes_.upper_bound(seq));
+  pending_snapshots_.erase(pending_snapshots_.begin(),
+                           pending_snapshots_.upper_bound(seq));
+  drain_proposal_backlog();
+}
+
+void Replica::request_state_transfer(std::uint64_t seq, const Digest& digest) {
+  if (state_transfer_target_ && state_transfer_target_->first >= seq) return;
+  state_transfer_target_ = {seq, digest};
+  // Ask a replica that vouched for this checkpoint.
+  const auto votes = checkpoint_votes_.find(seq);
+  if (votes == checkpoint_votes_.end()) return;
+  const auto digest_votes = votes->second.find(digest);
+  if (digest_votes == votes->second.end()) return;
+  for (NodeId replica : digest_votes->second) {
+    if (replica == id()) continue;
+    StateRequestMsg msg;
+    msg.seq = SeqNum(seq);
+    msg.requester = id();
+    send_authenticated(replica, MsgType::kStateRequest, msg.encode());
+    break;
+  }
+}
+
+void Replica::handle_state_request(const Envelope& env) {
+  if (config_.rank_of(env.sender) < 0) return;
+  Result<StateRequestMsg> decoded = StateRequestMsg::decode(env.body);
+  if (!decoded.is_ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const StateRequestMsg msg = std::move(decoded).take();
+  if (msg.requester != env.sender) return;
+  StateResponseMsg response;
+  response.replica = id();
+  response.view = view_;
+  if (stable_seq_ >= msg.seq.value && !stable_snapshot_.empty()) {
+    // Prefer the stable checkpoint: identical across correct replicas, so
+    // requesters assemble the f+1 weak certificate immediately.
+    response.seq = SeqNum(stable_seq_);
+    response.state_digest = stable_digest_;
+    response.snapshot = stable_snapshot_;
+  } else if (last_executed_ >= msg.seq.value) {
+    // Catch-up beyond the last stable checkpoint: a fresh snapshot of the
+    // current execution point (peers at the same point produce identical
+    // bytes, so the weak certificate still forms).
+    response.seq = SeqNum(last_executed_);
+    response.snapshot = make_snapshot();
+    response.state_digest = checkpoint_digest(last_executed_, response.snapshot);
+  } else {
+    return;  // cannot help
+  }
+  send_authenticated(env.sender, MsgType::kStateResponse, response.encode());
+}
+
+void Replica::request_catch_up() {
+  StateRequestMsg request;
+  request.seq = SeqNum(last_executed_ + 1);
+  request.requester = id();
+  multicast_authenticated(MsgType::kStateRequest, request.encode());
+}
+
+void Replica::observe_seq(std::uint64_t seq) {
+  max_observed_seq_ = std::max(max_observed_seq_, seq);
+  if (in_window(seq) || seq <= stable_seq_) return;
+  if (catch_up_cooldown_) return;
+  // Authenticated traffic beyond our window: the group has moved on without
+  // us. Ask for state (f+1 matching responses certify it) and back off.
+  catch_up_cooldown_ = true;
+  request_catch_up();
+  set_timer(config_.view_change_timeout_ns * 2, [this] {
+    catch_up_cooldown_ = false;
+    if (max_observed_seq_ > last_executed_ &&
+        !in_window(max_observed_seq_)) {
+      observe_seq(max_observed_seq_);  // still behind: probe again
+    }
+  });
+}
+
+void Replica::help_laggard(NodeId laggard) {
+  // A peer's VIEW-CHANGE revealed it is behind a group that is otherwise
+  // live (nobody joins its view change). Send it our current state; f+1
+  // matching offers let it rejoin (the Castro-Liskov implementation's
+  // status/retransmission mechanism serves this role).
+  StateResponseMsg response;
+  response.replica = id();
+  response.view = view_;
+  response.seq = SeqNum(last_executed_);
+  response.snapshot = make_snapshot();
+  response.state_digest = checkpoint_digest(last_executed_, response.snapshot);
+  send_authenticated(laggard, MsgType::kStateResponse, response.encode());
+}
+
+void Replica::after_install(ViewId sender_view) {
+  state_transfer_target_.reset();
+  state_offers_.erase(state_offers_.begin(),
+                      state_offers_.upper_bound(last_executed_));
+  // If observed traffic shows we are STILL behind (e.g. we installed an old
+  // stable checkpoint but commits continued past it), keep probing.
+  if (max_observed_seq_ > last_executed_ && !catch_up_cooldown_) {
+    catch_up_cooldown_ = true;
+    set_timer(config_.view_change_timeout_ns, [this] {
+      catch_up_cooldown_ = false;
+      if (max_observed_seq_ > last_executed_) request_catch_up();
+    });
+  }
+  // A replica that fell behind may have been spinning in view changes the
+  // rest of the group never joined; those view advances were unilateral and
+  // the certified snapshot proves the group is live. Abandon the inflated
+  // view and rejoin normal operation in the helper's view. (The residual
+  // risk — our stale VIEW-CHANGE being used in a later NEW-VIEW — is
+  // mitigated by recipients keeping only the LATEST view-change per sender;
+  // see DESIGN.md.)
+  if (in_view_change_ || sender_view.value > view_.value) {
+    view_ = sender_view;
+  }
+  in_view_change_ = false;
+  view_change_attempts_ = 0;
+  disarm_request_timer();
+}
+
+void Replica::handle_state_response(const Envelope& env) {
+  if (config_.rank_of(env.sender) < 0) return;
+  Result<StateResponseMsg> decoded = StateResponseMsg::decode(env.body);
+  if (!decoded.is_ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const StateResponseMsg msg = std::move(decoded).take();
+  if (msg.seq.value < last_executed_) return;  // nothing new
+  if (msg.seq.value == last_executed_ && !in_view_change_) return;
+  // seq == last_executed_ while in a view change is the "stuck but current"
+  // case: our spurious timeout started a view change nobody joined; f+1
+  // peers attesting the state we already hold prove the group is live and
+  // let us rejoin (handled below at certification time).
+
+  // Strong certification: the response matches a pending target derived
+  // from a 2f+1 checkpoint certificate, or such a certificate exists.
+  bool certified = false;
+  if (state_transfer_target_ && msg.seq.value == state_transfer_target_->first &&
+      msg.state_digest == state_transfer_target_->second) {
+    certified = true;
+  } else {
+    const auto votes = checkpoint_votes_.find(msg.seq.value);
+    if (votes != checkpoint_votes_.end()) {
+      const auto digest_votes = votes->second.find(msg.state_digest);
+      certified = digest_votes != votes->second.end() &&
+                  static_cast<int>(digest_votes->second.size()) >= config_.quorum();
+    }
+  }
+  if (!certified) {
+    // Weak certificate: f+1 distinct replicas offering the same snapshot
+    // digest — at least one of them is correct.
+    if (!in_window(msg.seq.value) && msg.seq.value > stable_seq_ + 2 *
+        static_cast<std::uint64_t>(config_.watermark_window())) {
+      return;  // hostile far-future offer; bound memory
+    }
+    auto& per_seq = state_offers_[msg.seq.value];
+    if (per_seq.size() >= 8 && !per_seq.contains(msg.state_digest)) return;
+    StateOffer& offer = per_seq[msg.state_digest];
+    offer.senders.insert(env.sender);
+    offer.snapshot = msg.snapshot;
+    certified = static_cast<int>(offer.senders.size()) >= config_.f + 1;
+  }
+  if (!certified) return;
+  if (msg.seq.value == last_executed_) {
+    // Rejoin-without-install: verify the attested state matches what we
+    // already executed, then simply resume in the peers' view.
+    const Bytes own = make_snapshot();
+    if (checkpoint_digest(last_executed_, own) == msg.state_digest) {
+      after_install(msg.view);
+    }
+    return;
+  }
+  if (install_snapshot(msg.seq.value, msg.state_digest, msg.snapshot).is_ok()) {
+    after_install(msg.view);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// View change
+// ---------------------------------------------------------------------------
+
+void Replica::arm_request_timer() {
+  if (request_timer_armed_) return;
+  request_timer_armed_ = true;
+  request_timer_ = set_timer(config_.view_change_timeout_ns, [this] {
+    request_timer_armed_ = false;
+    on_request_timeout();
+  });
+}
+
+void Replica::disarm_request_timer() {
+  if (!request_timer_armed_) return;
+  cancel_timer(request_timer_);
+  request_timer_armed_ = false;
+}
+
+void Replica::on_request_timeout() {
+  ITDOS_INFO(kLog) << id().to_string() << " timeout in view " << view_.to_string()
+                   << (in_view_change_ ? " (view change stalled)" : "");
+  start_view_change(ViewId(view_.value + 1));
+}
+
+void Replica::start_view_change(ViewId new_view) {
+  if (new_view.value <= view_.value && in_view_change_) return;
+  if (new_view.value <= highest_view_change_sent_.value) return;
+  highest_view_change_sent_ = new_view;
+  view_ = new_view;
+  in_view_change_ = true;
+  disarm_request_timer();
+
+  ViewChangeMsg msg;
+  msg.new_view = new_view;
+  msg.stable_seq = SeqNum(stable_seq_);
+  msg.stable_digest = stable_digest_;
+  msg.replica = id();
+  for (const auto& [seq, entry] : log_) {
+    if (seq <= stable_seq_) continue;
+    if (!entry_prepared(entry)) continue;
+    PreparedProof proof;
+    proof.view = entry.pre_prepare->view;
+    proof.seq = SeqNum(seq);
+    proof.req_digest = entry.pre_prepare->req_digest;
+    proof.request = entry.pre_prepare->request;
+    msg.prepared.push_back(std::move(proof));
+  }
+  const Bytes body = msg.encode();
+  SignedViewChange svc;
+  svc.msg = msg;
+  svc.signature = signing_key_.sign(body);
+  view_change_msgs_[new_view][id()] = svc;
+  multicast_signed(MsgType::kViewChange, body);
+  ++stats_.view_changes_sent;
+
+  // If the new view stalls too, move on to the next one — with exponential
+  // backoff (PBFT: "the timeout for the new view is twice the previous
+  // one"), so a replica whose peers are simply absent does not flood the
+  // network with view changes.
+  view_change_attempts_ = std::min(view_change_attempts_ + 1, 16);
+  request_timer_armed_ = true;
+  request_timer_ = set_timer(
+      config_.view_change_timeout_ns * (std::int64_t{1} << view_change_attempts_),
+      [this] {
+        request_timer_armed_ = false;
+        on_request_timeout();
+      });
+
+  if (config_.primary_for(new_view) == id()) {
+    process_view_change_quorum(new_view);
+  }
+}
+
+void Replica::handle_view_change(const Envelope& env) {
+  if (config_.rank_of(env.sender) < 0) return;
+  if (!env.signature) return;  // view changes must be signed
+  Result<ViewChangeMsg> decoded = ViewChangeMsg::decode(env.body);
+  if (!decoded.is_ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const ViewChangeMsg msg = std::move(decoded).take();
+  if (msg.replica != env.sender) return;
+  if (msg.new_view.value <= view_.value && !in_view_change_) return;
+
+  SignedViewChange svc;
+  svc.msg = msg;
+  svc.signature = *env.signature;
+  view_change_msgs_[msg.new_view][env.sender] = svc;
+  // Hygiene: a peer probing ever-higher views must not grow this map without
+  // bound; anything at or below our current view is dead, and we only ever
+  // act on the lowest joinable future view, so keep a bounded horizon.
+  view_change_msgs_.erase(view_change_msgs_.begin(),
+                          view_change_msgs_.lower_bound(ViewId(view_.value)));
+  while (view_change_msgs_.size() > 8) {
+    view_change_msgs_.erase(std::prev(view_change_msgs_.end()));
+  }
+
+  // Join rule: f+1 replicas ahead of us means our timer is just slow.
+  bool joined = false;
+  for (const auto& [target_view, msgs] : view_change_msgs_) {
+    if (target_view.value <= view_.value) continue;
+    if (static_cast<int>(msgs.size()) >= config_.f + 1 &&
+        target_view.value > highest_view_change_sent_.value) {
+      start_view_change(target_view);
+      joined = true;
+      break;
+    }
+  }
+  if (config_.primary_for(msg.new_view) == id()) {
+    process_view_change_quorum(msg.new_view);
+  }
+  // Laggard help: the sender is alone in a future view while we are not
+  // joining — either it missed messages we will never retransmit through
+  // the normal case, or its timeout was spurious and it is stuck. Offer it
+  // our state (f+1 such offers certify it / prove the group is live).
+  if (!joined && !in_view_change_ && msg.new_view.value > view_.value &&
+      last_executed_ >= msg.stable_seq.value) {
+    help_laggard(env.sender);
+  }
+}
+
+std::vector<PrePrepareMsg> Replica::compute_new_view_pre_prepares(
+    ViewId view, const std::vector<SignedViewChange>& vcs, std::uint64_t* min_s_out,
+    std::uint64_t* max_s_out) const {
+  // min_s: the highest stable point vouched for by f+1 view changes (at
+  // least one of which is from a correct replica). Taking the plain maximum
+  // would let one Byzantine replica inflate its stable_seq and cause
+  // committed requests below it to be silently skipped from re-proposal.
+  std::vector<std::uint64_t> stable_claims;
+  std::uint64_t max_s = 0;
+  for (const SignedViewChange& svc : vcs) {
+    stable_claims.push_back(svc.msg.stable_seq.value);
+    for (const PreparedProof& proof : svc.msg.prepared) {
+      max_s = std::max(max_s, proof.seq.value);
+    }
+  }
+  std::sort(stable_claims.begin(), stable_claims.end(), std::greater<>());
+  const std::size_t pick = std::min(stable_claims.size() - 1,
+                                    static_cast<std::size_t>(config_.f));
+  std::uint64_t min_s = stable_claims[pick];
+  max_s = std::max(max_s, min_s);
+
+  std::vector<PrePrepareMsg> out;
+  for (std::uint64_t seq = min_s + 1; seq <= max_s; ++seq) {
+    // Pick the prepared proof from the highest view for this seq.
+    const PreparedProof* best = nullptr;
+    for (const SignedViewChange& svc : vcs) {
+      for (const PreparedProof& proof : svc.msg.prepared) {
+        if (proof.seq.value != seq) continue;
+        if (best == nullptr || proof.view.value > best->view.value) best = &proof;
+      }
+    }
+    PrePrepareMsg pp;
+    pp.view = view;
+    pp.seq = SeqNum(seq);
+    if (best != nullptr) {
+      pp.req_digest = best->req_digest;
+      pp.request = best->request;
+    }  // else: null request
+    out.push_back(std::move(pp));
+  }
+  *min_s_out = min_s;
+  *max_s_out = max_s;
+  return out;
+}
+
+void Replica::process_view_change_quorum(ViewId new_view) {
+  if (config_.primary_for(new_view) != id()) return;
+  if (!in_view_change_ || view_ != new_view) return;
+  const auto it = view_change_msgs_.find(new_view);
+  if (it == view_change_msgs_.end()) return;
+  if (static_cast<int>(it->second.size()) < config_.quorum()) return;
+
+  NewViewMsg msg;
+  msg.view = new_view;
+  msg.primary = id();
+  for (const auto& [replica, svc] : it->second) {
+    msg.view_changes.push_back(svc);
+    if (static_cast<int>(msg.view_changes.size()) == config_.quorum()) break;
+  }
+  std::uint64_t min_s = 0;
+  std::uint64_t max_s = 0;
+  msg.pre_prepares =
+      compute_new_view_pre_prepares(new_view, msg.view_changes, &min_s, &max_s);
+
+  multicast_signed(MsgType::kNewView, msg.encode());
+  ++stats_.new_views_sent;
+  adopt_new_view(msg);
+}
+
+void Replica::handle_new_view(const Envelope& env) {
+  if (!env.signature) return;
+  Result<NewViewMsg> decoded = NewViewMsg::decode(env.body);
+  if (!decoded.is_ok()) {
+    ++stats_.malformed;
+    return;
+  }
+  const NewViewMsg msg = std::move(decoded).take();
+  if (msg.primary != env.sender) return;
+  if (config_.primary_for(msg.view) != env.sender) return;
+  if (msg.view.value < view_.value) return;
+  if (msg.view == view_ && !in_view_change_) return;
+
+  // Validate the view-change certificate.
+  if (static_cast<int>(msg.view_changes.size()) < config_.quorum()) return;
+  std::set<NodeId> senders;
+  for (const SignedViewChange& svc : msg.view_changes) {
+    if (svc.msg.new_view != msg.view) return;
+    if (config_.rank_of(svc.msg.replica) < 0) return;
+    if (!senders.insert(svc.msg.replica).second) return;  // duplicates
+    const Bytes body = svc.msg.encode();
+    if (!keystore_->verify(svc.msg.replica, body, svc.signature).is_ok()) {
+      ++stats_.auth_failures;
+      return;
+    }
+  }
+  // Recompute O and insist the primary computed it honestly.
+  std::uint64_t min_s = 0;
+  std::uint64_t max_s = 0;
+  const std::vector<PrePrepareMsg> expected =
+      compute_new_view_pre_prepares(msg.view, msg.view_changes, &min_s, &max_s);
+  if (expected != msg.pre_prepares) {
+    ITDOS_WARN(kLog) << id().to_string() << " rejects NEW-VIEW with inconsistent O";
+    return;
+  }
+  adopt_new_view(msg);
+}
+
+void Replica::adopt_new_view(const NewViewMsg& msg) {
+  std::uint64_t min_s = 0;
+  std::uint64_t max_s = 0;
+  const std::vector<PrePrepareMsg> pre_prepares =
+      compute_new_view_pre_prepares(msg.view, msg.view_changes, &min_s, &max_s);
+
+  view_ = msg.view;
+  in_view_change_ = false;
+  view_change_attempts_ = 0;
+  next_seq_ = max_s;
+  disarm_request_timer();
+
+  // The proposal/forwarding dedup horizons are VIEW-scoped: a request the
+  // old primary proposed but that never prepared is not in O, and without
+  // this reset its retransmissions would be ignored forever (the old
+  // last_proposed/last_forwarded marks would blackhole it).
+  for (auto& [client, record] : clients_) {
+    record.last_proposed = record.last_timestamp;
+    record.last_forwarded = record.last_timestamp;
+  }
+
+  // If the certificate's stable point is ahead of our execution we must
+  // fetch state. A single view-change's digest claim is not a certificate,
+  // so ask the whole group and install on an f+1-matching weak certificate
+  // (handled in handle_state_response).
+  if (min_s > last_executed_) {
+    StateRequestMsg request;
+    request.seq = SeqNum(min_s);
+    request.requester = id();
+    multicast_authenticated(MsgType::kStateRequest, request.encode());
+  }
+
+  for (const PrePrepareMsg& pp : pre_prepares) {
+    const std::uint64_t seq = pp.seq.value;
+    if (seq <= last_executed_) continue;  // already executed (committed earlier)
+    // Requests the new view re-proposes ARE in flight: restore their dedup
+    // marks so client retransmissions are not double-assigned.
+    if (!pp.is_null_request()) {
+      if (Result<RequestMsg> carried = RequestMsg::decode(pp.request); carried.is_ok()) {
+        ClientRecord& record = clients_[carried.value().client];
+        record.last_proposed = std::max(record.last_proposed, carried.value().timestamp);
+        record.last_forwarded = std::max(record.last_forwarded, carried.value().timestamp);
+      }
+    }
+    LogEntry& entry = log_[seq];
+    // Old-view prepares/commits must not count toward the new view.
+    entry.pre_prepare = pp;
+    entry.prepares.clear();
+    entry.commits.clear();
+    entry.committed = false;
+
+    if (config_.primary_for(view_) != id()) {
+      PrepareMsg prepare;
+      prepare.view = view_;
+      prepare.seq = pp.seq;
+      prepare.req_digest = pp.req_digest;
+      prepare.replica = id();
+      entry.prepares[id()] = pp.req_digest;
+      multicast_authenticated(MsgType::kPrepare, prepare.encode());
+      ++stats_.prepares_sent;
+    }
+    arm_request_timer();
+  }
+
+  // Forget view-change state for this and older views.
+  for (auto it = view_change_msgs_.begin(); it != view_change_msgs_.end();) {
+    if (it->first.value <= view_.value) {
+      it = view_change_msgs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  drain_proposal_backlog();
+  try_execute();
+}
+
+}  // namespace itdos::bft

@@ -1,0 +1,196 @@
+// Castro-Liskov PBFT replica [6,7].
+//
+// Protocol phases implemented:
+//   * normal case: REQUEST -> PRE-PREPARE -> PREPARE -> COMMIT -> execute ->
+//     REPLY, with quorum 2f+1 out of n = 3f+1;
+//   * checkpointing: every K executions a snapshot is hashed and announced;
+//     2f+1 matching CHECKPOINTs make it stable and advance the low
+//     watermark h (log entries <= h are garbage collected);
+//   * view change: backups that see a request stall past the timeout move to
+//     view v+1 (VIEW-CHANGE with the prepared set P, signed); the new
+//     primary assembles 2f+1 of them into NEW-VIEW with re-proposals O;
+//     backups verify O against V before adopting it;
+//   * state transfer: a replica that learns of a stable checkpoint beyond
+//     its own execution point fetches and verifies a snapshot (digest must
+//     match the 2f+1 checkpoint certificate), then resumes.
+//
+// Authentication: pairwise MACs for normal-case messages (the authenticator
+// vector optimization [8]); signatures on VIEW-CHANGE so certificates can be
+// relayed in NEW-VIEW.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "bft/app.hpp"
+#include "bft/config.hpp"
+#include "bft/messages.hpp"
+#include "net/process.hpp"
+
+namespace itdos::bft {
+
+/// Per-replica protocol statistics (benchmarks report these).
+struct ReplicaStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t pre_prepares_sent = 0;
+  std::uint64_t prepares_sent = 0;
+  std::uint64_t commits_sent = 0;
+  std::uint64_t replies_sent = 0;
+  std::uint64_t checkpoints_sent = 0;
+  std::uint64_t view_changes_sent = 0;
+  std::uint64_t new_views_sent = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t state_transfers = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t malformed = 0;
+};
+
+class Replica : public net::Process {
+ public:
+  Replica(net::Network& net, NodeId id, BftConfig config, const SessionKeys& keys,
+          crypto::SigningKey signing_key,
+          std::shared_ptr<const crypto::Keystore> keystore,
+          std::unique_ptr<StateMachine> app);
+
+  // Observers (tests and benches).
+  ViewId view() const { return view_; }
+  bool is_primary() const { return config_.primary_for(view_) == id(); }
+  SeqNum last_executed() const { return SeqNum(last_executed_); }
+  SeqNum stable_checkpoint_seq() const { return SeqNum(stable_seq_); }
+  bool in_view_change() const { return in_view_change_; }
+
+  /// Proactively asks the group for state beyond our execution point (used
+  /// by replacement elements joining with no history; f+1 matching replies
+  /// certify the snapshot).
+  void request_catch_up();
+  const ReplicaStats& stats() const { return stats_; }
+  const StateMachine& app() const { return *app_; }
+  StateMachine& app() { return *app_; }
+
+ protected:
+  void on_packet(const net::Packet& packet) override;
+
+ private:
+  struct LogEntry {
+    std::optional<PrePrepareMsg> pre_prepare;
+    std::map<NodeId, Digest> prepares;  // replica -> digest it prepared
+    std::map<NodeId, Digest> commits;
+    bool committed = false;
+    bool executed = false;
+  };
+
+  struct ClientRecord {
+    std::uint64_t last_timestamp = 0;   // highest executed request
+    std::uint64_t last_proposed = 0;    // highest seen in a pre-prepare (dedup)
+    std::uint64_t last_forwarded = 0;   // highest relayed to the primary
+    Bytes last_reply;
+    bool reply_valid = false;
+  };
+
+  // --- message handlers ---
+  void handle_request(const Envelope& env);
+  void handle_pre_prepare(const Envelope& env);
+  void handle_prepare(const Envelope& env);
+  void handle_commit(const Envelope& env);
+  void handle_checkpoint(const Envelope& env);
+  void handle_view_change(const Envelope& env);
+  void handle_new_view(const Envelope& env);
+  void handle_state_request(const Envelope& env);
+  void handle_state_response(const Envelope& env);
+
+  // --- normal case ---
+  void assign_and_propose(const RequestMsg& request, const Bytes& encoded);
+  void drain_proposal_backlog();
+  void maybe_send_commit(std::uint64_t seq);
+  void try_execute();
+  void execute_entry(std::uint64_t seq, LogEntry& entry);
+  void send_reply(const RequestMsg& request, const Bytes& result);
+  bool entry_prepared(const LogEntry& entry) const;
+  bool entry_committed(const LogEntry& entry) const;
+  bool in_window(std::uint64_t seq) const;
+
+  // --- checkpoints & state transfer ---
+  void take_checkpoint(std::uint64_t seq);
+  void process_checkpoint_vote(const CheckpointMsg& msg);
+  void make_stable(std::uint64_t seq, const Digest& digest);
+  Bytes make_snapshot() const;
+  Status install_snapshot(std::uint64_t seq, const Digest& digest, ByteView snapshot);
+  void request_state_transfer(std::uint64_t seq, const Digest& digest);
+  void after_install(ViewId sender_view);
+  void help_laggard(NodeId laggard);
+  /// Records protocol traffic referencing `seq`; if it is beyond our window
+  /// we are behind and (rate-limited) ask the group for state.
+  void observe_seq(std::uint64_t seq);
+
+  // --- view change ---
+  void start_view_change(ViewId new_view);
+  void process_view_change_quorum(ViewId new_view);
+  void adopt_new_view(const NewViewMsg& msg);
+  std::vector<PrePrepareMsg> compute_new_view_pre_prepares(
+      ViewId view, const std::vector<SignedViewChange>& vcs,
+      std::uint64_t* min_s_out, std::uint64_t* max_s_out) const;
+
+  // --- plumbing ---
+  void multicast_authenticated(MsgType type, const Bytes& body);
+  void multicast_signed(MsgType type, const Bytes& body);
+  void send_authenticated(NodeId to, MsgType type, const Bytes& body);
+  Status verify_envelope(const Envelope& env) const;
+  void arm_request_timer();
+  void disarm_request_timer();
+  void on_request_timeout();
+
+  BftConfig config_;
+  const SessionKeys& keys_;
+  crypto::SigningKey signing_key_;
+  std::shared_ptr<const crypto::Keystore> keystore_;
+  std::unique_ptr<StateMachine> app_;
+  ReplicaStats stats_;
+
+  // Protocol state.
+  ViewId view_;
+  bool in_view_change_ = false;
+  std::uint64_t next_seq_ = 0;       // primary: last assigned seq
+  std::uint64_t last_executed_ = 0;
+  std::uint64_t stable_seq_ = 0;     // h
+  Digest stable_digest_{};
+  Bytes stable_snapshot_;            // snapshot at h (for state transfer)
+  std::map<std::uint64_t, LogEntry> log_;
+  std::map<NodeId, ClientRecord> clients_;
+  std::map<std::uint64_t, std::map<Digest, std::set<NodeId>>> checkpoint_votes_;
+  std::map<std::uint64_t, Bytes> pending_snapshots_;  // taken but not yet stable
+
+  // Requests the primary could not yet assign (window full).
+  std::deque<Bytes> proposal_backlog_;
+
+  // View change bookkeeping.
+  std::map<ViewId, std::map<NodeId, SignedViewChange>> view_change_msgs_;
+  ViewId highest_view_change_sent_;
+  int view_change_attempts_ = 0;  // consecutive failed attempts (backoff)
+
+  // Outstanding state transfer target (seq, digest).
+  std::optional<std::pair<std::uint64_t, Digest>> state_transfer_target_;
+
+  // Weak state certificates: unsolicited STATE-RESPONSEs (e.g. peers helping
+  // a laggard whose VIEW-CHANGE revealed it is behind). f+1 distinct senders
+  // offering the same (seq, digest) certify it (at least one is correct).
+  struct StateOffer {
+    std::set<NodeId> senders;
+    Bytes snapshot;
+  };
+  std::map<std::uint64_t, std::map<Digest, StateOffer>> state_offers_;
+
+  // Liveness timer (backup: request pending too long -> view change).
+  net::EventHandle request_timer_{};
+  bool request_timer_armed_ = false;
+
+  // Catch-up probing: highest sequence seen in authenticated traffic, and a
+  // cooldown so out-of-window evidence triggers at most one STATE-REQ per
+  // period (a Byzantine peer inflating seqs costs bounded requests).
+  std::uint64_t max_observed_seq_ = 0;
+  bool catch_up_cooldown_ = false;
+};
+
+}  // namespace itdos::bft

@@ -1,0 +1,104 @@
+// CORBA Common Data Representation (CDR) encoder/decoder.
+//
+// CDR is byte-order-tagged: a message is marshalled in the *sender's* native
+// byte order and the receiver swaps if needed. This is exactly why the paper
+// cannot vote byte-by-byte across heterogeneous replicas (§3.6): two correct
+// replicas of different endianness produce different marshalled bytes for
+// the same value. Both byte orders are first-class here so tests and benches
+// can construct genuinely heterogeneous replica populations.
+//
+// Alignment follows CDR: every primitive is aligned to its own size,
+// measured from the start of the encapsulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace itdos::cdr {
+
+enum class ByteOrder : std::uint8_t { kBigEndian = 0, kLittleEndian = 1 };
+
+/// The byte order this build's CPU uses (for "native" marshalling).
+ByteOrder native_byte_order();
+
+class Encoder {
+ public:
+  explicit Encoder(ByteOrder order = native_byte_order()) : order_(order) {}
+
+  ByteOrder order() const { return order_; }
+
+  void write_octet(std::uint8_t v);
+  void write_boolean(bool v) { write_octet(v ? 1 : 0); }
+  void write_int16(std::int16_t v) { write_uint(static_cast<std::uint16_t>(v), 2); }
+  void write_uint16(std::uint16_t v) { write_uint(v, 2); }
+  void write_int32(std::int32_t v) { write_uint(static_cast<std::uint32_t>(v), 4); }
+  void write_uint32(std::uint32_t v) { write_uint(v, 4); }
+  void write_int64(std::int64_t v) { write_uint(static_cast<std::uint64_t>(v), 8); }
+  void write_uint64(std::uint64_t v) { write_uint(v, 8); }
+  void write_float(float v);
+  void write_double(double v);
+
+  /// CDR string: uint32 length including NUL, chars, NUL.
+  void write_string(std::string_view s);
+
+  /// Counted byte sequence: uint32 length, raw bytes.
+  void write_bytes(ByteView b);
+
+  /// Raw bytes, no length prefix, no alignment (already-encoded blobs).
+  void write_raw(ByteView b);
+
+  /// Pads to `alignment` (power of two) from encapsulation start.
+  void align(std::size_t alignment);
+
+  const Bytes& buffer() const { return buffer_; }
+  Bytes take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  void write_uint(std::uint64_t v, std::size_t width);
+
+  ByteOrder order_;
+  Bytes buffer_;
+};
+
+class Decoder {
+ public:
+  /// Decodes a buffer whose contents were written with `order`.
+  Decoder(ByteView data, ByteOrder order) : data_(data), order_(order) {}
+
+  ByteOrder order() const { return order_; }
+  std::size_t remaining() const { return data_.size() - offset_; }
+  std::size_t offset() const { return offset_; }
+  bool exhausted() const { return remaining() == 0; }
+
+  Result<std::uint8_t> read_octet();
+  Result<bool> read_boolean();
+  Result<std::int16_t> read_int16();
+  Result<std::uint16_t> read_uint16();
+  Result<std::int32_t> read_int32();
+  Result<std::uint32_t> read_uint32();
+  Result<std::int64_t> read_int64();
+  Result<std::uint64_t> read_uint64();
+  Result<float> read_float();
+  Result<double> read_double();
+  Result<std::string> read_string();
+  Result<Bytes> read_bytes();
+
+  /// Reads `n` raw bytes without alignment.
+  Result<Bytes> read_raw(std::size_t n);
+
+  /// Skips padding to `alignment` from buffer start.
+  Status align(std::size_t alignment);
+
+ private:
+  Result<std::uint64_t> read_uint(std::size_t width);
+
+  ByteView data_;
+  ByteOrder order_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace itdos::cdr

@@ -1,0 +1,253 @@
+#include "cdr/value.hpp"
+
+#include <sstream>
+
+namespace itdos::cdr {
+
+std::string_view type_kind_name(TypeKind k) {
+  switch (k) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kBoolean: return "boolean";
+    case TypeKind::kOctet: return "octet";
+    case TypeKind::kInt32: return "int32";
+    case TypeKind::kInt64: return "int64";
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kString: return "string";
+    case TypeKind::kSequence: return "sequence";
+    case TypeKind::kStruct: return "struct";
+  }
+  return "<?>";
+}
+
+Field::Field(std::string n, Value v) : name(std::move(n)) {
+  value.push_back(std::move(v));
+}
+
+bool Field::operator==(const Field& other) const {
+  return name == other.name && value == other.value;
+}
+
+Value Value::sequence(std::vector<Value> elems) {
+  return Value(SequenceBox{std::move(elems)});
+}
+
+Value Value::structure(std::vector<Field> fields) {
+  return Value(StructBox{std::move(fields)});
+}
+
+TypeKind Value::kind() const {
+  return static_cast<TypeKind>(data_.index());
+}
+
+const std::vector<Value>& Value::elements() const {
+  return std::get<SequenceBox>(data_).elems;
+}
+
+const std::vector<Field>& Value::fields() const {
+  return std::get<StructBox>(data_).fields;
+}
+
+Result<Value> Value::field(std::string_view name) const {
+  if (kind() != TypeKind::kStruct) {
+    return error(Errc::kInvalidArgument, "field() on non-struct value");
+  }
+  for (const Field& f : fields()) {
+    if (f.name == name) return f.get();
+  }
+  return error(Errc::kNotFound, "no struct field named " + std::string(name));
+}
+
+bool Value::operator==(const Value& other) const { return data_ == other.data_; }
+
+void Value::marshal(Encoder& enc) const {
+  enc.write_octet(static_cast<std::uint8_t>(kind()));
+  switch (kind()) {
+    case TypeKind::kVoid:
+      break;
+    case TypeKind::kBoolean:
+      enc.write_boolean(as_boolean());
+      break;
+    case TypeKind::kOctet:
+      enc.write_octet(as_octet());
+      break;
+    case TypeKind::kInt32:
+      enc.write_int32(as_int32());
+      break;
+    case TypeKind::kInt64:
+      enc.write_int64(as_int64());
+      break;
+    case TypeKind::kFloat:
+      enc.write_float(as_float32());
+      break;
+    case TypeKind::kDouble:
+      enc.write_double(as_float64());
+      break;
+    case TypeKind::kString:
+      enc.write_string(as_string());
+      break;
+    case TypeKind::kSequence: {
+      enc.write_uint32(static_cast<std::uint32_t>(elements().size()));
+      for (const Value& e : elements()) e.marshal(enc);
+      break;
+    }
+    case TypeKind::kStruct: {
+      enc.write_uint32(static_cast<std::uint32_t>(fields().size()));
+      for (const Field& f : fields()) {
+        enc.write_string(f.name);
+        f.get().marshal(enc);
+      }
+      break;
+    }
+  }
+}
+
+Result<Value> Value::unmarshal(Decoder& dec, int max_depth) {
+  if (max_depth <= 0) {
+    return error(Errc::kMalformedMessage, "CDR value nesting too deep");
+  }
+  ITDOS_ASSIGN_OR_RETURN(std::uint8_t tag, dec.read_octet());
+  if (tag > static_cast<std::uint8_t>(TypeKind::kStruct)) {
+    return error(Errc::kMalformedMessage, "unknown CDR type tag");
+  }
+  switch (static_cast<TypeKind>(tag)) {
+    case TypeKind::kVoid:
+      return Value::void_();
+    case TypeKind::kBoolean: {
+      ITDOS_ASSIGN_OR_RETURN(bool v, dec.read_boolean());
+      return Value::boolean(v);
+    }
+    case TypeKind::kOctet: {
+      ITDOS_ASSIGN_OR_RETURN(std::uint8_t v, dec.read_octet());
+      return Value::octet(v);
+    }
+    case TypeKind::kInt32: {
+      ITDOS_ASSIGN_OR_RETURN(std::int32_t v, dec.read_int32());
+      return Value::int32(v);
+    }
+    case TypeKind::kInt64: {
+      ITDOS_ASSIGN_OR_RETURN(std::int64_t v, dec.read_int64());
+      return Value::int64(v);
+    }
+    case TypeKind::kFloat: {
+      ITDOS_ASSIGN_OR_RETURN(float v, dec.read_float());
+      return Value::float32(v);
+    }
+    case TypeKind::kDouble: {
+      ITDOS_ASSIGN_OR_RETURN(double v, dec.read_double());
+      return Value::float64(v);
+    }
+    case TypeKind::kString: {
+      ITDOS_ASSIGN_OR_RETURN(std::string v, dec.read_string());
+      return Value::string(std::move(v));
+    }
+    case TypeKind::kSequence: {
+      ITDOS_ASSIGN_OR_RETURN(std::uint32_t count, dec.read_uint32());
+      if (count > dec.remaining()) {
+        return error(Errc::kMalformedMessage, "CDR sequence count exceeds buffer");
+      }
+      std::vector<Value> elems;
+      elems.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ITDOS_ASSIGN_OR_RETURN(Value e, unmarshal(dec, max_depth - 1));
+        elems.push_back(std::move(e));
+      }
+      return Value::sequence(std::move(elems));
+    }
+    case TypeKind::kStruct: {
+      ITDOS_ASSIGN_OR_RETURN(std::uint32_t count, dec.read_uint32());
+      if (count > dec.remaining()) {
+        return error(Errc::kMalformedMessage, "CDR struct count exceeds buffer");
+      }
+      std::vector<Field> fields;
+      fields.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ITDOS_ASSIGN_OR_RETURN(std::string name, dec.read_string());
+        ITDOS_ASSIGN_OR_RETURN(Value v, unmarshal(dec, max_depth - 1));
+        fields.emplace_back(std::move(name), std::move(v));
+      }
+      return Value::structure(std::move(fields));
+    }
+  }
+  return error(Errc::kInternal, "unreachable CDR tag");
+}
+
+Bytes Value::encode(ByteOrder order) const {
+  Encoder enc(order);
+  marshal(enc);
+  return enc.take();
+}
+
+Result<Value> Value::decode(ByteView data, ByteOrder order) {
+  Decoder dec(data, order);
+  ITDOS_ASSIGN_OR_RETURN(Value v, unmarshal(dec));
+  if (!dec.exhausted()) {
+    return error(Errc::kMalformedMessage, "trailing bytes after CDR value");
+  }
+  return v;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream out;
+  switch (kind()) {
+    case TypeKind::kVoid:
+      out << "void";
+      break;
+    case TypeKind::kBoolean:
+      out << (as_boolean() ? "true" : "false");
+      break;
+    case TypeKind::kOctet:
+      out << "0x" << std::hex << static_cast<int>(as_octet());
+      break;
+    case TypeKind::kInt32:
+      out << as_int32();
+      break;
+    case TypeKind::kInt64:
+      out << as_int64();
+      break;
+    case TypeKind::kFloat:
+      out << as_float32() << 'f';
+      break;
+    case TypeKind::kDouble:
+      out << as_float64();
+      break;
+    case TypeKind::kString:
+      out << '"' << as_string() << '"';
+      break;
+    case TypeKind::kSequence: {
+      out << '[';
+      bool first = true;
+      for (const Value& e : elements()) {
+        if (!first) out << ", ";
+        first = false;
+        out << e.to_string();
+      }
+      out << ']';
+      break;
+    }
+    case TypeKind::kStruct: {
+      out << '{';
+      bool first = true;
+      for (const Field& f : fields()) {
+        if (!first) out << ", ";
+        first = false;
+        out << f.name << ": " << f.get().to_string();
+      }
+      out << '}';
+      break;
+    }
+  }
+  return out.str();
+}
+
+std::size_t Value::node_count() const {
+  std::size_t count = 1;
+  if (kind() == TypeKind::kSequence) {
+    for (const Value& e : elements()) count += e.node_count();
+  } else if (kind() == TypeKind::kStruct) {
+    for (const Field& f : fields()) count += f.get().node_count();
+  }
+  return count;
+}
+
+}  // namespace itdos::cdr

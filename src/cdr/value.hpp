@@ -1,0 +1,133 @@
+// Self-describing CDR value tree — the representation ITDOS votes on.
+//
+// The paper (§3.6): "voting must be accomplished in middleware, after the
+// raw message stream has been unmarshalled. This process allows us to
+// determine equivalency even when the underlying data representation is
+// different." A Value is the unmarshalled form: a typed tree of primitives,
+// strings, sequences and structs, independent of the byte order or platform
+// that produced the wire bytes. Two heterogeneous replicas that compute the
+// same logical result unmarshal to equal Values even though their raw GIOP
+// bytes differ.
+//
+// The wire form is type-tagged (a miniature TypeCode stream), which is what
+// lets the Group Manager's standalone marshalling engine re-unmarshal a
+// message for proof verification without IDL knowledge (§3.6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cdr/codec.hpp"
+#include "common/result.hpp"
+
+namespace itdos::cdr {
+
+enum class TypeKind : std::uint8_t {
+  kVoid = 0,
+  kBoolean = 1,
+  kOctet = 2,
+  kInt32 = 3,
+  kInt64 = 4,
+  kFloat = 5,
+  kDouble = 6,
+  kString = 7,
+  kSequence = 8,
+  kStruct = 9,
+};
+
+std::string_view type_kind_name(TypeKind k);
+
+class Value;
+
+/// A named struct member.
+struct Field {
+  std::string name;
+  // Defined out-of-line; Value is incomplete here.
+  std::vector<Value> value;  // exactly one element; vector for incompleteness
+
+  Field(std::string n, Value v);
+  const Value& get() const { return value.front(); }
+  bool operator==(const Field& other) const;
+};
+
+class Value {
+ public:
+  /// Constructors, one per TypeKind.
+  Value() : data_(std::monostate{}) {}  // void
+  static Value void_() { return Value(); }
+  static Value boolean(bool v) { return Value(v); }
+  static Value octet(std::uint8_t v) { return Value(v); }
+  static Value int32(std::int32_t v) { return Value(v); }
+  static Value int64(std::int64_t v) { return Value(v); }
+  static Value float32(float v) { return Value(v); }
+  static Value float64(double v) { return Value(v); }
+  static Value string(std::string v) { return Value(std::move(v)); }
+  static Value sequence(std::vector<Value> elems);
+  static Value structure(std::vector<Field> fields);
+
+  TypeKind kind() const;
+
+  bool is_void() const { return kind() == TypeKind::kVoid; }
+
+  /// Typed accessors; precondition: kind() matches.
+  bool as_boolean() const { return std::get<bool>(data_); }
+  std::uint8_t as_octet() const { return std::get<std::uint8_t>(data_); }
+  std::int32_t as_int32() const { return std::get<std::int32_t>(data_); }
+  std::int64_t as_int64() const { return std::get<std::int64_t>(data_); }
+  float as_float32() const { return std::get<float>(data_); }
+  double as_float64() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const std::vector<Value>& elements() const;
+  const std::vector<Field>& fields() const;
+
+  /// Struct member lookup; kNotFound if absent or not a struct.
+  Result<Value> field(std::string_view name) const;
+
+  /// Exact structural equality (type + value; floats bitwise-ish via ==).
+  bool operator==(const Value& other) const;
+
+  /// Marshals type tag + payload into the encoder.
+  void marshal(Encoder& enc) const;
+
+  /// Unmarshals one tagged value. `max_depth` bounds hostile nesting.
+  static Result<Value> unmarshal(Decoder& dec, int max_depth = 32);
+
+  /// Convenience: full round trip through a fresh encapsulation.
+  Bytes encode(ByteOrder order = native_byte_order()) const;
+  static Result<Value> decode(ByteView data, ByteOrder order);
+
+  /// Human-readable rendering ("{x: 1, y: [2.5, 3.5]}").
+  std::string to_string() const;
+
+  /// Total node count (tree size); used for voter cost accounting.
+  std::size_t node_count() const;
+
+ private:
+  struct SequenceBox {
+    std::vector<Value> elems;
+    bool operator==(const SequenceBox&) const = default;
+  };
+  struct StructBox {
+    std::vector<Field> fields;
+    bool operator==(const StructBox&) const = default;
+  };
+
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(std::uint8_t v) : data_(v) {}
+  explicit Value(std::int32_t v) : data_(v) {}
+  explicit Value(std::int64_t v) : data_(v) {}
+  explicit Value(float v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(SequenceBox v) : data_(std::move(v)) {}
+  explicit Value(StructBox v) : data_(std::move(v)) {}
+
+  std::variant<std::monostate, bool, std::uint8_t, std::int32_t, std::int64_t,
+               float, double, std::string, SequenceBox, StructBox>
+      data_;
+};
+
+}  // namespace itdos::cdr

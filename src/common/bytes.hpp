@@ -1,0 +1,43 @@
+// Byte-buffer vocabulary types shared by every ITDOS module.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace itdos {
+
+/// Owning byte buffer. All wire formats in ITDOS serialize to/from Bytes.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using ByteView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes from a string literal / std::string payload.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte view as text (for diagnostics; not NUL-safe display).
+std::string to_string(ByteView b);
+
+/// Lower-case hex encoding ("deadbeef").
+std::string hex_encode(ByteView b);
+
+/// Decodes lower/upper-case hex; returns empty on malformed input of odd
+/// length or non-hex characters.
+Bytes hex_decode(std::string_view hex);
+
+/// Constant-time equality for secrets (avoids early-exit timing leaks).
+bool constant_time_equal(ByteView a, ByteView b);
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// XORs `src` into `dst` (dst[i] ^= src[i]); buffers must be equal length.
+void xor_into(Bytes& dst, ByteView src);
+
+}  // namespace itdos

@@ -1,0 +1,65 @@
+// Strongly-typed identifiers. A NodeId is never accidentally compared with a
+// DomainId; each id is a distinct type with value semantics and hashing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace itdos {
+
+namespace detail {
+/// CRTP-free strong integer id. Tag makes each instantiation a unique type.
+template <typename Tag>
+struct StrongId {
+  std::uint64_t value = 0;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t v) : value(v) {}
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  std::string to_string() const { return std::to_string(value); }
+};
+}  // namespace detail
+
+/// A process endpoint on the simulated network (one per replica / client /
+/// group-manager element / proxy).
+using NodeId = detail::StrongId<struct NodeIdTag>;
+
+/// A replication domain (a set of replicas acting as one logical server),
+/// including the Group Manager's own domain.
+using DomainId = detail::StrongId<struct DomainIdTag>;
+
+/// A virtual connection between two (possibly replicated) parties (§3.3).
+using ConnectionId = detail::StrongId<struct ConnectionIdTag>;
+
+/// Per-connection, strictly increasing request identifier (§3.6).
+using RequestId = detail::StrongId<struct RequestIdTag>;
+
+/// A CORBA object within a replication domain.
+using ObjectId = detail::StrongId<struct ObjectIdTag>;
+
+/// BFT view number (Castro-Liskov).
+using ViewId = detail::StrongId<struct ViewIdTag>;
+
+/// BFT sequence number assigned by the primary.
+using SeqNum = detail::StrongId<struct SeqNumTag>;
+
+/// Epoch of a communication key; bumped on every rekey (§3.5).
+using KeyEpoch = detail::StrongId<struct KeyEpochTag>;
+
+/// A simulated IP-multicast group address.
+using McastGroupId = detail::StrongId<struct McastGroupIdTag>;
+
+}  // namespace itdos
+
+namespace std {
+template <typename Tag>
+struct hash<itdos::detail::StrongId<Tag>> {
+  size_t operator()(const itdos::detail::StrongId<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

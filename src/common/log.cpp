@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/time.hpp"
+
+namespace itdos {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component, std::string_view msg) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace detail
+
+std::string format_duration_ns(std::int64_t ns) {
+  char buf[64];
+  if (ns < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace itdos

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Sinks to stderr; level is a process-wide knob so
+// tests stay quiet and examples can turn on kInfo for narrative output.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace itdos {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component, std::string_view msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { log_emit(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define ITDOS_LOG(level, component)                 \
+  if (::itdos::log_level() <= (level))              \
+  ::itdos::detail::LogLine((level), (component))
+
+#define ITDOS_TRACE(component) ITDOS_LOG(::itdos::LogLevel::kTrace, component)
+#define ITDOS_DEBUG(component) ITDOS_LOG(::itdos::LogLevel::kDebug, component)
+#define ITDOS_INFO(component) ITDOS_LOG(::itdos::LogLevel::kInfo, component)
+#define ITDOS_WARN(component) ITDOS_LOG(::itdos::LogLevel::kWarn, component)
+#define ITDOS_ERROR(component) ITDOS_LOG(::itdos::LogLevel::kError, component)
+
+}  // namespace itdos

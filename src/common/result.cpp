@@ -1,0 +1,32 @@
+#include "common/result.hpp"
+
+namespace itdos {
+
+std::string_view errc_name(Errc e) {
+  switch (e) {
+    case Errc::kOk: return "OK";
+    case Errc::kInvalidArgument: return "kInvalidArgument";
+    case Errc::kMalformedMessage: return "kMalformedMessage";
+    case Errc::kAuthFailure: return "kAuthFailure";
+    case Errc::kNotFound: return "kNotFound";
+    case Errc::kAlreadyExists: return "kAlreadyExists";
+    case Errc::kUnavailable: return "kUnavailable";
+    case Errc::kPermissionDenied: return "kPermissionDenied";
+    case Errc::kResourceExhausted: return "kResourceExhausted";
+    case Errc::kFailedPrecondition: return "kFailedPrecondition";
+    case Errc::kInternal: return "kInternal";
+  }
+  return "<?>";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(errc_name(code_));
+  if (!detail_.empty()) {
+    out += ": ";
+    out += detail_;
+  }
+  return out;
+}
+
+}  // namespace itdos

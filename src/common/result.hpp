@@ -1,0 +1,117 @@
+// Result/Status error handling used across module boundaries.
+//
+// ITDOS modules do not throw across public interfaces (a Byzantine peer's
+// garbage input is an expected event, not an exceptional one); operations
+// that can fail return Status or Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace itdos {
+
+/// Coarse error taxonomy. `detail()` on Status carries specifics.
+enum class Errc {
+  kOk = 0,
+  kInvalidArgument,   // caller bug or malformed local input
+  kMalformedMessage,  // un-parseable bytes from the network (possibly hostile)
+  kAuthFailure,       // MAC/signature/share verification failed
+  kNotFound,          // unknown id (connection, object, domain, ...)
+  kAlreadyExists,
+  kUnavailable,       // not enough correct replicas / no quorum / timeout
+  kPermissionDenied,  // request valid but not authorized (e.g. bad proof)
+  kResourceExhausted, // queue/watermark/window full
+  kFailedPrecondition,// protocol state does not admit this event
+  kInternal,          // invariant violation that was contained
+};
+
+/// Human-readable name for an error code.
+std::string_view errc_name(Errc e);
+
+/// Status: success or (code, detail message).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(Errc code, std::string detail) : code_(code), detail_(std::move(detail)) {
+    assert(code != Errc::kOk && "use Status() for success");
+  }
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == Errc::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  Errc code() const { return code_; }
+  const std::string& detail() const { return detail_; }
+
+  /// "OK" or "kAuthFailure: bad MAC on pre-prepare".
+  std::string to_string() const;
+
+ private:
+  Errc code_ = Errc::kOk;
+  std::string detail_;
+};
+
+inline Status error(Errc code, std::string detail) {
+  return Status(code, std::move(detail));
+}
+
+/// Result<T>: T on success, Status on failure.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}            // NOLINT implicit
+  Result(Status status) : state_(std::move(status)) {      // NOLINT implicit
+    assert(!std::get<Status>(state_).is_ok() && "Result from OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(state_);
+  }
+  T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const Status& status() const {
+    static const Status kOk;
+    return is_ok() ? kOk : std::get<Status>(state_);
+  }
+
+  /// value() if ok else `fallback`.
+  T value_or(T fallback) const& { return is_ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Early-return helpers (statement-expression free, portable).
+#define ITDOS_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::itdos::Status itdos_status_ = (expr);          \
+    if (!itdos_status_.is_ok()) return itdos_status_; \
+  } while (false)
+
+#define ITDOS_CONCAT_INNER(a, b) a##b
+#define ITDOS_CONCAT(a, b) ITDOS_CONCAT_INNER(a, b)
+
+#define ITDOS_ASSIGN_OR_RETURN(lhs, rexpr) \
+  ITDOS_ASSIGN_OR_RETURN_IMPL(ITDOS_CONCAT(itdos_result_, __LINE__), lhs, rexpr)
+
+#define ITDOS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.is_ok()) return tmp.status();             \
+  lhs = std::move(tmp).take()
+
+}  // namespace itdos

@@ -1,0 +1,41 @@
+// Deterministic PRNG. Every stochastic element of the simulation (network
+// delays, drop decisions, Byzantine mutations, workload generators) draws
+// from a seeded Rng so runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace itdos {
+
+/// xoshiro256** seeded via SplitMix64. Not cryptographic — simulation only.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) — bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p.
+  bool chance(double p);
+
+  /// n uniformly random bytes.
+  Bytes next_bytes(std::size_t n);
+
+  /// Derives an independent child stream (for per-node generators).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace itdos

@@ -1,0 +1,32 @@
+// Simulated-time vocabulary. The whole system runs on a discrete-event
+// scheduler; SimTime is nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace itdos {
+
+/// Nanoseconds since simulation start.
+struct SimTime {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(std::int64_t delta_ns) const { return {ns + delta_ns}; }
+  constexpr std::int64_t operator-(const SimTime& other) const { return ns - other.ns; }
+
+  double micros() const { return static_cast<double>(ns) / 1e3; }
+  double millis() const { return static_cast<double>(ns) / 1e6; }
+  double seconds() const { return static_cast<double>(ns) / 1e9; }
+};
+
+/// Duration helpers (all return nanosecond counts).
+constexpr std::int64_t nanos(std::int64_t n) { return n; }
+constexpr std::int64_t micros(std::int64_t n) { return n * 1'000; }
+constexpr std::int64_t millis(std::int64_t n) { return n * 1'000'000; }
+constexpr std::int64_t seconds(std::int64_t n) { return n * 1'000'000'000; }
+
+/// "12.345ms"-style rendering for logs and bench output.
+std::string format_duration_ns(std::int64_t ns);
+
+}  // namespace itdos

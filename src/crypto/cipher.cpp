@@ -1,0 +1,90 @@
+#include "crypto/cipher.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace itdos::crypto {
+
+SymmetricKey SymmetricKey::from_bytes(ByteView b) {
+  assert(b.size() >= kSymmetricKeySize);
+  SymmetricKey k;
+  std::memcpy(k.bytes.data(), b.data(), kSymmetricKeySize);
+  return k;
+}
+
+std::string SymmetricKey::fingerprint() const {
+  const Digest d = sha256(view());
+  return hex_encode(ByteView(d.data(), 4));
+}
+
+Nonce make_nonce(std::uint64_t sender, std::uint64_t counter) {
+  Nonce n{};
+  for (int i = 0; i < 4; ++i) n[i] = static_cast<std::uint8_t>(sender >> (i * 8));
+  for (int i = 0; i < 8; ++i) n[4 + i] = static_cast<std::uint8_t>(counter >> (i * 8));
+  return n;
+}
+
+namespace {
+
+/// Derives independent encryption and MAC subkeys so the CTR keystream and
+/// the authentication tag never share key material.
+Bytes enc_subkey(const SymmetricKey& key) {
+  return derive_key(key.view(), "itdos.enc", {});
+}
+Bytes mac_subkey(const SymmetricKey& key) {
+  return derive_key(key.view(), "itdos.mac", {});
+}
+
+}  // namespace
+
+Bytes ctr_crypt(const SymmetricKey& key, const Nonce& nonce, ByteView data) {
+  const Bytes ek = enc_subkey(key);
+  Bytes out(data.begin(), data.end());
+  std::uint64_t block_index = 0;
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    std::uint8_t counter_bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      counter_bytes[i] = static_cast<std::uint8_t>(block_index >> (i * 8));
+    }
+    const Digest keystream =
+        hmac_sha256(ek, {ByteView(nonce.data(), nonce.size()), ByteView(counter_bytes, 8)});
+    const std::size_t take = std::min(out.size() - offset, keystream.size());
+    for (std::size_t i = 0; i < take; ++i) out[offset + i] ^= keystream[i];
+    offset += take;
+    ++block_index;
+  }
+  return out;
+}
+
+Bytes seal(const SymmetricKey& key, const Nonce& nonce, ByteView aad, ByteView plaintext) {
+  Bytes out;
+  out.reserve(kSealOverhead + plaintext.size());
+  append(out, ByteView(nonce.data(), nonce.size()));
+  const Bytes ciphertext = ctr_crypt(key, nonce, plaintext);
+  append(out, ciphertext);
+
+  const Bytes mk = mac_subkey(key);
+  const Digest d = hmac_sha256(mk, {ByteView(nonce.data(), nonce.size()), aad, ciphertext});
+  append(out, ByteView(d.data(), kMacTagSize));
+  return out;
+}
+
+Result<Bytes> open(const SymmetricKey& key, ByteView aad, ByteView sealed) {
+  if (sealed.size() < kSealOverhead) {
+    return error(Errc::kMalformedMessage, "sealed buffer shorter than overhead");
+  }
+  Nonce nonce;
+  std::memcpy(nonce.data(), sealed.data(), kNonceSize);
+  const ByteView ciphertext = sealed.subspan(kNonceSize, sealed.size() - kSealOverhead);
+  const ByteView tag = sealed.subspan(sealed.size() - kMacTagSize);
+
+  const Bytes mk = mac_subkey(key);
+  const Digest d = hmac_sha256(mk, {ByteView(nonce.data(), nonce.size()), aad, ciphertext});
+  if (!constant_time_equal(ByteView(d.data(), kMacTagSize), tag)) {
+    return error(Errc::kAuthFailure, "seal tag mismatch");
+  }
+  return ctr_crypt(key, nonce, ciphertext);
+}
+
+}  // namespace itdos::crypto

@@ -1,0 +1,69 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace itdos::crypto {
+
+namespace {
+constexpr std::size_t kBlockSize = 64;
+
+struct PaddedKeys {
+  std::array<std::uint8_t, kBlockSize> ipad;
+  std::array<std::uint8_t, kBlockSize> opad;
+};
+
+PaddedKeys pad_key(ByteView key) {
+  std::array<std::uint8_t, kBlockSize> k{};
+  if (key.size() > kBlockSize) {
+    const Digest d = sha256(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  PaddedKeys out;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    out.ipad[i] = k[i] ^ 0x36;
+    out.opad[i] = k[i] ^ 0x5c;
+  }
+  return out;
+}
+}  // namespace
+
+Digest hmac_sha256(ByteView key, ByteView data) {
+  return hmac_sha256(key, {data});
+}
+
+Digest hmac_sha256(ByteView key, std::initializer_list<ByteView> segments) {
+  const PaddedKeys keys = pad_key(key);
+  Sha256 inner;
+  inner.update(ByteView(keys.ipad.data(), keys.ipad.size()));
+  for (ByteView seg : segments) inner.update(seg);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(ByteView(keys.opad.data(), keys.opad.size()));
+  outer.update(digest_view(inner_digest));
+  return outer.finish();
+}
+
+MacTag mac_tag(ByteView key, ByteView data) {
+  const Digest d = hmac_sha256(key, data);
+  MacTag tag;
+  std::memcpy(tag.data(), d.data(), tag.size());
+  return tag;
+}
+
+bool mac_verify(ByteView key, ByteView data, const MacTag& tag) {
+  const MacTag expected = mac_tag(key, data);
+  return constant_time_equal(ByteView(expected.data(), expected.size()),
+                             ByteView(tag.data(), tag.size()));
+}
+
+Bytes derive_key(ByteView key, std::string_view label, ByteView info) {
+  const Digest d = hmac_sha256(
+      key, {ByteView(reinterpret_cast<const std::uint8_t*>(label.data()), label.size()),
+            info});
+  return digest_bytes(d);
+}
+
+}  // namespace itdos::crypto

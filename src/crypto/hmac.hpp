@@ -1,0 +1,27 @@
+// HMAC-SHA256 (RFC 2104). Used for message authenticators between replicas
+// (the Castro-Liskov MAC optimization), share derivation in the distributed
+// PRF, and the simulated signature scheme.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace itdos::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any key length).
+Digest hmac_sha256(ByteView key, ByteView data);
+
+/// HMAC with multiple data segments (avoids concatenation copies).
+Digest hmac_sha256(ByteView key, std::initializer_list<ByteView> segments);
+
+/// Truncated MAC tag as carried on the wire (16 bytes is ample here).
+inline constexpr std::size_t kMacTagSize = 16;
+using MacTag = std::array<std::uint8_t, kMacTagSize>;
+
+MacTag mac_tag(ByteView key, ByteView data);
+bool mac_verify(ByteView key, ByteView data, const MacTag& tag);
+
+/// HKDF-style key derivation: out = HMAC(key, label || info).
+Bytes derive_key(ByteView key, std::string_view label, ByteView info);
+
+}  // namespace itdos::crypto

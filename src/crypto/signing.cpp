@@ -1,0 +1,49 @@
+#include "crypto/signing.hpp"
+
+#include "common/rng.hpp"
+
+namespace itdos::crypto {
+
+Signature SigningKey::sign(ByteView message) const {
+  const Digest d = hmac_sha256(secret_, message);
+  Signature sig;
+  std::copy(d.begin(), d.end(), sig.begin());
+  return sig;
+}
+
+SigningKey Keystore::issue(NodeId owner, Rng& rng) {
+  SigningKey key(owner, rng.next_bytes(32));
+  register_key(key);
+  return key;
+}
+
+void Keystore::register_key(const SigningKey& key) {
+  verify_keys_[key.owner_] = key.secret_;
+}
+
+Status Keystore::verify(NodeId signer, ByteView message, const Signature& sig) const {
+  const auto it = verify_keys_.find(signer);
+  if (it == verify_keys_.end()) {
+    return error(Errc::kNotFound, "unknown signer node " + signer.to_string());
+  }
+  const Digest d = hmac_sha256(it->second, message);
+  if (!constant_time_equal(ByteView(d.data(), d.size()),
+                           ByteView(sig.data(), sig.size()))) {
+    return error(Errc::kAuthFailure, "signature mismatch for node " + signer.to_string());
+  }
+  return Status::ok();
+}
+
+SignedMessage sign_message(const SigningKey& key, Bytes payload) {
+  SignedMessage msg;
+  msg.signer = key.owner();
+  msg.signature = key.sign(payload);
+  msg.payload = std::move(payload);
+  return msg;
+}
+
+Status verify_message(const Keystore& keystore, const SignedMessage& msg) {
+  return keystore.verify(msg.signer, msg.payload, msg.signature);
+}
+
+}  // namespace itdos::crypto

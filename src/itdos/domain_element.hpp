@@ -1,0 +1,150 @@
+// One replication domain element: a complete ITDOS server process (Figure 2,
+// right-hand stack): the Castro-Liskov replica running the message-queue
+// state machine, the ORB actor consuming that queue, the object adapter with
+// the hosted servants, the SMIOP endpoint for key shares and direct replies,
+// and the client-side party used for nested invocations.
+//
+// The paper's two-thread model (§3.1: one thread for Castro-Liskov message
+// delivery, one for ORB execution) maps to two actors on the simulator: the
+// BFT replica appends to the queue (delivery), and the consume loop runs as
+// separately scheduled events (ORB execution), pausing while a nested
+// invocation is outstanding.
+#pragma once
+
+#include "bft/replica.hpp"
+#include "itdos/queue.hpp"
+#include "itdos/smiop.hpp"
+#include "orb/orb.hpp"
+
+namespace itdos::core {
+
+struct ElementStats {
+  std::uint64_t entries_consumed = 0;
+  std::uint64_t entries_discarded = 0;   // malformed / unsealable / stale rid
+  std::uint64_t requests_executed = 0;
+  std::uint64_t request_vote_copies = 0; // ordered copies fed to request votes
+  std::uint64_t replies_sent = 0;
+  std::uint64_t key_waits = 0;           // stalls on a not-yet-keyed connection
+  std::uint64_t acks_sent = 0;
+  std::uint64_t bundles_sent = 0;        // replacement sync bundles produced
+  std::uint64_t bundles_received = 0;
+  std::uint64_t requests_reassembled = 0;  // large requests rebuilt (§4)
+};
+
+class DomainElement {
+ public:
+  /// Installs this element's servants. `rank` lets heterogeneous deployments
+  /// install *different implementations* of the same service per element
+  /// (§1: "greater diversity in implementation and greater survivability").
+  using ServantInstaller = std::function<void(orb::ObjectAdapter& adapter, int rank)>;
+
+  DomainElement(net::Network& net, std::shared_ptr<const SystemDirectory> directory,
+                DomainId domain, int rank, const bft::SessionKeys& keys,
+                crypto::SigningKey bft_key, crypto::SigningKey smiop_key,
+                std::shared_ptr<const crypto::Keystore> keystore,
+                std::shared_ptr<NodeAllocator> allocator,
+                const ServantInstaller& install);
+  ~DomainElement();
+
+  DomainId domain() const { return domain_; }
+  int rank() const { return rank_; }
+  NodeId smiop_node() const { return info_.smiop_node; }
+
+  orb::Orb& orb() { return *orb_; }
+  orb::ObjectAdapter& adapter() { return orb_->adapter(); }
+  bft::Replica& replica() { return *replica_; }
+  const QueueStateMachine& queue() const { return *queue_; }
+  SmiopParty& party() { return *party_; }
+  const ElementStats& stats() const { return stats_; }
+
+  /// Test hook: a Byzantine element that alters every reply it produces
+  /// (value corruption that survives MACs — the voter must catch it).
+  void set_reply_mutator(std::function<cdr::ReplyMessage(cdr::ReplyMessage)> mutator) {
+    reply_mutator_ = std::move(mutator);
+  }
+
+  /// Starts this element as a REPLACEMENT for a crashed/wiped predecessor
+  /// (the paper's §4 future-work item). The element catches up its BFT-level
+  /// queue, orders a sync point, and installs servant state certified by
+  /// f+1 byte-identical peer bundles before consuming anything.
+  void begin_replacement();
+
+  /// True once a replacement element has installed peer state and resumed.
+  bool replacement_complete() const {
+    return !queue_->bootstrapping();
+  }
+
+ private:
+  class Endpoint;
+  class UpcallContext;
+  friend class UpcallContext;
+
+  void schedule_consume();
+  void consume_step();
+  /// Handles the entry at the queue cursor. Returns true if the cursor
+  /// advanced (continue consuming), false if consumption must stall.
+  bool process_head(const Bytes& entry);
+  bool process_sealed_request(const OrderedMsg& msg);
+  bool process_fragment(const Bytes& entry);
+  void execute_request(const OrderedMsg& meta, cdr::RequestMessage request);
+  void finish_request(OrderedMsg meta, cdr::ReplyMessage reply);
+  void begin_key_wait(ConnectionId conn);
+  void maybe_send_ack();
+
+  // --- element replacement ---
+  void send_state_bundle(NodeId requester);
+  void handle_state_bundle(const StateBundleMsg& msg);
+  Result<Bytes> make_bundle_plain() const;
+  Status install_bundle_plain(ByteView plain, std::uint64_t consumed_index);
+  void submit_sync_point();
+  void try_finish_replacement();
+
+  net::Network& net_;
+  std::shared_ptr<const SystemDirectory> directory_;
+  DomainId domain_;
+  int rank_;
+  ElementInfo info_;
+  const bft::SessionKeys& keys_;
+  crypto::SigningKey smiop_key_;
+  std::shared_ptr<const crypto::Keystore> keystore_;
+
+  std::unique_ptr<SmiopParty> party_;   // client role (nested invocations)
+  std::unique_ptr<orb::Orb> orb_;
+  std::unique_ptr<Endpoint> endpoint_;
+  QueueStateMachine* queue_ = nullptr;  // owned by replica_
+  std::unique_ptr<bft::Replica> replica_;
+  std::unique_ptr<bft::Client> self_client_;  // queue-management acks
+  std::unique_ptr<UpcallContext> context_;
+
+  ElementStats stats_;
+  std::function<cdr::ReplyMessage(cdr::ReplyMessage)> reply_mutator_;
+
+  bool consume_scheduled_ = false;
+  bool executing_ = false;              // upcall in progress (maybe nested)
+  std::optional<ConnectionId> waiting_key_;  // stalled on this connection
+  std::map<std::uint64_t, std::uint64_t> last_rid_;  // conn -> last executed rid
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Vote> request_votes_;
+  std::uint64_t reply_nonce_ = 1;
+  std::uint64_t consumed_since_ack_ = 0;
+
+  // Replacement bootstrap: bundle tallies keyed by (consumed index, bundle
+  // digest); installed at f+1 matching senders (weak certificate).
+  struct BundleOffer {
+    std::set<NodeId> senders;
+    Bytes plain;
+  };
+  std::map<std::pair<std::uint64_t, crypto::Digest>, BundleOffer> bundle_offers_;
+  std::optional<std::pair<std::uint64_t, Bytes>> pending_install_;  // awaiting queue
+  std::uint64_t bundle_nonce_ = 1;
+
+  // Large-message reassembly (§4): buffers keyed (conn, origin, rid).
+  struct FragmentBuffer {
+    std::uint32_t total = 0;
+    std::map<std::uint32_t, Bytes> chunks;
+  };
+  static constexpr std::size_t kMaxFragmentBuffers = 64;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>, FragmentBuffer>
+      fragment_buffers_;
+};
+
+}  // namespace itdos::core

@@ -1,0 +1,446 @@
+#include "itdos/group_manager.hpp"
+
+#include <algorithm>
+
+#include "cdr/giop.hpp"
+#include "common/log.hpp"
+#include "crypto/cipher.hpp"
+
+namespace itdos::core {
+
+namespace {
+constexpr std::string_view kLog = "itdos.gm";
+}
+
+Bytes dprf_input(ConnectionId conn, KeyEpoch epoch) {
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  enc.write_string("itdos.commkey");
+  enc.write_uint64(conn.value);
+  enc.write_uint64(epoch.value);
+  return enc.take();
+}
+
+// ---------------------------------------------------------------------------
+// GmStateMachine
+// ---------------------------------------------------------------------------
+
+GmStateMachine::GmStateMachine(std::shared_ptr<const SystemDirectory> directory,
+                               std::shared_ptr<const crypto::Keystore> keystore,
+                               ShareDistributor* distributor)
+    : directory_(std::move(directory)),
+      keystore_(std::move(keystore)),
+      distributor_(distributor) {}
+
+bool GmStateMachine::is_expelled(DomainId domain, NodeId element_smiop) const {
+  const auto it = expelled_.find(domain);
+  return it != expelled_.end() && it->second.contains(element_smiop);
+}
+
+std::vector<NodeId> GmStateMachine::active_elements(const DomainInfo& info) const {
+  std::vector<NodeId> out;
+  for (const ElementInfo& element : info.elements) {
+    if (!is_expelled(info.id, element.smiop_node)) out.push_back(element.smiop_node);
+  }
+  return out;
+}
+
+std::vector<NodeId> GmStateMachine::recipients_for(const ConnRecord& record) const {
+  std::vector<NodeId> recipients;
+  if (const DomainInfo* target = directory_->find_domain(record.target)) {
+    for (NodeId node : active_elements(*target)) recipients.push_back(node);
+  }
+  if (record.client_domain.value == 0) {
+    recipients.push_back(record.client_node);
+  } else if (const DomainInfo* client = directory_->find_domain(record.client_domain)) {
+    for (NodeId node : active_elements(*client)) recipients.push_back(node);
+  }
+  return recipients;
+}
+
+Bytes GmStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
+  (void)seq;
+  const Result<GmCommand> command = decode_gm_command(request);
+  GmCommandResult result;
+  if (!command.is_ok()) {
+    result.accepted = false;
+    result.detail = "malformed command";
+    return result.encode();
+  }
+  if (std::holds_alternative<OpenRequestMsg>(command.value())) {
+    result = handle_open(std::get<OpenRequestMsg>(command.value()));
+  } else if (std::holds_alternative<ResendSharesMsg>(command.value())) {
+    result = handle_resend(std::get<ResendSharesMsg>(command.value()));
+  } else {
+    result = handle_change(std::get<ChangeRequestMsg>(command.value()), client);
+  }
+  return result.encode();
+}
+
+GmCommandResult GmStateMachine::handle_open(const OpenRequestMsg& msg) {
+  GmCommandResult result;
+  const DomainInfo* target = directory_->find_domain(msg.target);
+  if (target == nullptr) {
+    result.detail = "unknown target domain";
+    return result;
+  }
+  if (msg.client_node.value == 0) {
+    result.detail = "invalid client node";
+    return result;
+  }
+  if (msg.client_domain.value != 0 &&
+      directory_->find_domain(msg.client_domain) == nullptr) {
+    result.detail = "unknown client domain";
+    return result;
+  }
+  if (msg.client_domain.value != 0) {
+    // §3.3: all members of a replication domain share ONE connection to the
+    // target. The first element's open_request creates it; the others join
+    // it (shares are redistributed so a late or lossy element still keys).
+    for (const auto& [conn, record] : conns_) {
+      if (record.client_domain == msg.client_domain && record.target == msg.target) {
+        if (distributor_ != nullptr) {
+          distributor_->distribute(record, recipients_for(record));
+        }
+        result.accepted = true;
+        result.conn = record.conn;
+        result.epoch = record.epoch;
+        return result;
+      }
+    }
+  }
+  ConnRecord record;
+  record.conn = ConnectionId(next_conn_++);
+  record.client_node = msg.client_node;
+  record.client_domain = msg.client_domain;
+  record.target = msg.target;
+  record.epoch = KeyEpoch(1);
+  conns_[record.conn] = record;
+
+  if (distributor_ != nullptr) {
+    distributor_->distribute(record, recipients_for(record));
+  }
+  result.accepted = true;
+  result.conn = record.conn;
+  result.epoch = record.epoch;
+  return result;
+}
+
+GmCommandResult GmStateMachine::handle_resend(const ResendSharesMsg& msg) {
+  GmCommandResult result;
+  const auto it = conns_.find(msg.conn);
+  if (it == conns_.end()) {
+    result.detail = "unknown connection";
+    return result;
+  }
+  const std::vector<NodeId> entitled = recipients_for(it->second);
+  if (std::find(entitled.begin(), entitled.end(), msg.requester) == entitled.end()) {
+    // Expelled elements (and strangers) get nothing — resend must not leak
+    // post-rekey key material.
+    result.detail = "requester not entitled to this connection's key";
+    return result;
+  }
+  if (distributor_ != nullptr) {
+    distributor_->distribute(it->second, {msg.requester});
+  }
+  result.accepted = true;
+  result.conn = it->second.conn;
+  result.epoch = it->second.epoch;
+  return result;
+}
+
+Status GmStateMachine::verify_proof(const ChangeRequestMsg& msg) const {
+  const DomainInfo* accused = directory_->find_domain(msg.accused_domain);
+  if (accused == nullptr) {
+    return error(Errc::kInvalidArgument, "unknown accused domain");
+  }
+  // Enough signed replies to vote: the voter's receive threshold (§3.6).
+  const int needed = 2 * accused->f + 1;
+  if (static_cast<int>(msg.proof.size()) < needed) {
+    return error(Errc::kPermissionDenied, "proof has too few signed messages");
+  }
+  std::set<NodeId> sources;
+  Vote vote(accused->f, accused->vote_policy);
+  bool accused_present = false;
+  for (const ProofEntry& entry : msg.proof) {
+    if (accused->rank_of_smiop(entry.element) < 0) {
+      return error(Errc::kPermissionDenied, "proof entry from non-member element");
+    }
+    if (!sources.insert(entry.element).second) {
+      return error(Errc::kPermissionDenied, "duplicate proof entry");
+    }
+    // Signature binds the plaintext to the element, with conn + rid serving
+    // as the sequence-number replay protection the paper calls for.
+    const crypto::Digest plain_digest = crypto::sha256(ByteView(entry.plain_giop));
+    const Bytes region = DirectReplyMsg::signed_region(msg.conn, msg.rid, entry.element,
+                                                       entry.epoch, plain_digest);
+    ITDOS_RETURN_IF_ERROR(keystore_->verify(entry.element, region, entry.signature));
+
+    // The standalone marshalling engine: unmarshal the GIOP reply without an
+    // ORB and vote on the data (§3.6).
+    Ballot ballot;
+    ballot.source = entry.element;
+    ballot.raw = entry.plain_giop;
+    Result<cdr::GiopMessage> parsed = cdr::parse_giop(entry.plain_giop);
+    if (parsed.is_ok() && std::holds_alternative<cdr::ReplyMessage>(parsed.value())) {
+      const auto& reply = std::get<cdr::ReplyMessage>(parsed.value());
+      if (reply.request_id != msg.rid) {
+        return error(Errc::kPermissionDenied, "proof reply for wrong request id");
+      }
+      ballot.value = cdr::Value::structure(
+          {cdr::Field("status", cdr::Value::octet(static_cast<std::uint8_t>(reply.status))),
+           cdr::Field("result", reply.result)});
+    }
+    (void)vote.add(std::move(ballot));
+    accused_present |= (entry.element == msg.accused_element);
+  }
+  if (!accused_present) {
+    return error(Errc::kPermissionDenied, "proof does not include the accused's reply");
+  }
+  if (!vote.decided()) {
+    return error(Errc::kPermissionDenied, "proof replies do not reach a decision");
+  }
+  const std::vector<NodeId> dissenters = vote.dissenters();
+  if (std::find(dissenters.begin(), dissenters.end(), msg.accused_element) ==
+      dissenters.end()) {
+    return error(Errc::kPermissionDenied,
+                 "accused element agrees with the decided value");
+  }
+  return Status::ok();
+}
+
+GmCommandResult GmStateMachine::handle_change(const ChangeRequestMsg& msg,
+                                              NodeId submitter) {
+  GmCommandResult result;
+  const DomainInfo* accused = directory_->find_domain(msg.accused_domain);
+  if (accused == nullptr) {
+    result.detail = "unknown accused domain";
+    return result;
+  }
+  if (accused->rank_of_smiop(msg.accused_element) < 0) {
+    result.detail = "accused element not in domain";
+    return result;
+  }
+  if (is_expelled(msg.accused_domain, msg.accused_element)) {
+    result.accepted = true;  // idempotent: already expelled
+    result.detail = "already expelled";
+    return result;
+  }
+
+  if (msg.reporter_domain.value == 0) {
+    // Singleton reporter: proof required (§3.6 — "a potential vulnerability
+    // is that the client is malicious and is attempting to expel correct
+    // processes").
+    if (const Status proof = verify_proof(msg); !proof.is_ok()) {
+      result.detail = "proof rejected: " + proof.to_string();
+      ITDOS_INFO(kLog) << "change_request rejected: " << result.detail;
+      return result;
+    }
+  } else {
+    // Replication-domain reporter: no proof, but f+1 distinct elements of
+    // that domain must independently request the same expulsion.
+    const DomainInfo* reporter_domain = directory_->find_domain(msg.reporter_domain);
+    if (reporter_domain == nullptr) {
+      result.detail = "unknown reporter domain";
+      return result;
+    }
+    const int rank = reporter_domain->rank_of_smiop(msg.reporter);
+    if (rank < 0 || reporter_domain->elements[rank].gm_client_node != submitter) {
+      result.detail = "reporter identity mismatch";
+      return result;
+    }
+    auto& tally =
+        tallies_[{msg.accused_element, msg.conn.value, msg.rid.value}];
+    tally.insert(msg.reporter);
+    if (static_cast<int>(tally.size()) < reporter_domain->f + 1) {
+      result.accepted = true;
+      result.detail = "recorded; awaiting quorum";
+      return result;
+    }
+  }
+
+  expel(msg.accused_domain, msg.accused_element);
+  result.accepted = true;
+  result.detail = "expelled";
+  return result;
+}
+
+void GmStateMachine::expel(DomainId domain, NodeId element_smiop) {
+  expelled_[domain].insert(element_smiop);
+  ++expulsions_;
+  ITDOS_INFO(kLog) << "expelling element " << element_smiop.to_string()
+                   << " from domain " << domain.to_string();
+  // Rekey every connection the domain participates in, excluding the
+  // expelled element (§3.5: "re-keying the communication group, excepting
+  // the compromised element").
+  for (auto& [conn, record] : conns_) {
+    if (record.target != domain && record.client_domain != domain) continue;
+    record.epoch = KeyEpoch(record.epoch.value + 1);
+    if (distributor_ != nullptr) {
+      distributor_->distribute(record, recipients_for(record));
+    }
+  }
+}
+
+Bytes GmStateMachine::snapshot() const {
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  enc.write_uint64(next_conn_);
+  enc.write_uint64(expulsions_);
+  enc.write_uint32(static_cast<std::uint32_t>(conns_.size()));
+  for (const auto& [conn, record] : conns_) {
+    enc.write_uint64(record.conn.value);
+    enc.write_uint64(record.client_node.value);
+    enc.write_uint64(record.client_domain.value);
+    enc.write_uint64(record.target.value);
+    enc.write_uint64(record.epoch.value);
+  }
+  enc.write_uint32(static_cast<std::uint32_t>(expelled_.size()));
+  for (const auto& [domain, elements] : expelled_) {
+    enc.write_uint64(domain.value);
+    enc.write_uint32(static_cast<std::uint32_t>(elements.size()));
+    for (NodeId element : elements) enc.write_uint64(element.value);
+  }
+  enc.write_uint32(static_cast<std::uint32_t>(tallies_.size()));
+  for (const auto& [key, reporters] : tallies_) {
+    enc.write_uint64(std::get<0>(key).value);
+    enc.write_uint64(std::get<1>(key));
+    enc.write_uint64(std::get<2>(key));
+    enc.write_uint32(static_cast<std::uint32_t>(reporters.size()));
+    for (NodeId reporter : reporters) enc.write_uint64(reporter.value);
+  }
+  return enc.take();
+}
+
+Status GmStateMachine::restore(ByteView snapshot) {
+  cdr::Decoder dec(snapshot, cdr::ByteOrder::kLittleEndian);
+  GmStateMachine fresh(directory_, keystore_, distributor_);
+  ITDOS_ASSIGN_OR_RETURN(fresh.next_conn_, dec.read_uint64());
+  ITDOS_ASSIGN_OR_RETURN(fresh.expulsions_, dec.read_uint64());
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t conn_count, dec.read_uint32());
+  for (std::uint32_t i = 0; i < conn_count; ++i) {
+    ConnRecord record;
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t conn, dec.read_uint64());
+    record.conn = ConnectionId(conn);
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t client_node, dec.read_uint64());
+    record.client_node = NodeId(client_node);
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t client_domain, dec.read_uint64());
+    record.client_domain = DomainId(client_domain);
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t target, dec.read_uint64());
+    record.target = DomainId(target);
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t epoch, dec.read_uint64());
+    record.epoch = KeyEpoch(epoch);
+    fresh.conns_[record.conn] = record;
+  }
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t domain_count, dec.read_uint32());
+  for (std::uint32_t i = 0; i < domain_count; ++i) {
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t domain, dec.read_uint64());
+    ITDOS_ASSIGN_OR_RETURN(std::uint32_t element_count, dec.read_uint32());
+    for (std::uint32_t j = 0; j < element_count; ++j) {
+      ITDOS_ASSIGN_OR_RETURN(std::uint64_t element, dec.read_uint64());
+      fresh.expelled_[DomainId(domain)].insert(NodeId(element));
+    }
+  }
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t tally_count, dec.read_uint32());
+  for (std::uint32_t i = 0; i < tally_count; ++i) {
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t accused, dec.read_uint64());
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t conn, dec.read_uint64());
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t rid, dec.read_uint64());
+    ITDOS_ASSIGN_OR_RETURN(std::uint32_t reporter_count, dec.read_uint32());
+    auto& tally = fresh.tallies_[{NodeId(accused), conn, rid}];
+    for (std::uint32_t j = 0; j < reporter_count; ++j) {
+      ITDOS_ASSIGN_OR_RETURN(std::uint64_t reporter, dec.read_uint64());
+      tally.insert(NodeId(reporter));
+    }
+  }
+  next_conn_ = fresh.next_conn_;
+  expulsions_ = fresh.expulsions_;
+  conns_ = std::move(fresh.conns_);
+  expelled_ = std::move(fresh.expelled_);
+  tallies_ = std::move(fresh.tallies_);
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// GmElement
+// ---------------------------------------------------------------------------
+
+/// Sends this element's DPRF share for (conn, epoch) to each recipient over
+/// the pairwise secure channel (footnote 2 of §3.5).
+class GmElement::Distributor : public ShareDistributor {
+ public:
+  Distributor(net::Network& net, std::shared_ptr<const SystemDirectory> directory,
+              int index, const bft::SessionKeys& keys,
+              crypto::DprfElementKeys dprf_keys)
+      : net_(net),
+        directory_(std::move(directory)),
+        index_(index),
+        keys_(keys),
+        dprf_(directory_->dprf_params(), std::move(dprf_keys)) {}
+
+  void distribute(const ConnRecord& record,
+                  const std::vector<NodeId>& recipients) override {
+    if (withhold_) return;
+    const NodeId my_node = directory_->gm().elements[index_].smiop_node;
+    const Bytes input = dprf_input(record.conn, record.epoch);
+    crypto::DprfShare share = dprf_.evaluate(input);
+    if (corrupt_) {
+      for (auto& [id, digest] : share.evaluations) digest[0] ^= 0xff;
+    }
+    const Bytes share_wire = share.encode();
+    for (NodeId recipient : recipients) {
+      KeyShareMsg msg;
+      msg.conn = record.conn;
+      msg.epoch = record.epoch;
+      msg.target_domain = record.target;
+      msg.client_node = record.client_node;
+      msg.client_domain = record.client_domain;
+      msg.gm_index = static_cast<std::uint32_t>(index_);
+      const auto channel_key = crypto::SymmetricKey::from_bytes(
+          keys_.key_for(my_node, recipient));
+      msg.sealed_share = crypto::seal(channel_key,
+                                      crypto::make_nonce(my_node.value, nonce_ctr_++),
+                                      /*aad=*/{}, share_wire);
+      net_.send(my_node, recipient, msg.encode());
+    }
+  }
+
+  bool withhold_ = false;
+  bool corrupt_ = false;
+
+ private:
+  net::Network& net_;
+  std::shared_ptr<const SystemDirectory> directory_;
+  int index_;
+  const bft::SessionKeys& keys_;
+  crypto::DprfElement dprf_;
+  std::uint64_t nonce_ctr_ = 1;
+};
+
+GmElement::GmElement(net::Network& net,
+                     std::shared_ptr<const SystemDirectory> directory, int index,
+                     const bft::SessionKeys& keys, crypto::SigningKey bft_key,
+                     std::shared_ptr<const crypto::Keystore> keystore,
+                     crypto::DprfElementKeys dprf_keys)
+    : net_(net), directory_(std::move(directory)), index_(index) {
+  distributor_ = std::make_unique<Distributor>(net_, directory_, index_, keys,
+                                               std::move(dprf_keys));
+  auto state = std::make_unique<GmStateMachine>(directory_, keystore,
+                                                distributor_.get());
+  state_ = state.get();
+  const bft::BftConfig config =
+      directory_->gm().make_bft_config(directory_->timing());
+  replica_ = std::make_unique<bft::Replica>(
+      net_, directory_->gm().elements[index_].bft_node, config, keys,
+      std::move(bft_key), std::move(keystore), std::move(state));
+}
+
+GmElement::~GmElement() = default;
+
+void GmElement::set_withhold_shares(bool withhold) {
+  distributor_->withhold_ = withhold;
+}
+
+void GmElement::set_corrupt_shares(bool corrupt) {
+  distributor_->corrupt_ = corrupt;
+}
+
+}  // namespace itdos::core

@@ -1,0 +1,132 @@
+// The Group Manager (§2, §3.3, §3.5, §3.6).
+//
+// "The Group Manager handles replication domain membership and virtual
+// connection management in ITDOS. The Group Manager consists of a
+// replication domain of Group Manager processes" — here, a BFT group whose
+// state machine is the membership/connection logic. Each GM element is NOT a
+// CORBA server (§2): commands arrive as ordered BFT requests, not GIOP.
+//
+// Responsibilities implemented:
+//   * open_request (Figure 3): validate client and target, allocate a
+//     connection id, and have every GM element send its DPRF key share to
+//     the target elements (step 2) and the client (step 3) over pairwise
+//     secure channels (footnote 2);
+//   * change_request (§3.6): expel a faulty element — on a singleton
+//     client's signed-message proof (the GM re-votes the disputed replies on
+//     unmarshalled data using the standalone marshalling engine), or on f+1
+//     matching requests from a replication domain (trustworthy source, no
+//     proof needed);
+//   * rekey on expulsion (§3.5): bump the epoch of every connection the
+//     expelled element's domain participates in and redistribute shares to
+//     everyone except the expelled element — "keying them out of all
+//     communication groups of which they are part".
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "bft/harness.hpp"
+#include "bft/replica.hpp"
+#include "itdos/smiop_msg.hpp"
+#include "itdos/system_directory.hpp"
+
+namespace itdos::core {
+
+/// A virtual connection the GM manages.
+struct ConnRecord {
+  ConnectionId conn;
+  NodeId client_node;      // SMIOP node of the client party
+  DomainId client_domain;  // 0 for singleton clients
+  DomainId target;
+  KeyEpoch epoch;
+
+  bool operator==(const ConnRecord&) const = default;
+};
+
+/// The common non-repeating DPRF input for a connection epoch (§3.5).
+Bytes dprf_input(ConnectionId conn, KeyEpoch epoch);
+
+/// Element-specific side-effect hook: when the ordered GM state machine
+/// creates or rekeys a connection, each GM element distributes *its own*
+/// key share to the given recipients.
+class ShareDistributor {
+ public:
+  virtual ~ShareDistributor() = default;
+  virtual void distribute(const ConnRecord& record,
+                          const std::vector<NodeId>& recipients) = 0;
+};
+
+/// The deterministic, BFT-ordered core of the Group Manager.
+class GmStateMachine : public bft::StateMachine {
+ public:
+  GmStateMachine(std::shared_ptr<const SystemDirectory> directory,
+                 std::shared_ptr<const crypto::Keystore> keystore,
+                 ShareDistributor* distributor);
+
+  Bytes execute(ByteView request, NodeId client, SeqNum seq) override;
+  Bytes snapshot() const override;
+  Status restore(ByteView snapshot) override;
+
+  // Observers.
+  bool is_expelled(DomainId domain, NodeId element_smiop) const;
+  const std::map<ConnectionId, ConnRecord>& connections() const { return conns_; }
+  std::uint64_t expulsions() const { return expulsions_; }
+
+  /// Active (non-expelled) SMIOP nodes of a domain.
+  std::vector<NodeId> active_elements(const DomainInfo& info) const;
+
+ private:
+  GmCommandResult handle_open(const OpenRequestMsg& msg);
+  GmCommandResult handle_resend(const ResendSharesMsg& msg);
+  GmCommandResult handle_change(const ChangeRequestMsg& msg, NodeId submitter);
+  Status verify_proof(const ChangeRequestMsg& msg) const;
+  void expel(DomainId domain, NodeId element_smiop);
+  std::vector<NodeId> recipients_for(const ConnRecord& record) const;
+
+  std::shared_ptr<const SystemDirectory> directory_;
+  std::shared_ptr<const crypto::Keystore> keystore_;
+  ShareDistributor* distributor_;  // may be null (unit tests)
+
+  // Replicated deterministic state.
+  std::uint64_t next_conn_ = 1;
+  std::map<ConnectionId, ConnRecord> conns_;
+  std::map<DomainId, std::set<NodeId>> expelled_;
+  // Domain-quorum change_request tallies: (accused, conn, rid) -> reporters.
+  std::map<std::tuple<NodeId, std::uint64_t, std::uint64_t>, std::set<NodeId>> tallies_;
+  std::uint64_t expulsions_ = 0;
+};
+
+/// One Group Manager replication domain element: the BFT replica running the
+/// GmStateMachine plus the share-distribution side effects.
+class GmElement {
+ public:
+  GmElement(net::Network& net, std::shared_ptr<const SystemDirectory> directory,
+            int index, const bft::SessionKeys& keys, crypto::SigningKey bft_key,
+            std::shared_ptr<const crypto::Keystore> keystore,
+            crypto::DprfElementKeys dprf_keys);
+  ~GmElement();
+
+  int index() const { return index_; }
+  const GmStateMachine& state() const { return *state_; }
+  bft::Replica& replica() { return *replica_; }
+
+  /// Test hook: make this element stop distributing shares (a crashed or
+  /// withholding GM element; parties must still combine from the rest).
+  void set_withhold_shares(bool withhold);
+
+  /// Test hook: make this element distribute corrupted shares (a Byzantine
+  /// GM element; combiners must flag it and still derive the right key).
+  void set_corrupt_shares(bool corrupt);
+
+ private:
+  class Distributor;
+
+  net::Network& net_;
+  std::shared_ptr<const SystemDirectory> directory_;
+  int index_;
+  std::unique_ptr<Distributor> distributor_;
+  GmStateMachine* state_ = nullptr;  // owned by replica_
+  std::unique_ptr<bft::Replica> replica_;
+};
+
+}  // namespace itdos::core

@@ -1,0 +1,69 @@
+#include "itdos/key_agent.hpp"
+
+namespace itdos::core {
+
+Status KeyAgent::handle_share(const KeyShareMsg& msg) {
+  const DomainInfo& gm = directory_->gm();
+  if (msg.gm_index >= static_cast<std::uint32_t>(gm.n())) {
+    ++shares_rejected_;
+    return error(Errc::kMalformedMessage, "gm index out of range");
+  }
+  const NodeId gm_node = gm.elements[msg.gm_index].smiop_node;
+  // The pairwise channel authenticates the sending GM element: only it and
+  // this party hold the channel key.
+  const auto channel_key =
+      crypto::SymmetricKey::from_bytes(keys_.key_for(gm_node, my_node_));
+  Result<Bytes> opened = crypto::open(channel_key, /*aad=*/{}, msg.sealed_share);
+  if (!opened.is_ok()) {
+    ++shares_rejected_;
+    return error(Errc::kAuthFailure, "key share failed channel authentication");
+  }
+  Result<crypto::DprfShare> share = crypto::DprfShare::decode(opened.value());
+  if (!share.is_ok()) {
+    ++shares_rejected_;
+    return share.status();
+  }
+  if (share.value().element != static_cast<int>(msg.gm_index)) {
+    ++shares_rejected_;
+    return error(Errc::kMalformedMessage, "share element does not match gm index");
+  }
+
+  const auto key = std::make_pair(msg.conn.value, msg.epoch.value);
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    PendingKey pending{
+        crypto::DprfCombiner(directory_->dprf_params(),
+                             dprf_input(msg.conn, msg.epoch)),
+        ConnRecord{msg.conn, msg.client_node, msg.client_domain, msg.target_domain,
+                   msg.epoch},
+        false};
+    it = pending_.emplace(key, std::move(pending)).first;
+  }
+  PendingKey& pending = it->second;
+  if (const Status s = pending.combiner.add_share(share.value()); !s.is_ok()) {
+    ++shares_rejected_;
+    return s;
+  }
+  ++shares_accepted_;
+
+  if (!pending.announced && pending.combiner.ready()) {
+    Result<crypto::SymmetricKey> combined = pending.combiner.combine();
+    if (!combined.is_ok()) return combined.status();
+    pending.announced = true;
+    if (on_key_ready_) {
+      on_key_ready_(pending.record, combined.value(), pending.combiner.misbehaving());
+    }
+    // Keep the combiner so late shares can still be checked for misbehaviour;
+    // prune older epochs of the same connection.
+    for (auto prune = pending_.begin(); prune != pending_.end();) {
+      if (prune->first.first == msg.conn.value && prune->first.second < msg.epoch.value) {
+        prune = pending_.erase(prune);
+      } else {
+        ++prune;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace itdos::core

@@ -1,0 +1,59 @@
+// KeyAgent: the party-side half of §3.5's threshold keying. Receives sealed
+// KeyShare messages from Group Manager elements, opens them over the
+// pairwise channel, verifies and combines them with the DPRF combiner, and
+// announces the communication key once f_gm+1 consistent shares exist.
+// "The clients and server replication domain elements each decrypt the
+// messages from the Group Manager replication domain, verify the correctness
+// of the key shares they receive, and combine the shares to form the
+// communication key."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "bft/config.hpp"
+#include "crypto/dprf.hpp"
+#include "itdos/group_manager.hpp"
+
+namespace itdos::core {
+
+class KeyAgent {
+ public:
+  /// `misbehaving_gm` lists GM element indices whose shares contradicted the
+  /// combined key ("verify which Group Manager replication domain elements
+  /// acted correctly").
+  using KeyReady = std::function<void(const ConnRecord& record,
+                                      const crypto::SymmetricKey& key,
+                                      const std::vector<int>& misbehaving_gm)>;
+
+  KeyAgent(std::shared_ptr<const SystemDirectory> directory,
+           const bft::SessionKeys& keys, NodeId my_smiop_node)
+      : directory_(std::move(directory)), keys_(keys), my_node_(my_smiop_node) {}
+
+  void set_key_ready(KeyReady hook) { on_key_ready_ = std::move(hook); }
+
+  /// Feeds one KeyShare message received at this party's SMIOP node.
+  /// Authenticity comes from the pairwise seal, not the network source.
+  Status handle_share(const KeyShareMsg& msg);
+
+  std::uint64_t shares_accepted() const { return shares_accepted_; }
+  std::uint64_t shares_rejected() const { return shares_rejected_; }
+
+ private:
+  struct PendingKey {
+    crypto::DprfCombiner combiner;
+    ConnRecord record;
+    bool announced = false;
+  };
+
+  std::shared_ptr<const SystemDirectory> directory_;
+  const bft::SessionKeys& keys_;
+  NodeId my_node_;
+  KeyReady on_key_ready_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, PendingKey> pending_;
+  std::uint64_t shares_accepted_ = 0;
+  std::uint64_t shares_rejected_ = 0;
+};
+
+}  // namespace itdos::core

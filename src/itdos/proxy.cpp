@@ -1,0 +1,45 @@
+#include "itdos/proxy.hpp"
+
+#include "bft/messages.hpp"
+#include "itdos/smiop_msg.hpp"
+
+namespace itdos::core {
+
+namespace {
+bool admit_impl(const FirewallProxy::Options& options, ProxyStats& stats,
+                const net::Packet& packet) {
+  if (packet.payload.size() > options.max_message_bytes) {
+    ++stats.dropped_oversize;
+    return false;
+  }
+  if (options.allow_bft && bft::Envelope::decode(packet.payload).is_ok()) {
+    ++stats.admitted;
+    return true;
+  }
+  if (options.allow_smiop && parses_as_smiop(packet.payload)) {
+    ++stats.admitted;
+    return true;
+  }
+  ++stats.dropped_malformed;
+  return false;
+}
+}  // namespace
+
+bool FirewallProxy::admit(const net::Packet& packet) {
+  return admit_impl(options_, *stats_, packet);
+}
+
+void FirewallProxy::protect(net::Network& net, NodeId node) {
+  // Capture by value (options) / shared_ptr (stats): the filter stays valid
+  // even if this proxy object goes away before the node does.
+  net.set_inbound_filter(node,
+                         [options = options_, stats = stats_](const net::Packet& p) {
+                           return admit_impl(options, *stats, p);
+                         });
+}
+
+void FirewallProxy::release(net::Network& net, NodeId node) {
+  net.set_inbound_filter(node, nullptr);
+}
+
+}  // namespace itdos::core

@@ -1,0 +1,51 @@
+// The IT-CORBA firewall proxy (Figure 1).
+//
+// The paper introduces proxies at each enclave boundary that "monitor BFTM
+// messages" (and declines to elaborate "for reasons of brevity"). We
+// implement the stated role: a guard on a protected node's enclave link that
+// admits only well-formed ITDOS traffic — BFT envelopes, SMIOP messages —
+// within a configurable size budget, and drops (and counts) everything else.
+// Malformed floods from outside the enclave never reach the protocol stack.
+#pragma once
+
+#include <memory>
+
+#include "net/network.hpp"
+
+namespace itdos::core {
+
+struct ProxyStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t dropped_malformed = 0;
+  std::uint64_t dropped_oversize = 0;
+};
+
+class FirewallProxy {
+ public:
+  struct Options {
+    std::size_t max_message_bytes = 1 << 20;
+    bool allow_bft = true;    // Castro-Liskov envelopes
+    bool allow_smiop = true;  // key shares / direct replies
+  };
+
+  FirewallProxy() = default;
+  explicit FirewallProxy(Options options) : options_(options) {}
+
+  /// Guards `node`: installs this proxy as its enclave-boundary filter.
+  void protect(net::Network& net, NodeId node);
+
+  /// Removes the guard from `node`.
+  void release(net::Network& net, NodeId node);
+
+  /// The admission decision (exposed for tests).
+  bool admit(const net::Packet& packet);
+
+  const ProxyStats& stats() const { return *stats_; }
+
+ private:
+  Options options_{};
+  // Shared so the std::function copies installed per node update one ledger.
+  std::shared_ptr<ProxyStats> stats_ = std::make_shared<ProxyStats>();
+};
+
+}  // namespace itdos::core

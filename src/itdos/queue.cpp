@@ -1,0 +1,190 @@
+#include "itdos/queue.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace itdos::core {
+
+namespace {
+const Bytes kAckReply = to_bytes("ITDOS-ACK");  // the paper's "static reply"
+}
+
+Bytes QueueStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
+  (void)client;
+  (void)seq;
+  const Result<QueueEntryKind> kind = queue_entry_kind(request);
+  if (!kind.is_ok()) return to_bytes("ITDOS-REJECT");  // deterministic rejection
+
+  if (kind.value() == QueueEntryKind::kAck) {
+    const Result<QueueAckMsg> ack = QueueAckMsg::decode(request);
+    if (!ack.is_ok()) return to_bytes("ITDOS-REJECT");
+    if (!options_.is_member(ack.value().element)) {
+      return to_bytes("ITDOS-REJECT");  // rogue acks must not drive GC
+    }
+    auto& recorded = acks_[ack.value().element];
+    recorded = std::max(recorded, ack.value().consumed_index);
+    advance_base();
+    return kAckReply;
+  }
+
+  // kRequest and kSyncPoint entries are both delivered to the consumer (the
+  // sync point marks the exact queue position peers snapshot at).
+  entries_[next_index_++] = Bytes(request.begin(), request.end());
+  if (on_delivery_) on_delivery_();
+  return kAckReply;
+}
+
+void QueueStateMachine::advance_base() {
+  // The agreed GC floor is the (n-f)-th highest ack: n-f elements have
+  // consumed at least that far, so at most f (faulty or lagging) have not.
+  if (static_cast<int>(acks_.size()) < options_.n - options_.f) return;
+  std::vector<std::uint64_t> indices;
+  indices.reserve(acks_.size());
+  for (const auto& [element, index] : acks_) indices.push_back(index);
+  std::sort(indices.begin(), indices.end(), std::greater<>());
+  std::uint64_t floor = indices[static_cast<std::size_t>(options_.n - options_.f - 1)];
+
+  // Clamp: GC never passes the ack of a LIVE member — a correct element a
+  // packet burst delayed must not have its unconsumed entries collected
+  // (that would break it permanently; virtual synchrony is for members that
+  // STOP participating). A member is declared dead once it trails the
+  // quorum floor by more than 2x the lag window; dead members stop
+  // constraining GC, get flagged by the laggard hook, and are expelled.
+  if (!options_.members.empty()) {
+    std::uint64_t min_live = std::numeric_limits<std::uint64_t>::max();
+    for (NodeId member : options_.members) {
+      const auto it = acks_.find(member);
+      const std::uint64_t ack = it == acks_.end() ? 0 : it->second;
+      if (ack + 2 * options_.lag_window >= floor) {
+        min_live = std::min(min_live, ack);
+      }
+    }
+    if (min_live != std::numeric_limits<std::uint64_t>::max()) {
+      floor = std::min(floor, min_live);
+    }
+  }
+  if (floor <= base_) return;
+  entries_.erase(entries_.begin(), entries_.lower_bound(floor));
+  base_ = floor;
+  if (consumed_ < base_) {
+    if (bootstrap_) {
+      consumed_ = base_;  // placeholder cursor; real one comes from the bundle
+    } else {
+      // Our own unconsumed entries were collected: we broke the queue
+      // management protocol and can no longer maintain equivalent state.
+      broken_ = true;
+    }
+  }
+  if (on_laggard_) {
+    for (const auto& [element, index] : acks_) {
+      if (base_ - std::min(index, base_) > options_.lag_window) {
+        on_laggard_(element);
+      }
+    }
+  }
+}
+
+std::optional<Bytes> QueueStateMachine::next() {
+  std::optional<Bytes> entry = peek();
+  if (entry) pop();
+  return entry;
+}
+
+std::optional<Bytes> QueueStateMachine::peek() const {
+  if (!has_next()) return std::nullopt;
+  const auto it = entries_.find(consumed_);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void QueueStateMachine::pop() {
+  if (!has_next()) return;
+  if (!entries_.contains(consumed_)) {
+    // Entry below base (collected) — cannot happen while !broken_, but keep
+    // the invariant check defensive.
+    broken_ = true;
+    return;
+  }
+  ++consumed_;
+}
+
+Bytes QueueStateMachine::snapshot() const {
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  enc.write_uint64(base_);
+  enc.write_uint64(next_index_);
+  enc.write_uint32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [index, data] : entries_) {
+    enc.write_uint64(index);
+    enc.write_bytes(data);
+  }
+  enc.write_uint32(static_cast<std::uint32_t>(acks_.size()));
+  for (const auto& [element, index] : acks_) {
+    enc.write_uint64(element.value);
+    enc.write_uint64(index);
+  }
+  return enc.take();
+}
+
+Status QueueStateMachine::restore(ByteView snapshot) {
+  cdr::Decoder dec(snapshot, cdr::ByteOrder::kLittleEndian);
+  std::uint64_t base = 0;
+  std::uint64_t next = 0;
+  ITDOS_ASSIGN_OR_RETURN(base, dec.read_uint64());
+  ITDOS_ASSIGN_OR_RETURN(next, dec.read_uint64());
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t entry_count, dec.read_uint32());
+  std::map<std::uint64_t, Bytes> entries;
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t index, dec.read_uint64());
+    ITDOS_ASSIGN_OR_RETURN(Bytes data, dec.read_bytes());
+    entries[index] = std::move(data);
+  }
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t ack_count, dec.read_uint32());
+  std::map<NodeId, std::uint64_t> acks;
+  for (std::uint32_t i = 0; i < ack_count; ++i) {
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t element, dec.read_uint64());
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t index, dec.read_uint64());
+    acks[NodeId(element)] = index;
+  }
+
+  // Virtual synchrony: we can only adopt the queue if our consumption point
+  // is still inside the retained window — otherwise the entries we would
+  // need to replay are gone and our servant state can never converge. A
+  // bootstrapping replacement element is exempt: it has no history and will
+  // receive certified servant state at a sync point instead.
+  if (consumed_ < base && !bootstrap_) {
+    broken_ = true;
+    return error(Errc::kFailedPrecondition,
+                 "queue GC passed this element's consumption point; element "
+                 "must be expelled (virtual synchrony)");
+  }
+  entries_ = std::move(entries);
+  base_ = base;
+  next_index_ = next;
+  acks_ = std::move(acks);
+  if (bootstrap_ && consumed_ < base_) consumed_ = base_;  // placeholder cursor
+  if (on_delivery_ && has_next()) on_delivery_();
+  return Status::ok();
+}
+
+Status QueueStateMachine::complete_bootstrap(std::uint64_t consumed_index) {
+  if (!bootstrap_) {
+    return error(Errc::kFailedPrecondition, "queue is not bootstrapping");
+  }
+  if (consumed_index < base_) {
+    return error(Errc::kFailedPrecondition,
+                 "GC passed the sync point; a fresh sync is required");
+  }
+  if (consumed_index > next_index_) {
+    // The bundle is ahead of our (BFT-level) queue: we have not caught up to
+    // the sync point yet. Keep bootstrapping; the caller retries when the
+    // queue advances.
+    return error(Errc::kUnavailable, "queue has not reached the sync point yet");
+  }
+  consumed_ = consumed_index;
+  bootstrap_ = false;
+  if (on_delivery_ && has_next()) on_delivery_();
+  return Status::ok();
+}
+
+}  // namespace itdos::core

@@ -1,0 +1,459 @@
+#include "itdos/smiop.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "crypto/sha256.hpp"
+
+namespace itdos::core {
+
+namespace {
+constexpr std::string_view kLog = "itdos.smiop";
+
+/// The ballot value for a GIOP reply: status + result + exception detail.
+std::optional<cdr::Value> reply_ballot_value(ByteView plain_giop, RequestId rid) {
+  Result<cdr::GiopMessage> parsed = cdr::parse_giop(plain_giop);
+  if (!parsed.is_ok()) return std::nullopt;
+  if (!std::holds_alternative<cdr::ReplyMessage>(parsed.value())) return std::nullopt;
+  const auto& reply = std::get<cdr::ReplyMessage>(parsed.value());
+  if (reply.request_id != rid) return std::nullopt;
+  return cdr::Value::structure(
+      {cdr::Field("status", cdr::Value::octet(static_cast<std::uint8_t>(reply.status))),
+       cdr::Field("result", reply.result),
+       cdr::Field("exception", cdr::Value::string(reply.exception_detail))});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ConnTable
+// ---------------------------------------------------------------------------
+
+void ConnTable::install(const ConnRecord& record, const crypto::SymmetricKey& key) {
+  Entry& entry = entries_[record.conn.value];
+  entry.keys[record.epoch.value] = key;
+  if (record.epoch.value >= entry.record.epoch.value) entry.record = record;
+  for (const Listener& listener : listeners_) listener(entry);
+}
+
+const ConnTable::Entry* ConnTable::find(ConnectionId conn) const {
+  const auto it = entries_.find(conn.value);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const crypto::SymmetricKey* ConnTable::key_for(ConnectionId conn,
+                                               KeyEpoch epoch) const {
+  const Entry* entry = find(conn);
+  if (entry == nullptr) return nullptr;
+  const auto it = entry->keys.find(epoch.value);
+  return it == entry->keys.end() ? nullptr : &it->second;
+}
+
+Bytes seal_aad(ConnectionId conn, RequestId rid, KeyEpoch epoch, bool is_reply) {
+  cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+  enc.write_uint64(conn.value);
+  enc.write_uint64(rid.value);
+  enc.write_uint64(epoch.value);
+  enc.write_boolean(is_reply);
+  return enc.take();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol / Connection adapters
+// ---------------------------------------------------------------------------
+
+class SmiopParty::Connection : public orb::ClientConnection {
+ public:
+  Connection(SmiopParty& party, std::shared_ptr<ConnState> state)
+      : party_(party), state_(std::move(state)) {}
+
+  ConnectionId id() const override { return state_->conn; }
+
+  void send_request(cdr::RequestMessage request, Completion done) override {
+    party_.send_on(*state_, std::move(request), std::move(done));
+  }
+
+ private:
+  SmiopParty& party_;
+  std::shared_ptr<ConnState> state_;
+};
+
+class SmiopParty::Protocol : public orb::PluggableProtocol {
+ public:
+  explicit Protocol(SmiopParty& party) : party_(party) {}
+  std::string_view name() const override { return "smiop"; }
+  void connect(const orb::ObjectRef& ref, ConnectCompletion done) override {
+    party_.connect_to(ref, std::move(done));
+  }
+
+ private:
+  SmiopParty& party_;
+};
+
+// ---------------------------------------------------------------------------
+// SmiopParty
+// ---------------------------------------------------------------------------
+
+SmiopParty::SmiopParty(net::Network& net,
+                       std::shared_ptr<const SystemDirectory> directory,
+                       PartyConfig config, const bft::SessionKeys& keys,
+                       std::shared_ptr<const crypto::Keystore> keystore,
+                       std::shared_ptr<NodeAllocator> allocator)
+    : net_(net),
+      directory_(std::move(directory)),
+      config_(config),
+      keys_(keys),
+      keystore_(std::move(keystore)),
+      allocator_(std::move(allocator)),
+      agent_(directory_, keys_, config.smiop_node) {
+  gm_client_ = std::make_unique<bft::Client>(
+      net_, config_.gm_client_node,
+      directory_->gm().make_bft_config(directory_->timing()), keys_);
+  agent_.set_key_ready([this](const ConnRecord& record,
+                              const crypto::SymmetricKey& key,
+                              const std::vector<int>& misbehaving) {
+    if (!misbehaving.empty()) {
+      ITDOS_WARN(kLog) << "GM elements sent bad shares for conn "
+                       << record.conn.to_string();
+    }
+    table_.install(record, key);
+    // Wake any connect waiting on this key.
+    const auto it = pending_connects_.find(record.conn.value);
+    if (it != pending_connects_.end()) {
+      auto waiting = std::move(it->second.waiting);
+      net_.sim().cancel(it->second.timer);
+      const DomainId target = it->second.target;
+      pending_connects_.erase(it);
+      for (auto& done : waiting) {
+        done(std::shared_ptr<orb::ClientConnection>(std::make_shared<Connection>(
+            *this, conns_.at(record.conn.value))));
+      }
+      (void)target;
+    }
+  });
+}
+
+SmiopParty::~SmiopParty() = default;
+
+std::unique_ptr<orb::PluggableProtocol> SmiopParty::make_protocol() {
+  return std::make_unique<Protocol>(*this);
+}
+
+VotePolicy SmiopParty::policy_for(const DomainInfo& target) const {
+  return config_.policy_override.value_or(target.vote_policy);
+}
+
+bft::Client& SmiopParty::target_client(DomainId domain) {
+  auto it = target_clients_.find(domain);
+  if (it == target_clients_.end()) {
+    const DomainInfo* info = directory_->find_domain(domain);
+    it = target_clients_
+             .emplace(domain, std::make_unique<bft::Client>(
+                                  net_, allocator_->next(),
+                                  info->make_bft_config(directory_->timing()), keys_))
+             .first;
+  }
+  return *it->second;
+}
+
+void SmiopParty::connect_to(const orb::ObjectRef& ref,
+                            orb::PluggableProtocol::ConnectCompletion done) {
+  const DomainInfo* target = directory_->find_domain(ref.domain);
+  if (target == nullptr) {
+    done(error(Errc::kNotFound, "unknown target domain " + ref.domain.to_string()));
+    return;
+  }
+  OpenRequestMsg open;
+  open.client_node = config_.smiop_node;
+  open.client_domain = config_.my_domain;
+  open.target = ref.domain;
+  ++stats_.opens_sent;
+  const DomainId target_id = ref.domain;
+  gm_client_->invoke(
+      encode_gm_command(GmCommand(open)),
+      [this, target_id, done = std::move(done)](Result<Bytes> r) mutable {
+        if (!r.is_ok()) {
+          done(r.status());
+          return;
+        }
+        Result<GmCommandResult> result = GmCommandResult::decode(r.value());
+        if (!result.is_ok()) {
+          done(result.status());
+          return;
+        }
+        if (!result.value().accepted) {
+          done(error(Errc::kPermissionDenied,
+                     "GM rejected open_request: " + result.value().detail));
+          return;
+        }
+        const ConnectionId conn = result.value().conn;
+        // Create the connection state now; the key may already be here (the
+        // GM's shares race the command ACK) or may still be in flight.
+        const DomainInfo* target = directory_->find_domain(target_id);
+        auto state = std::make_shared<ConnState>();
+        state->conn = conn;
+        state->target = target_id;
+        state->target_f = target->f;
+        state->voter =
+            std::make_unique<ConnectionVoter>(target->f, policy_for(*target));
+        conns_[conn.value] = state;
+
+        if (table_.find(conn) != nullptr) {
+          done(std::shared_ptr<orb::ClientConnection>(
+              std::make_shared<Connection>(*this, state)));
+          return;
+        }
+        PendingConnect& pending = pending_connects_[conn.value];
+        pending.target = target_id;
+        pending.waiting.push_back(std::move(done));
+        pending.timer = net_.sim().schedule_after(
+            directory_->timing().reply_vote_timeout_ns * 4, [this, conn] {
+              const auto it = pending_connects_.find(conn.value);
+              if (it == pending_connects_.end()) return;
+              auto waiting = std::move(it->second.waiting);
+              pending_connects_.erase(it);
+              for (auto& waiter : waiting) {
+                waiter(error(Errc::kUnavailable,
+                             "timed out waiting for communication key shares"));
+              }
+            });
+      });
+}
+
+void SmiopParty::send_on(ConnState& state, cdr::RequestMessage request,
+                         orb::ClientConnection::Completion done) {
+  const ConnTable::Entry* entry = table_.find(state.conn);
+  if (entry == nullptr) {
+    done(error(Errc::kFailedPrecondition, "connection has no communication key"));
+    return;
+  }
+  const KeyEpoch epoch = entry->record.epoch;
+  const crypto::SymmetricKey& key = entry->keys.at(epoch.value);
+  const RequestId rid = request.request_id;
+
+  const Bytes plain = cdr::encode_giop(cdr::GiopMessage(std::move(request)),
+                                       config_.byte_order);
+  const Bytes aad = seal_aad(state.conn, rid, epoch, /*is_reply=*/false);
+  OrderedMsg ordered;
+  ordered.conn = state.conn;
+  ordered.rid = rid;
+  ordered.origin = config_.smiop_node;
+  ordered.origin_domain = config_.my_domain;
+  ordered.epoch = epoch;
+  ordered.sealed_giop =
+      crypto::seal(key, crypto::make_nonce(config_.smiop_node.value, rid.value), aad,
+                   plain);
+  ++stats_.requests_sent;
+  const std::size_t max_entry = directory_->timing().max_entry_bytes;
+
+  // One outstanding request per connection (§3.6): the Orb guarantees this;
+  // opening the new round garbage-collects the previous one's voter state.
+  state.voter->expect(rid);
+  RequestRound round;
+  round.rid = rid;
+  round.done = std::move(done);
+  round.timer_armed = true;
+  round.timer = net_.sim().schedule_after(
+      directory_->timing().reply_vote_timeout_ns, [this, conn = state.conn] {
+        const auto it = conns_.find(conn.value);
+        if (it == conns_.end() || !it->second->round) return;
+        if (!it->second->round->done) return;
+        ++stats_.votes_timed_out;
+        complete_round(*it->second,
+                       error(Errc::kUnavailable,
+                             "reply vote did not complete (too few replies)"));
+      });
+  state.round = std::move(round);
+
+  bft::Client& transport = target_client(state.target);
+  if (ordered.sealed_giop.size() <= max_entry) {
+    transport.invoke(ordered.encode(), [](Result<Bytes>) {
+      // The BFT-level reply is the static ordering ACK (§3.1); the real
+      // CORBA reply arrives as DirectReply messages and is voted there.
+    });
+    return;
+  }
+  // §4 large messages: split the sealed payload into fragments, each an
+  // ordered entry. The seal spans the whole payload, so integrity and
+  // confidentiality remain end-to-end; the BFT client serializes its queue,
+  // so fragments arrive in order.
+  const Bytes& sealed = ordered.sealed_giop;
+  const auto total = static_cast<std::uint32_t>(
+      (sealed.size() + max_entry - 1) / max_entry);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    FragmentMsg fragment;
+    fragment.conn = ordered.conn;
+    fragment.rid = ordered.rid;
+    fragment.origin = ordered.origin;
+    fragment.origin_domain = ordered.origin_domain;
+    fragment.epoch = ordered.epoch;
+    fragment.index = i;
+    fragment.total = total;
+    const std::size_t begin = i * max_entry;
+    const std::size_t end = std::min(sealed.size(), begin + max_entry);
+    fragment.chunk.assign(sealed.begin() + static_cast<std::ptrdiff_t>(begin),
+                          sealed.begin() + static_cast<std::ptrdiff_t>(end));
+    transport.invoke(fragment.encode(), [](Result<Bytes>) {});
+  }
+  ++stats_.fragmented_requests;
+}
+
+void SmiopParty::handle_smiop_packet(ByteView payload) {
+  const Result<SmiopType> type = smiop_type(payload);
+  if (!type.is_ok()) return;
+  if (type.value() == SmiopType::kKeyShare) {
+    Result<KeyShareMsg> msg = KeyShareMsg::decode(payload);
+    if (!msg.is_ok()) return;
+    (void)agent_.handle_share(msg.value());
+    return;
+  }
+  Result<DirectReplyMsg> msg = DirectReplyMsg::decode(payload);
+  if (!msg.is_ok()) return;
+  handle_direct_reply(msg.value());
+}
+
+void SmiopParty::handle_direct_reply(const DirectReplyMsg& msg) {
+  ++stats_.replies_received;
+  const auto it = conns_.find(msg.conn.value);
+  if (it == conns_.end()) {
+    ++stats_.discarded;
+    return;
+  }
+  ConnState& state = *it->second;
+  const crypto::SymmetricKey* key = table_.key_for(msg.conn, msg.epoch);
+  if (key == nullptr) {
+    ++stats_.replies_rejected;
+    return;
+  }
+  // The replying element must be a member of the target domain.
+  const DomainInfo* target = directory_->find_domain(state.target);
+  if (target == nullptr || target->rank_of_smiop(msg.element) < 0) {
+    ++stats_.replies_rejected;
+    return;
+  }
+  const Bytes aad = seal_aad(msg.conn, msg.rid, msg.epoch, /*is_reply=*/true);
+  Result<Bytes> plain = crypto::open(*key, aad, msg.sealed_giop);
+  if (!plain.is_ok()) {
+    ++stats_.replies_rejected;
+    return;
+  }
+  // Verify the element's signature over the plaintext digest — this is what
+  // later makes the reply usable as change_request proof (§3.6).
+  const crypto::Digest digest = crypto::sha256(ByteView(plain.value()));
+  const Bytes region =
+      DirectReplyMsg::signed_region(msg.conn, msg.rid, msg.element, msg.epoch, digest);
+  if (!keystore_->verify(msg.element, region, msg.plain_signature).is_ok()) {
+    ++stats_.replies_rejected;
+    return;
+  }
+
+  if (state.round && msg.rid == state.round->rid) {
+    ProofEntry entry;
+    entry.element = msg.element;
+    entry.epoch = msg.epoch;
+    entry.plain_giop = plain.value();
+    entry.signature = msg.plain_signature;
+    // One proof entry per element per round.
+    const bool seen = std::any_of(
+        state.round->proof.begin(), state.round->proof.end(),
+        [&](const ProofEntry& p) { return p.element == msg.element; });
+    if (!seen) state.round->proof.push_back(std::move(entry));
+  }
+
+  Ballot ballot;
+  ballot.source = msg.element;
+  ballot.raw = plain.value();
+  ballot.value = reply_ballot_value(plain.value(), msg.rid);
+
+  const std::optional<VoteDecision> decision =
+      state.voter->submit(msg.rid, std::move(ballot));
+  if (!state.round) return;
+  if (decision) {
+    ++stats_.votes_decided;
+    Result<cdr::GiopMessage> parsed = cdr::parse_giop(decision->winner.raw);
+    if (parsed.is_ok() &&
+        std::holds_alternative<cdr::ReplyMessage>(parsed.value())) {
+      complete_round(state,
+                     std::get<cdr::ReplyMessage>(std::move(parsed).take()));
+    } else {
+      complete_round(state, error(Errc::kMalformedMessage,
+                                  "voted winner is not a parseable GIOP reply"));
+    }
+  }
+  maybe_report_dissenters(state);
+}
+
+void SmiopParty::complete_round(ConnState& state, Result<cdr::ReplyMessage> result) {
+  if (!state.round || !state.round->done) return;
+  if (state.round->timer_armed) {
+    net_.sim().cancel(state.round->timer);
+    state.round->timer_armed = false;
+  }
+  auto done = std::move(state.round->done);
+  state.round->done = nullptr;
+  done(std::move(result));
+  // The round object itself stays until the next request: the voter keeps
+  // collecting the remaining replies for fault detection (§3.6).
+}
+
+void SmiopParty::maybe_report_dissenters(ConnState& state) {
+  if (!config_.auto_report || !state.round) return;
+  const auto& vote = state.voter->outstanding();
+  if (!vote || !vote->decided()) return;
+  const std::vector<NodeId> dissenters = vote->dissenters();
+  if (dissenters.empty()) return;
+  // Singleton reporters need a 2f+1-strong proof for the GM's own vote.
+  const bool singleton = config_.my_domain.value == 0;
+  if (singleton &&
+      static_cast<int>(state.round->proof.size()) < 2 * state.target_f + 1) {
+    return;  // keep collecting; a later reply may complete the proof
+  }
+  for (NodeId dissenter : dissenters) {
+    if (state.round->reported.contains(dissenter)) continue;
+    state.round->reported.insert(dissenter);
+    ++stats_.faults_detected;
+    ChangeRequestMsg change;
+    change.reporter = config_.smiop_node;
+    change.reporter_domain = config_.my_domain;
+    change.accused_domain = state.target;
+    change.accused_element = dissenter;
+    change.conn = state.conn;
+    change.rid = state.round->rid;
+    if (singleton) change.proof = state.round->proof;
+    send_change_request(std::move(change));
+  }
+}
+
+void SmiopParty::send_change_request(ChangeRequestMsg msg) {
+  ++stats_.change_requests_sent;
+  ITDOS_INFO(kLog) << config_.smiop_node.to_string() << " files change_request against "
+                   << msg.accused_element.to_string();
+  gm_client_->invoke(encode_gm_command(GmCommand(std::move(msg))),
+                     [](Result<Bytes>) {});
+}
+
+void SmiopParty::request_resend(ConnectionId conn,
+                                std::function<void(GmCommandResult)> done) {
+  ResendSharesMsg resend;
+  resend.conn = conn;
+  resend.requester = config_.smiop_node;
+  gm_client_->invoke(encode_gm_command(GmCommand(resend)),
+                     [done = std::move(done)](Result<Bytes> r) {
+                       if (!done) return;
+                       if (!r.is_ok()) {
+                         done(GmCommandResult{false, ConnectionId(0), KeyEpoch(0),
+                                              r.status().to_string()});
+                         return;
+                       }
+                       Result<GmCommandResult> result =
+                           GmCommandResult::decode(r.value());
+                       if (result.is_ok()) {
+                         done(result.value());
+                       } else {
+                         done(GmCommandResult{false, ConnectionId(0), KeyEpoch(0),
+                                              result.status().to_string()});
+                       }
+                     });
+}
+
+}  // namespace itdos::core

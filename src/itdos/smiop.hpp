@@ -1,0 +1,154 @@
+// SMIOP client-side machinery (§3.3, Figure 3): virtual connections over the
+// BFT transport, communication-key handling, per-connection reply voting and
+// fault reporting. Used by singleton clients AND by replication domain
+// elements acting as clients (nested invocations) — the same code path, as
+// the paper's architecture implies.
+#pragma once
+
+#include <memory>
+
+#include "bft/client.hpp"
+#include "itdos/key_agent.hpp"
+#include "orb/transport.hpp"
+
+namespace itdos::core {
+
+/// Communication keys this party holds, all epochs (§3.5 rekey keeps old
+/// epochs decryptable so in-flight traffic is not lost; new traffic uses the
+/// newest epoch, which expelled elements never receive).
+class ConnTable {
+ public:
+  struct Entry {
+    ConnRecord record;                                   // newest epoch
+    std::map<std::uint64_t, crypto::SymmetricKey> keys;  // epoch -> key
+  };
+  using Listener = std::function<void(const Entry&)>;
+
+  void install(const ConnRecord& record, const crypto::SymmetricKey& key);
+  const Entry* find(ConnectionId conn) const;
+  const crypto::SymmetricKey* key_for(ConnectionId conn, KeyEpoch epoch) const;
+  void subscribe(Listener listener) { listeners_.push_back(std::move(listener)); }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::uint64_t, Entry> entries_;
+  std::vector<Listener> listeners_;
+};
+
+/// Additional authenticated data binding sealed GIOP payloads to their
+/// connection, request and direction (prevents cross-connection splicing and
+/// request/reply reflection).
+Bytes seal_aad(ConnectionId conn, RequestId rid, KeyEpoch epoch, bool is_reply);
+
+struct PartyConfig {
+  NodeId smiop_node;            // where shares and replies arrive
+  NodeId gm_client_node;        // BFT-client endpoint toward the GM group
+  DomainId my_domain;           // 0 for singleton clients
+  cdr::ByteOrder byte_order = cdr::native_byte_order();
+  bool auto_report = true;      // file change_requests for detected faults
+  std::optional<VotePolicy> policy_override;  // else the target domain's policy
+};
+
+struct PartyStats {
+  std::uint64_t opens_sent = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t replies_rejected = 0;    // bad seal/signature/shape
+  std::uint64_t votes_decided = 0;
+  std::uint64_t votes_timed_out = 0;
+  std::uint64_t discarded = 0;           // wrong-request-id messages (§3.6)
+  std::uint64_t faults_detected = 0;     // dissenting elements observed
+  std::uint64_t change_requests_sent = 0;
+  std::uint64_t fragmented_requests = 0; // large requests split (§4)
+};
+
+/// The client half of an ITDOS party. Owns the GM/ordering BFT clients, the
+/// connection table and the voters. The owner feeds it raw SMIOP packets
+/// from its endpoint process.
+class SmiopParty {
+ public:
+  SmiopParty(net::Network& net, std::shared_ptr<const SystemDirectory> directory,
+             PartyConfig config, const bft::SessionKeys& keys,
+             std::shared_ptr<const crypto::Keystore> keystore,
+             std::shared_ptr<NodeAllocator> allocator);
+  ~SmiopParty();
+
+  /// A PluggableProtocol for an Orb; the party must outlive the Orb.
+  std::unique_ptr<orb::PluggableProtocol> make_protocol();
+
+  /// Feeds one SMIOP datagram (key share or direct reply) from the endpoint.
+  void handle_smiop_packet(ByteView payload);
+
+  /// Shared with the server role of a domain element.
+  ConnTable& conn_table() { return table_; }
+
+  /// Asks the GM to resend the shares of `conn` to this party.
+  void request_resend(ConnectionId conn,
+                      std::function<void(GmCommandResult)> done = nullptr);
+
+  /// Files a change_request (used internally on detected faults; public so
+  /// the server role can report queue-management laggards, §3.1).
+  void send_change_request(ChangeRequestMsg msg);
+
+  const PartyStats& stats() const { return stats_; }
+  const PartyConfig& config() const { return config_; }
+  bft::Client& gm_client() { return *gm_client_; }
+
+ private:
+  class Protocol;
+  class Connection;
+  friend class Protocol;
+  friend class Connection;
+
+  struct RequestRound {
+    RequestId rid;
+    orb::ClientConnection::Completion done;  // null once completed/timed out
+    net::EventHandle timer{};
+    bool timer_armed = false;
+    std::vector<ProofEntry> proof;   // signed plaintexts collected this round
+    std::set<NodeId> reported;       // dissenters already reported
+  };
+
+  struct ConnState {
+    ConnectionId conn;
+    DomainId target;
+    int target_f = 1;
+    std::unique_ptr<ConnectionVoter> voter;
+    std::optional<RequestRound> round;
+  };
+
+  void connect_to(const orb::ObjectRef& ref,
+                  orb::PluggableProtocol::ConnectCompletion done);
+  void send_on(ConnState& state, cdr::RequestMessage request,
+               orb::ClientConnection::Completion done);
+  void handle_direct_reply(const DirectReplyMsg& msg);
+  void complete_round(ConnState& state, Result<cdr::ReplyMessage> result);
+  void maybe_report_dissenters(ConnState& state);
+  bft::Client& target_client(DomainId domain);
+  VotePolicy policy_for(const DomainInfo& target) const;
+
+  net::Network& net_;
+  std::shared_ptr<const SystemDirectory> directory_;
+  PartyConfig config_;
+  const bft::SessionKeys& keys_;
+  std::shared_ptr<const crypto::Keystore> keystore_;
+  std::shared_ptr<NodeAllocator> allocator_;
+
+  KeyAgent agent_;
+  ConnTable table_;
+  std::unique_ptr<bft::Client> gm_client_;
+  std::map<DomainId, std::unique_ptr<bft::Client>> target_clients_;
+  std::map<std::uint64_t, std::shared_ptr<ConnState>> conns_;
+
+  // Connects waiting for their key shares: conn -> completions + timer.
+  struct PendingConnect {
+    DomainId target;
+    std::vector<orb::PluggableProtocol::ConnectCompletion> waiting;
+    net::EventHandle timer{};
+  };
+  std::map<std::uint64_t, PendingConnect> pending_connects_;
+
+  PartyStats stats_;
+};
+
+}  // namespace itdos::core

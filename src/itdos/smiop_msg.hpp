@@ -1,0 +1,241 @@
+// SMIOP (Secure Multicast Inter-ORB Protocol) message formats — the ITDOS
+// layer's wire vocabulary (Figure 2).
+//
+// Three message families:
+//   * OrderedMsg      — entries submitted into a replication domain's BFT
+//                       ordering (client GIOP requests, nested requests,
+//                       queue-management acks travel as queue entries);
+//   * DirectReplyMsg  — a domain element's reply, sent directly to the
+//                       requester and voted there (§3.2: clients are not in
+//                       the ordering group, so replies flow outward);
+//   * Group Manager traffic — OpenRequest / ChangeRequest commands (ordered
+//                       within the GM's own domain) and KeyShare messages
+//                       (GM element -> party, over pairwise secure channels).
+//
+// Confidentiality and proof: the GIOP payload inside OrderedMsg/
+// DirectReplyMsg is sealed with the connection's communication key. A
+// DirectReplyMsg additionally carries the element's *signature over the
+// plaintext digest* so a singleton client can later prove a faulty value to
+// the Group Manager without the GM ever holding the communication key
+// (§3.6's proof of faulty values, reconciled with §3.5's threshold keying:
+// the reporter reveals the disputed plaintexts; signatures bind them to
+// their senders).
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "cdr/codec.hpp"
+#include "common/ids.hpp"
+#include "crypto/signing.hpp"
+#include "itdos/voting.hpp"
+
+namespace itdos::core {
+
+enum class SmiopType : std::uint8_t {
+  kDirectReply = 1,
+  kKeyShare = 2,
+  kStateBundle = 3,  // element replacement: peer state at a sync point
+};
+
+/// Kinds of entries in a replication domain's ordered queue.
+enum class QueueEntryKind : std::uint8_t {
+  kRequest = 1,    // a (sealed) GIOP request on some connection
+  kAck = 2,        // queue-management ack (virtual-synchrony GC, §3.1)
+  kSyncPoint = 3,  // replacement sync point: peers snapshot here (§4)
+  kFragment = 4,   // one piece of a large sealed request (§4 large messages)
+};
+
+/// A request entry ordered into a server domain's queue.
+struct OrderedMsg {
+  ConnectionId conn;
+  RequestId rid;
+  NodeId origin;           // SMIOP node of the sender (client or element)
+  DomainId origin_domain;  // 0 for singleton clients
+  KeyEpoch epoch;          // communication-key epoch the payload is sealed under
+  Bytes sealed_giop;
+
+  bool operator==(const OrderedMsg&) const = default;
+  Bytes encode() const;  // includes the QueueEntryKind tag
+  static Result<OrderedMsg> decode(ByteView data);
+};
+
+/// One fragment of a large sealed request (§4: "we must find an efficient
+/// way of moving larger messages through the system"). The sealed GIOP
+/// payload of an OrderedMsg is split into chunks that are ordered
+/// individually; elements reassemble deterministically (fragments of one
+/// request are totally ordered like everything else) and then process the
+/// whole as if it had arrived as one kRequest entry. Authentication and
+/// confidentiality are end-to-end: the seal covers the complete payload, so
+/// a dropped/forged fragment surfaces as a seal failure on reassembly.
+struct FragmentMsg {
+  ConnectionId conn;
+  RequestId rid;
+  NodeId origin;
+  DomainId origin_domain;
+  KeyEpoch epoch;
+  std::uint32_t index = 0;   // 0-based fragment number
+  std::uint32_t total = 0;   // fragments in this request
+  Bytes chunk;
+
+  bool operator==(const FragmentMsg&) const = default;
+  Bytes encode() const;  // includes the QueueEntryKind tag
+  static Result<FragmentMsg> decode(ByteView data);
+};
+
+/// Upper bound on fragments per request (bounds hostile memory use).
+inline constexpr std::uint32_t kMaxFragments = 4096;
+
+/// A queue-management ack: "element has consumed entries up to `index`".
+struct QueueAckMsg {
+  NodeId element;
+  std::uint64_t consumed_index = 0;
+
+  bool operator==(const QueueAckMsg&) const = default;
+  Bytes encode() const;  // includes the QueueEntryKind tag
+  static Result<QueueAckMsg> decode(ByteView data);
+};
+
+/// Reads the kind tag of a queue entry.
+Result<QueueEntryKind> queue_entry_kind(ByteView data);
+
+/// A domain element's reply, unicast to the requester.
+struct DirectReplyMsg {
+  ConnectionId conn;
+  RequestId rid;
+  NodeId element;          // SMIOP node of the replying element
+  KeyEpoch epoch;
+  Bytes sealed_giop;       // plaintext GIOP reply sealed with the conn key
+  crypto::Signature plain_signature{};  // over signed_region(plain_digest)
+
+  /// The byte string plain_signature covers: conn | rid | element | epoch |
+  /// sha256(plaintext GIOP). Request id + connection id double as the replay
+  /// protection the paper requires of proof messages.
+  static Bytes signed_region(ConnectionId conn, RequestId rid, NodeId element,
+                             KeyEpoch epoch, const crypto::Digest& plain_digest);
+
+  bool operator==(const DirectReplyMsg&) const = default;
+  Bytes encode() const;  // includes the SmiopType tag
+  static Result<DirectReplyMsg> decode(ByteView data);
+};
+
+/// One GM element's DPRF key share for (conn, epoch), sealed with the
+/// pairwise key between that GM element and the receiving party.
+struct KeyShareMsg {
+  ConnectionId conn;
+  KeyEpoch epoch;
+  DomainId target_domain;   // the server domain of the connection
+  NodeId client_node;       // SMIOP node of the client party
+  DomainId client_domain;   // 0 for singleton clients
+  std::uint32_t gm_index = 0;  // which GM element sent this
+  Bytes sealed_share;       // crypto::seal(pairwise key, DprfShare::encode())
+
+  bool operator==(const KeyShareMsg&) const = default;
+  Bytes encode() const;  // includes the SmiopType tag
+  static Result<KeyShareMsg> decode(ByteView data);
+};
+
+/// A replacement sync point ordered into the queue: every element, upon
+/// consuming it, snapshots its servant state and sends a StateBundle to the
+/// requesting (replacement) element.
+struct SyncPointMsg {
+  NodeId requester;  // SMIOP node of the replacement element
+
+  bool operator==(const SyncPointMsg&) const = default;
+  Bytes encode() const;  // includes the QueueEntryKind tag
+  static Result<SyncPointMsg> decode(ByteView data);
+};
+
+/// A peer's servant state at a sync point, sealed over the pairwise channel
+/// between the sending element and the replacement element. The replacement
+/// installs the state once f+1 distinct peers sent byte-identical bundles
+/// for the same consumed index (a weak certificate: one of them is correct).
+struct StateBundleMsg {
+  DomainId domain;
+  NodeId element;                 // sender
+  std::uint64_t consumed_index = 0;  // queue cursor the bundle captures
+  Bytes sealed_bundle;
+
+  bool operator==(const StateBundleMsg&) const = default;
+  Bytes encode() const;  // includes the SmiopType tag
+  static Result<StateBundleMsg> decode(ByteView data);
+};
+
+/// Reads the SmiopType tag of a direct (non-queue) SMIOP message.
+Result<SmiopType> smiop_type(ByteView data);
+
+/// Full structural validation: the bytes parse as a complete SMIOP message
+/// of their tagged type (used by the firewall proxy, which must not be
+/// fooled by tag collisions with other protocols).
+bool parses_as_smiop(ByteView data);
+
+// ---------------------------------------------------------------------------
+// Group Manager commands (ordered through the GM domain's own BFT group)
+// ---------------------------------------------------------------------------
+
+/// Figure 3 step 1: open a connection to `target`.
+struct OpenRequestMsg {
+  NodeId client_node;      // SMIOP node the key shares should go to
+  DomainId client_domain;  // 0 for singleton
+  DomainId target;
+
+  bool operator==(const OpenRequestMsg&) const = default;
+};
+
+/// One entry of a change_request proof: a disputed plaintext reply plus the
+/// signature that binds it to its sender.
+struct ProofEntry {
+  NodeId element;
+  KeyEpoch epoch;
+  Bytes plain_giop;
+  crypto::Signature signature{};
+
+  bool operator==(const ProofEntry&) const = default;
+};
+
+/// §3.6: ask the GM to expel faulty element(s). Singleton reporters must
+/// attach proof; replicated reporters are believed at f+1 matching requests.
+struct ChangeRequestMsg {
+  NodeId reporter;
+  DomainId reporter_domain;  // 0 for singleton (proof required)
+  DomainId accused_domain;
+  NodeId accused_element;    // SMIOP node of the accused element
+  ConnectionId conn;
+  RequestId rid;
+  std::vector<ProofEntry> proof;
+
+  bool operator==(const ChangeRequestMsg&) const = default;
+};
+
+/// Ask the GM elements to resend the key shares for a connection to the
+/// requesting party (used when an ordered entry references a connection the
+/// consuming element has no key for yet: the BFT-agreed answer — resent
+/// shares or a rejection — is authoritative and identical for every element,
+/// which keeps the consume/discard decision deterministic).
+struct ResendSharesMsg {
+  ConnectionId conn;
+  NodeId requester;  // SMIOP node to resend to
+
+  bool operator==(const ResendSharesMsg&) const = default;
+};
+
+using GmCommand = std::variant<OpenRequestMsg, ChangeRequestMsg, ResendSharesMsg>;
+
+Bytes encode_gm_command(const GmCommand& cmd);
+Result<GmCommand> decode_gm_command(ByteView data);
+
+/// The deterministic reply a GM command execution produces (every GM element
+/// computes the same bytes, so the BFT client's f+1 matching rule applies).
+struct GmCommandResult {
+  bool accepted = false;
+  ConnectionId conn;   // assigned/affected connection (open requests)
+  KeyEpoch epoch;      // epoch the shares will carry
+  std::string detail;  // human-readable rejection reason
+
+  bool operator==(const GmCommandResult&) const = default;
+  Bytes encode() const;
+  static Result<GmCommandResult> decode(ByteView data);
+};
+
+}  // namespace itdos::core

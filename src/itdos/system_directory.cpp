@@ -1,0 +1,32 @@
+#include "itdos/system_directory.hpp"
+
+namespace itdos::core {
+
+bft::BftConfig DomainInfo::make_bft_config(const ProtocolTiming& timing) const {
+  bft::BftConfig config;
+  config.f = f;
+  config.group = group;
+  config.checkpoint_interval = timing.checkpoint_interval;
+  config.client_retry_ns = timing.client_retry_ns;
+  config.view_change_timeout_ns = timing.view_change_timeout_ns;
+  for (const ElementInfo& element : elements) {
+    config.replicas.push_back(element.bft_node);
+  }
+  return config;
+}
+
+int DomainInfo::rank_of_smiop(NodeId smiop_node) const {
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (elements[i].smiop_node == smiop_node) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<NodeId> DomainInfo::smiop_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(elements.size());
+  for (const ElementInfo& element : elements) out.push_back(element.smiop_node);
+  return out;
+}
+
+}  // namespace itdos::core

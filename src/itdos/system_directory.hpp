@@ -1,0 +1,106 @@
+// Deployment topology shared by every ITDOS process: which domains exist,
+// their elements (with per-element native byte order — the heterogeneity the
+// system tolerates), the Group Manager's composition, vote policies and
+// protocol timing. In a production system this is the configuration the
+// paper's "configuration inputs" allude to; it is immutable after startup.
+//
+// Node-id layout: every element occupies several simulated-network endpoints
+// (the moral equivalent of ports on one host):
+//   bft_node        — the Castro-Liskov replica (ordering traffic)
+//   smiop_node      — direct SMIOP traffic (key shares, direct replies);
+//                     also the element's signing identity
+//   gm_client_node  — BFT-client endpoint toward the Group Manager group
+//   self_client_node— BFT-client endpoint toward the element's own group
+//                     (queue-management acks, §3.1 GC)
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bft/config.hpp"
+#include "cdr/codec.hpp"
+#include "crypto/dprf.hpp"
+#include "itdos/voting.hpp"
+
+namespace itdos::core {
+
+struct ElementInfo {
+  NodeId bft_node;
+  NodeId smiop_node;
+  NodeId gm_client_node;
+  NodeId self_client_node;
+  cdr::ByteOrder byte_order = cdr::ByteOrder::kLittleEndian;
+};
+
+struct ProtocolTiming {
+  std::int64_t checkpoint_interval = 16;
+  std::int64_t client_retry_ns = millis(40);
+  std::int64_t view_change_timeout_ns = millis(60);
+  std::int64_t reply_vote_timeout_ns = millis(500);  // voter gives up (§3.6 GC)
+  std::uint64_t ack_interval = 8;  // consumer entries between queue acks
+
+  /// Sealed requests larger than this are fragmented across multiple
+  /// ordered entries (§4 large messages) and reassembled deterministically
+  /// at the elements.
+  std::size_t max_entry_bytes = 16384;
+};
+
+struct DomainInfo {
+  DomainId id;
+  int f = 1;
+  McastGroupId group;
+  std::vector<ElementInfo> elements;  // size 3f+1
+  VotePolicy vote_policy = VotePolicy::exact();
+
+  int n() const { return static_cast<int>(elements.size()); }
+
+  /// The BFT group configuration for this domain's ordering group.
+  bft::BftConfig make_bft_config(const ProtocolTiming& timing) const;
+
+  /// Rank of an element by its SMIOP node, or -1.
+  int rank_of_smiop(NodeId smiop_node) const;
+
+  std::vector<NodeId> smiop_nodes() const;
+};
+
+class SystemDirectory {
+ public:
+  SystemDirectory(DomainInfo gm, ProtocolTiming timing)
+      : gm_(std::move(gm)), timing_(timing) {}
+
+  const DomainInfo& gm() const { return gm_; }
+  const ProtocolTiming& timing() const { return timing_; }
+
+  void add_domain(DomainInfo info) { domains_.emplace(info.id, std::move(info)); }
+
+  const DomainInfo* find_domain(DomainId id) const {
+    const auto it = domains_.find(id);
+    return it == domains_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<DomainId, DomainInfo>& domains() const { return domains_; }
+
+  /// DPRF parameters follow the GM's composition (§3.5: f+1 of 3f+1 GM
+  /// elements must cooperate to form a key).
+  crypto::DprfParams dprf_params() const {
+    return crypto::DprfParams{gm_.n(), gm_.f};
+  }
+
+ private:
+  DomainInfo gm_;
+  ProtocolTiming timing_;
+  std::map<DomainId, DomainInfo> domains_;
+};
+
+/// Monotonic NodeId allocator for building deployments.
+class NodeAllocator {
+ public:
+  explicit NodeAllocator(std::uint64_t first = 1) : next_(first) {}
+  NodeId next() { return NodeId(next_++); }
+
+ private:
+  std::uint64_t next_;
+};
+
+}  // namespace itdos::core

@@ -1,0 +1,137 @@
+#include "itdos/voting.hpp"
+
+#include <cmath>
+
+namespace itdos::core {
+
+namespace {
+
+bool within_epsilon(double a, double b, double eps) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (a == b) return true;  // covers equal infinities
+  return std::fabs(a - b) <= eps;
+}
+
+}  // namespace
+
+bool values_equivalent(const cdr::Value& a, const cdr::Value& b,
+                       const VotePolicy& policy) {
+  if (policy.kind == VotePolicy::Kind::kExact) return a == b;
+  // kInexact and kAdaptive both compare within policy.epsilon; adaptive
+  // voting varies the epsilon it passes in.
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case cdr::TypeKind::kFloat:
+      return within_epsilon(a.as_float32(), b.as_float32(), policy.epsilon);
+    case cdr::TypeKind::kDouble:
+      return within_epsilon(a.as_float64(), b.as_float64(), policy.epsilon);
+    case cdr::TypeKind::kSequence: {
+      const auto& ea = a.elements();
+      const auto& eb = b.elements();
+      if (ea.size() != eb.size()) return false;
+      for (std::size_t i = 0; i < ea.size(); ++i) {
+        if (!values_equivalent(ea[i], eb[i], policy)) return false;
+      }
+      return true;
+    }
+    case cdr::TypeKind::kStruct: {
+      const auto& fa = a.fields();
+      const auto& fb = b.fields();
+      if (fa.size() != fb.size()) return false;
+      for (std::size_t i = 0; i < fa.size(); ++i) {
+        if (fa[i].name != fb[i].name) return false;
+        if (!values_equivalent(fa[i].get(), fb[i].get(), policy)) return false;
+      }
+      return true;
+    }
+    default:
+      return a == b;  // discrete kinds: exact comparison
+  }
+}
+
+bool Vote::equivalent_at(const Ballot& a, const Ballot& b, double epsilon) const {
+  if (policy_.kind == VotePolicy::Kind::kByteByByte) return a.raw == b.raw;
+  if (!a.value || !b.value) return false;  // unparseable never matches
+  VotePolicy effective = policy_;
+  effective.epsilon = epsilon;
+  return values_equivalent(*a.value, *b.value, effective);
+}
+
+std::optional<VoteDecision> Vote::try_decide(double epsilon) {
+  // Approval counting: support of a ballot = ballots equivalent to it.
+  // Inexact equivalence is non-transitive, so support is counted per ballot
+  // (Parhami's approval voting [31]), not per equivalence class.
+  for (const Ballot& candidate : ballots_) {
+    int support = 0;
+    for (const Ballot& other : ballots_) {
+      if (equivalent_at(candidate, other, epsilon)) ++support;
+    }
+    if (support >= f_ + 1) {
+      VoteDecision decision;
+      decision.winner = candidate;
+      decision.support = support;
+      decision.epsilon_used = epsilon;
+      decided_ = std::move(decision);
+      decided_->dissenters = dissenters();
+      return decided_;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<VoteDecision> Vote::add(Ballot ballot) {
+  if (!sources_.insert(ballot.source).second) return std::nullopt;  // one per source
+  ballots_.push_back(std::move(ballot));
+  if (decided_) return std::nullopt;  // late arrival; dissenters() sees it
+
+  if (auto decision = try_decide(policy_.epsilon)) return decision;
+
+  // Adaptive voting (§4, [32]): once the voter has enough ballots that a
+  // decision *should* exist (2f+1, so at most f faulty among them), relax
+  // the precision stepwise up to the ceiling rather than starve. Precision
+  // is traded away only when replies are genuinely dispersed.
+  if (policy_.kind == VotePolicy::Kind::kAdaptive &&
+      static_cast<int>(ballots_.size()) >= 2 * f_ + 1 &&
+      policy_.max_epsilon > policy_.epsilon) {
+    double epsilon = policy_.epsilon;
+    for (int step = 0; step < 16; ++step) {
+      epsilon = epsilon == 0.0 ? policy_.max_epsilon / 65536.0 : epsilon * 4.0;
+      if (epsilon > policy_.max_epsilon) epsilon = policy_.max_epsilon;
+      if (auto decision = try_decide(epsilon)) return decision;
+      if (epsilon >= policy_.max_epsilon) break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Vote::dissenters() const {
+  std::vector<NodeId> out;
+  if (!decided_) return out;
+  for (const Ballot& ballot : ballots_) {
+    // Compare at the epsilon that decided: a correct-but-jittery reply that
+    // an adaptive vote accepted must not be flagged as faulty.
+    if (!equivalent_at(decided_->winner, ballot, decided_->epsilon_used)) {
+      out.push_back(ballot.source);
+    }
+  }
+  return out;
+}
+
+void ConnectionVoter::expect(RequestId request_id) {
+  expected_ = request_id;
+  vote_.emplace(f_, policy_);  // prior vote state garbage collected here
+}
+
+std::optional<VoteDecision> ConnectionVoter::submit(RequestId request_id,
+                                                    Ballot ballot) {
+  if (!vote_ || request_id != expected_) {
+    // "A discarded message could be from a Byzantine process, or it could be
+    // a late-coming reply from an earlier request" — indistinguishable, so
+    // neither used nor penalized.
+    ++discarded_;
+    return std::nullopt;
+  }
+  return vote_->add(std::move(ballot));
+}
+
+}  // namespace itdos::core

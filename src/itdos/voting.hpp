@@ -1,0 +1,139 @@
+// The ITDOS voter (§3.6): middleware voting on *unmarshalled* CORBA data.
+//
+// "Since the marshalled GIOP format can differ depending on platform, ITDOS
+// cannot simply perform byte-by-byte voting on the raw message data. ...
+// voting must be accomplished in middleware, after the raw message stream
+// has been unmarshalled." The voter is based on the Voting Virtual Machine
+// [3] and supports inexact voting [31] for values (floats) that legitimately
+// differ across heterogeneous platforms; inexact equivalence is deliberately
+// NOT transitive.
+//
+// Decision rule (paper): "The voter requires a minimum of f+1 identical
+// messages or 2f+1 total messages to perform a vote. It does not wait for
+// all 3f+1 messages."
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cdr/value.hpp"
+#include "common/ids.hpp"
+
+namespace itdos::core {
+
+/// How two candidate results are compared.
+struct VotePolicy {
+  enum class Kind {
+    kExact,       // structural equality on unmarshalled Values
+    kInexact,     // structural, floats within epsilon (non-transitive)
+    kByteByByte,  // raw wire bytes (Immune/Rampart-style baseline; breaks
+                  // under heterogeneity — kept for the E2 benchmark)
+    kAdaptive,    // §4 future work [32]: starts at epsilon and relaxes up to
+                  // max_epsilon when a full 2f+1 ballot set cannot decide —
+                  // trading precision for fault tolerance
+  };
+
+  Kind kind = Kind::kExact;
+  double epsilon = 0.0;      // kInexact: fixed; kAdaptive: starting value
+  double max_epsilon = 0.0;  // kAdaptive: relaxation ceiling
+
+  static VotePolicy exact() { return {Kind::kExact, 0.0, 0.0}; }
+  static VotePolicy inexact(double eps) { return {Kind::kInexact, eps, eps}; }
+  static VotePolicy byte_by_byte() { return {Kind::kByteByByte, 0.0, 0.0}; }
+  static VotePolicy adaptive(double eps, double max_eps) {
+    return {Kind::kAdaptive, eps, max_eps};
+  }
+};
+
+/// Structural equivalence of two values under a policy (kExact/kInexact).
+/// Numeric kinds must match exactly; float/double payloads compare within
+/// epsilon for kInexact.
+bool values_equivalent(const cdr::Value& a, const cdr::Value& b,
+                       const VotePolicy& policy);
+
+/// One candidate: the raw bytes as received plus (unless byte-by-byte) the
+/// unmarshalled value.
+struct Ballot {
+  NodeId source;
+  Bytes raw;
+  std::optional<cdr::Value> value;  // nullopt for kByteByByte
+};
+
+/// Outcome of a completed vote.
+struct VoteDecision {
+  Ballot winner;
+  int support = 0;                  // ballots equivalent to the winner
+  std::vector<NodeId> dissenters;   // sources whose ballots disagreed —
+                                    // candidates for a change_request (§3.6)
+  double epsilon_used = 0.0;        // kAdaptive: the precision that decided
+};
+
+/// Collates ballots for ONE request id and decides per the paper's rule.
+class Vote {
+ public:
+  /// `f` is the tolerated fault count of the *sending* replication domain.
+  Vote(int f, VotePolicy policy) : f_(f), policy_(policy) {}
+
+  /// Adds a ballot (one per source; duplicates ignored). Returns the
+  /// decision once f+1 equivalent ballots exist. Ballots arriving after the
+  /// decision update the dissenter list via `late_dissenters`.
+  std::optional<VoteDecision> add(Ballot ballot);
+
+  bool decided() const { return decided_.has_value(); }
+  const std::optional<VoteDecision>& decision() const { return decided_; }
+  int ballots() const { return static_cast<int>(ballots_.size()); }
+
+  /// Sources that disagreed with the decided value, including ballots that
+  /// arrived after the decision (the paper keeps collecting the remaining
+  /// n-(2f+1) messages for fault detection).
+  std::vector<NodeId> dissenters() const;
+
+ private:
+  bool equivalent(const Ballot& a, const Ballot& b) const {
+    return equivalent_at(a, b, policy_.epsilon);
+  }
+  bool equivalent_at(const Ballot& a, const Ballot& b, double epsilon) const;
+  std::optional<VoteDecision> try_decide(double epsilon);
+
+  int f_;
+  VotePolicy policy_;
+  std::vector<Ballot> ballots_;
+  std::set<NodeId> sources_;
+  std::optional<VoteDecision> decided_;
+};
+
+/// Per-connection voter: one Vote per outstanding request id, with the
+/// paper's discard rule — "Any just-received request identifier should match
+/// the identifier of the outstanding request ... If the reply's identifier
+/// does not match the expected message value, then the ITDOS receiver
+/// discards the message ... The receiver neither uses the message's value
+/// nor penalizes the sender."
+class ConnectionVoter {
+ public:
+  ConnectionVoter(int f, VotePolicy policy) : f_(f), policy_(policy) {}
+
+  /// Opens the vote for the next outstanding request. Any state from prior
+  /// requests is garbage collected (the paper's voter GC).
+  void expect(RequestId request_id);
+
+  /// Feeds a message for `request_id` from `source`. Messages for other ids
+  /// are discarded (counted, not penalized). Returns a decision when the
+  /// outstanding vote completes.
+  std::optional<VoteDecision> submit(RequestId request_id, Ballot ballot);
+
+  RequestId expected() const { return expected_; }
+  bool has_outstanding() const { return vote_.has_value(); }
+  const std::optional<Vote>& outstanding() const { return vote_; }
+  std::uint64_t discarded() const { return discarded_; }
+
+ private:
+  int f_;
+  VotePolicy policy_;
+  RequestId expected_;
+  std::optional<Vote> vote_;
+  std::uint64_t discarded_ = 0;
+};
+
+}  // namespace itdos::core

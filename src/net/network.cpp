@@ -1,0 +1,129 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace itdos::net {
+
+void Network::attach(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void Network::detach(NodeId node) {
+  handlers_.erase(node);
+  interceptors_.erase(node);
+  for (auto& [group, members] : groups_) members.erase(node);
+}
+
+void Network::join_group(McastGroupId group, NodeId node) {
+  groups_[group].insert(node);
+}
+
+void Network::leave_group(McastGroupId group, NodeId node) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  it->second.erase(node);
+  if (it->second.empty()) groups_.erase(it);
+}
+
+std::vector<NodeId> Network::group_members(McastGroupId group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return {};
+  return std::vector<NodeId>(it->second.begin(), it->second.end());
+}
+
+std::int64_t Network::sample_delay() {
+  if (config_.max_delay_ns <= config_.min_delay_ns) return config_.min_delay_ns;
+  return sim_.rng().next_in(config_.min_delay_ns, config_.max_delay_ns);
+}
+
+bool Network::link_up(NodeId a, NodeId b) const {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  return !cut_links_.contains(key);
+}
+
+void Network::set_link(NodeId a, NodeId b, bool up) {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (up) {
+    cut_links_.erase(key);
+  } else {
+    cut_links_.insert(key);
+  }
+}
+
+void Network::partition(const std::set<NodeId>& side_a, const std::set<NodeId>& side_b) {
+  for (NodeId a : side_a) {
+    for (NodeId b : side_b) set_link(a, b, false);
+  }
+}
+
+void Network::heal_all_links() { cut_links_.clear(); }
+
+void Network::set_interceptor(NodeId node, Interceptor interceptor) {
+  if (interceptor) {
+    interceptors_[node] = std::move(interceptor);
+  } else {
+    interceptors_.erase(node);
+  }
+}
+
+void Network::set_inbound_filter(NodeId node, InboundFilter filter) {
+  if (filter) {
+    inbound_filters_[node] = std::move(filter);
+  } else {
+    inbound_filters_.erase(node);
+  }
+}
+
+void Network::deliver_copy(Packet packet) {
+  // Outbound interceptor: a compromised host's network stack.
+  if (const auto it = interceptors_.find(packet.from); it != interceptors_.end()) {
+    std::optional<Bytes> mutated = it->second(packet);
+    if (!mutated) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    packet.payload = std::move(*mutated);
+  }
+  if (!link_up(packet.from, packet.to)) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  if (sim_.rng().chance(config_.drop_probability)) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  const int copies = sim_.rng().chance(config_.duplicate_probability) ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    sim_.schedule_after(sample_delay(), [this, packet] {
+      const auto handler = handlers_.find(packet.to);
+      if (handler == handlers_.end()) {
+        ++stats_.packets_dropped;
+        return;
+      }
+      if (const auto filter = inbound_filters_.find(packet.to);
+          filter != inbound_filters_.end() && !filter->second(packet)) {
+        ++stats_.packets_dropped;
+        return;
+      }
+      ++stats_.packets_delivered;
+      stats_.bytes_delivered += packet.payload.size();
+      handler->second(packet);
+    });
+  }
+}
+
+void Network::send(NodeId from, NodeId to, Bytes payload) {
+  ++stats_.unicasts_sent;
+  deliver_copy(Packet{from, to, std::nullopt, std::move(payload)});
+}
+
+void Network::multicast(NodeId from, McastGroupId group, Bytes payload) {
+  ++stats_.multicasts_sent;
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  for (NodeId member : it->second) {
+    deliver_copy(Packet{from, member, group, payload});
+  }
+}
+
+}  // namespace itdos::net

@@ -1,0 +1,116 @@
+// Simulated network: unicast datagrams and IP-multicast groups over the
+// discrete-event simulator (the paper's transport substrate, Figure 2's
+// bottom layer).
+//
+// Fault model knobs cover everything the paper's assumptions mention:
+// variable delay, loss, duplication, link cuts / partitions, and per-node
+// Byzantine interceptors that can drop, mutate, delay or fabricate traffic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "net/sim.hpp"
+
+namespace itdos::net {
+
+/// A datagram in flight. `group` is set for multicast deliveries.
+struct Packet {
+  NodeId from;
+  NodeId to;                               // receiver (per-copy for multicast)
+  std::optional<McastGroupId> group;       // multicast group, if any
+  Bytes payload;
+};
+
+/// Latency / loss / duplication configuration.
+struct NetConfig {
+  std::int64_t min_delay_ns = micros(50);
+  std::int64_t max_delay_ns = micros(200);
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+};
+
+/// Aggregate traffic counters (benchmarks report these).
+struct NetStats {
+  std::uint64_t unicasts_sent = 0;
+  std::uint64_t multicasts_sent = 0;       // one per multicast() call
+  std::uint64_t packets_delivered = 0;     // per receiving endpoint
+  std::uint64_t packets_dropped = 0;       // loss + cut links + interceptor drops
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+
+  /// An interceptor sees every packet a node emits; it returns the (possibly
+  /// mutated) payload to deliver, or nullopt to drop. Used to model
+  /// compromised hosts whose traffic an adversary controls.
+  using Interceptor = std::function<std::optional<Bytes>(const Packet&)>;
+
+  Network(Simulator& sim, NetConfig config) : sim_(sim), config_(config) {}
+
+  /// Registers a node's receive handler. Re-attaching replaces the handler.
+  void attach(NodeId node, Handler handler);
+
+  /// Removes the node; in-flight packets to it are dropped on delivery.
+  void detach(NodeId node);
+
+  bool attached(NodeId node) const { return handlers_.contains(node); }
+
+  void join_group(McastGroupId group, NodeId node);
+  void leave_group(McastGroupId group, NodeId node);
+  std::vector<NodeId> group_members(McastGroupId group) const;
+
+  /// Sends a unicast datagram (unreliable, unordered).
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  /// Sends one datagram per current group member, including the sender if
+  /// it is a member (IP multicast loopback semantics).
+  void multicast(NodeId from, McastGroupId group, Bytes payload);
+
+  /// Cuts / restores the bidirectional link between two nodes.
+  void set_link(NodeId a, NodeId b, bool up);
+
+  /// Partitions the node set into two sides; all cross-side links are cut.
+  void partition(const std::set<NodeId>& side_a, const std::set<NodeId>& side_b);
+
+  /// Restores every cut link.
+  void heal_all_links();
+
+  /// Installs (or clears, with nullptr) an outbound interceptor for a node.
+  void set_interceptor(NodeId node, Interceptor interceptor);
+
+  /// An inbound filter guards a node's enclave link (the firewall-proxy
+  /// seam, Figure 1): it sees every packet destined for the node and returns
+  /// false to drop it. Runs at delivery time, after transit.
+  using InboundFilter = std::function<bool(const Packet&)>;
+  void set_inbound_filter(NodeId node, InboundFilter filter);
+
+  const NetStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetStats{}; }
+
+  Simulator& sim() { return sim_; }
+
+ private:
+  void deliver_copy(Packet packet);
+  bool link_up(NodeId a, NodeId b) const;
+  std::int64_t sample_delay();
+
+  Simulator& sim_;
+  NetConfig config_;
+  NetStats stats_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::map<McastGroupId, std::set<NodeId>> groups_;
+  std::set<std::pair<NodeId, NodeId>> cut_links_;  // normalized (min, max)
+  std::unordered_map<NodeId, Interceptor> interceptors_;
+  std::unordered_map<NodeId, InboundFilter> inbound_filters_;
+};
+
+}  // namespace itdos::net

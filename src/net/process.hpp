@@ -1,0 +1,52 @@
+// Process: base class for everything that lives on the simulated network.
+// Owns attachment lifetime (RAII: detaches on destruction) and offers the
+// send/multicast/timer surface the protocol layers use.
+#pragma once
+
+#include "net/network.hpp"
+
+namespace itdos::net {
+
+class Process {
+ public:
+  Process(Network& net, NodeId id) : net_(net), id_(id) {
+    net_.attach(id_, [this](const Packet& p) { on_packet(p); });
+  }
+
+  virtual ~Process() { net_.detach(id_); }
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  NodeId id() const { return id_; }
+
+ protected:
+  /// Handles an inbound datagram. Payload authenticity is the subclass's
+  /// problem — the network is untrusted.
+  virtual void on_packet(const Packet& packet) = 0;
+
+  void send_to(NodeId to, Bytes payload) { net_.send(id_, to, std::move(payload)); }
+
+  void multicast_to(McastGroupId group, Bytes payload) {
+    net_.multicast(id_, group, std::move(payload));
+  }
+
+  void join(McastGroupId group) { net_.join_group(group, id_); }
+  void leave(McastGroupId group) { net_.leave_group(group, id_); }
+
+  EventHandle set_timer(std::int64_t delay_ns, std::function<void()> fn) {
+    return net_.sim().schedule_after(delay_ns, std::move(fn));
+  }
+
+  void cancel_timer(EventHandle handle) { net_.sim().cancel(handle); }
+
+  Simulator& sim() { return net_.sim(); }
+  Network& net() { return net_; }
+  SimTime now() const { return net_.sim().now(); }
+
+ private:
+  Network& net_;
+  NodeId id_;
+};
+
+}  // namespace itdos::net

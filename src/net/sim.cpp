@@ -1,0 +1,63 @@
+#include "net/sim.hpp"
+
+namespace itdos::net {
+
+EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
+  ++live_events_;
+  return EventHandle{id};
+}
+
+EventHandle Simulator::schedule_after(std::int64_t delay_ns, std::function<void()> fn) {
+  return schedule_at(now_ + delay_ns, std::move(fn));
+}
+
+void Simulator::cancel(EventHandle handle) {
+  if (pending_ids_.erase(handle.id) == 0) return;  // fired or never scheduled
+  cancelled_.insert(handle.id);
+  --live_events_;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;  // live_events_ already decremented at cancel()
+    }
+    pending_ids_.erase(ev.id);
+    now_ = ev.when;
+    --live_events_;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && step()) ++count;
+  return count;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    // Drop cancelled heads so their timestamps don't gate progress.
+    if (cancelled_.erase(queue_.top().id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    step();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+}  // namespace itdos::net

@@ -1,0 +1,84 @@
+// Deterministic discrete-event simulator.
+//
+// Every ITDOS deployment in this repository — replicas, clients, Group
+// Manager elements, firewall proxies — executes as event handlers on one
+// Simulator instance. Determinism is load-bearing: Byzantine scenarios,
+// view changes and voting races replay identically for a given seed, which
+// is what makes the paper's failure cases unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace itdos::net {
+
+/// Handle for a scheduled event; allows cancellation (timers).
+struct EventHandle {
+  std::uint64_t id = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
+  /// Events at equal times fire in scheduling order (stable FIFO).
+  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay_ns` after now.
+  EventHandle schedule_after(std::int64_t delay_ns, std::function<void()> fn);
+
+  /// Cancels a scheduled event; no-op if already fired or cancelled.
+  void cancel(EventHandle handle);
+
+  /// Runs the next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or `max_events` fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs events with timestamp <= deadline.
+  std::size_t run_until(SimTime deadline);
+
+  /// Runs events for `delay_ns` of simulated time from now.
+  std::size_t run_for(std::int64_t delay_ns) { return run_until(now_ + delay_ns); }
+
+  bool idle() const { return live_events_ == 0; }
+  std::size_t pending_events() const { return live_events_; }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_;
+  Rng rng_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;  // queued and not cancelled
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace itdos::net

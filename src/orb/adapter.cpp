@@ -1,0 +1,87 @@
+#include "orb/adapter.hpp"
+
+namespace itdos::orb {
+
+ObjectRef ObjectAdapter::activate(std::shared_ptr<Servant> servant) {
+  while (servants_.contains(next_key_)) next_key_ = ObjectId(next_key_.value + 1);
+  auto ref = activate_with_key(next_key_, std::move(servant));
+  return std::move(ref).take();  // fresh key cannot collide
+}
+
+Result<ObjectRef> ObjectAdapter::activate_with_key(ObjectId key,
+                                                   std::shared_ptr<Servant> servant) {
+  if (servants_.contains(key)) {
+    return error(Errc::kAlreadyExists, "object key already active");
+  }
+  ObjectRef ref;
+  ref.domain = domain_;
+  ref.key = key;
+  ref.interface_name = servant->interface_name();
+  servants_[key] = std::move(servant);
+  return ref;
+}
+
+Result<std::shared_ptr<Servant>> ObjectAdapter::find(ObjectId key) const {
+  const auto it = servants_.find(key);
+  if (it == servants_.end()) {
+    return error(Errc::kNotFound, "no active object with key " + key.to_string());
+  }
+  return it->second;
+}
+
+namespace {
+
+/// Adapts the one-shot completion callback to the ReplySink the servant sees.
+class CallbackReplySink : public ReplySink {
+ public:
+  CallbackReplySink(RequestId request_id, std::function<void(cdr::ReplyMessage)> done)
+      : request_id_(request_id), done_(std::move(done)) {}
+
+  void reply(Result<cdr::Value> result) override {
+    if (!done_) return;  // defensive: ignore double replies
+    cdr::ReplyMessage msg;
+    msg.request_id = request_id_;
+    if (result.is_ok()) {
+      msg.status = cdr::ReplyStatus::kNoException;
+      msg.result = std::move(result).take();
+    } else {
+      msg.status = result.status().code() == Errc::kPermissionDenied ||
+                           result.status().code() == Errc::kInvalidArgument
+                       ? cdr::ReplyStatus::kUserException
+                       : cdr::ReplyStatus::kSystemException;
+      msg.exception_detail = result.status().to_string();
+      msg.result = cdr::Value::void_();
+    }
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done(std::move(msg));
+  }
+
+ private:
+  RequestId request_id_;
+  std::function<void(cdr::ReplyMessage)> done_;
+};
+
+}  // namespace
+
+void ObjectAdapter::dispatch(const cdr::RequestMessage& request, ServerContext& context,
+                             std::function<void(cdr::ReplyMessage)> done) {
+  auto sink = std::make_shared<CallbackReplySink>(request.request_id, std::move(done));
+  const Result<std::shared_ptr<Servant>> servant = find(request.object_key);
+  if (!servant.is_ok()) {
+    sink->reply(error(Errc::kNotFound, "OBJECT_NOT_EXIST: key " +
+                                           request.object_key.to_string()));
+    return;
+  }
+  if (servant.value()->interface_name() != request.interface_name) {
+    sink->reply(error(Errc::kFailedPrecondition,
+                      "INTF_REPOS mismatch: expected " +
+                          servant.value()->interface_name() + " got " +
+                          request.interface_name));
+    return;
+  }
+  servant.value()->dispatch(request.operation, request.arguments, context,
+                            std::move(sink));
+}
+
+}  // namespace itdos::orb

@@ -1,0 +1,52 @@
+// Object adapter: activation table mapping object keys to servants and the
+// upcall path from a parsed GIOP request to a servant dispatch (the POA role
+// in TAO).
+//
+// Replication granularity is the whole server process (§3.4): the adapter is
+// the unit that gets replicated, complete with every object it hosts.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "cdr/giop.hpp"
+#include "orb/servant.hpp"
+
+namespace itdos::orb {
+
+class ObjectAdapter {
+ public:
+  explicit ObjectAdapter(DomainId domain) : domain_(domain) {}
+
+  DomainId domain() const { return domain_; }
+
+  /// Activates a servant under a fresh object key and returns its reference.
+  ObjectRef activate(std::shared_ptr<Servant> servant);
+
+  /// Activates under an explicit key (deterministic across replicas —
+  /// heterogeneous implementations of the same service must agree on keys).
+  Result<ObjectRef> activate_with_key(ObjectId key, std::shared_ptr<Servant> servant);
+
+  Result<std::shared_ptr<Servant>> find(ObjectId key) const;
+
+  std::size_t object_count() const { return servants_.size(); }
+
+  /// All active servants (used by element replacement to bundle state).
+  const std::map<ObjectId, std::shared_ptr<Servant>>& servants() const {
+    return servants_;
+  }
+
+  /// Performs the upcall for a parsed request. Produces the ReplyMessage via
+  /// `done` (possibly after nested invocations). Unknown objects, interface
+  /// mismatches and servant exceptions become exception replies, never
+  /// transport errors — a Byzantine client must not crash the server.
+  void dispatch(const cdr::RequestMessage& request, ServerContext& context,
+                std::function<void(cdr::ReplyMessage)> done);
+
+ private:
+  DomainId domain_;
+  ObjectId next_key_{1};
+  std::map<ObjectId, std::shared_ptr<Servant>> servants_;
+};
+
+}  // namespace itdos::orb

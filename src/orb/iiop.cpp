@@ -1,0 +1,115 @@
+#include "orb/iiop.hpp"
+
+namespace itdos::orb {
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Nested invocations from IIOP upcalls flow back through the server's Orb.
+class IiopServer::Context : public ServerContext {
+ public:
+  explicit Context(Orb& orb) : orb_(orb) {}
+
+  ConnectionId connection() const override { return current_connection_; }
+  void set_connection(ConnectionId id) { current_connection_ = id; }
+
+  void invoke_nested(const ObjectRef& target, const std::string& operation,
+                     cdr::Value arguments, InvokeCompletion done) override {
+    orb_.invoke(target, operation, std::move(arguments), std::move(done));
+  }
+
+ private:
+  Orb& orb_;
+  ConnectionId current_connection_;
+};
+
+IiopServer::IiopServer(net::Network& net, NodeId id, Orb& orb)
+    : Process(net, id), orb_(orb), context_(std::make_unique<Context>(orb)) {}
+
+IiopServer::~IiopServer() = default;
+
+void IiopServer::on_packet(const net::Packet& packet) {
+  Result<cdr::GiopMessage> parsed = cdr::parse_giop(packet.payload);
+  if (!parsed.is_ok()) return;  // hostile bytes; drop
+  if (!std::holds_alternative<cdr::RequestMessage>(parsed.value())) return;
+  const auto request = std::get<cdr::RequestMessage>(std::move(parsed).take());
+  ++requests_served_;
+  // IIOP has one implicit connection per peer; identify it by the peer node.
+  context_->set_connection(ConnectionId(packet.from.value));
+  const NodeId reply_to = packet.from;
+  orb_.adapter().dispatch(request, *context_, [this, reply_to](cdr::ReplyMessage reply) {
+    send_to(reply_to, cdr::encode_giop(cdr::GiopMessage(std::move(reply))));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Client protocol
+// ---------------------------------------------------------------------------
+
+class IiopProtocol::Connection : public ClientConnection {
+ public:
+  Connection(IiopProtocol& protocol, ConnectionId id, NodeId server)
+      : protocol_(protocol), id_(id), server_(server) {}
+
+  ConnectionId id() const override { return id_; }
+
+  void send_request(cdr::RequestMessage request, Completion done) override {
+    protocol_.send_request_to(server_, std::move(request), std::move(done));
+  }
+
+ private:
+  IiopProtocol& protocol_;
+  ConnectionId id_;
+  NodeId server_;
+};
+
+IiopProtocol::IiopProtocol(net::Network& net, NodeId client_node,
+                           IiopDirectory directory, std::int64_t request_timeout_ns)
+    : Process(net, client_node),
+      directory_(std::move(directory)),
+      request_timeout_ns_(request_timeout_ns) {}
+
+void IiopProtocol::connect(const ObjectRef& ref, ConnectCompletion done) {
+  const auto it = directory_.find(ref.domain);
+  if (it == directory_.end()) {
+    done(error(Errc::kNotFound, "no IIOP endpoint for domain " + ref.domain.to_string()));
+    return;
+  }
+  done(std::shared_ptr<ClientConnection>(
+      std::make_shared<Connection>(*this, ConnectionId(next_connection_id_++),
+                                   it->second)));
+}
+
+void IiopProtocol::send_request_to(NodeId server, cdr::RequestMessage request,
+                                   ClientConnection::Completion done) {
+  const std::uint64_t request_id = request.request_id.value;
+  const auto key = std::make_pair(server, request_id);
+  PendingReply pending;
+  pending.done = std::move(done);
+  pending.timeout = set_timer(request_timeout_ns_, [this, key] {
+    const auto it = pending_.find(key);
+    if (it == pending_.end()) return;
+    auto completion = std::move(it->second.done);
+    pending_.erase(it);
+    completion(error(Errc::kUnavailable, "IIOP request timed out"));
+  });
+  pending_.emplace(key, std::move(pending));
+  send_to(server, cdr::encode_giop(cdr::GiopMessage(std::move(request))));
+}
+
+void IiopProtocol::on_packet(const net::Packet& packet) {
+  Result<cdr::GiopMessage> parsed = cdr::parse_giop(packet.payload);
+  if (!parsed.is_ok()) return;
+  if (!std::holds_alternative<cdr::ReplyMessage>(parsed.value())) return;
+  auto reply = std::get<cdr::ReplyMessage>(std::move(parsed).take());
+  const auto key = std::make_pair(packet.from, reply.request_id.value);
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // late or unsolicited
+  cancel_timer(it->second.timeout);
+  auto completion = std::move(it->second.done);
+  pending_.erase(it);
+  completion(std::move(reply));
+}
+
+}  // namespace itdos::orb

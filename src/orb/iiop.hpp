@@ -1,0 +1,68 @@
+// IIOP-style transport: plain GIOP over simulated unicast, no replication,
+// no voting, no encryption. This is the "traditional CORBA" baseline the
+// intrusion-tolerance overhead benchmarks (E7) compare against, and a second
+// PluggableProtocol implementation proving the seam is real.
+#pragma once
+
+#include <map>
+
+#include "net/process.hpp"
+#include "orb/orb.hpp"
+
+namespace itdos::orb {
+
+/// Name service: which node serves a domain over IIOP.
+using IiopDirectory = std::map<DomainId, NodeId>;
+
+/// Server endpoint: receives GIOP requests, upcalls into the Orb's adapter,
+/// returns GIOP replies. Nested invocations go back out through the same
+/// Orb's client machinery.
+class IiopServer : public net::Process {
+ public:
+  IiopServer(net::Network& net, NodeId id, Orb& orb);
+  ~IiopServer() override;
+
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ protected:
+  void on_packet(const net::Packet& packet) override;
+
+ private:
+  class Context;
+  Orb& orb_;
+  std::unique_ptr<Context> context_;
+  std::uint64_t requests_served_ = 0;
+};
+
+/// Client-side protocol: one shared endpoint demultiplexing replies to
+/// per-domain connections.
+class IiopProtocol : public PluggableProtocol, public net::Process {
+ public:
+  IiopProtocol(net::Network& net, NodeId client_node, IiopDirectory directory,
+               std::int64_t request_timeout_ns = seconds(5));
+
+  std::string_view name() const override { return "iiop"; }
+  void connect(const ObjectRef& ref, ConnectCompletion done) override;
+
+ protected:
+  void on_packet(const net::Packet& packet) override;
+
+ private:
+  class Connection;
+  friend class Connection;
+
+  struct PendingReply {
+    ClientConnection::Completion done;
+    net::EventHandle timeout;
+  };
+
+  void send_request_to(NodeId server, cdr::RequestMessage request,
+                       ClientConnection::Completion done);
+
+  IiopDirectory directory_;
+  std::int64_t request_timeout_ns_;
+  std::uint64_t next_connection_id_ = 1;
+  std::map<std::pair<NodeId, std::uint64_t>, PendingReply> pending_;
+};
+
+}  // namespace itdos::orb

@@ -1,0 +1,47 @@
+#include "orb/object.hpp"
+
+#include <charconv>
+
+namespace itdos::orb {
+
+namespace {
+constexpr std::string_view kScheme = "corbaloc:itdos:";
+
+Result<std::uint64_t> parse_number(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return error(Errc::kMalformedMessage, "bad number in object reference");
+  }
+  return value;
+}
+}  // namespace
+
+Result<ObjectRef> ObjectRef::from_string(std::string_view text) {
+  if (text.substr(0, kScheme.size()) != kScheme) {
+    return error(Errc::kMalformedMessage, "object reference must start with corbaloc:itdos:");
+  }
+  text.remove_prefix(kScheme.size());
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return error(Errc::kMalformedMessage, "object reference missing '/'");
+  }
+  const std::size_t hash = text.find('#', slash + 1);
+  if (hash == std::string_view::npos) {
+    return error(Errc::kMalformedMessage, "object reference missing '#'");
+  }
+  ITDOS_ASSIGN_OR_RETURN(std::uint64_t domain, parse_number(text.substr(0, slash)));
+  ITDOS_ASSIGN_OR_RETURN(std::uint64_t key,
+                         parse_number(text.substr(slash + 1, hash - slash - 1)));
+  const std::string_view interface_name = text.substr(hash + 1);
+  if (interface_name.empty()) {
+    return error(Errc::kMalformedMessage, "object reference has empty interface name");
+  }
+  ObjectRef ref;
+  ref.domain = DomainId(domain);
+  ref.key = ObjectId(key);
+  ref.interface_name = std::string(interface_name);
+  return ref;
+}
+
+}  // namespace itdos::orb

@@ -1,0 +1,32 @@
+// Object references. In ITDOS "the object reference contains the address of
+// the replication domain in which that service is located" (§3.3) — a ref
+// names a domain, an object key within it, and the interface (carried in
+// requests for the Group Manager's ORB-less voting, §3.6).
+#pragma once
+
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+
+namespace itdos::orb {
+
+struct ObjectRef {
+  DomainId domain;
+  ObjectId key;
+  std::string interface_name;
+
+  bool operator==(const ObjectRef&) const = default;
+
+  /// Stringified reference ("corbaloc:itdos:<domain>/<key>#<interface>") —
+  /// the IOR-equivalent a client can be handed out of band.
+  std::string to_string() const {
+    return "corbaloc:itdos:" + domain.to_string() + "/" + key.to_string() + "#" +
+           interface_name;
+  }
+
+  /// Parses the stringified form; kMalformedMessage on anything else.
+  static Result<ObjectRef> from_string(std::string_view text);
+};
+
+}  // namespace itdos::orb

@@ -1,0 +1,109 @@
+#include "orb/orb.hpp"
+
+#include "common/log.hpp"
+
+namespace itdos::orb {
+
+namespace {
+constexpr std::string_view kLog = "orb";
+}
+
+Orb::Orb(DomainId local_domain, std::unique_ptr<PluggableProtocol> protocol)
+    : local_domain_(local_domain),
+      adapter_(local_domain),
+      protocol_(std::move(protocol)) {}
+
+void Orb::invoke(const ObjectRef& ref, const std::string& operation,
+                 cdr::Value arguments, InvokeCompletion done) {
+  DomainChannel& channel = channels_[ref.domain];
+  channel.queue.push_back(
+      PendingInvoke{ref, operation, std::move(arguments), std::move(done)});
+  if (channel.connection == nullptr && !channel.connecting) {
+    start_connect(ref.domain);
+  } else {
+    pump(ref.domain);
+  }
+}
+
+void Orb::invalidate_connection(DomainId domain) {
+  const auto it = channels_.find(domain);
+  if (it == channels_.end()) return;
+  it->second.connection.reset();
+  it->second.busy = false;
+  // Queued invocations stay queued; the next invoke (or pump) reconnects.
+  if (!it->second.queue.empty() && !it->second.connecting) start_connect(domain);
+}
+
+void Orb::start_connect(DomainId domain) {
+  DomainChannel& channel = channels_[domain];
+  channel.connecting = true;
+  // Any ref to the domain identifies it for connection purposes.
+  const ObjectRef& ref = channel.queue.front().ref;
+  protocol_->connect(ref, [this, domain](Result<std::shared_ptr<ClientConnection>> r) {
+    DomainChannel& ch = channels_[domain];
+    ch.connecting = false;
+    if (!r.is_ok()) {
+      ++stats_.connect_failures;
+      ITDOS_WARN(kLog) << "connect to domain " << domain.to_string()
+                       << " failed: " << r.status().to_string();
+      // Fail everything queued; callers may retry.
+      auto queue = std::move(ch.queue);
+      ch.queue.clear();
+      for (PendingInvoke& p : queue) p.done(r.status());
+      return;
+    }
+    ++stats_.connections_established;
+    ch.connection = std::move(r).take();
+    pump(domain);
+  });
+}
+
+void Orb::pump(DomainId domain) {
+  DomainChannel& channel = channels_[domain];
+  if (channel.connection == nullptr || channel.busy || channel.queue.empty()) return;
+  channel.busy = true;
+  PendingInvoke invoke = std::move(channel.queue.front());
+  channel.queue.pop_front();
+
+  cdr::RequestMessage request;
+  request.request_id = RequestId(channel.next_request_id++);
+  request.response_expected = true;
+  request.object_key = invoke.ref.key;
+  request.operation = invoke.operation;
+  request.interface_name = invoke.ref.interface_name;
+  request.arguments = std::move(invoke.arguments);
+  ++stats_.requests_sent;
+
+  InvokeCompletion done = std::move(invoke.done);
+  channel.connection->send_request(
+      std::move(request),
+      [this, domain, done = std::move(done)](Result<cdr::ReplyMessage> r) {
+        DomainChannel& ch = channels_[domain];
+        ch.busy = false;
+        if (!r.is_ok()) {
+          ++stats_.transport_errors;
+          done(r.status());
+        } else {
+          cdr::ReplyMessage reply = std::move(r).take();
+          switch (reply.status) {
+            case cdr::ReplyStatus::kNoException:
+              ++stats_.replies_ok;
+              done(std::move(reply.result));
+              break;
+            case cdr::ReplyStatus::kUserException:
+              ++stats_.replies_exception;
+              done(error(Errc::kPermissionDenied,
+                         "user exception: " + reply.exception_detail));
+              break;
+            case cdr::ReplyStatus::kSystemException:
+              ++stats_.replies_exception;
+              done(error(Errc::kInternal,
+                         "system exception: " + reply.exception_detail));
+              break;
+          }
+        }
+        pump(domain);
+      });
+}
+
+}  // namespace itdos::orb

@@ -1,0 +1,76 @@
+// Servants: application objects hosted by a server. The dispatch interface
+// is deliberately dynamic (operation name + unmarshalled Value arguments):
+// it is what a TAO skeleton compiles down to, and it keeps the voter fully
+// type-agnostic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cdr/value.hpp"
+#include "orb/object.hpp"
+
+namespace itdos::orb {
+
+/// Context passed to a servant during an upcall. Carries the facility to
+/// make nested invocations ("servers can, in turn, be clients", §2). The
+/// continuation style reflects the paper's two-thread model: a nested call's
+/// reply arrives over the ordered transport while the original upcall is
+/// logically suspended.
+class ServerContext {
+ public:
+  using InvokeCompletion = std::function<void(Result<cdr::Value>)>;
+
+  virtual ~ServerContext() = default;
+
+  /// Identity of the (possibly replicated) caller's connection.
+  virtual ConnectionId connection() const = 0;
+
+  /// Issues a nested invocation on another object. The completion runs when
+  /// the (voted) reply arrives; the original upcall's reply must not be
+  /// produced until then (see Servant::dispatch).
+  virtual void invoke_nested(const ObjectRef& target, const std::string& operation,
+                             cdr::Value arguments, InvokeCompletion done) = 0;
+};
+
+/// The result of an upcall: either an immediate reply or a promise that the
+/// servant will complete it later (after nested invocations). Passed as a
+/// shared_ptr so a servant awaiting a nested reply can keep it alive in the
+/// continuation.
+class ReplySink {
+ public:
+  virtual ~ReplySink() = default;
+  virtual void reply(Result<cdr::Value> result) = 0;
+};
+
+using ReplySinkPtr = std::shared_ptr<ReplySink>;
+
+class Servant {
+ public:
+  virtual ~Servant() = default;
+
+  /// The full interface repository id, e.g. "IDL:bank/Account:1.0".
+  virtual std::string interface_name() const = 0;
+
+  /// Handles one operation. Implementations must be deterministic (§2) and
+  /// must call `sink->reply(...)` exactly once — synchronously, or after any
+  /// nested invocations complete.
+  virtual void dispatch(const std::string& operation, const cdr::Value& arguments,
+                        ServerContext& context, ReplySinkPtr sink) = 0;
+
+  /// Optional persistence hooks used by element replacement (the paper's §4
+  /// future-work item): a replacement element installs peer state bundles
+  /// via these. Servants that do not override them make their domain
+  /// non-replaceable (kFailedPrecondition), which is safe but less
+  /// available.
+  virtual Result<Bytes> save_state() const {
+    return error(Errc::kFailedPrecondition, "servant does not support persistence");
+  }
+  virtual Status load_state(ByteView state) {
+    (void)state;
+    return error(Errc::kFailedPrecondition, "servant does not support persistence");
+  }
+};
+
+}  // namespace itdos::orb

@@ -1,0 +1,52 @@
+// The pluggable-protocol seam (TAO Pluggable Protocols [27]). This is the
+// exact integration point the paper uses: "The TAO Pluggable Protocol
+// provides an interface to the ORB for ITDOS to layer traditional socket
+// semantics on the Castro-Liskov BFT protocol" (§3.3).
+//
+// Two implementations exist in this repository:
+//   * orb::IiopProtocol  — plain GIOP over simulated unicast (the
+//     unreplicated baseline, bench E7);
+//   * itdos::SmiopProtocol — the paper's Secure Multicast Inter-ORB
+//     Protocol: virtual connections over BFT multicast with voting and
+//     per-connection communication keys.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "cdr/giop.hpp"
+#include "orb/object.hpp"
+
+namespace itdos::orb {
+
+/// One virtual connection from this client to a target (possibly
+/// replicated) server. Connections carry at most one outstanding request at
+/// a time (§3.6); the Orb serializes per connection.
+class ClientConnection {
+ public:
+  using Completion = std::function<void(Result<cdr::ReplyMessage>)>;
+
+  virtual ~ClientConnection() = default;
+
+  virtual ConnectionId id() const = 0;
+
+  /// Sends one request; `done` fires with the (voted/validated) reply.
+  virtual void send_request(cdr::RequestMessage request, Completion done) = 0;
+};
+
+class PluggableProtocol {
+ public:
+  using ConnectCompletion =
+      std::function<void(Result<std::shared_ptr<ClientConnection>>)>;
+
+  virtual ~PluggableProtocol() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Establishes (or fails to establish) a connection to the domain that
+  /// hosts `ref`. Asynchronous: ITDOS connection establishment runs the
+  /// Figure-3 exchange with the Group Manager.
+  virtual void connect(const ObjectRef& ref, ConnectCompletion done) = 0;
+};
+
+}  // namespace itdos::orb

@@ -1,0 +1,163 @@
+#include "cdr/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace itdos::cdr {
+namespace {
+
+Value sample_struct() {
+  return Value::structure({
+      Field("id", Value::int32(42)),
+      Field("name", Value::string("replica")),
+      Field("temps", Value::sequence({Value::float64(20.5), Value::float64(21.0)})),
+      Field("active", Value::boolean(true)),
+      Field("nested", Value::structure({Field("inner", Value::int64(-7))})),
+  });
+}
+
+TEST(ValueTest, KindsMatchConstructors) {
+  EXPECT_EQ(Value::void_().kind(), TypeKind::kVoid);
+  EXPECT_EQ(Value::boolean(true).kind(), TypeKind::kBoolean);
+  EXPECT_EQ(Value::octet(1).kind(), TypeKind::kOctet);
+  EXPECT_EQ(Value::int32(1).kind(), TypeKind::kInt32);
+  EXPECT_EQ(Value::int64(1).kind(), TypeKind::kInt64);
+  EXPECT_EQ(Value::float32(1.f).kind(), TypeKind::kFloat);
+  EXPECT_EQ(Value::float64(1.0).kind(), TypeKind::kDouble);
+  EXPECT_EQ(Value::string("s").kind(), TypeKind::kString);
+  EXPECT_EQ(Value::sequence({}).kind(), TypeKind::kSequence);
+  EXPECT_EQ(Value::structure({}).kind(), TypeKind::kStruct);
+}
+
+TEST(ValueTest, AllKindsHaveNames) {
+  for (int k = 0; k <= static_cast<int>(TypeKind::kStruct); ++k) {
+    EXPECT_NE(type_kind_name(static_cast<TypeKind>(k)), "<?>");
+  }
+}
+
+TEST(ValueTest, AccessorsReturnStoredValues) {
+  EXPECT_EQ(Value::int32(-5).as_int32(), -5);
+  EXPECT_EQ(Value::string("x").as_string(), "x");
+  EXPECT_DOUBLE_EQ(Value::float64(2.5).as_float64(), 2.5);
+  const Value seq = Value::sequence({Value::int32(1), Value::int32(2)});
+  EXPECT_EQ(seq.elements().size(), 2u);
+}
+
+TEST(ValueTest, FieldLookup) {
+  const Value s = sample_struct();
+  const Result<Value> id = s.field("id");
+  ASSERT_TRUE(id.is_ok());
+  EXPECT_EQ(id.value().as_int32(), 42);
+  EXPECT_EQ(s.field("missing").status().code(), Errc::kNotFound);
+  EXPECT_EQ(Value::int32(1).field("x").status().code(), Errc::kInvalidArgument);
+}
+
+TEST(ValueTest, ExactEquality) {
+  EXPECT_EQ(sample_struct(), sample_struct());
+  EXPECT_NE(Value::int32(1), Value::int32(2));
+  EXPECT_NE(Value::int32(1), Value::int64(1));  // type matters
+  EXPECT_NE(Value::float32(1.f), Value::float64(1.0));
+}
+
+class ValueRoundTripTest : public ::testing::TestWithParam<ByteOrder> {};
+
+TEST_P(ValueRoundTripTest, AllKindsRoundTrip) {
+  const std::vector<Value> cases = {
+      Value::void_(),
+      Value::boolean(false),
+      Value::octet(0xff),
+      Value::int32(-2147483647),
+      Value::int64(9223372036854775807LL),
+      Value::float32(1.5e-30f),
+      Value::float64(-1.25e200),
+      Value::string("quick brown fox"),
+      Value::string(""),
+      Value::sequence({}),
+      Value::sequence({Value::int32(1), Value::string("mixed"), Value::void_()}),
+      sample_struct(),
+  };
+  for (const Value& v : cases) {
+    const Bytes wire = v.encode(GetParam());
+    const Result<Value> back = Value::decode(wire, GetParam());
+    ASSERT_TRUE(back.is_ok()) << v.to_string() << ": " << back.status().to_string();
+    EXPECT_EQ(back.value(), v) << v.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, ValueRoundTripTest,
+                         ::testing::Values(ByteOrder::kBigEndian,
+                                           ByteOrder::kLittleEndian),
+                         [](const auto& info) {
+                           return info.param == ByteOrder::kBigEndian ? "BigEndian"
+                                                                      : "LittleEndian";
+                         });
+
+TEST(ValueTest, HeterogeneousWireBytesDifferButValuesEqual) {
+  // The core §3.6 scenario: identical logical replies from replicas of
+  // different endianness — raw bytes differ, unmarshalled Values are equal.
+  const Value reply = sample_struct();
+  const Bytes big = reply.encode(ByteOrder::kBigEndian);
+  const Bytes little = reply.encode(ByteOrder::kLittleEndian);
+  EXPECT_NE(big, little);  // byte-by-byte voting would call these different
+  const Value from_big = Value::decode(big, ByteOrder::kBigEndian).value();
+  const Value from_little = Value::decode(little, ByteOrder::kLittleEndian).value();
+  EXPECT_EQ(from_big, from_little);  // middleware voting sees equality
+}
+
+TEST(ValueTest, DecodeRejectsUnknownTag) {
+  const Bytes bad{0x7f};
+  EXPECT_EQ(Value::decode(bad, ByteOrder::kLittleEndian).status().code(),
+            Errc::kMalformedMessage);
+}
+
+TEST(ValueTest, DecodeRejectsTrailingBytes) {
+  Bytes wire = Value::int32(1).encode(ByteOrder::kLittleEndian);
+  wire.push_back(0x00);
+  EXPECT_EQ(Value::decode(wire, ByteOrder::kLittleEndian).status().code(),
+            Errc::kMalformedMessage);
+}
+
+TEST(ValueTest, DecodeRejectsTruncation) {
+  const Bytes wire = sample_struct().encode(ByteOrder::kLittleEndian);
+  for (std::size_t len = 0; len < wire.size(); len += 5) {
+    const ByteView truncated(wire.data(), len);
+    EXPECT_FALSE(Value::decode(truncated, ByteOrder::kLittleEndian).is_ok())
+        << "len=" << len;
+  }
+}
+
+TEST(ValueTest, DecodeRejectsHostileNesting) {
+  // 64 nested single-element sequences exceed the default depth limit of 32.
+  Value v = Value::int32(1);
+  for (int i = 0; i < 64; ++i) v = Value::sequence({std::move(v)});
+  const Bytes wire = v.encode(ByteOrder::kLittleEndian);
+  EXPECT_EQ(Value::decode(wire, ByteOrder::kLittleEndian).status().code(),
+            Errc::kMalformedMessage);
+}
+
+TEST(ValueTest, DecodeRejectsAbsurdSequenceCount) {
+  // A hostile count larger than the remaining buffer must fail fast, not
+  // allocate gigabytes.
+  Encoder enc(ByteOrder::kLittleEndian);
+  enc.write_octet(static_cast<std::uint8_t>(TypeKind::kSequence));
+  enc.write_uint32(0x7fffffff);
+  EXPECT_EQ(Value::decode(enc.buffer(), ByteOrder::kLittleEndian).status().code(),
+            Errc::kMalformedMessage);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::int32(5).to_string(), "5");
+  EXPECT_EQ(Value::string("hi").to_string(), "\"hi\"");
+  EXPECT_EQ(Value::boolean(true).to_string(), "true");
+  EXPECT_EQ(Value::sequence({Value::int32(1), Value::int32(2)}).to_string(), "[1, 2]");
+  EXPECT_EQ(Value::structure({Field("a", Value::int32(1))}).to_string(), "{a: 1}");
+  EXPECT_EQ(Value::void_().to_string(), "void");
+}
+
+TEST(ValueTest, NodeCount) {
+  EXPECT_EQ(Value::int32(1).node_count(), 1u);
+  EXPECT_EQ(Value::sequence({Value::int32(1), Value::int32(2)}).node_count(), 3u);
+  EXPECT_EQ(sample_struct().node_count(), 9u);
+}
+
+}  // namespace
+}  // namespace itdos::cdr

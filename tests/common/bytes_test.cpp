@@ -1,0 +1,75 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace itdos {
+namespace {
+
+TEST(BytesTest, ToBytesRoundTrip) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(BytesTest, ToBytesEmpty) {
+  EXPECT_TRUE(to_bytes("").empty());
+  EXPECT_EQ(to_string(Bytes{}), "");
+}
+
+TEST(BytesTest, HexEncode) {
+  EXPECT_EQ(hex_encode(to_bytes("")), "");
+  const Bytes b{0x00, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(hex_encode(b), "00deadbeefff");
+}
+
+TEST(BytesTest, HexDecodeRoundTrip) {
+  const Bytes b{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef};
+  EXPECT_EQ(hex_decode(hex_encode(b)), b);
+}
+
+TEST(BytesTest, HexDecodeUpperCase) {
+  EXPECT_EQ(hex_decode("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_TRUE(hex_decode("abc").empty());
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  EXPECT_TRUE(hex_decode("zz").empty());
+  EXPECT_TRUE(hex_decode("0g").empty());
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  const Bytes a = to_bytes("secret-value");
+  const Bytes b = to_bytes("secret-value");
+  const Bytes c = to_bytes("secret-valuX");
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+}
+
+TEST(BytesTest, ConstantTimeEqualLengthMismatch) {
+  EXPECT_FALSE(constant_time_equal(to_bytes("ab"), to_bytes("abc")));
+}
+
+TEST(BytesTest, ConstantTimeEqualEmpty) {
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(BytesTest, Append) {
+  Bytes dst = to_bytes("foo");
+  append(dst, to_bytes("bar"));
+  EXPECT_EQ(to_string(dst), "foobar");
+}
+
+TEST(BytesTest, XorInto) {
+  Bytes dst{0xff, 0x0f, 0x00};
+  const Bytes src{0x0f, 0x0f, 0xaa};
+  xor_into(dst, src);
+  EXPECT_EQ(dst, (Bytes{0xf0, 0x00, 0xaa}));
+  xor_into(dst, src);  // XOR is an involution
+  EXPECT_EQ(dst, (Bytes{0xff, 0x0f, 0x00}));
+}
+
+}  // namespace
+}  // namespace itdos

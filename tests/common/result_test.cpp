@@ -1,0 +1,89 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace itdos {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Errc::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndDetail) {
+  const Status s = error(Errc::kAuthFailure, "bad MAC");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Errc::kAuthFailure);
+  EXPECT_EQ(s.detail(), "bad MAC");
+  EXPECT_EQ(s.to_string(), "kAuthFailure: bad MAC");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(Errc::kInternal); ++c) {
+    EXPECT_NE(errc_name(static_cast<Errc>(c)), "<?>");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = error(Errc::kNotFound, "no such connection");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string v = std::move(r).take();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ValueOrPrefersValue) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+namespace helpers {
+Status fails() { return error(Errc::kUnavailable, "down"); }
+Status succeeds() { return Status::ok(); }
+
+Status passthrough(bool fail) {
+  ITDOS_RETURN_IF_ERROR(fail ? fails() : succeeds());
+  return Status::ok();
+}
+
+Result<int> make_value(bool fail) {
+  if (fail) return error(Errc::kInternal, "boom");
+  return 10;
+}
+
+Result<int> doubled(bool fail) {
+  ITDOS_ASSIGN_OR_RETURN(int v, make_value(fail));
+  return v * 2;
+}
+}  // namespace helpers
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(helpers::passthrough(false).is_ok());
+  EXPECT_EQ(helpers::passthrough(true).code(), Errc::kUnavailable);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  const Result<int> ok = helpers::doubled(false);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 20);
+  EXPECT_EQ(helpers::doubled(true).status().code(), Errc::kInternal);
+}
+
+}  // namespace
+}  // namespace itdos

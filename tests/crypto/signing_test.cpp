@@ -1,0 +1,89 @@
+#include "crypto/signing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace itdos::crypto {
+namespace {
+
+class SigningTest : public ::testing::Test {
+ protected:
+  Rng rng_{77};
+  Keystore keystore_;
+};
+
+TEST_F(SigningTest, SignVerifyRoundTrip) {
+  const SigningKey key = keystore_.issue(NodeId(1), rng_);
+  const Bytes msg = to_bytes("change_request: expel node 3");
+  const Signature sig = key.sign(msg);
+  EXPECT_TRUE(keystore_.verify(NodeId(1), msg, sig).is_ok());
+}
+
+TEST_F(SigningTest, RejectsWrongSignerIdentity) {
+  const SigningKey key1 = keystore_.issue(NodeId(1), rng_);
+  (void)keystore_.issue(NodeId(2), rng_);
+  const Bytes msg = to_bytes("msg");
+  const Signature sig = key1.sign(msg);
+  EXPECT_EQ(keystore_.verify(NodeId(2), msg, sig).code(), Errc::kAuthFailure);
+}
+
+TEST_F(SigningTest, RejectsUnknownSigner) {
+  const Bytes msg = to_bytes("msg");
+  Signature sig{};
+  EXPECT_EQ(keystore_.verify(NodeId(99), msg, sig).code(), Errc::kNotFound);
+}
+
+TEST_F(SigningTest, RejectsTamperedMessage) {
+  const SigningKey key = keystore_.issue(NodeId(1), rng_);
+  Bytes msg = to_bytes("original");
+  const Signature sig = key.sign(msg);
+  msg[0] ^= 1;
+  EXPECT_EQ(keystore_.verify(NodeId(1), msg, sig).code(), Errc::kAuthFailure);
+}
+
+TEST_F(SigningTest, RejectsTamperedSignature) {
+  const SigningKey key = keystore_.issue(NodeId(1), rng_);
+  const Bytes msg = to_bytes("original");
+  Signature sig = key.sign(msg);
+  sig[5] ^= 0x10;
+  EXPECT_EQ(keystore_.verify(NodeId(1), msg, sig).code(), Errc::kAuthFailure);
+}
+
+TEST_F(SigningTest, ReissueRevokesOldKey) {
+  const SigningKey old_key = keystore_.issue(NodeId(1), rng_);
+  const Bytes msg = to_bytes("msg");
+  const Signature old_sig = old_key.sign(msg);
+  (void)keystore_.issue(NodeId(1), rng_);  // rotate
+  EXPECT_EQ(keystore_.verify(NodeId(1), msg, old_sig).code(), Errc::kAuthFailure);
+}
+
+TEST_F(SigningTest, Knows) {
+  EXPECT_FALSE(keystore_.knows(NodeId(4)));
+  (void)keystore_.issue(NodeId(4), rng_);
+  EXPECT_TRUE(keystore_.knows(NodeId(4)));
+}
+
+TEST_F(SigningTest, SignedMessageRoundTrip) {
+  const SigningKey key = keystore_.issue(NodeId(7), rng_);
+  const SignedMessage msg = sign_message(key, to_bytes("faulty reply evidence"));
+  EXPECT_EQ(msg.signer, NodeId(7));
+  EXPECT_TRUE(verify_message(keystore_, msg).is_ok());
+}
+
+TEST_F(SigningTest, SignedMessageDetectsForgery) {
+  const SigningKey key = keystore_.issue(NodeId(7), rng_);
+  SignedMessage msg = sign_message(key, to_bytes("evidence"));
+  // An attacker claims the message came from a different (honest) node.
+  (void)keystore_.issue(NodeId(8), rng_);
+  msg.signer = NodeId(8);
+  EXPECT_FALSE(verify_message(keystore_, msg).is_ok());
+}
+
+TEST_F(SigningTest, DistinctNodesProduceDistinctSignatures) {
+  const SigningKey k1 = keystore_.issue(NodeId(1), rng_);
+  const SigningKey k2 = keystore_.issue(NodeId(2), rng_);
+  const Bytes msg = to_bytes("same message");
+  EXPECT_NE(k1.sign(msg), k2.sign(msg));
+}
+
+}  // namespace
+}  // namespace itdos::crypto

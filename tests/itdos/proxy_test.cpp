@@ -1,0 +1,128 @@
+#include "itdos/proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bft/messages.hpp"
+#include "itdos/smiop_msg.hpp"
+
+namespace itdos::core {
+namespace {
+
+net::Packet packet(Bytes payload) {
+  return net::Packet{NodeId(1), NodeId(2), std::nullopt, std::move(payload)};
+}
+
+Bytes valid_bft_envelope() {
+  bft::Envelope env;
+  env.type = bft::MsgType::kPrepare;
+  env.sender = NodeId(3);
+  env.body = to_bytes("body");
+  return env.encode();
+}
+
+Bytes valid_smiop_message() {
+  DirectReplyMsg msg;
+  msg.conn = ConnectionId(1);
+  msg.rid = RequestId(1);
+  msg.element = NodeId(5);
+  msg.epoch = KeyEpoch(1);
+  msg.sealed_giop = to_bytes("sealed");
+  return msg.encode();
+}
+
+TEST(FirewallProxyTest, AdmitsBftEnvelopes) {
+  FirewallProxy proxy;
+  EXPECT_TRUE(proxy.admit(packet(valid_bft_envelope())));
+  EXPECT_EQ(proxy.stats().admitted, 1u);
+}
+
+TEST(FirewallProxyTest, AdmitsSmiopMessages) {
+  FirewallProxy proxy;
+  EXPECT_TRUE(proxy.admit(packet(valid_smiop_message())));
+}
+
+TEST(FirewallProxyTest, DropsGarbage) {
+  FirewallProxy proxy;
+  EXPECT_FALSE(proxy.admit(packet(to_bytes("GET / HTTP/1.1"))));
+  EXPECT_FALSE(proxy.admit(packet(Bytes{})));
+  EXPECT_EQ(proxy.stats().dropped_malformed, 2u);
+}
+
+TEST(FirewallProxyTest, DropsOversize) {
+  FirewallProxy::Options options;
+  options.max_message_bytes = 100;
+  FirewallProxy proxy(options);
+  Bytes big = valid_bft_envelope();
+  big.resize(200, 0);
+  EXPECT_FALSE(proxy.admit(packet(big)));
+  EXPECT_EQ(proxy.stats().dropped_oversize, 1u);
+}
+
+TEST(FirewallProxyTest, PolicyKnobsDisableFamilies) {
+  FirewallProxy::Options options;
+  options.allow_bft = false;
+  FirewallProxy proxy(options);
+  EXPECT_FALSE(proxy.admit(packet(valid_bft_envelope())));
+  EXPECT_TRUE(proxy.admit(packet(valid_smiop_message())));
+}
+
+TEST(FirewallProxyTest, InstalledFilterGuardsDelivery) {
+  net::Simulator sim(1);
+  net::Network net(sim, net::NetConfig{10, 10, 0, 0});
+  std::vector<Bytes> received;
+  net.attach(NodeId(2), [&](const net::Packet& p) { received.push_back(p.payload); });
+  FirewallProxy proxy;
+  proxy.protect(net, NodeId(2));
+
+  net.send(NodeId(1), NodeId(2), to_bytes("junk"));
+  net.send(NodeId(1), NodeId(2), valid_bft_envelope());
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], valid_bft_envelope());
+  EXPECT_EQ(proxy.stats().dropped_malformed, 1u);
+  EXPECT_EQ(proxy.stats().admitted, 1u);
+}
+
+TEST(FirewallProxyTest, ReleaseRestoresOpenDelivery) {
+  net::Simulator sim(1);
+  net::Network net(sim, net::NetConfig{10, 10, 0, 0});
+  int received = 0;
+  net.attach(NodeId(2), [&](const net::Packet&) { ++received; });
+  FirewallProxy proxy;
+  proxy.protect(net, NodeId(2));
+  proxy.release(net, NodeId(2));
+  net.send(NodeId(1), NodeId(2), to_bytes("junk"));
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(FirewallProxyTest, FilterSurvivesProxyDestruction) {
+  net::Simulator sim(1);
+  net::Network net(sim, net::NetConfig{10, 10, 0, 0});
+  int received = 0;
+  net.attach(NodeId(2), [&](const net::Packet&) { ++received; });
+  {
+    FirewallProxy proxy;
+    proxy.protect(net, NodeId(2));
+  }  // proxy destroyed; installed filter must remain safe and effective
+  net.send(NodeId(1), NodeId(2), to_bytes("junk"));
+  sim.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(FirewallProxyTest, StatsSharedAcrossProtectedNodes) {
+  net::Simulator sim(1);
+  net::Network net(sim, net::NetConfig{10, 10, 0, 0});
+  net.attach(NodeId(2), [](const net::Packet&) {});
+  net.attach(NodeId(3), [](const net::Packet&) {});
+  FirewallProxy proxy;
+  proxy.protect(net, NodeId(2));
+  proxy.protect(net, NodeId(3));
+  net.send(NodeId(1), NodeId(2), to_bytes("junk"));
+  net.send(NodeId(1), NodeId(3), to_bytes("junk"));
+  sim.run();
+  EXPECT_EQ(proxy.stats().dropped_malformed, 2u);
+}
+
+}  // namespace
+}  // namespace itdos::core

@@ -1,0 +1,272 @@
+// Element replacement (§4 future work) and adaptive voting (§4, [32]) —
+// the extension features beyond the paper's implemented core.
+#include <gtest/gtest.h>
+
+#include "itdos/system.hpp"
+
+namespace itdos::core {
+namespace {
+
+using cdr::Value;
+
+/// A counter servant WITH persistence (replacement-capable).
+class PersistentCounter : public orb::Servant {
+ public:
+  std::string interface_name() const override { return "IDL:itdos/PCounter:1.0"; }
+
+  void dispatch(const std::string& operation, const Value& arguments,
+                orb::ServerContext&, orb::ReplySinkPtr sink) override {
+    if (operation == "add") {
+      value_ += arguments.elements()[0].as_int64();
+      sink->reply(Value::int64(value_));
+    } else if (operation == "get") {
+      sink->reply(Value::int64(value_));
+    } else {
+      sink->reply(error(Errc::kInvalidArgument, "unknown op"));
+    }
+  }
+
+  Result<Bytes> save_state() const override {
+    cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+    enc.write_int64(value_);
+    return enc.take();
+  }
+
+  Status load_state(ByteView state) override {
+    cdr::Decoder dec(state, cdr::ByteOrder::kLittleEndian);
+    ITDOS_ASSIGN_OR_RETURN(value_, dec.read_int64());
+    return Status::ok();
+  }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// A counter WITHOUT persistence (non-replaceable domain).
+class VolatileCounter : public orb::Servant {
+ public:
+  std::string interface_name() const override { return "IDL:itdos/PCounter:1.0"; }
+  void dispatch(const std::string& operation, const Value& arguments,
+                orb::ServerContext&, orb::ReplySinkPtr sink) override {
+    if (operation == "add") {
+      value_ += arguments.elements()[0].as_int64();
+      sink->reply(Value::int64(value_));
+    } else {
+      sink->reply(Value::int64(value_));
+    }
+  }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+Value one_arg(std::int64_t v) { return Value::sequence({Value::int64(v)}); }
+
+class ReplacementTest : public ::testing::Test {
+ protected:
+  static DomainId add_persistent_domain(ItdosSystem& system) {
+    return system.add_domain(1, VotePolicy::exact(),
+                             [](orb::ObjectAdapter& adapter, int) {
+                               (void)adapter.activate_with_key(
+                                   ObjectId(1), std::make_shared<PersistentCounter>());
+                             });
+  }
+};
+
+TEST_F(ReplacementTest, ReplacedElementRejoinsWithState) {
+  ItdosSystem system;
+  const DomainId domain = add_persistent_domain(system);
+  ItdosClient& client = system.add_client();
+  const orb::ObjectRef ref =
+      system.object_ref(domain, ObjectId(1), "IDL:itdos/PCounter:1.0");
+
+  // Build up state, then lose an element.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(system.invoke_sync(client, ref, "add", one_arg(10)).is_ok());
+  }
+  system.crash_element(domain, 1);
+  ASSERT_TRUE(system.invoke_sync(client, ref, "add", one_arg(10), seconds(10)).is_ok());
+
+  // Replace it: the new element bootstraps from its peers.
+  DomainElement& fresh = system.replace_element(domain, 1);
+  EXPECT_FALSE(fresh.replacement_complete());
+
+  // Traffic keeps flowing while the replacement syncs.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        system.invoke_sync(client, ref, "add", one_arg(10), seconds(10)).is_ok());
+  }
+  system.settle();
+  EXPECT_TRUE(fresh.replacement_complete());
+
+  // The replacement answers with the FULL state (including pre-crash adds):
+  // its servant got peer state via certified bundles.
+  const Result<Value> result =
+      system.invoke_sync(client, ref, "get", Value::sequence({}), seconds(10));
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().as_int64(), 100);
+  // And it executes new requests like any other element.
+  EXPECT_GT(fresh.stats().requests_executed, 0u);
+  EXPECT_GE(fresh.stats().bundles_received, 2u);  // f+1 certified
+}
+
+TEST_F(ReplacementTest, ReplacementRestoresVotingStrength) {
+  // With the replacement in place, the domain tolerates a NEW fault.
+  ItdosSystem system;
+  const DomainId domain = add_persistent_domain(system);
+  ItdosClient& client = system.add_client();
+  const orb::ObjectRef ref =
+      system.object_ref(domain, ObjectId(1), "IDL:itdos/PCounter:1.0");
+  ASSERT_TRUE(system.invoke_sync(client, ref, "add", one_arg(1)).is_ok());
+
+  system.crash_element(domain, 0);  // the primary, even
+  (void)system.replace_element(domain, 0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        system.invoke_sync(client, ref, "add", one_arg(1), seconds(20)).is_ok());
+  }
+  system.settle();
+  ASSERT_TRUE(system.element(domain, 0).replacement_complete());
+
+  // Now crash a DIFFERENT element: still 3 of 4 healthy including the
+  // replacement, so service continues.
+  system.crash_element(domain, 2);
+  const Result<Value> result =
+      system.invoke_sync(client, ref, "add", one_arg(1), seconds(20));
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().as_int64(), 7);
+}
+
+TEST_F(ReplacementTest, NonPersistentDomainCannotReplace) {
+  ItdosSystem system;
+  const DomainId domain = system.add_domain(
+      1, VotePolicy::exact(), [](orb::ObjectAdapter& adapter, int) {
+        (void)adapter.activate_with_key(ObjectId(1),
+                                        std::make_shared<VolatileCounter>());
+      });
+  ItdosClient& client = system.add_client();
+  const orb::ObjectRef ref =
+      system.object_ref(domain, ObjectId(1), "IDL:itdos/PCounter:1.0");
+  ASSERT_TRUE(system.invoke_sync(client, ref, "add", one_arg(1)).is_ok());
+
+  system.crash_element(domain, 1);
+  DomainElement& fresh = system.replace_element(domain, 1);
+  ASSERT_TRUE(system.invoke_sync(client, ref, "add", one_arg(1), seconds(10)).is_ok());
+  system.settle();
+  // Peers cannot bundle state (no persistence), so the replacement never
+  // completes — but the rest of the domain keeps serving.
+  EXPECT_FALSE(fresh.replacement_complete());
+  EXPECT_TRUE(system.invoke_sync(client, ref, "add", one_arg(1), seconds(10)).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive voting
+// ---------------------------------------------------------------------------
+
+Ballot float_ballot(std::uint64_t source, double v) {
+  Ballot b;
+  b.source = NodeId(source);
+  const Value value = Value::float64(v);
+  b.raw = value.encode(cdr::ByteOrder::kLittleEndian);
+  b.value = value;
+  return b;
+}
+
+TEST(AdaptiveVoteTest, DecidesAtBasePrecisionWhenTight) {
+  Vote vote(1, VotePolicy::adaptive(1e-9, 1e-3));
+  (void)vote.add(float_ballot(1, 1.0));
+  const auto decision = vote.add(float_ballot(2, 1.0 + 1e-12));
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_DOUBLE_EQ(decision->epsilon_used, 1e-9);
+}
+
+TEST(AdaptiveVoteTest, RelaxesWhenDispersedButDecidable) {
+  // Replies dispersed beyond the base epsilon but within the ceiling: a
+  // fixed-epsilon voter starves; the adaptive one relaxes once 2f+1 ballots
+  // are in and decides.
+  Vote fixed(1, VotePolicy::inexact(1e-9));
+  Vote adaptive(1, VotePolicy::adaptive(1e-9, 1e-2));
+  const double values[3] = {1.000, 1.0004, 1.0008};
+  std::optional<VoteDecision> fixed_decision;
+  std::optional<VoteDecision> adaptive_decision;
+  for (int i = 0; i < 3; ++i) {
+    if (!fixed_decision) fixed_decision = fixed.add(float_ballot(i + 1, values[i]));
+    if (!adaptive_decision) {
+      adaptive_decision = adaptive.add(float_ballot(i + 1, values[i]));
+    }
+  }
+  EXPECT_FALSE(fixed_decision.has_value());
+  ASSERT_TRUE(adaptive_decision.has_value());
+  EXPECT_GT(adaptive_decision->epsilon_used, 1e-9);
+  EXPECT_LE(adaptive_decision->epsilon_used, 1e-2);
+  // No correct replica is flagged: at the deciding epsilon all agree.
+  EXPECT_TRUE(adaptive_decision->dissenters.empty());
+}
+
+TEST(AdaptiveVoteTest, NeverRelaxesPastCeiling) {
+  Vote vote(1, VotePolicy::adaptive(1e-9, 1e-6));
+  (void)vote.add(float_ballot(1, 1.0));
+  (void)vote.add(float_ballot(2, 2.0));  // truly divergent
+  const auto decision = vote.add(float_ballot(3, 3.0));
+  EXPECT_FALSE(decision.has_value());  // 1.0 vs 2.0 vs 3.0 >> 1e-6
+}
+
+TEST(AdaptiveVoteTest, DoesNotRelaxBeforeTwoFPlusOneBallots) {
+  // With only f+1 ballots present, relaxing would let one faulty value and
+  // one honest value "agree" — the 2f+1 gate prevents it.
+  Vote vote(1, VotePolicy::adaptive(1e-9, 10.0));
+  (void)vote.add(float_ballot(1, 1.0));
+  const auto decision = vote.add(float_ballot(2, 1.5));  // only 2 ballots
+  EXPECT_FALSE(decision.has_value());
+}
+
+TEST(AdaptiveVoteTest, FaultyValueStillOutvoted) {
+  Vote vote(1, VotePolicy::adaptive(1e-9, 1e-2));
+  (void)vote.add(float_ballot(1, 666.0));        // liar
+  (void)vote.add(float_ballot(2, 1.0));
+  const auto decision = vote.add(float_ballot(3, 1.0005));
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_NEAR(decision->winner.value->as_float64(), 1.0, 0.001);
+  ASSERT_EQ(decision->dissenters.size(), 1u);
+  EXPECT_EQ(decision->dissenters[0], NodeId(1));
+}
+
+TEST(AdaptiveVoteTest, EndToEndWithJitteryDomain) {
+  // Full stack: per-rank jitter too wide for the base epsilon; the adaptive
+  // policy still serves the client.
+  class WideJitterScaler : public orb::Servant {
+   public:
+    explicit WideJitterScaler(int rank) : rank_(rank) {}
+    std::string interface_name() const override { return "IDL:itdos/WScaler:1.0"; }
+    void dispatch(const std::string& operation, const Value& arguments,
+                  orb::ServerContext&, orb::ReplySinkPtr sink) override {
+      if (operation != "scale") {
+        sink->reply(error(Errc::kInvalidArgument, "unknown op"));
+        return;
+      }
+      sink->reply(Value::float64(arguments.elements()[0].as_float64() * 2.0 +
+                                 rank_ * 1e-6));
+    }
+
+   private:
+    int rank_;
+  };
+  ItdosSystem system;
+  const DomainId domain = system.add_domain(
+      1, VotePolicy::adaptive(1e-9, 1e-3), [](orb::ObjectAdapter& adapter, int rank) {
+        (void)adapter.activate_with_key(ObjectId(1),
+                                        std::make_shared<WideJitterScaler>(rank));
+      });
+  ClientOptions options;
+  options.auto_report = false;  // jitter dissent is absorbed, not punished
+  ItdosClient& client = system.add_client(options);
+  const orb::ObjectRef ref =
+      system.object_ref(domain, ObjectId(1), "IDL:itdos/WScaler:1.0");
+  const Result<Value> result = system.invoke_sync(
+      client, ref, "scale", Value::sequence({Value::float64(21.0)}), seconds(10));
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_NEAR(result.value().as_float64(), 42.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace itdos::core

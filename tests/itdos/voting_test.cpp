@@ -1,0 +1,206 @@
+#include "itdos/voting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace itdos::core {
+namespace {
+
+using cdr::Value;
+
+Ballot ballot(std::uint64_t source, Value v) {
+  Ballot b;
+  b.source = NodeId(source);
+  b.raw = v.encode(cdr::ByteOrder::kLittleEndian);
+  b.value = std::move(v);
+  return b;
+}
+
+Ballot raw_ballot(std::uint64_t source, Bytes raw) {
+  Ballot b;
+  b.source = NodeId(source);
+  b.raw = std::move(raw);
+  return b;
+}
+
+TEST(ValuesEquivalentTest, ExactMatchesOperatorEq) {
+  const VotePolicy policy = VotePolicy::exact();
+  EXPECT_TRUE(values_equivalent(Value::int32(5), Value::int32(5), policy));
+  EXPECT_FALSE(values_equivalent(Value::int32(5), Value::int32(6), policy));
+  EXPECT_FALSE(values_equivalent(Value::int32(5), Value::int64(5), policy));
+}
+
+TEST(ValuesEquivalentTest, InexactTolerance) {
+  const VotePolicy policy = VotePolicy::inexact(0.01);
+  EXPECT_TRUE(values_equivalent(Value::float64(1.000), Value::float64(1.005), policy));
+  EXPECT_FALSE(values_equivalent(Value::float64(1.000), Value::float64(1.02), policy));
+  EXPECT_TRUE(values_equivalent(Value::float32(2.0f), Value::float32(2.004f), policy));
+}
+
+TEST(ValuesEquivalentTest, InexactIsNotTransitive) {
+  // §3.6: "if a = b and b = c, this does not imply that a = c".
+  const VotePolicy policy = VotePolicy::inexact(0.1);
+  const Value a = Value::float64(1.00);
+  const Value b = Value::float64(1.09);
+  const Value c = Value::float64(1.18);
+  EXPECT_TRUE(values_equivalent(a, b, policy));
+  EXPECT_TRUE(values_equivalent(b, c, policy));
+  EXPECT_FALSE(values_equivalent(a, c, policy));
+}
+
+TEST(ValuesEquivalentTest, InexactRecursesIntoContainers) {
+  const VotePolicy policy = VotePolicy::inexact(0.01);
+  const Value a = Value::structure(
+      {cdr::Field("t", Value::float64(20.001)),
+       cdr::Field("tags", Value::sequence({Value::string("x")}))});
+  const Value b = Value::structure(
+      {cdr::Field("t", Value::float64(20.006)),
+       cdr::Field("tags", Value::sequence({Value::string("x")}))});
+  EXPECT_TRUE(values_equivalent(a, b, policy));
+  const Value c = Value::structure(
+      {cdr::Field("t", Value::float64(20.1)),
+       cdr::Field("tags", Value::sequence({Value::string("x")}))});
+  EXPECT_FALSE(values_equivalent(a, c, policy));
+}
+
+TEST(ValuesEquivalentTest, InexactStillExactForDiscreteKinds) {
+  const VotePolicy policy = VotePolicy::inexact(10.0);
+  EXPECT_FALSE(values_equivalent(Value::int32(1), Value::int32(2), policy));
+  EXPECT_FALSE(values_equivalent(Value::string("a"), Value::string("b"), policy));
+}
+
+TEST(ValuesEquivalentTest, NanNeverEquivalent) {
+  const VotePolicy policy = VotePolicy::inexact(1.0);
+  const double nan = std::nan("");
+  EXPECT_FALSE(values_equivalent(Value::float64(nan), Value::float64(nan), policy));
+}
+
+TEST(ValuesEquivalentTest, StructFieldNameMismatch) {
+  const VotePolicy policy = VotePolicy::inexact(0.1);
+  const Value a = Value::structure({cdr::Field("x", Value::float64(1))});
+  const Value b = Value::structure({cdr::Field("y", Value::float64(1))});
+  EXPECT_FALSE(values_equivalent(a, b, policy));
+}
+
+TEST(VoteTest, DecidesAtFPlusOneMatching) {
+  Vote vote(1, VotePolicy::exact());
+  EXPECT_FALSE(vote.add(ballot(1, Value::int32(7))).has_value());
+  const auto decision = vote.add(ballot(2, Value::int32(7)));
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->support, 2);
+  EXPECT_EQ(decision->winner.value->as_int32(), 7);
+  EXPECT_TRUE(decision->dissenters.empty());
+}
+
+TEST(VoteTest, FaultyMinorityOutvoted) {
+  Vote vote(1, VotePolicy::exact());
+  EXPECT_FALSE(vote.add(ballot(1, Value::int32(666))).has_value());  // liar first
+  EXPECT_FALSE(vote.add(ballot(2, Value::int32(7))).has_value());
+  const auto decision = vote.add(ballot(3, Value::int32(7)));
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->winner.value->as_int32(), 7);
+  ASSERT_EQ(decision->dissenters.size(), 1u);
+  EXPECT_EQ(decision->dissenters[0], NodeId(1));
+}
+
+TEST(VoteTest, DuplicateSourceIgnored) {
+  Vote vote(1, VotePolicy::exact());
+  EXPECT_FALSE(vote.add(ballot(1, Value::int32(7))).has_value());
+  EXPECT_FALSE(vote.add(ballot(1, Value::int32(7))).has_value());  // same source
+  EXPECT_EQ(vote.ballots(), 1);
+}
+
+TEST(VoteTest, LateBallotsBecomeDissenters) {
+  // The voter "is still guaranteed the correct value" at 2f+1 but keeps
+  // collecting the remaining messages for fault detection.
+  Vote vote(1, VotePolicy::exact());
+  (void)vote.add(ballot(1, Value::int32(7)));
+  ASSERT_TRUE(vote.add(ballot(2, Value::int32(7))).has_value());
+  (void)vote.add(ballot(3, Value::int32(999)));  // late, faulty
+  (void)vote.add(ballot(4, Value::int32(7)));    // late, correct
+  const auto dissenters = vote.dissenters();
+  ASSERT_EQ(dissenters.size(), 1u);
+  EXPECT_EQ(dissenters[0], NodeId(3));
+}
+
+TEST(VoteTest, FIdenticalLiesDoNotDecide) {
+  Vote vote(2, VotePolicy::exact());  // needs f+1 = 3 matching
+  (void)vote.add(ballot(1, Value::int32(666)));
+  EXPECT_FALSE(vote.add(ballot(2, Value::int32(666))).has_value());
+  (void)vote.add(ballot(3, Value::int32(7)));
+  (void)vote.add(ballot(4, Value::int32(7)));
+  const auto decision = vote.add(ballot(5, Value::int32(7)));
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->winner.value->as_int32(), 7);
+}
+
+TEST(VoteTest, ByteByByteFailsAcrossEndianness) {
+  // The E2 baseline failure: same logical value, different wire encodings.
+  Vote vote(1, VotePolicy::byte_by_byte());
+  const Value v = Value::int32(42);
+  (void)vote.add(raw_ballot(1, v.encode(cdr::ByteOrder::kBigEndian)));
+  EXPECT_FALSE(
+      vote.add(raw_ballot(2, v.encode(cdr::ByteOrder::kLittleEndian))).has_value());
+  // Unmarshalled voting decides on exactly the same inputs.
+  Vote unmarshalled(1, VotePolicy::exact());
+  (void)unmarshalled.add(ballot(1, v));
+  EXPECT_TRUE(unmarshalled.add(ballot(2, v)).has_value());
+}
+
+TEST(VoteTest, ByteByByteWorksWhenHomogeneous) {
+  Vote vote(1, VotePolicy::byte_by_byte());
+  const Bytes wire = Value::int32(42).encode(cdr::ByteOrder::kLittleEndian);
+  (void)vote.add(raw_ballot(1, wire));
+  EXPECT_TRUE(vote.add(raw_ballot(2, wire)).has_value());
+}
+
+TEST(VoteTest, UnparseableBallotNeverMatches) {
+  Vote vote(1, VotePolicy::exact());
+  Ballot garbage;
+  garbage.source = NodeId(1);
+  garbage.raw = to_bytes("not-cdr");
+  (void)vote.add(std::move(garbage));
+  (void)vote.add(ballot(2, Value::int32(1)));
+  const auto decision = vote.add(ballot(3, Value::int32(1)));
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->dissenters.size(), 1u);
+}
+
+TEST(VoteTest, InexactClusterDecides) {
+  // Three heterogeneous float results within epsilon of the middle one.
+  Vote vote(1, VotePolicy::inexact(0.05));
+  (void)vote.add(ballot(1, Value::float64(3.14)));
+  const auto decision = vote.add(ballot(2, Value::float64(3.16)));
+  ASSERT_TRUE(decision.has_value());
+}
+
+TEST(ConnectionVoterTest, DiscardsWrongRequestId) {
+  ConnectionVoter voter(1, VotePolicy::exact());
+  voter.expect(RequestId(5));
+  EXPECT_FALSE(voter.submit(RequestId(4), ballot(1, Value::int32(1))).has_value());
+  EXPECT_FALSE(voter.submit(RequestId(6), ballot(2, Value::int32(1))).has_value());
+  EXPECT_EQ(voter.discarded(), 2u);
+  // Matching id proceeds normally.
+  (void)voter.submit(RequestId(5), ballot(1, Value::int32(1)));
+  EXPECT_TRUE(voter.submit(RequestId(5), ballot(2, Value::int32(1))).has_value());
+}
+
+TEST(ConnectionVoterTest, ExpectGarbageCollectsPriorState) {
+  ConnectionVoter voter(1, VotePolicy::exact());
+  voter.expect(RequestId(1));
+  (void)voter.submit(RequestId(1), ballot(1, Value::int32(1)));
+  voter.expect(RequestId(2));
+  ASSERT_TRUE(voter.outstanding().has_value());
+  EXPECT_EQ(voter.outstanding()->ballots(), 0);  // fresh vote
+  EXPECT_EQ(voter.expected(), RequestId(2));
+}
+
+TEST(ConnectionVoterTest, NoOutstandingDiscardsEverything) {
+  ConnectionVoter voter(1, VotePolicy::exact());
+  EXPECT_FALSE(voter.submit(RequestId(1), ballot(1, Value::int32(1))).has_value());
+  EXPECT_EQ(voter.discarded(), 1u);
+}
+
+}  // namespace
+}  // namespace itdos::core

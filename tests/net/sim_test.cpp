@@ -1,0 +1,156 @@
+#include "net/sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace itdos::net {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().ns, 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, EventsFireInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime{300}, [&] { order.push_back(3); });
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  sim.schedule_at(SimTime{200}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns, 300);
+}
+
+TEST(SimulatorTest, EqualTimestampsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime{50}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterAdvancesClock) {
+  Simulator sim;
+  SimTime seen{-1};
+  sim.schedule_after(millis(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.ns, millis(5));
+}
+
+TEST(SimulatorTest, PastTimestampsClampToNow) {
+  Simulator sim;
+  sim.schedule_after(100, [&] {
+    sim.schedule_at(SimTime{0}, [&] { EXPECT_EQ(sim.now().ns, 100); });
+  });
+  sim.run();
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, NestedSchedulingRuns) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_after(10, chain);
+  };
+  sim.schedule_after(10, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now().ns, 50);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_after(10, [&] { fired = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  const EventHandle h = sim.schedule_after(10, [&] { ++fired; });
+  sim.run();
+  sim.cancel(h);  // must not corrupt accounting
+  bool second = false;
+  sim.schedule_after(10, [&] { second = true; });
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(second);
+}
+
+TEST(SimulatorTest, CancelUnknownHandleIsNoop) {
+  Simulator sim;
+  sim.cancel(EventHandle{});
+  sim.cancel(EventHandle{12345});
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime{100}, [&] { fired.push_back(1); });
+  sim.schedule_at(SimTime{200}, [&] { fired.push_back(2); });
+  sim.schedule_at(SimTime{300}, [&] { fired.push_back(3); });
+  sim.run_until(SimTime{200});
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now().ns, 200);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(SimTime{5000});
+  EXPECT_EQ(sim.now().ns, 5000);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.run_until(SimTime{100});
+  int fired = 0;
+  sim.schedule_after(50, [&] { ++fired; });
+  sim.schedule_after(500, [&] { ++fired; });
+  sim.run_for(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns, 200);
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_at(SimTime{50}, [&] { fired = true; });
+  sim.schedule_at(SimTime{100}, [&] {});
+  sim.cancel(h);
+  sim.run_until(SimTime{150});
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, MaxEventsBound) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_after(i, [&] { ++fired; });
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_after(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+}  // namespace
+}  // namespace itdos::net
