@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/a1_ablations"
+  "../bench/a1_ablations.pdb"
+  "CMakeFiles/a1_ablations.dir/a1_ablations.cpp.o"
+  "CMakeFiles/a1_ablations.dir/a1_ablations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e1_group_size_scaling"
+  "../bench/e1_group_size_scaling.pdb"
+  "CMakeFiles/e1_group_size_scaling.dir/e1_group_size_scaling.cpp.o"
+  "CMakeFiles/e1_group_size_scaling.dir/e1_group_size_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_group_size_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e2_voting"
+  "../bench/e2_voting.pdb"
+  "CMakeFiles/e2_voting.dir/e2_voting.cpp.o"
+  "CMakeFiles/e2_voting.dir/e2_voting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e3_state_sync"
+  "../bench/e3_state_sync.pdb"
+  "CMakeFiles/e3_state_sync.dir/e3_state_sync.cpp.o"
+  "CMakeFiles/e3_state_sync.dir/e3_state_sync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_state_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

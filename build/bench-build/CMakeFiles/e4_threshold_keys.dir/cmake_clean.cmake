@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e4_threshold_keys"
+  "../bench/e4_threshold_keys.pdb"
+  "CMakeFiles/e4_threshold_keys.dir/e4_threshold_keys.cpp.o"
+  "CMakeFiles/e4_threshold_keys.dir/e4_threshold_keys.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_threshold_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

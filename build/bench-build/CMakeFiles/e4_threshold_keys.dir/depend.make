@@ -1,0 +1,2 @@
+# Empty dependencies file for e4_threshold_keys.
+# This may be replaced when dependencies are built.

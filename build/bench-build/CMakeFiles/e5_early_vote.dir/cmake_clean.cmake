@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e5_early_vote"
+  "../bench/e5_early_vote.pdb"
+  "CMakeFiles/e5_early_vote.dir/e5_early_vote.cpp.o"
+  "CMakeFiles/e5_early_vote.dir/e5_early_vote.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_early_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e6_expulsion_rekey"
+  "../bench/e6_expulsion_rekey.pdb"
+  "CMakeFiles/e6_expulsion_rekey.dir/e6_expulsion_rekey.cpp.o"
+  "CMakeFiles/e6_expulsion_rekey.dir/e6_expulsion_rekey.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_expulsion_rekey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e7_it_overhead"
+  "../bench/e7_it_overhead.pdb"
+  "CMakeFiles/e7_it_overhead.dir/e7_it_overhead.cpp.o"
+  "CMakeFiles/e7_it_overhead.dir/e7_it_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_it_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e8_nested_invocations"
+  "../bench/e8_nested_invocations.pdb"
+  "CMakeFiles/e8_nested_invocations.dir/e8_nested_invocations.cpp.o"
+  "CMakeFiles/e8_nested_invocations.dir/e8_nested_invocations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_nested_invocations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e8_nested_invocations.
+# This may be replaced when dependencies are built.

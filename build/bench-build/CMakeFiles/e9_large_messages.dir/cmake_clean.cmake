@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e9_large_messages"
+  "../bench/e9_large_messages.pdb"
+  "CMakeFiles/e9_large_messages.dir/e9_large_messages.cpp.o"
+  "CMakeFiles/e9_large_messages.dir/e9_large_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_large_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_end_to_end"
+  "../bench/fig1_end_to_end.pdb"
+  "CMakeFiles/fig1_end_to_end.dir/fig1_end_to_end.cpp.o"
+  "CMakeFiles/fig1_end_to_end.dir/fig1_end_to_end.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

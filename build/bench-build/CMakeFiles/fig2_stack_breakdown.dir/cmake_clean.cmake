@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_stack_breakdown"
+  "../bench/fig2_stack_breakdown.pdb"
+  "CMakeFiles/fig2_stack_breakdown.dir/fig2_stack_breakdown.cpp.o"
+  "CMakeFiles/fig2_stack_breakdown.dir/fig2_stack_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stack_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_connection_establishment"
+  "../bench/fig3_connection_establishment.pdb"
+  "CMakeFiles/fig3_connection_establishment.dir/fig3_connection_establishment.cpp.o"
+  "CMakeFiles/fig3_connection_establishment.dir/fig3_connection_establishment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_connection_establishment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

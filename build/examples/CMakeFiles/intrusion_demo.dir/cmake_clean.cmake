@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrusion_demo.dir/intrusion_demo.cpp.o"
+  "CMakeFiles/intrusion_demo.dir/intrusion_demo.cpp.o.d"
+  "intrusion_demo"
+  "intrusion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrusion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sensor_fusion.cpp" "examples/CMakeFiles/sensor_fusion.dir/sensor_fusion.cpp.o" "gcc" "examples/CMakeFiles/sensor_fusion.dir/sensor_fusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/itdos/CMakeFiles/itdos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/itdos_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/itdos_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/itdos_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/itdos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/itdos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/itdos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bft/client.cpp" "src/bft/CMakeFiles/itdos_bft.dir/client.cpp.o" "gcc" "src/bft/CMakeFiles/itdos_bft.dir/client.cpp.o.d"
+  "/root/repo/src/bft/config.cpp" "src/bft/CMakeFiles/itdos_bft.dir/config.cpp.o" "gcc" "src/bft/CMakeFiles/itdos_bft.dir/config.cpp.o.d"
+  "/root/repo/src/bft/harness.cpp" "src/bft/CMakeFiles/itdos_bft.dir/harness.cpp.o" "gcc" "src/bft/CMakeFiles/itdos_bft.dir/harness.cpp.o.d"
+  "/root/repo/src/bft/messages.cpp" "src/bft/CMakeFiles/itdos_bft.dir/messages.cpp.o" "gcc" "src/bft/CMakeFiles/itdos_bft.dir/messages.cpp.o.d"
+  "/root/repo/src/bft/replica.cpp" "src/bft/CMakeFiles/itdos_bft.dir/replica.cpp.o" "gcc" "src/bft/CMakeFiles/itdos_bft.dir/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/itdos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/itdos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/itdos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/itdos_cdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdos_bft.dir/client.cpp.o"
+  "CMakeFiles/itdos_bft.dir/client.cpp.o.d"
+  "CMakeFiles/itdos_bft.dir/config.cpp.o"
+  "CMakeFiles/itdos_bft.dir/config.cpp.o.d"
+  "CMakeFiles/itdos_bft.dir/harness.cpp.o"
+  "CMakeFiles/itdos_bft.dir/harness.cpp.o.d"
+  "CMakeFiles/itdos_bft.dir/messages.cpp.o"
+  "CMakeFiles/itdos_bft.dir/messages.cpp.o.d"
+  "CMakeFiles/itdos_bft.dir/replica.cpp.o"
+  "CMakeFiles/itdos_bft.dir/replica.cpp.o.d"
+  "libitdos_bft.a"
+  "libitdos_bft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdos_bft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdr/codec.cpp" "src/cdr/CMakeFiles/itdos_cdr.dir/codec.cpp.o" "gcc" "src/cdr/CMakeFiles/itdos_cdr.dir/codec.cpp.o.d"
+  "/root/repo/src/cdr/giop.cpp" "src/cdr/CMakeFiles/itdos_cdr.dir/giop.cpp.o" "gcc" "src/cdr/CMakeFiles/itdos_cdr.dir/giop.cpp.o.d"
+  "/root/repo/src/cdr/value.cpp" "src/cdr/CMakeFiles/itdos_cdr.dir/value.cpp.o" "gcc" "src/cdr/CMakeFiles/itdos_cdr.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/itdos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdos_cdr.dir/codec.cpp.o"
+  "CMakeFiles/itdos_cdr.dir/codec.cpp.o.d"
+  "CMakeFiles/itdos_cdr.dir/giop.cpp.o"
+  "CMakeFiles/itdos_cdr.dir/giop.cpp.o.d"
+  "CMakeFiles/itdos_cdr.dir/value.cpp.o"
+  "CMakeFiles/itdos_cdr.dir/value.cpp.o.d"
+  "libitdos_cdr.a"
+  "libitdos_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdos_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdos_common.dir/bytes.cpp.o"
+  "CMakeFiles/itdos_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/itdos_common.dir/log.cpp.o"
+  "CMakeFiles/itdos_common.dir/log.cpp.o.d"
+  "CMakeFiles/itdos_common.dir/result.cpp.o"
+  "CMakeFiles/itdos_common.dir/result.cpp.o.d"
+  "CMakeFiles/itdos_common.dir/rng.cpp.o"
+  "CMakeFiles/itdos_common.dir/rng.cpp.o.d"
+  "libitdos_common.a"
+  "libitdos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdos_crypto.dir/cipher.cpp.o"
+  "CMakeFiles/itdos_crypto.dir/cipher.cpp.o.d"
+  "CMakeFiles/itdos_crypto.dir/dprf.cpp.o"
+  "CMakeFiles/itdos_crypto.dir/dprf.cpp.o.d"
+  "CMakeFiles/itdos_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/itdos_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/itdos_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/itdos_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/itdos_crypto.dir/signing.cpp.o"
+  "CMakeFiles/itdos_crypto.dir/signing.cpp.o.d"
+  "libitdos_crypto.a"
+  "libitdos_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdos_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itdos/domain_element.cpp" "src/itdos/CMakeFiles/itdos_core.dir/domain_element.cpp.o" "gcc" "src/itdos/CMakeFiles/itdos_core.dir/domain_element.cpp.o.d"
+  "/root/repo/src/itdos/group_manager.cpp" "src/itdos/CMakeFiles/itdos_core.dir/group_manager.cpp.o" "gcc" "src/itdos/CMakeFiles/itdos_core.dir/group_manager.cpp.o.d"
+  "/root/repo/src/itdos/key_agent.cpp" "src/itdos/CMakeFiles/itdos_core.dir/key_agent.cpp.o" "gcc" "src/itdos/CMakeFiles/itdos_core.dir/key_agent.cpp.o.d"
+  "/root/repo/src/itdos/proxy.cpp" "src/itdos/CMakeFiles/itdos_core.dir/proxy.cpp.o" "gcc" "src/itdos/CMakeFiles/itdos_core.dir/proxy.cpp.o.d"
+  "/root/repo/src/itdos/queue.cpp" "src/itdos/CMakeFiles/itdos_core.dir/queue.cpp.o" "gcc" "src/itdos/CMakeFiles/itdos_core.dir/queue.cpp.o.d"
+  "/root/repo/src/itdos/smiop.cpp" "src/itdos/CMakeFiles/itdos_core.dir/smiop.cpp.o" "gcc" "src/itdos/CMakeFiles/itdos_core.dir/smiop.cpp.o.d"
+  "/root/repo/src/itdos/smiop_msg.cpp" "src/itdos/CMakeFiles/itdos_core.dir/smiop_msg.cpp.o" "gcc" "src/itdos/CMakeFiles/itdos_core.dir/smiop_msg.cpp.o.d"
+  "/root/repo/src/itdos/system.cpp" "src/itdos/CMakeFiles/itdos_core.dir/system.cpp.o" "gcc" "src/itdos/CMakeFiles/itdos_core.dir/system.cpp.o.d"
+  "/root/repo/src/itdos/system_directory.cpp" "src/itdos/CMakeFiles/itdos_core.dir/system_directory.cpp.o" "gcc" "src/itdos/CMakeFiles/itdos_core.dir/system_directory.cpp.o.d"
+  "/root/repo/src/itdos/voting.cpp" "src/itdos/CMakeFiles/itdos_core.dir/voting.cpp.o" "gcc" "src/itdos/CMakeFiles/itdos_core.dir/voting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/itdos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/itdos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/itdos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/itdos_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/itdos_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/itdos_orb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdos_core.dir/domain_element.cpp.o"
+  "CMakeFiles/itdos_core.dir/domain_element.cpp.o.d"
+  "CMakeFiles/itdos_core.dir/group_manager.cpp.o"
+  "CMakeFiles/itdos_core.dir/group_manager.cpp.o.d"
+  "CMakeFiles/itdos_core.dir/key_agent.cpp.o"
+  "CMakeFiles/itdos_core.dir/key_agent.cpp.o.d"
+  "CMakeFiles/itdos_core.dir/proxy.cpp.o"
+  "CMakeFiles/itdos_core.dir/proxy.cpp.o.d"
+  "CMakeFiles/itdos_core.dir/queue.cpp.o"
+  "CMakeFiles/itdos_core.dir/queue.cpp.o.d"
+  "CMakeFiles/itdos_core.dir/smiop.cpp.o"
+  "CMakeFiles/itdos_core.dir/smiop.cpp.o.d"
+  "CMakeFiles/itdos_core.dir/smiop_msg.cpp.o"
+  "CMakeFiles/itdos_core.dir/smiop_msg.cpp.o.d"
+  "CMakeFiles/itdos_core.dir/system.cpp.o"
+  "CMakeFiles/itdos_core.dir/system.cpp.o.d"
+  "CMakeFiles/itdos_core.dir/system_directory.cpp.o"
+  "CMakeFiles/itdos_core.dir/system_directory.cpp.o.d"
+  "CMakeFiles/itdos_core.dir/voting.cpp.o"
+  "CMakeFiles/itdos_core.dir/voting.cpp.o.d"
+  "libitdos_core.a"
+  "libitdos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libitdos_core.a"
+)

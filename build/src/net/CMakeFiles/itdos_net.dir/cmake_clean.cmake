@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdos_net.dir/network.cpp.o"
+  "CMakeFiles/itdos_net.dir/network.cpp.o.d"
+  "CMakeFiles/itdos_net.dir/sim.cpp.o"
+  "CMakeFiles/itdos_net.dir/sim.cpp.o.d"
+  "libitdos_net.a"
+  "libitdos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orb/adapter.cpp" "src/orb/CMakeFiles/itdos_orb.dir/adapter.cpp.o" "gcc" "src/orb/CMakeFiles/itdos_orb.dir/adapter.cpp.o.d"
+  "/root/repo/src/orb/iiop.cpp" "src/orb/CMakeFiles/itdos_orb.dir/iiop.cpp.o" "gcc" "src/orb/CMakeFiles/itdos_orb.dir/iiop.cpp.o.d"
+  "/root/repo/src/orb/object.cpp" "src/orb/CMakeFiles/itdos_orb.dir/object.cpp.o" "gcc" "src/orb/CMakeFiles/itdos_orb.dir/object.cpp.o.d"
+  "/root/repo/src/orb/orb.cpp" "src/orb/CMakeFiles/itdos_orb.dir/orb.cpp.o" "gcc" "src/orb/CMakeFiles/itdos_orb.dir/orb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/itdos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/itdos_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/itdos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdos_orb.dir/adapter.cpp.o"
+  "CMakeFiles/itdos_orb.dir/adapter.cpp.o.d"
+  "CMakeFiles/itdos_orb.dir/iiop.cpp.o"
+  "CMakeFiles/itdos_orb.dir/iiop.cpp.o.d"
+  "CMakeFiles/itdos_orb.dir/object.cpp.o"
+  "CMakeFiles/itdos_orb.dir/object.cpp.o.d"
+  "CMakeFiles/itdos_orb.dir/orb.cpp.o"
+  "CMakeFiles/itdos_orb.dir/orb.cpp.o.d"
+  "libitdos_orb.a"
+  "libitdos_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdos_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

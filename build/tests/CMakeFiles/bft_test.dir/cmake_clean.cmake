@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_test.dir/bft/config_test.cpp.o"
+  "CMakeFiles/bft_test.dir/bft/config_test.cpp.o.d"
+  "CMakeFiles/bft_test.dir/bft/messages_test.cpp.o"
+  "CMakeFiles/bft_test.dir/bft/messages_test.cpp.o.d"
+  "CMakeFiles/bft_test.dir/bft/recovery_test.cpp.o"
+  "CMakeFiles/bft_test.dir/bft/recovery_test.cpp.o.d"
+  "CMakeFiles/bft_test.dir/bft/replica_test.cpp.o"
+  "CMakeFiles/bft_test.dir/bft/replica_test.cpp.o.d"
+  "bft_test"
+  "bft_test.pdb"
+  "bft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

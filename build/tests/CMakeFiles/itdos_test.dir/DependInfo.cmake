@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/itdos/fragment_test.cpp" "tests/CMakeFiles/itdos_test.dir/itdos/fragment_test.cpp.o" "gcc" "tests/CMakeFiles/itdos_test.dir/itdos/fragment_test.cpp.o.d"
+  "/root/repo/tests/itdos/group_manager_test.cpp" "tests/CMakeFiles/itdos_test.dir/itdos/group_manager_test.cpp.o" "gcc" "tests/CMakeFiles/itdos_test.dir/itdos/group_manager_test.cpp.o.d"
+  "/root/repo/tests/itdos/hostile_test.cpp" "tests/CMakeFiles/itdos_test.dir/itdos/hostile_test.cpp.o" "gcc" "tests/CMakeFiles/itdos_test.dir/itdos/hostile_test.cpp.o.d"
+  "/root/repo/tests/itdos/proxy_test.cpp" "tests/CMakeFiles/itdos_test.dir/itdos/proxy_test.cpp.o" "gcc" "tests/CMakeFiles/itdos_test.dir/itdos/proxy_test.cpp.o.d"
+  "/root/repo/tests/itdos/queue_test.cpp" "tests/CMakeFiles/itdos_test.dir/itdos/queue_test.cpp.o" "gcc" "tests/CMakeFiles/itdos_test.dir/itdos/queue_test.cpp.o.d"
+  "/root/repo/tests/itdos/replacement_test.cpp" "tests/CMakeFiles/itdos_test.dir/itdos/replacement_test.cpp.o" "gcc" "tests/CMakeFiles/itdos_test.dir/itdos/replacement_test.cpp.o.d"
+  "/root/repo/tests/itdos/smiop_msg_test.cpp" "tests/CMakeFiles/itdos_test.dir/itdos/smiop_msg_test.cpp.o" "gcc" "tests/CMakeFiles/itdos_test.dir/itdos/smiop_msg_test.cpp.o.d"
+  "/root/repo/tests/itdos/soak_test.cpp" "tests/CMakeFiles/itdos_test.dir/itdos/soak_test.cpp.o" "gcc" "tests/CMakeFiles/itdos_test.dir/itdos/soak_test.cpp.o.d"
+  "/root/repo/tests/itdos/system_test.cpp" "tests/CMakeFiles/itdos_test.dir/itdos/system_test.cpp.o" "gcc" "tests/CMakeFiles/itdos_test.dir/itdos/system_test.cpp.o.d"
+  "/root/repo/tests/itdos/voting_test.cpp" "tests/CMakeFiles/itdos_test.dir/itdos/voting_test.cpp.o" "gcc" "tests/CMakeFiles/itdos_test.dir/itdos/voting_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/itdos/CMakeFiles/itdos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/itdos_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/itdos_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/itdos_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/itdos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/itdos_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/itdos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdos_test.dir/itdos/fragment_test.cpp.o"
+  "CMakeFiles/itdos_test.dir/itdos/fragment_test.cpp.o.d"
+  "CMakeFiles/itdos_test.dir/itdos/group_manager_test.cpp.o"
+  "CMakeFiles/itdos_test.dir/itdos/group_manager_test.cpp.o.d"
+  "CMakeFiles/itdos_test.dir/itdos/hostile_test.cpp.o"
+  "CMakeFiles/itdos_test.dir/itdos/hostile_test.cpp.o.d"
+  "CMakeFiles/itdos_test.dir/itdos/proxy_test.cpp.o"
+  "CMakeFiles/itdos_test.dir/itdos/proxy_test.cpp.o.d"
+  "CMakeFiles/itdos_test.dir/itdos/queue_test.cpp.o"
+  "CMakeFiles/itdos_test.dir/itdos/queue_test.cpp.o.d"
+  "CMakeFiles/itdos_test.dir/itdos/replacement_test.cpp.o"
+  "CMakeFiles/itdos_test.dir/itdos/replacement_test.cpp.o.d"
+  "CMakeFiles/itdos_test.dir/itdos/smiop_msg_test.cpp.o"
+  "CMakeFiles/itdos_test.dir/itdos/smiop_msg_test.cpp.o.d"
+  "CMakeFiles/itdos_test.dir/itdos/soak_test.cpp.o"
+  "CMakeFiles/itdos_test.dir/itdos/soak_test.cpp.o.d"
+  "CMakeFiles/itdos_test.dir/itdos/system_test.cpp.o"
+  "CMakeFiles/itdos_test.dir/itdos/system_test.cpp.o.d"
+  "CMakeFiles/itdos_test.dir/itdos/voting_test.cpp.o"
+  "CMakeFiles/itdos_test.dir/itdos/voting_test.cpp.o.d"
+  "itdos_test"
+  "itdos_test.pdb"
+  "itdos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/cdr_test[1]_include.cmake")
+include("/root/repo/build/tests/bft_test[1]_include.cmake")
+include("/root/repo/build/tests/orb_test[1]_include.cmake")
+include("/root/repo/build/tests/itdos_test[1]_include.cmake")
