@@ -28,8 +28,14 @@ void run_dispersed_vote(benchmark::State& state, core::VotePolicy policy) {
     b.value = v;
     ballots.push_back(std::move(b));
   }
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("a1.vote_ns");
+  telemetry::Counter& started = reg.counter("a1.votes_started");
+  telemetry::Counter& decided_counter = reg.counter("a1.votes_decided");
   std::uint64_t decided = 0;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
+    started.inc();
     core::Vote vote(1, policy);
     bool done = false;
     for (const auto& b : ballots) {
@@ -38,6 +44,7 @@ void run_dispersed_vote(benchmark::State& state, core::VotePolicy policy) {
         break;
       }
     }
+    if (done) decided_counter.inc();
     decided += done ? 1 : 0;
   }
   state.counters["decided"] = benchmark::Counter(
@@ -182,6 +189,7 @@ void BM_A4ReplacementTime(benchmark::State& state) {
       return;
     }
     total_sim_ns += system.sim().now() - before;
+    BenchReport::instance().harvest(system.sim());
   }
   state.counters["sim_ms_to_replace"] = benchmark::Counter(
       static_cast<double>(total_sim_ns) / 1e6 / static_cast<double>(state.iterations()));
@@ -191,4 +199,4 @@ BENCHMARK(BM_A4ReplacementTime)->Unit(benchmark::kMillisecond)->Iterations(5);
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("a1_ablations");

@@ -7,13 +7,126 @@
 //     "sim_us" / "pkts") — the protocol-level costs the paper's claims are
 //     about. Network delays are identical across configurations (50-200us
 //     per hop unless stated), so simulated-latency *ratios* are meaningful.
+// Every bench binary additionally emits a machine-readable report,
+// BENCH_<name>.json, assembled from telemetry::MetricsRegistry snapshots
+// (simulation-backed benches harvest the simulator's registry; pure-CPU
+// benches record host wall-clock per op into registry histograms). The
+// report format is pinned by bench/bench_schema.json and checked by
+// scripts/bench_smoke.sh.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "itdos/system.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace itdos::bench {
+
+/// Accumulates telemetry across every benchmark in one binary; written out
+/// as BENCH_<name>.json by ITDOS_BENCH_MAIN. Counters and histograms merge
+/// additively, so benches that build a fresh system per iteration harvest
+/// inside the loop and the report carries binary-wide totals.
+class BenchReport {
+ public:
+  static BenchReport& instance() {
+    static BenchReport report;
+    return report;
+  }
+
+  telemetry::MetricsRegistry& registry() { return registry_; }
+
+  /// Merges the simulator's registry into the report (call before the
+  /// simulator is destroyed).
+  void harvest(const net::Simulator& sim) {
+    registry_.merge_from(sim.telemetry().metrics());
+  }
+
+  /// Writes BENCH_<name>.json into the working directory.
+  void write(const std::string& name) const {
+    std::ofstream out("BENCH_" + name + ".json");
+    out << "{\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"bench\": \"" << name << "\",\n";
+
+    out << "  \"counters\": {";
+    const char* sep = "";
+    for (const auto& [cname, counter] : registry_.counters()) {
+      out << sep << "\n    \"" << cname << "\": " << counter.value();
+      sep = ",";
+    }
+    out << "\n  },\n";
+
+    out << "  \"gauges\": {";
+    sep = "";
+    for (const auto& [gname, gauge] : registry_.gauges()) {
+      out << sep << "\n    \"" << gname << "\": {\"value\": " << gauge.value()
+          << ", \"peak\": " << gauge.peak() << "}";
+      sep = ",";
+    }
+    out << "\n  },\n";
+
+    out << "  \"histograms\": {";
+    sep = "";
+    for (const auto& [hname, hist] : registry_.histograms()) {
+      if (hist.count() == 0) continue;  // nothing informative to report
+      char mean[64];
+      std::snprintf(mean, sizeof(mean), "%.3f", hist.mean());
+      out << sep << "\n    \"" << hname << "\": {\"count\": " << hist.count()
+          << ", \"min\": " << hist.min() << ", \"max\": " << hist.max()
+          << ", \"mean\": " << mean << ", \"p50\": " << hist.percentile(50.0)
+          << ", \"p95\": " << hist.percentile(95.0)
+          << ", \"p99\": " << hist.percentile(99.0) << "}";
+      sep = ",";
+    }
+    out << "\n  },\n";
+
+    // Per-layer rollup: counter totals keyed on the first name segment
+    // ("bft", "smiop", "queue", "vote", "gm", "net", ...).
+    std::map<std::string, std::uint64_t> layers;
+    for (const auto& [cname, counter] : registry_.counters()) {
+      layers[cname.substr(0, cname.find('.'))] += counter.value();
+    }
+    out << "  \"layers\": {";
+    sep = "";
+    for (const auto& [layer, total] : layers) {
+      out << sep << "\n    \"" << layer << "\": " << total;
+      sep = ",";
+    }
+    out << "\n  }\n";
+    out << "}\n";
+  }
+
+ private:
+  BenchReport() = default;
+  telemetry::MetricsRegistry registry_;
+};
+
+/// RAII host-clock sampler: records wall-clock nanoseconds from construction
+/// to destruction into a registry histogram. Gives pure-CPU benches (voting,
+/// threshold crypto, marshalling) a latency histogram in the same report
+/// format the simulation benches get from the telemetry seam.
+class ScopedHostTimer {
+ public:
+  explicit ScopedHostTimer(telemetry::Histogram& hist)
+      : hist_(hist), begin_(std::chrono::steady_clock::now()) {}
+  ~ScopedHostTimer() {
+    hist_.record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - begin_)
+                     .count());
+  }
+  ScopedHostTimer(const ScopedHostTimer&) = delete;
+  ScopedHostTimer& operator=(const ScopedHostTimer&) = delete;
+
+ private:
+  telemetry::Histogram& hist_;
+  std::chrono::steady_clock::time_point begin_;
+};
 
 /// A calculator servant shared by several benches.
 class BenchCalculator : public orb::Servant {
@@ -50,3 +163,15 @@ inline cdr::Value payload_of_size(std::size_t bytes) {
 }
 
 }  // namespace itdos::bench
+
+/// Replaces BENCHMARK_MAIN(): runs the registered benchmarks, then writes
+/// the BENCH_<name>.json telemetry report. `name` is a string literal.
+#define ITDOS_BENCH_MAIN(name)                                              \
+  int main(int argc, char** argv) {                                         \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    ::itdos::bench::BenchReport::instance().write(name);                    \
+    return 0;                                                               \
+  }

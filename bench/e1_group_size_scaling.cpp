@@ -8,7 +8,7 @@
 // n = 3f+1 (PBFT's all-to-all PREPARE/COMMIT), and ordering latency grows
 // with it. This is the paper's architectural justification for keeping
 // clients OUT of the ordering group.
-#include <benchmark/benchmark.h>
+#include "bench_util.hpp"
 
 #include "bft/harness.hpp"
 
@@ -53,6 +53,7 @@ void BM_E1OrderingCost(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(total_packets) / iters);
   state.counters["wire_kb_per_req"] =
       benchmark::Counter(static_cast<double>(total_bytes) / 1024.0 / iters);
+  BenchReport::instance().harvest(cluster.sim());
 }
 BENCHMARK(BM_E1OrderingCost)->DenseRange(1, 5)->Unit(benchmark::kMillisecond)
     ->Iterations(40);
@@ -84,6 +85,7 @@ void BM_E1ThroughputUnderLoad(benchmark::State& state) {
       return;
     }
     total_sim_ns += cluster.sim().now() - before;
+    BenchReport::instance().harvest(cluster.sim());
   }
   const double sim_seconds = static_cast<double>(total_sim_ns) / 1e9;
   state.counters["req_per_sim_sec"] = benchmark::Counter(
@@ -97,4 +99,4 @@ BENCHMARK(BM_E1ThroughputUnderLoad)->DenseRange(1, 4)->Unit(benchmark::kMillisec
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("e1_group_size_scaling");

@@ -10,7 +10,7 @@
 //   * voting cost scales with the unmarshalled value size, and unmarshalled
 //     voting costs more CPU than byte comparison — the price of
 //     heterogeneity tolerance.
-#include <benchmark/benchmark.h>
+#include "bench_util.hpp"
 
 #include "itdos/voting.hpp"
 
@@ -49,8 +49,14 @@ void run_policy_bench(benchmark::State& state, VotePolicy policy, double jitter)
   const int f = 1;
   const auto ballots =
       heterogeneous_ballots(3 * f + 1, static_cast<std::size_t>(state.range(0)), jitter);
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("e2.vote_ns");
+  telemetry::Counter& started = reg.counter("e2.votes_started");
+  telemetry::Counter& decided_counter = reg.counter("e2.votes_decided");
   std::uint64_t decided = 0;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
+    started.inc();
     Vote vote(f, policy);
     bool done = false;
     for (const Ballot& b : ballots) {
@@ -59,6 +65,7 @@ void run_policy_bench(benchmark::State& state, VotePolicy policy, double jitter)
         break;
       }
     }
+    if (done) decided_counter.inc();
     decided += done ? 1 : 0;
   }
   state.counters["decided"] = benchmark::Counter(
@@ -151,4 +158,4 @@ BENCHMARK(BM_E2UnmarshalPlusVote)->Arg(4)->Arg(64)->Arg(1024);
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("e2_voting");

@@ -12,7 +12,7 @@
 // queue snapshot flat. The recovery bench shows the same on the wire: a
 // lagging baseline replica pulls the whole object state, a queue replica
 // pulls only the window.
-#include <benchmark/benchmark.h>
+#include "bench_util.hpp"
 
 #include "bft/harness.hpp"
 #include "itdos/queue.hpp"
@@ -65,8 +65,13 @@ core::QueueStateMachine loaded_queue(int entries) {
 void BM_E3SnapshotStateTransfer(benchmark::State& state) {
   // Baseline: snapshot size == servant state size (swept).
   FatStateMachine app(static_cast<std::size_t>(state.range(0)));
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("e3.snapshot_state_transfer_ns");
+  telemetry::Counter& ops = reg.counter("e3.snapshot_state_transfer_ops");
   std::size_t snapshot_size = 0;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
+    ops.inc();
     const Bytes snap = app.snapshot();
     snapshot_size = snap.size();
     benchmark::DoNotOptimize(snap);
@@ -85,8 +90,13 @@ void BM_E3SnapshotMessageQueue(benchmark::State& state) {
   // the queue snapshot never touches.
   const Bytes servant_state(static_cast<std::size_t>(state.range(0)), 0x7a);
   core::QueueStateMachine queue = loaded_queue(16);
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("e3.snapshot_message_queue_ns");
+  telemetry::Counter& ops = reg.counter("e3.snapshot_message_queue_ops");
   std::size_t snapshot_size = 0;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
+    ops.inc();
     const Bytes snap = queue.snapshot();
     snapshot_size = snap.size();
     benchmark::DoNotOptimize(snap);
@@ -151,6 +161,7 @@ void BM_E3RecoveryWireCost(benchmark::State& state) {
       return;
     }
     recovery_bytes_total += cluster.network().stats().bytes_delivered;
+    BenchReport::instance().harvest(cluster.sim());
   }
   state.counters["recovery_wire_kb"] = benchmark::Counter(
       static_cast<double>(recovery_bytes_total) / 1024.0 /
@@ -165,4 +176,4 @@ BENCHMARK(BM_E3RecoveryWireCost)
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("e3_state_sync");

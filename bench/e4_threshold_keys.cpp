@@ -11,7 +11,7 @@
 // combination vs one PRF call), growing with C(n, f) sub-keys; the exposure
 // counter collapses from "all connections" to zero. That cost/benefit is the
 // paper's §3.5 argument.
-#include <benchmark/benchmark.h>
+#include "bench_util.hpp"
 
 #include <set>
 
@@ -25,8 +25,13 @@ using namespace itdos;
 void BM_E4TraditionalKeygen(benchmark::State& state) {
   // One PRF evaluation per key, known in full to every GM element.
   const Bytes master = Rng(1).next_bytes(32);
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("e4.traditional_keygen_ns");
+  telemetry::Counter& ops = reg.counter("e4.traditional_keygen_ops");
   std::uint64_t conn = 0;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
+    ops.inc();
     const Bytes input = core::dprf_input(ConnectionId(++conn), KeyEpoch(1));
     const crypto::Digest key = crypto::hmac_sha256(master, input);
     benchmark::DoNotOptimize(key);
@@ -58,8 +63,13 @@ void BM_E4ThresholdElementEvaluate(benchmark::State& state) {
   Rng rng(2);
   auto keys = crypto::dprf_deal(params, rng);
   crypto::DprfElement element(params, keys[0]);
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("e4.share_evaluate_ns");
+  telemetry::Counter& ops = reg.counter("e4.share_evaluate_ops");
   std::uint64_t conn = 0;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
+    ops.inc();
     const Bytes input = core::dprf_input(ConnectionId(++conn), KeyEpoch(1));
     auto share = element.evaluate(input);
     benchmark::DoNotOptimize(share);
@@ -83,6 +93,9 @@ void BM_E4ThresholdCombine(benchmark::State& state) {
                            .evaluate(input));
     }
     state.ResumeTiming();
+    ScopedHostTimer timer(
+        BenchReport::instance().registry().histogram("e4.share_combine_ns"));
+    BenchReport::instance().registry().counter("e4.share_combine_ops").inc();
     crypto::DprfCombiner combiner(params, input);
     for (auto& share : shares) (void)combiner.add_share(share);
     auto key = combiner.combine();
@@ -125,4 +138,4 @@ BENCHMARK(BM_E4ExposureAudit)->Arg(1)->Arg(2)->Arg(3);
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("e4_threshold_keys");

@@ -43,6 +43,7 @@ void BM_E5DecideLatency(benchmark::State& state) {
   state.counters["sim_us_to_decision"] = benchmark::Counter(
       static_cast<double>(total_sim_ns) / 1e3 / static_cast<double>(state.iterations()));
   state.counters["crashed_elements"] = benchmark::Counter(crashed);
+  BenchReport::instance().harvest(system.sim());
 }
 BENCHMARK(BM_E5DecideLatency)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
     ->Iterations(25);
@@ -98,6 +99,7 @@ void BM_E5WaitForAllBaseline(benchmark::State& state) {
   state.counters["gave_up_fraction"] = benchmark::Counter(
       static_cast<double>(gave_up) / static_cast<double>(state.iterations()));
   state.counters["crashed_elements"] = benchmark::Counter(crashed);
+  BenchReport::instance().harvest(system.sim());
 }
 BENCHMARK(BM_E5WaitForAllBaseline)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
     ->Iterations(10);
@@ -105,4 +107,4 @@ BENCHMARK(BM_E5WaitForAllBaseline)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("e5_early_vote");

@@ -48,6 +48,7 @@ void BM_E6DetectExpelRekey(benchmark::State& state) {
       return;
     }
     total_sim_ns += system.sim().now() - before;
+    BenchReport::instance().harvest(system.sim());
   }
   state.counters["sim_ms_detect_to_rekey"] = benchmark::Counter(
       static_cast<double>(total_sim_ns) / 1e6 / static_cast<double>(state.iterations()));
@@ -123,8 +124,13 @@ void BM_E6ProofVerification(benchmark::State& state) {
   }
   const Bytes command = core::encode_gm_command(core::GmCommand(change));
 
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("e6.proof_verify_ns");
+  telemetry::Counter& ops = reg.counter("e6.proof_verify_ops");
   std::uint64_t seq = 10;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
+    ops.inc();
     const Bytes reply = machine.execute(command, NodeId(9000), SeqNum(++seq));
     benchmark::DoNotOptimize(reply);
   }
@@ -135,4 +141,4 @@ BENCHMARK(BM_E6ProofVerification)->Arg(1)->Arg(2)->Arg(3);
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("e6_expulsion_rekey");

@@ -53,6 +53,7 @@ void BM_E7PlainIiop(benchmark::State& state) {
   state.counters["pkts_per_call"] = benchmark::Counter(
       static_cast<double>(total_packets) / static_cast<double>(state.iterations()));
   state.counters["replicas"] = benchmark::Counter(1.0);
+  BenchReport::instance().harvest(sim);
 }
 BENCHMARK(BM_E7PlainIiop)->Iterations(100);
 
@@ -86,6 +87,7 @@ void BM_E7Itdos(benchmark::State& state) {
   state.counters["pkts_per_call"] = benchmark::Counter(
       static_cast<double>(total_packets) / static_cast<double>(state.iterations()));
   state.counters["replicas"] = benchmark::Counter(3.0 * f + 1);
+  BenchReport::instance().harvest(system.sim());
 }
 BENCHMARK(BM_E7Itdos)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond)
     ->Iterations(30);
@@ -93,4 +95,4 @@ BENCHMARK(BM_E7Itdos)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond)
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("e7_it_overhead");

@@ -75,6 +75,7 @@ void BM_E8NestedDepth(benchmark::State& state) {
   state.counters["pkts_per_call"] = benchmark::Counter(
       static_cast<double>(total_packets) / static_cast<double>(state.iterations()));
   state.counters["domains_in_chain"] = benchmark::Counter(depth + 1.0);
+  BenchReport::instance().harvest(system.sim());
 }
 BENCHMARK(BM_E8NestedDepth)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
     ->Iterations(10);
@@ -82,4 +83,4 @@ BENCHMARK(BM_E8NestedDepth)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecon
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("e8_nested_invocations");

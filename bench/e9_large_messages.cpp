@@ -47,6 +47,7 @@ void BM_E9PayloadSweep(benchmark::State& state) {
       (payload + options.timing.max_entry_bytes - 1) / options.timing.max_entry_bytes));
   state.SetBytesProcessed(
       static_cast<std::int64_t>(state.iterations() * payload));
+  BenchReport::instance().harvest(system.sim());
 }
 BENCHMARK(BM_E9PayloadSweep)
     ->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 18)
@@ -55,4 +56,4 @@ BENCHMARK(BM_E9PayloadSweep)
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("e9_large_messages");

@@ -44,6 +44,7 @@ void BM_Fig1EndToEnd(benchmark::State& state) {
   state.counters["pkts_per_call"] = benchmark::Counter(
       static_cast<double>(total_packets) / static_cast<double>(state.iterations()));
   state.counters["replicas"] = benchmark::Counter(3.0 * f + 1);
+  BenchReport::instance().harvest(system.sim());
 }
 BENCHMARK(BM_Fig1EndToEnd)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond)
     ->Iterations(30);
@@ -51,4 +52,4 @@ BENCHMARK(BM_Fig1EndToEnd)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("fig1_end_to_end");

@@ -28,11 +28,16 @@ cdr::RequestMessage request_of_size(std::size_t bytes) {
 
 void BM_Layer_Marshal(benchmark::State& state) {
   const auto req = request_of_size(static_cast<std::size_t>(state.range(0)));
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("fig2.marshal_ns");
+  telemetry::Counter& ops = reg.counter("fig2.marshal_ops");
   std::size_t wire_size = 0;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
     const Bytes wire = cdr::encode_giop(cdr::GiopMessage(req));
     wire_size = wire.size();
     benchmark::DoNotOptimize(wire);
+    ops.inc();
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * wire_size));
 }
@@ -41,9 +46,14 @@ BENCHMARK(BM_Layer_Marshal)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
 void BM_Layer_Unmarshal(benchmark::State& state) {
   const Bytes wire = cdr::encode_giop(
       cdr::GiopMessage(request_of_size(static_cast<std::size_t>(state.range(0)))));
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("fig2.unmarshal_ns");
+  telemetry::Counter& ops = reg.counter("fig2.unmarshal_ops");
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
     auto parsed = cdr::parse_giop(wire);
     benchmark::DoNotOptimize(parsed);
+    ops.inc();
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * wire.size()));
 }
@@ -55,10 +65,15 @@ void BM_Layer_Seal(benchmark::State& state) {
   crypto::SymmetricKey key;
   key.bytes.fill(0x42);
   const Bytes aad = core::seal_aad(ConnectionId(1), RequestId(1), KeyEpoch(1), false);
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("fig2.seal_ns");
+  telemetry::Counter& ops = reg.counter("fig2.seal_ops");
   std::uint64_t nonce = 0;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
     const Bytes sealed = crypto::seal(key, crypto::make_nonce(1, ++nonce), aad, plain);
     benchmark::DoNotOptimize(sealed);
+    ops.inc();
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * plain.size()));
 }
@@ -71,9 +86,14 @@ void BM_Layer_Unseal(benchmark::State& state) {
   key.bytes.fill(0x42);
   const Bytes aad = core::seal_aad(ConnectionId(1), RequestId(1), KeyEpoch(1), false);
   const Bytes sealed = crypto::seal(key, crypto::make_nonce(1, 1), aad, plain);
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("fig2.unseal_ns");
+  telemetry::Counter& ops = reg.counter("fig2.unseal_ops");
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
     auto opened = crypto::open(key, aad, sealed);
     benchmark::DoNotOptimize(opened);
+    ops.inc();
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * plain.size()));
 }
@@ -99,6 +119,7 @@ void BM_Layer_BftOrdering(benchmark::State& state) {
   }
   state.counters["sim_us_per_order"] = benchmark::Counter(
       static_cast<double>(total_sim_ns) / 1e3 / static_cast<double>(state.iterations()));
+  BenchReport::instance().harvest(cluster.sim());
 }
 BENCHMARK(BM_Layer_BftOrdering)->Arg(64)->Arg(16384)->Iterations(50);
 
@@ -113,9 +134,14 @@ void BM_Layer_QueueManagement(benchmark::State& state) {
   msg.origin = NodeId(1);
   msg.epoch = KeyEpoch(1);
   msg.sealed_giop = Bytes(static_cast<std::size_t>(state.range(0)), 0x5a);
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("fig2.queue_append_ns");
+  telemetry::Counter& ops = reg.counter("fig2.queue_append_ops");
   std::uint64_t rid = 0;
   std::uint64_t seq = 0;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
+    ops.inc();
     msg.rid = RequestId(++rid);
     queue.execute(msg.encode(), NodeId(9), SeqNum(++seq));
     benchmark::DoNotOptimize(queue.next());
@@ -135,7 +161,12 @@ void BM_Layer_Vote(benchmark::State& state) {
       cdr::GiopMessage(request_of_size(static_cast<std::size_t>(state.range(0)))));
   const auto parsed = cdr::parse_giop(plain);
   const auto& req = std::get<cdr::RequestMessage>(parsed.value());
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("fig2.vote_ns");
+  telemetry::Counter& ops = reg.counter("fig2.vote_ops");
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
+    ops.inc();
     core::Vote vote(1, core::VotePolicy::exact());
     for (int i = 0; i < 3; ++i) {
       core::Ballot ballot;
@@ -151,4 +182,4 @@ BENCHMARK(BM_Layer_Vote)->Arg(64)->Arg(16384)->Arg(262144);
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("fig2_stack_breakdown");

@@ -32,6 +32,7 @@ void BM_Fig3ColdConnection(benchmark::State& state) {
       return;
     }
     total_sim_ns += system.sim().now() - before;
+    BenchReport::instance().harvest(system.sim());
   }
   state.counters["sim_us_first_call"] = benchmark::Counter(
       static_cast<double>(total_sim_ns) / 1e3 / static_cast<double>(state.iterations()));
@@ -66,6 +67,7 @@ void BM_Fig3WarmConnection(benchmark::State& state) {
   state.counters["sim_us_per_call"] = benchmark::Counter(
       static_cast<double>(total_sim_ns) / 1e3 / static_cast<double>(state.iterations()));
   state.counters["gm_elements"] = benchmark::Counter(3.0 * gm_f + 1);
+  BenchReport::instance().harvest(system.sim());
 }
 BENCHMARK(BM_Fig3WarmConnection)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
     ->Iterations(30);
@@ -77,8 +79,13 @@ void BM_Fig3SharesOnly(benchmark::State& state) {
   const crypto::DprfParams params{3 * gm_f + 1, gm_f};
   Rng rng(11);
   const auto keys = crypto::dprf_deal(params, rng);
+  auto& reg = BenchReport::instance().registry();
+  telemetry::Histogram& hist = reg.histogram("fig3.shares_combine_ns");
+  telemetry::Counter& ops = reg.counter("fig3.shares_combine_ops");
   std::uint64_t conn = 0;
   for (auto _ : state) {
+    ScopedHostTimer timer(hist);
+    ops.inc();
     const Bytes input = core::dprf_input(ConnectionId(++conn), KeyEpoch(1));
     crypto::DprfCombiner combiner(params, input);
     for (int i = 0; i < 2 * gm_f + 1; ++i) {
@@ -94,4 +101,4 @@ BENCHMARK(BM_Fig3SharesOnly)->Arg(1)->Arg(2)->Arg(3);
 }  // namespace
 }  // namespace itdos::bench
 
-BENCHMARK_MAIN();
+ITDOS_BENCH_MAIN("fig3_connection_establishment");

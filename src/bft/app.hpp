@@ -24,6 +24,11 @@ class StateMachine {
 
   /// Replaces the application state with a snapshot from a correct replica.
   virtual Status restore(ByteView snapshot) = 0;
+
+  /// Telemetry hook: the request-scoped trace id carried by an application
+  /// payload (0 = untraced). Lets the BFT layer tag its ordering events with
+  /// the originating ITDOS request without understanding the payload format.
+  virtual std::uint64_t trace_of(ByteView) const { return 0; }
 };
 
 }  // namespace itdos::bft

@@ -30,14 +30,47 @@ Replica::Replica(net::Network& net, NodeId id, BftConfig config,
       keys_(keys),
       signing_key_(std::move(signing_key)),
       keystore_(std::move(keystore)),
-      app_(std::move(app)) {
+      app_(std::move(app)),
+      tel_(&net.sim().telemetry()) {
   assert(config_.validate().is_ok());
   assert(config_.is_replica(id));
+  const std::string prefix = "bft." + id.to_string() + ".";
+  auto& reg = tel_->metrics();
+  metrics_.requests_received = &reg.counter(prefix + "requests_received");
+  metrics_.pre_prepares_sent = &reg.counter(prefix + "pre_prepares_sent");
+  metrics_.prepares_sent = &reg.counter(prefix + "prepares_sent");
+  metrics_.commits_sent = &reg.counter(prefix + "commits_sent");
+  metrics_.replies_sent = &reg.counter(prefix + "replies_sent");
+  metrics_.checkpoints_sent = &reg.counter(prefix + "checkpoints_sent");
+  metrics_.view_changes_sent = &reg.counter(prefix + "view_changes_sent");
+  metrics_.new_views_sent = &reg.counter(prefix + "new_views_sent");
+  metrics_.executed = &reg.counter(prefix + "executed");
+  metrics_.state_transfers = &reg.counter(prefix + "state_transfers");
+  metrics_.auth_failures = &reg.counter(prefix + "auth_failures");
+  metrics_.malformed = &reg.counter(prefix + "malformed");
+  metrics_.exec_latency_ns = &reg.histogram("bft.exec_latency_ns");
   join(config_.group);
   // The state at seq 0 is the genesis snapshot; it seeds state transfer for
   // replicas that fall behind before the first checkpoint.
   stable_snapshot_ = make_snapshot();
   stable_digest_ = checkpoint_digest(0, stable_snapshot_);
+}
+
+ReplicaStats Replica::stats() const {
+  return ReplicaStats{
+      .requests_received = metrics_.requests_received->value(),
+      .pre_prepares_sent = metrics_.pre_prepares_sent->value(),
+      .prepares_sent = metrics_.prepares_sent->value(),
+      .commits_sent = metrics_.commits_sent->value(),
+      .replies_sent = metrics_.replies_sent->value(),
+      .checkpoints_sent = metrics_.checkpoints_sent->value(),
+      .view_changes_sent = metrics_.view_changes_sent->value(),
+      .new_views_sent = metrics_.new_views_sent->value(),
+      .executed = metrics_.executed->value(),
+      .state_transfers = metrics_.state_transfers->value(),
+      .auth_failures = metrics_.auth_failures->value(),
+      .malformed = metrics_.malformed->value(),
+  };
 }
 
 // ---------------------------------------------------------------------------
@@ -48,12 +81,12 @@ void Replica::on_packet(const net::Packet& packet) {
   if (packet.from == id()) return;  // multicast loopback; own state recorded at send
   Result<Envelope> decoded = Envelope::decode(packet.payload);
   if (!decoded.is_ok()) {
-    ++stats_.malformed;
+    metrics_.malformed->inc();
     return;
   }
   const Envelope env = std::move(decoded).take();
   if (const Status s = verify_envelope(env); !s.is_ok()) {
-    ++stats_.auth_failures;
+    metrics_.auth_failures->inc();
     ITDOS_DEBUG(kLog) << id().to_string() << " rejects " << msg_type_name(env.type)
                       << " from " << env.sender.to_string() << ": " << s.to_string();
     return;
@@ -132,15 +165,16 @@ bool Replica::in_window(std::uint64_t seq) const {
 void Replica::handle_request(const Envelope& env) {
   Result<RequestMsg> decoded = RequestMsg::decode(env.body);
   if (!decoded.is_ok()) {
-    ++stats_.malformed;
+    metrics_.malformed->inc();
     return;
   }
   const RequestMsg request = std::move(decoded).take();
   if (request.client != env.sender) {
-    ++stats_.auth_failures;  // spoofed client id
+    metrics_.auth_failures->inc();  // spoofed client id
     return;
   }
-  ++stats_.requests_received;
+  metrics_.requests_received->inc();
+  tel_->trace(telemetry::TraceKind::kBftRequest, id(), app_->trace_of(request.payload));
 
   ClientRecord& record = clients_[request.client];
   if (request.timestamp <= record.last_timestamp) {
@@ -153,7 +187,7 @@ void Replica::handle_request(const Envelope& env) {
       reply.replica = id();
       reply.result = record.last_reply;
       send_authenticated(request.client, MsgType::kReply, reply.encode());
-      ++stats_.replies_sent;
+      metrics_.replies_sent->inc();
     }
     return;
   }
@@ -175,7 +209,6 @@ void Replica::handle_request(const Envelope& env) {
 }
 
 void Replica::assign_and_propose(const RequestMsg& request, const Bytes& encoded) {
-  (void)request;
   const std::uint64_t seq = std::max(next_seq_, last_executed_) + 1;
   if (!in_window(seq)) {
     proposal_backlog_.push_back(encoded);
@@ -187,9 +220,13 @@ void Replica::assign_and_propose(const RequestMsg& request, const Bytes& encoded
   pp.seq = SeqNum(seq);
   pp.request = encoded;
   pp.req_digest = crypto::sha256(ByteView(encoded));
-  log_[seq].pre_prepare = pp;
+  LogEntry& entry = log_[seq];
+  entry.pre_prepare = pp;
+  entry.trace = app_->trace_of(request.payload);
+  entry.first_seen = now();
   multicast_authenticated(MsgType::kPrePrepare, pp.encode());
-  ++stats_.pre_prepares_sent;
+  metrics_.pre_prepares_sent->inc();
+  tel_->trace(telemetry::TraceKind::kBftPrePrepare, id(), entry.trace, view_.value, seq);
   arm_request_timer();
 }
 
@@ -211,7 +248,7 @@ void Replica::handle_pre_prepare(const Envelope& env) {
   if (env.sender != config_.primary_for(view_)) return;  // only the primary proposes
   Result<PrePrepareMsg> decoded = PrePrepareMsg::decode(env.body);
   if (!decoded.is_ok()) {
-    ++stats_.malformed;
+    metrics_.malformed->inc();
     return;
   }
   const PrePrepareMsg pp = std::move(decoded).take();
@@ -223,12 +260,14 @@ void Replica::handle_pre_prepare(const Envelope& env) {
   }
 
   // Digest must bind the piggybacked request (or be the null digest).
+  std::uint64_t trace = 0;
   if (pp.is_null_request()) {
     if (pp.req_digest != Digest{}) return;
   } else {
     if (crypto::sha256(ByteView(pp.request)) != pp.req_digest) return;
     Result<RequestMsg> request = RequestMsg::decode(pp.request);
     if (!request.is_ok()) return;
+    trace = app_->trace_of(request.value().payload);
     // Remember the proposal so retransmissions are not re-forwarded.
     ClientRecord& record = clients_[request.value().client];
     record.last_proposed = std::max(record.last_proposed, request.value().timestamp);
@@ -242,6 +281,8 @@ void Replica::handle_pre_prepare(const Envelope& env) {
   }
   if (entry.pre_prepare) return;  // duplicate
   entry.pre_prepare = pp;
+  entry.trace = trace;
+  entry.first_seen = now();
 
   PrepareMsg prepare;
   prepare.view = view_;
@@ -250,7 +291,8 @@ void Replica::handle_pre_prepare(const Envelope& env) {
   prepare.replica = id();
   entry.prepares[id()] = pp.req_digest;
   multicast_authenticated(MsgType::kPrepare, prepare.encode());
-  ++stats_.prepares_sent;
+  metrics_.prepares_sent->inc();
+  tel_->trace(telemetry::TraceKind::kBftPrepare, id(), entry.trace, view_.value, seq);
   arm_request_timer();
   maybe_send_commit(seq);
 }
@@ -260,7 +302,7 @@ void Replica::handle_prepare(const Envelope& env) {
   if (config_.rank_of(env.sender) < 0) return;
   Result<PrepareMsg> decoded = PrepareMsg::decode(env.body);
   if (!decoded.is_ok()) {
-    ++stats_.malformed;
+    metrics_.malformed->inc();
     return;
   }
   const PrepareMsg msg = std::move(decoded).take();
@@ -291,7 +333,8 @@ void Replica::maybe_send_commit(std::uint64_t seq) {
   commit.replica = id();
   entry.commits[id()] = commit.req_digest;
   multicast_authenticated(MsgType::kCommit, commit.encode());
-  ++stats_.commits_sent;
+  metrics_.commits_sent->inc();
+  tel_->trace(telemetry::TraceKind::kBftCommit, id(), entry.trace, view_.value, seq);
   if (entry_committed(entry)) {
     entry.committed = true;
     try_execute();
@@ -303,7 +346,7 @@ void Replica::handle_commit(const Envelope& env) {
   if (config_.rank_of(env.sender) < 0) return;
   Result<CommitMsg> decoded = CommitMsg::decode(env.body);
   if (!decoded.is_ok()) {
-    ++stats_.malformed;
+    metrics_.malformed->inc();
     return;
   }
   const CommitMsg msg = std::move(decoded).take();
@@ -356,6 +399,10 @@ void Replica::try_execute() {
 void Replica::execute_entry(std::uint64_t seq, LogEntry& entry) {
   entry.executed = true;
   last_executed_ = seq;
+  if (entry.first_seen.ns >= 0) {
+    metrics_.exec_latency_ns->record(now() - entry.first_seen);
+  }
+  tel_->trace(telemetry::TraceKind::kBftExecute, id(), entry.trace, seq);
   if (!entry.pre_prepare->is_null_request()) {
     Result<RequestMsg> decoded = RequestMsg::decode(entry.pre_prepare->request);
     if (decoded.is_ok()) {
@@ -365,7 +412,7 @@ void Replica::execute_entry(std::uint64_t seq, LogEntry& entry) {
         record.last_reply = app_->execute(request.payload, request.client, SeqNum(seq));
         record.last_timestamp = request.timestamp;
         record.reply_valid = true;
-        ++stats_.executed;
+        metrics_.executed->inc();
       }
       send_reply(request, record.last_reply);
     }
@@ -383,7 +430,7 @@ void Replica::send_reply(const RequestMsg& request, const Bytes& result) {
   reply.replica = id();
   reply.result = result;
   send_authenticated(request.client, MsgType::kReply, reply.encode());
-  ++stats_.replies_sent;
+  metrics_.replies_sent->inc();
 }
 
 // ---------------------------------------------------------------------------
@@ -437,7 +484,8 @@ Status Replica::install_snapshot(std::uint64_t seq, const Digest& digest,
   checkpoint_votes_.erase(checkpoint_votes_.begin(), checkpoint_votes_.upper_bound(seq));
   pending_snapshots_.erase(pending_snapshots_.begin(),
                            pending_snapshots_.upper_bound(seq));
-  ++stats_.state_transfers;
+  metrics_.state_transfers->inc();
+  tel_->trace(telemetry::TraceKind::kBftStateTransfer, id(), 0, seq);
   try_execute();
   return Status::ok();
 }
@@ -451,7 +499,8 @@ void Replica::take_checkpoint(std::uint64_t seq) {
   msg.state_digest = digest;
   msg.replica = id();
   multicast_authenticated(MsgType::kCheckpoint, msg.encode());
-  ++stats_.checkpoints_sent;
+  metrics_.checkpoints_sent->inc();
+  tel_->trace(telemetry::TraceKind::kBftCheckpoint, id(), 0, seq);
   process_checkpoint_vote(msg);
 }
 
@@ -459,7 +508,7 @@ void Replica::handle_checkpoint(const Envelope& env) {
   if (config_.rank_of(env.sender) < 0) return;
   Result<CheckpointMsg> decoded = CheckpointMsg::decode(env.body);
   if (!decoded.is_ok()) {
-    ++stats_.malformed;
+    metrics_.malformed->inc();
     return;
   }
   const CheckpointMsg msg = std::move(decoded).take();
@@ -518,7 +567,7 @@ void Replica::handle_state_request(const Envelope& env) {
   if (config_.rank_of(env.sender) < 0) return;
   Result<StateRequestMsg> decoded = StateRequestMsg::decode(env.body);
   if (!decoded.is_ok()) {
-    ++stats_.malformed;
+    metrics_.malformed->inc();
     return;
   }
   const StateRequestMsg msg = std::move(decoded).take();
@@ -615,7 +664,7 @@ void Replica::handle_state_response(const Envelope& env) {
   if (config_.rank_of(env.sender) < 0) return;
   Result<StateResponseMsg> decoded = StateResponseMsg::decode(env.body);
   if (!decoded.is_ok()) {
-    ++stats_.malformed;
+    metrics_.malformed->inc();
     return;
   }
   const StateResponseMsg msg = std::move(decoded).take();
@@ -723,7 +772,8 @@ void Replica::start_view_change(ViewId new_view) {
   svc.signature = signing_key_.sign(body);
   view_change_msgs_[new_view][id()] = svc;
   multicast_signed(MsgType::kViewChange, body);
-  ++stats_.view_changes_sent;
+  metrics_.view_changes_sent->inc();
+  tel_->trace(telemetry::TraceKind::kBftViewChange, id(), 0, new_view.value);
 
   // If the new view stalls too, move on to the next one — with exponential
   // backoff (PBFT: "the timeout for the new view is twice the previous
@@ -748,7 +798,7 @@ void Replica::handle_view_change(const Envelope& env) {
   if (!env.signature) return;  // view changes must be signed
   Result<ViewChangeMsg> decoded = ViewChangeMsg::decode(env.body);
   if (!decoded.is_ok()) {
-    ++stats_.malformed;
+    metrics_.malformed->inc();
     return;
   }
   const ViewChangeMsg msg = std::move(decoded).take();
@@ -857,7 +907,8 @@ void Replica::process_view_change_quorum(ViewId new_view) {
       compute_new_view_pre_prepares(new_view, msg.view_changes, &min_s, &max_s);
 
   multicast_signed(MsgType::kNewView, msg.encode());
-  ++stats_.new_views_sent;
+  metrics_.new_views_sent->inc();
+  tel_->trace(telemetry::TraceKind::kBftNewView, id(), 0, new_view.value);
   adopt_new_view(msg);
 }
 
@@ -865,7 +916,7 @@ void Replica::handle_new_view(const Envelope& env) {
   if (!env.signature) return;
   Result<NewViewMsg> decoded = NewViewMsg::decode(env.body);
   if (!decoded.is_ok()) {
-    ++stats_.malformed;
+    metrics_.malformed->inc();
     return;
   }
   const NewViewMsg msg = std::move(decoded).take();
@@ -883,7 +934,7 @@ void Replica::handle_new_view(const Envelope& env) {
     if (!senders.insert(svc.msg.replica).second) return;  // duplicates
     const Bytes body = svc.msg.encode();
     if (!keystore_->verify(svc.msg.replica, body, svc.signature).is_ok()) {
-      ++stats_.auth_failures;
+      metrics_.auth_failures->inc();
       return;
     }
   }
@@ -936,8 +987,10 @@ void Replica::adopt_new_view(const NewViewMsg& msg) {
     if (seq <= last_executed_) continue;  // already executed (committed earlier)
     // Requests the new view re-proposes ARE in flight: restore their dedup
     // marks so client retransmissions are not double-assigned.
+    std::uint64_t trace = 0;
     if (!pp.is_null_request()) {
       if (Result<RequestMsg> carried = RequestMsg::decode(pp.request); carried.is_ok()) {
+        trace = app_->trace_of(carried.value().payload);
         ClientRecord& record = clients_[carried.value().client];
         record.last_proposed = std::max(record.last_proposed, carried.value().timestamp);
         record.last_forwarded = std::max(record.last_forwarded, carried.value().timestamp);
@@ -949,6 +1002,8 @@ void Replica::adopt_new_view(const NewViewMsg& msg) {
     entry.prepares.clear();
     entry.commits.clear();
     entry.committed = false;
+    entry.trace = trace;
+    entry.first_seen = now();
 
     if (config_.primary_for(view_) != id()) {
       PrepareMsg prepare;
@@ -958,7 +1013,7 @@ void Replica::adopt_new_view(const NewViewMsg& msg) {
       prepare.replica = id();
       entry.prepares[id()] = pp.req_digest;
       multicast_authenticated(MsgType::kPrepare, prepare.encode());
-      ++stats_.prepares_sent;
+      metrics_.prepares_sent->inc();
     }
     arm_request_timer();
   }

@@ -29,10 +29,12 @@
 #include "bft/config.hpp"
 #include "bft/messages.hpp"
 #include "net/process.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace itdos::bft {
 
-/// Per-replica protocol statistics (benchmarks report these).
+/// Per-replica protocol statistics (benchmarks report these). A by-value
+/// view assembled from the telemetry registry's `bft.<node>.*` counters.
 struct ReplicaStats {
   std::uint64_t requests_received = 0;
   std::uint64_t pre_prepares_sent = 0;
@@ -66,7 +68,7 @@ class Replica : public net::Process {
   /// by replacement elements joining with no history; f+1 matching replies
   /// certify the snapshot).
   void request_catch_up();
-  const ReplicaStats& stats() const { return stats_; }
+  ReplicaStats stats() const;
   const StateMachine& app() const { return *app_; }
   StateMachine& app() { return *app_; }
 
@@ -80,6 +82,8 @@ class Replica : public net::Process {
     std::map<NodeId, Digest> commits;
     bool committed = false;
     bool executed = false;
+    std::uint64_t trace = 0;      // request-scoped trace id (0 = untraced)
+    SimTime first_seen{-1};       // when the pre-prepare entered the log
   };
 
   struct ClientRecord {
@@ -147,7 +151,25 @@ class Replica : public net::Process {
   crypto::SigningKey signing_key_;
   std::shared_ptr<const crypto::Keystore> keystore_;
   std::unique_ptr<StateMachine> app_;
-  ReplicaStats stats_;
+
+  // Registry-backed counters (stable addresses, resolved once at
+  // construction) plus the ordering-latency histogram.
+  telemetry::Hub* tel_;
+  struct {
+    telemetry::Counter* requests_received;
+    telemetry::Counter* pre_prepares_sent;
+    telemetry::Counter* prepares_sent;
+    telemetry::Counter* commits_sent;
+    telemetry::Counter* replies_sent;
+    telemetry::Counter* checkpoints_sent;
+    telemetry::Counter* view_changes_sent;
+    telemetry::Counter* new_views_sent;
+    telemetry::Counter* executed;
+    telemetry::Counter* state_transfers;
+    telemetry::Counter* auth_failures;
+    telemetry::Counter* malformed;
+    telemetry::Histogram* exec_latency_ns;  // pre-prepare logged -> executed
+  } metrics_;
 
   // Protocol state.
   ViewId view_;

@@ -101,6 +101,8 @@ DomainElement::DomainElement(net::Network& net,
   queue_options.n = domain_info.n();
   queue_options.f = domain_info.f;
   queue_options.members = domain_info.smiop_nodes();
+  queue_options.telemetry = &net_.sim().telemetry();
+  queue_options.self = info_.smiop_node;
   auto queue = std::make_unique<QueueStateMachine>(queue_options);
   queue_ = queue.get();
   queue_->set_delivery_hook([this] { schedule_consume(); });

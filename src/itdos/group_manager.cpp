@@ -26,10 +26,28 @@ Bytes dprf_input(ConnectionId conn, KeyEpoch epoch) {
 
 GmStateMachine::GmStateMachine(std::shared_ptr<const SystemDirectory> directory,
                                std::shared_ptr<const crypto::Keystore> keystore,
-                               ShareDistributor* distributor)
+                               ShareDistributor* distributor,
+                               telemetry::Hub* telemetry, NodeId self)
     : directory_(std::move(directory)),
       keystore_(std::move(keystore)),
-      distributor_(distributor) {}
+      distributor_(distributor),
+      tel_(telemetry),
+      self_(self) {
+  if (tel_ != nullptr) {
+    telemetry::MetricsRegistry& reg = tel_->metrics();
+    const std::string prefix = "gm." + self_.to_string() + ".";
+    metrics_.opens = &reg.counter(prefix + "opens");
+    metrics_.resends = &reg.counter(prefix + "resends");
+    metrics_.change_requests = &reg.counter(prefix + "change_requests");
+    metrics_.expulsions = &reg.counter(prefix + "expulsions");
+    metrics_.rekeys = &reg.counter(prefix + "rekeys");
+  }
+}
+
+void GmStateMachine::trace(telemetry::TraceKind kind, std::uint64_t trace_id,
+                           std::uint64_t a, std::uint64_t b) const {
+  if (tel_ != nullptr) tel_->trace(kind, self_, trace_id, a, b);
+}
 
 bool GmStateMachine::is_expelled(DomainId domain, NodeId element_smiop) const {
   const auto it = expelled_.find(domain);
@@ -101,6 +119,9 @@ GmCommandResult GmStateMachine::handle_open(const OpenRequestMsg& msg) {
         if (distributor_ != nullptr) {
           distributor_->distribute(record, recipients_for(record));
         }
+        if (metrics_.opens != nullptr) metrics_.opens->inc();
+        trace(telemetry::TraceKind::kGmOpenRequest, 0, msg.client_domain.value,
+              msg.target.value);
         result.accepted = true;
         result.conn = record.conn;
         result.epoch = record.epoch;
@@ -119,6 +140,9 @@ GmCommandResult GmStateMachine::handle_open(const OpenRequestMsg& msg) {
   if (distributor_ != nullptr) {
     distributor_->distribute(record, recipients_for(record));
   }
+  if (metrics_.opens != nullptr) metrics_.opens->inc();
+  trace(telemetry::TraceKind::kGmOpenRequest, 0, msg.client_domain.value,
+        msg.target.value);
   result.accepted = true;
   result.conn = record.conn;
   result.epoch = record.epoch;
@@ -142,6 +166,8 @@ GmCommandResult GmStateMachine::handle_resend(const ResendSharesMsg& msg) {
   if (distributor_ != nullptr) {
     distributor_->distribute(it->second, {msg.requester});
   }
+  if (metrics_.resends != nullptr) metrics_.resends->inc();
+  trace(telemetry::TraceKind::kGmResend, 0, it->second.epoch.value);
   result.accepted = true;
   result.conn = it->second.conn;
   result.epoch = it->second.epoch;
@@ -211,6 +237,10 @@ Status GmStateMachine::verify_proof(const ChangeRequestMsg& msg) const {
 GmCommandResult GmStateMachine::handle_change(const ChangeRequestMsg& msg,
                                               NodeId submitter) {
   GmCommandResult result;
+  if (metrics_.change_requests != nullptr) metrics_.change_requests->inc();
+  trace(telemetry::TraceKind::kGmChangeRequest,
+        telemetry::trace_id(msg.conn, msg.rid), msg.accused_element.value,
+        msg.conn.value);
   const DomainInfo* accused = directory_->find_domain(msg.accused_domain);
   if (accused == nullptr) {
     result.detail = "unknown accused domain";
@@ -267,6 +297,8 @@ GmCommandResult GmStateMachine::handle_change(const ChangeRequestMsg& msg,
 void GmStateMachine::expel(DomainId domain, NodeId element_smiop) {
   expelled_[domain].insert(element_smiop);
   ++expulsions_;
+  if (metrics_.expulsions != nullptr) metrics_.expulsions->inc();
+  trace(telemetry::TraceKind::kGmExpulsion, 0, element_smiop.value);
   ITDOS_INFO(kLog) << "expelling element " << element_smiop.to_string()
                    << " from domain " << domain.to_string();
   // Rekey every connection the domain participates in, excluding the
@@ -275,6 +307,8 @@ void GmStateMachine::expel(DomainId domain, NodeId element_smiop) {
   for (auto& [conn, record] : conns_) {
     if (record.target != domain && record.client_domain != domain) continue;
     record.epoch = KeyEpoch(record.epoch.value + 1);
+    if (metrics_.rekeys != nullptr) metrics_.rekeys->inc();
+    trace(telemetry::TraceKind::kGmRekey, 0, record.conn.value, record.epoch.value);
     if (distributor_ != nullptr) {
       distributor_->distribute(record, recipients_for(record));
     }
@@ -423,8 +457,9 @@ GmElement::GmElement(net::Network& net,
     : net_(net), directory_(std::move(directory)), index_(index) {
   distributor_ = std::make_unique<Distributor>(net_, directory_, index_, keys,
                                                std::move(dprf_keys));
-  auto state = std::make_unique<GmStateMachine>(directory_, keystore,
-                                                distributor_.get());
+  auto state = std::make_unique<GmStateMachine>(
+      directory_, keystore, distributor_.get(), &net_.sim().telemetry(),
+      directory_->gm().elements[index_].smiop_node);
   state_ = state.get();
   const bft::BftConfig config =
       directory_->gm().make_bft_config(directory_->timing());

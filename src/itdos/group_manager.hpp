@@ -29,6 +29,7 @@
 #include "bft/replica.hpp"
 #include "itdos/smiop_msg.hpp"
 #include "itdos/system_directory.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace itdos::core {
 
@@ -59,9 +60,12 @@ class ShareDistributor {
 /// The deterministic, BFT-ordered core of the Group Manager.
 class GmStateMachine : public bft::StateMachine {
  public:
+  /// `telemetry`/`self` are optional (unit tests leave them null): when set,
+  /// GM decisions are traced and counted under `gm.<self>.*`.
   GmStateMachine(std::shared_ptr<const SystemDirectory> directory,
                  std::shared_ptr<const crypto::Keystore> keystore,
-                 ShareDistributor* distributor);
+                 ShareDistributor* distributor,
+                 telemetry::Hub* telemetry = nullptr, NodeId self = {});
 
   Bytes execute(ByteView request, NodeId client, SeqNum seq) override;
   Bytes snapshot() const override;
@@ -82,10 +86,21 @@ class GmStateMachine : public bft::StateMachine {
   Status verify_proof(const ChangeRequestMsg& msg) const;
   void expel(DomainId domain, NodeId element_smiop);
   std::vector<NodeId> recipients_for(const ConnRecord& record) const;
+  void trace(telemetry::TraceKind kind, std::uint64_t trace_id, std::uint64_t a = 0,
+             std::uint64_t b = 0) const;
 
   std::shared_ptr<const SystemDirectory> directory_;
   std::shared_ptr<const crypto::Keystore> keystore_;
   ShareDistributor* distributor_;  // may be null (unit tests)
+  telemetry::Hub* tel_;            // may be null (unit tests)
+  NodeId self_;
+  struct {
+    telemetry::Counter* opens;
+    telemetry::Counter* resends;
+    telemetry::Counter* change_requests;
+    telemetry::Counter* expulsions;
+    telemetry::Counter* rekeys;
+  } metrics_{};
 
   // Replicated deterministic state.
   std::uint64_t next_conn_ = 1;

@@ -10,6 +10,36 @@ namespace {
 const Bytes kAckReply = to_bytes("ITDOS-ACK");  // the paper's "static reply"
 }
 
+QueueStateMachine::QueueStateMachine(QueueOptions options) : options_(std::move(options)) {
+  if (options_.telemetry != nullptr) {
+    const std::string prefix = "queue." + options_.self.to_string() + ".";
+    depth_gauge_ = &options_.telemetry->metrics().gauge(prefix + "depth");
+    collected_counter_ = &options_.telemetry->metrics().counter(prefix + "entries_collected");
+  }
+}
+
+void QueueStateMachine::trace(telemetry::TraceKind kind, std::uint64_t trace_id, std::uint64_t a,
+                              std::uint64_t b) const {
+  if (options_.telemetry != nullptr) options_.telemetry->trace(kind, options_.self, trace_id, a, b);
+}
+
+void QueueStateMachine::update_depth() const {
+  if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<std::int64_t>(size()));
+}
+
+std::uint64_t QueueStateMachine::trace_of(ByteView request) const {
+  const Result<QueueEntryKind> kind = queue_entry_kind(request);
+  if (!kind.is_ok()) return 0;
+  if (kind.value() == QueueEntryKind::kRequest) {
+    const Result<OrderedMsg> msg = OrderedMsg::decode(request);
+    if (msg.is_ok()) return telemetry::trace_id(msg.value().conn, msg.value().rid);
+  } else if (kind.value() == QueueEntryKind::kFragment) {
+    const Result<FragmentMsg> msg = FragmentMsg::decode(request);
+    if (msg.is_ok()) return telemetry::trace_id(msg.value().conn, msg.value().rid);
+  }
+  return 0;
+}
+
 Bytes QueueStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
   (void)client;
   (void)seq;
@@ -31,6 +61,8 @@ Bytes QueueStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
   // kRequest and kSyncPoint entries are both delivered to the consumer (the
   // sync point marks the exact queue position peers snapshot at).
   entries_[next_index_++] = Bytes(request.begin(), request.end());
+  trace(telemetry::TraceKind::kQueueAppend, trace_of(request), next_index_ - 1);
+  update_depth();
   if (on_delivery_) on_delivery_();
   return kAckReply;
 }
@@ -65,8 +97,12 @@ void QueueStateMachine::advance_base() {
     }
   }
   if (floor <= base_) return;
+  const std::uint64_t collected = floor - base_;
   entries_.erase(entries_.begin(), entries_.lower_bound(floor));
   base_ = floor;
+  trace(telemetry::TraceKind::kQueueGc, 0, base_, collected);
+  if (collected_counter_ != nullptr) collected_counter_->inc(collected);
+  update_depth();
   if (consumed_ < base_) {
     if (bootstrap_) {
       consumed_ = base_;  // placeholder cursor; real one comes from the bundle
@@ -74,11 +110,13 @@ void QueueStateMachine::advance_base() {
       // Our own unconsumed entries were collected: we broke the queue
       // management protocol and can no longer maintain equivalent state.
       broken_ = true;
+      trace(telemetry::TraceKind::kQueueBroken, 0, base_);
     }
   }
   if (on_laggard_) {
     for (const auto& [element, index] : acks_) {
       if (base_ - std::min(index, base_) > options_.lag_window) {
+        trace(telemetry::TraceKind::kQueueLaggard, 0, element.value);
         on_laggard_(element);
       }
     }
@@ -154,6 +192,7 @@ Status QueueStateMachine::restore(ByteView snapshot) {
   // receive certified servant state at a sync point instead.
   if (consumed_ < base && !bootstrap_) {
     broken_ = true;
+    trace(telemetry::TraceKind::kQueueBroken, 0, base);
     return error(Errc::kFailedPrecondition,
                  "queue GC passed this element's consumption point; element "
                  "must be expelled (virtual synchrony)");
@@ -162,6 +201,7 @@ Status QueueStateMachine::restore(ByteView snapshot) {
   base_ = base;
   next_index_ = next;
   acks_ = std::move(acks);
+  update_depth();
   if (bootstrap_ && consumed_ < base_) consumed_ = base_;  // placeholder cursor
   if (on_delivery_ && has_next()) on_delivery_();
   return Status::ok();

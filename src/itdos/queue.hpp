@@ -29,6 +29,7 @@
 
 #include "bft/app.hpp"
 #include "itdos/smiop_msg.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace itdos::core {
 
@@ -43,6 +44,11 @@ struct QueueOptions {
   /// unit tests use that).
   std::vector<NodeId> members;
 
+  /// Telemetry seam (optional; unit tests leave it null). `self` is the
+  /// owning element's SMIOP node, used as the event emitter.
+  telemetry::Hub* telemetry = nullptr;
+  NodeId self{};
+
   bool is_member(NodeId node) const {
     return members.empty() ||
            std::find(members.begin(), members.end(), node) != members.end();
@@ -51,7 +57,7 @@ struct QueueOptions {
 
 class QueueStateMachine : public bft::StateMachine {
  public:
-  explicit QueueStateMachine(QueueOptions options) : options_(options) {}
+  explicit QueueStateMachine(QueueOptions options);
 
   /// Fires (element-locally) whenever a new data entry becomes consumable.
   void set_delivery_hook(std::function<void()> hook) { on_delivery_ = std::move(hook); }
@@ -66,6 +72,9 @@ class QueueStateMachine : public bft::StateMachine {
   Bytes execute(ByteView request, NodeId client, SeqNum seq) override;
   Bytes snapshot() const override;
   Status restore(ByteView snapshot) override;
+  /// Derives the request-scoped trace id from an ordered queue entry (the
+  /// BFT layer tags its pre-prepare/prepare/commit events with it).
+  std::uint64_t trace_of(ByteView request) const override;
 
   // --- element-local consumption (the ORB actor side) ---
   bool has_next() const { return !broken_ && !bootstrap_ && consumed_ < next_index_; }
@@ -105,8 +114,13 @@ class QueueStateMachine : public bft::StateMachine {
 
  private:
   void advance_base();
+  void trace(telemetry::TraceKind kind, std::uint64_t trace_id, std::uint64_t a = 0,
+             std::uint64_t b = 0) const;
+  void update_depth() const;
 
   QueueOptions options_;
+  telemetry::Gauge* depth_gauge_ = nullptr;        // queue.<self>.depth
+  telemetry::Counter* collected_counter_ = nullptr;  // queue.<self>.entries_collected
   std::function<void()> on_delivery_;
   std::function<void(NodeId)> on_laggard_;
 

@@ -105,7 +105,22 @@ SmiopParty::SmiopParty(net::Network& net,
       keys_(keys),
       keystore_(std::move(keystore)),
       allocator_(std::move(allocator)),
-      agent_(directory_, keys_, config.smiop_node) {
+      agent_(directory_, keys_, config.smiop_node),
+      tel_(&net.sim().telemetry()) {
+  const std::string prefix = "smiop." + config_.smiop_node.to_string() + ".";
+  auto& reg = tel_->metrics();
+  metrics_.opens_sent = &reg.counter(prefix + "opens_sent");
+  metrics_.requests_sent = &reg.counter(prefix + "requests_sent");
+  metrics_.replies_received = &reg.counter(prefix + "replies_received");
+  metrics_.replies_rejected = &reg.counter(prefix + "replies_rejected");
+  metrics_.votes_decided = &reg.counter(prefix + "votes_decided");
+  metrics_.votes_timed_out = &reg.counter(prefix + "votes_timed_out");
+  metrics_.discarded = &reg.counter(prefix + "discarded");
+  metrics_.faults_detected = &reg.counter(prefix + "faults_detected");
+  metrics_.change_requests_sent = &reg.counter(prefix + "change_requests_sent");
+  metrics_.fragmented_requests = &reg.counter(prefix + "fragmented_requests");
+  metrics_.request_latency_ns = &reg.histogram("smiop.request_latency_ns");
+  metrics_.connect_latency_ns = &reg.histogram("smiop.connect_latency_ns");
   gm_client_ = std::make_unique<bft::Client>(
       net_, config_.gm_client_node,
       directory_->gm().make_bft_config(directory_->timing()), keys_);
@@ -116,10 +131,18 @@ SmiopParty::SmiopParty(net::Network& net,
       ITDOS_WARN(kLog) << "GM elements sent bad shares for conn "
                        << record.conn.to_string();
     }
+    if (const ConnTable::Entry* prev = table_.find(record.conn); prev == nullptr) {
+      tel_->trace(telemetry::TraceKind::kSmiopConnectOpen, config_.smiop_node, 0,
+                  record.conn.value, record.epoch.value);
+    } else if (record.epoch.value > prev->record.epoch.value) {
+      tel_->trace(telemetry::TraceKind::kSmiopEpochAdvance, config_.smiop_node, 0,
+                  record.conn.value, record.epoch.value);
+    }
     table_.install(record, key);
     // Wake any connect waiting on this key.
     const auto it = pending_connects_.find(record.conn.value);
     if (it != pending_connects_.end()) {
+      metrics_.connect_latency_ns->record(net_.sim().now() - it->second.started);
       auto waiting = std::move(it->second.waiting);
       net_.sim().cancel(it->second.timer);
       const DomainId target = it->second.target;
@@ -134,6 +157,21 @@ SmiopParty::SmiopParty(net::Network& net,
 }
 
 SmiopParty::~SmiopParty() = default;
+
+PartyStats SmiopParty::stats() const {
+  return PartyStats{
+      .opens_sent = metrics_.opens_sent->value(),
+      .requests_sent = metrics_.requests_sent->value(),
+      .replies_received = metrics_.replies_received->value(),
+      .replies_rejected = metrics_.replies_rejected->value(),
+      .votes_decided = metrics_.votes_decided->value(),
+      .votes_timed_out = metrics_.votes_timed_out->value(),
+      .discarded = metrics_.discarded->value(),
+      .faults_detected = metrics_.faults_detected->value(),
+      .change_requests_sent = metrics_.change_requests_sent->value(),
+      .fragmented_requests = metrics_.fragmented_requests->value(),
+  };
+}
 
 std::unique_ptr<orb::PluggableProtocol> SmiopParty::make_protocol() {
   return std::make_unique<Protocol>(*this);
@@ -167,11 +205,14 @@ void SmiopParty::connect_to(const orb::ObjectRef& ref,
   open.client_node = config_.smiop_node;
   open.client_domain = config_.my_domain;
   open.target = ref.domain;
-  ++stats_.opens_sent;
+  metrics_.opens_sent->inc();
+  tel_->trace(telemetry::TraceKind::kSmiopConnectStart, config_.smiop_node, 0,
+              ref.domain.value);
   const DomainId target_id = ref.domain;
+  const SimTime connect_start = net_.sim().now();
   gm_client_->invoke(
       encode_gm_command(GmCommand(open)),
-      [this, target_id, done = std::move(done)](Result<Bytes> r) mutable {
+      [this, target_id, connect_start, done = std::move(done)](Result<Bytes> r) mutable {
         if (!r.is_ok()) {
           done(r.status());
           return;
@@ -196,14 +237,17 @@ void SmiopParty::connect_to(const orb::ObjectRef& ref,
         state->target_f = target->f;
         state->voter =
             std::make_unique<ConnectionVoter>(target->f, policy_for(*target));
+        state->voter->set_telemetry(tel_, config_.smiop_node, conn);
         conns_[conn.value] = state;
 
         if (table_.find(conn) != nullptr) {
+          metrics_.connect_latency_ns->record(net_.sim().now() - connect_start);
           done(std::shared_ptr<orb::ClientConnection>(
               std::make_shared<Connection>(*this, state)));
           return;
         }
         PendingConnect& pending = pending_connects_[conn.value];
+        if (pending.waiting.empty()) pending.started = connect_start;
         pending.target = target_id;
         pending.waiting.push_back(std::move(done));
         pending.timer = net_.sim().schedule_after(
@@ -243,8 +287,16 @@ void SmiopParty::send_on(ConnState& state, cdr::RequestMessage request,
   ordered.sealed_giop =
       crypto::seal(key, crypto::make_nonce(config_.smiop_node.value, rid.value), aad,
                    plain);
-  ++stats_.requests_sent;
+  metrics_.requests_sent->inc();
   const std::size_t max_entry = directory_->timing().max_entry_bytes;
+  const std::uint32_t fragments =
+      ordered.sealed_giop.size() <= max_entry
+          ? 1
+          : static_cast<std::uint32_t>(
+                (ordered.sealed_giop.size() + max_entry - 1) / max_entry);
+  tel_->trace(telemetry::TraceKind::kSmiopRequestSent, config_.smiop_node,
+              telemetry::trace_id(state.conn, rid), ordered.sealed_giop.size(),
+              fragments);
 
   // One outstanding request per connection (§3.6): the Orb guarantees this;
   // opening the new round garbage-collects the previous one's voter state.
@@ -252,13 +304,14 @@ void SmiopParty::send_on(ConnState& state, cdr::RequestMessage request,
   RequestRound round;
   round.rid = rid;
   round.done = std::move(done);
+  round.sent_at = net_.sim().now();
   round.timer_armed = true;
   round.timer = net_.sim().schedule_after(
       directory_->timing().reply_vote_timeout_ns, [this, conn = state.conn] {
         const auto it = conns_.find(conn.value);
         if (it == conns_.end() || !it->second->round) return;
         if (!it->second->round->done) return;
-        ++stats_.votes_timed_out;
+        metrics_.votes_timed_out->inc();
         complete_round(*it->second,
                        error(Errc::kUnavailable,
                              "reply vote did not complete (too few replies)"));
@@ -295,7 +348,7 @@ void SmiopParty::send_on(ConnState& state, cdr::RequestMessage request,
                           sealed.begin() + static_cast<std::ptrdiff_t>(end));
     transport.invoke(fragment.encode(), [](Result<Bytes>) {});
   }
-  ++stats_.fragmented_requests;
+  metrics_.fragmented_requests->inc();
 }
 
 void SmiopParty::handle_smiop_packet(ByteView payload) {
@@ -313,28 +366,28 @@ void SmiopParty::handle_smiop_packet(ByteView payload) {
 }
 
 void SmiopParty::handle_direct_reply(const DirectReplyMsg& msg) {
-  ++stats_.replies_received;
+  metrics_.replies_received->inc();
   const auto it = conns_.find(msg.conn.value);
   if (it == conns_.end()) {
-    ++stats_.discarded;
+    metrics_.discarded->inc();
     return;
   }
   ConnState& state = *it->second;
   const crypto::SymmetricKey* key = table_.key_for(msg.conn, msg.epoch);
   if (key == nullptr) {
-    ++stats_.replies_rejected;
+    metrics_.replies_rejected->inc();
     return;
   }
   // The replying element must be a member of the target domain.
   const DomainInfo* target = directory_->find_domain(state.target);
   if (target == nullptr || target->rank_of_smiop(msg.element) < 0) {
-    ++stats_.replies_rejected;
+    metrics_.replies_rejected->inc();
     return;
   }
   const Bytes aad = seal_aad(msg.conn, msg.rid, msg.epoch, /*is_reply=*/true);
   Result<Bytes> plain = crypto::open(*key, aad, msg.sealed_giop);
   if (!plain.is_ok()) {
-    ++stats_.replies_rejected;
+    metrics_.replies_rejected->inc();
     return;
   }
   // Verify the element's signature over the plaintext digest — this is what
@@ -343,7 +396,7 @@ void SmiopParty::handle_direct_reply(const DirectReplyMsg& msg) {
   const Bytes region =
       DirectReplyMsg::signed_region(msg.conn, msg.rid, msg.element, msg.epoch, digest);
   if (!keystore_->verify(msg.element, region, msg.plain_signature).is_ok()) {
-    ++stats_.replies_rejected;
+    metrics_.replies_rejected->inc();
     return;
   }
 
@@ -369,7 +422,14 @@ void SmiopParty::handle_direct_reply(const DirectReplyMsg& msg) {
       state.voter->submit(msg.rid, std::move(ballot));
   if (!state.round) return;
   if (decision) {
-    ++stats_.votes_decided;
+    metrics_.votes_decided->inc();
+    if (state.round->done) {
+      const std::int64_t latency = net_.sim().now() - state.round->sent_at;
+      metrics_.request_latency_ns->record(latency);
+      tel_->trace(telemetry::TraceKind::kSmiopReplyDecided, config_.smiop_node,
+                  telemetry::trace_id(state.conn, msg.rid),
+                  static_cast<std::uint64_t>(latency));
+    }
     Result<cdr::GiopMessage> parsed = cdr::parse_giop(decision->winner.raw);
     if (parsed.is_ok() &&
         std::holds_alternative<cdr::ReplyMessage>(parsed.value())) {
@@ -411,7 +471,9 @@ void SmiopParty::maybe_report_dissenters(ConnState& state) {
   for (NodeId dissenter : dissenters) {
     if (state.round->reported.contains(dissenter)) continue;
     state.round->reported.insert(dissenter);
-    ++stats_.faults_detected;
+    metrics_.faults_detected->inc();
+    tel_->trace(telemetry::TraceKind::kSmiopFault, config_.smiop_node,
+                telemetry::trace_id(state.conn, state.round->rid), dissenter.value);
     ChangeRequestMsg change;
     change.reporter = config_.smiop_node;
     change.reporter_domain = config_.my_domain;
@@ -425,7 +487,7 @@ void SmiopParty::maybe_report_dissenters(ConnState& state) {
 }
 
 void SmiopParty::send_change_request(ChangeRequestMsg msg) {
-  ++stats_.change_requests_sent;
+  metrics_.change_requests_sent->inc();
   ITDOS_INFO(kLog) << config_.smiop_node.to_string() << " files change_request against "
                    << msg.accused_element.to_string();
   gm_client_->invoke(encode_gm_command(GmCommand(std::move(msg))),

@@ -49,6 +49,8 @@ struct PartyConfig {
   std::optional<VotePolicy> policy_override;  // else the target domain's policy
 };
 
+/// Per-party statistics (benchmarks report these). A by-value view assembled
+/// from the telemetry registry's `smiop.<node>.*` counters.
 struct PartyStats {
   std::uint64_t opens_sent = 0;
   std::uint64_t requests_sent = 0;
@@ -90,7 +92,7 @@ class SmiopParty {
   /// the server role can report queue-management laggards, §3.1).
   void send_change_request(ChangeRequestMsg msg);
 
-  const PartyStats& stats() const { return stats_; }
+  PartyStats stats() const;
   const PartyConfig& config() const { return config_; }
   bft::Client& gm_client() { return *gm_client_; }
 
@@ -105,6 +107,7 @@ class SmiopParty {
     orb::ClientConnection::Completion done;  // null once completed/timed out
     net::EventHandle timer{};
     bool timer_armed = false;
+    SimTime sent_at{};               // request send time (latency histogram)
     std::vector<ProofEntry> proof;   // signed plaintexts collected this round
     std::set<NodeId> reported;       // dissenters already reported
   };
@@ -145,10 +148,27 @@ class SmiopParty {
     DomainId target;
     std::vector<orb::PluggableProtocol::ConnectCompletion> waiting;
     net::EventHandle timer{};
+    SimTime started{};               // connect start (latency histogram)
   };
   std::map<std::uint64_t, PendingConnect> pending_connects_;
 
-  PartyStats stats_;
+  // Registry-backed counters (stable addresses, resolved once) plus the
+  // request/connect latency histograms.
+  telemetry::Hub* tel_ = nullptr;
+  struct {
+    telemetry::Counter* opens_sent;
+    telemetry::Counter* requests_sent;
+    telemetry::Counter* replies_received;
+    telemetry::Counter* replies_rejected;
+    telemetry::Counter* votes_decided;
+    telemetry::Counter* votes_timed_out;
+    telemetry::Counter* discarded;
+    telemetry::Counter* faults_detected;
+    telemetry::Counter* change_requests_sent;
+    telemetry::Counter* fragmented_requests;
+    telemetry::Histogram* request_latency_ns;  // send_on -> voted reply
+    telemetry::Histogram* connect_latency_ns;  // connect_to -> key installed
+  } metrics_{};
 };
 
 }  // namespace itdos::core

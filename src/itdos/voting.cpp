@@ -117,9 +117,23 @@ std::vector<NodeId> Vote::dissenters() const {
   return out;
 }
 
+void ConnectionVoter::set_telemetry(telemetry::Hub* hub, NodeId self, ConnectionId conn) {
+  tel_ = hub;
+  self_ = self;
+  conn_ = conn;
+  if (tel_ != nullptr) {
+    discarded_counter_ =
+        &tel_->metrics().counter("vote." + self.to_string() + ".discarded");
+  }
+}
+
 void ConnectionVoter::expect(RequestId request_id) {
   expected_ = request_id;
   vote_.emplace(f_, policy_);  // prior vote state garbage collected here
+  if (tel_ != nullptr) {
+    tel_->trace(telemetry::TraceKind::kVoteOpen, self_,
+                telemetry::trace_id(conn_, request_id));
+  }
 }
 
 std::optional<VoteDecision> ConnectionVoter::submit(RequestId request_id,
@@ -129,9 +143,20 @@ std::optional<VoteDecision> ConnectionVoter::submit(RequestId request_id,
     // a late-coming reply from an earlier request" — indistinguishable, so
     // neither used nor penalized.
     ++discarded_;
+    if (discarded_counter_ != nullptr) discarded_counter_->inc();
     return std::nullopt;
   }
-  return vote_->add(std::move(ballot));
+  std::optional<VoteDecision> decision = vote_->add(std::move(ballot));
+  if (decision && tel_ != nullptr) {
+    const std::uint64_t trace = telemetry::trace_id(conn_, request_id);
+    tel_->trace(telemetry::TraceKind::kVoteDecide, self_, trace,
+                static_cast<std::uint64_t>(decision->support),
+                static_cast<std::uint64_t>(vote_->ballots()));
+    for (NodeId dissenter : decision->dissenters) {
+      tel_->trace(telemetry::TraceKind::kVoteDissent, self_, trace, dissenter.value);
+    }
+  }
+  return decision;
 }
 
 }  // namespace itdos::core

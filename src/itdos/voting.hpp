@@ -20,6 +20,7 @@
 
 #include "cdr/value.hpp"
 #include "common/ids.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace itdos::core {
 
@@ -114,6 +115,12 @@ class ConnectionVoter {
  public:
   ConnectionVoter(int f, VotePolicy policy) : f_(f), policy_(policy) {}
 
+  /// Wires the voter into the telemetry seam (optional; unit tests skip it).
+  /// `self` is the voting party's SMIOP node, `conn` the virtual connection
+  /// the voter serves — together they scope the vote.open/decide/dissent
+  /// events to the request trace.
+  void set_telemetry(telemetry::Hub* hub, NodeId self, ConnectionId conn);
+
   /// Opens the vote for the next outstanding request. Any state from prior
   /// requests is garbage collected (the paper's voter GC).
   void expect(RequestId request_id);
@@ -134,6 +141,10 @@ class ConnectionVoter {
   RequestId expected_;
   std::optional<Vote> vote_;
   std::uint64_t discarded_ = 0;
+  telemetry::Hub* tel_ = nullptr;
+  NodeId self_{};
+  ConnectionId conn_{};
+  telemetry::Counter* discarded_counter_ = nullptr;  // vote.<self>.discarded
 };
 
 }  // namespace itdos::core

@@ -4,6 +4,45 @@
 
 namespace itdos::net {
 
+namespace {
+// kNetDrop `b` payload: where in the path the packet died.
+enum DropReason : std::uint64_t {
+  kDropInterceptor = 1,
+  kDropLinkCut = 2,
+  kDropLoss = 3,
+  kDropNoHandler = 4,
+  kDropFiltered = 5,
+};
+}  // namespace
+
+Network::Network(Simulator& sim, NetConfig config) : sim_(sim), config_(config) {
+  auto& reg = sim_.telemetry().metrics();
+  metrics_.unicasts_sent = &reg.counter("net.unicasts_sent");
+  metrics_.multicasts_sent = &reg.counter("net.multicasts_sent");
+  metrics_.packets_delivered = &reg.counter("net.packets_delivered");
+  metrics_.packets_dropped = &reg.counter("net.packets_dropped");
+  metrics_.bytes_delivered = &reg.counter("net.bytes_delivered");
+  metrics_.delivery_delay_ns = &reg.histogram("net.delivery_delay_ns");
+}
+
+NetStats Network::stats() const {
+  return NetStats{
+      .unicasts_sent = metrics_.unicasts_sent->value(),
+      .multicasts_sent = metrics_.multicasts_sent->value(),
+      .packets_delivered = metrics_.packets_delivered->value(),
+      .packets_dropped = metrics_.packets_dropped->value(),
+      .bytes_delivered = metrics_.bytes_delivered->value(),
+  };
+}
+
+void Network::reset_stats() {
+  metrics_.unicasts_sent->reset();
+  metrics_.multicasts_sent->reset();
+  metrics_.packets_delivered->reset();
+  metrics_.packets_dropped->reset();
+  metrics_.bytes_delivered->reset();
+}
+
 void Network::attach(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
 }
@@ -75,50 +114,61 @@ void Network::set_inbound_filter(NodeId node, InboundFilter filter) {
 }
 
 void Network::deliver_copy(Packet packet) {
+  auto& hub = sim_.telemetry();
   // Outbound interceptor: a compromised host's network stack.
   if (const auto it = interceptors_.find(packet.from); it != interceptors_.end()) {
     std::optional<Bytes> mutated = it->second(packet);
     if (!mutated) {
-      ++stats_.packets_dropped;
+      metrics_.packets_dropped->inc();
+      hub.trace(telemetry::TraceKind::kNetDrop, packet.from, 0, packet.to.value,
+                kDropInterceptor);
       return;
     }
     packet.payload = std::move(*mutated);
   }
   if (!link_up(packet.from, packet.to)) {
-    ++stats_.packets_dropped;
+    metrics_.packets_dropped->inc();
+    hub.trace(telemetry::TraceKind::kNetDrop, packet.from, 0, packet.to.value, kDropLinkCut);
     return;
   }
   if (sim_.rng().chance(config_.drop_probability)) {
-    ++stats_.packets_dropped;
+    metrics_.packets_dropped->inc();
+    hub.trace(telemetry::TraceKind::kNetDrop, packet.from, 0, packet.to.value, kDropLoss);
     return;
   }
   const int copies = sim_.rng().chance(config_.duplicate_probability) ? 2 : 1;
   for (int c = 0; c < copies; ++c) {
-    sim_.schedule_after(sample_delay(), [this, packet] {
+    const std::int64_t delay = sample_delay();
+    sim_.schedule_after(delay, [this, packet, delay] {
       const auto handler = handlers_.find(packet.to);
       if (handler == handlers_.end()) {
-        ++stats_.packets_dropped;
+        metrics_.packets_dropped->inc();
+        sim_.telemetry().trace(telemetry::TraceKind::kNetDrop, packet.from, 0, packet.to.value,
+                               kDropNoHandler);
         return;
       }
       if (const auto filter = inbound_filters_.find(packet.to);
           filter != inbound_filters_.end() && !filter->second(packet)) {
-        ++stats_.packets_dropped;
+        metrics_.packets_dropped->inc();
+        sim_.telemetry().trace(telemetry::TraceKind::kNetDrop, packet.from, 0, packet.to.value,
+                               kDropFiltered);
         return;
       }
-      ++stats_.packets_delivered;
-      stats_.bytes_delivered += packet.payload.size();
+      metrics_.packets_delivered->inc();
+      metrics_.bytes_delivered->inc(packet.payload.size());
+      metrics_.delivery_delay_ns->record(delay);
       handler->second(packet);
     });
   }
 }
 
 void Network::send(NodeId from, NodeId to, Bytes payload) {
-  ++stats_.unicasts_sent;
+  metrics_.unicasts_sent->inc();
   deliver_copy(Packet{from, to, std::nullopt, std::move(payload)});
 }
 
 void Network::multicast(NodeId from, McastGroupId group, Bytes payload) {
-  ++stats_.multicasts_sent;
+  metrics_.multicasts_sent->inc();
   const auto it = groups_.find(group);
   if (it == groups_.end()) return;
   for (NodeId member : it->second) {

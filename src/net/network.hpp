@@ -36,7 +36,8 @@ struct NetConfig {
   double duplicate_probability = 0.0;
 };
 
-/// Aggregate traffic counters (benchmarks report these).
+/// Aggregate traffic counters (benchmarks report these). A by-value view
+/// assembled from the telemetry registry's `net.*` counters.
 struct NetStats {
   std::uint64_t unicasts_sent = 0;
   std::uint64_t multicasts_sent = 0;       // one per multicast() call
@@ -54,7 +55,7 @@ class Network {
   /// compromised hosts whose traffic an adversary controls.
   using Interceptor = std::function<std::optional<Bytes>(const Packet&)>;
 
-  Network(Simulator& sim, NetConfig config) : sim_(sim), config_(config) {}
+  Network(Simulator& sim, NetConfig config);
 
   /// Registers a node's receive handler. Re-attaching replaces the handler.
   void attach(NodeId node, Handler handler);
@@ -93,8 +94,8 @@ class Network {
   using InboundFilter = std::function<bool(const Packet&)>;
   void set_inbound_filter(NodeId node, InboundFilter filter);
 
-  const NetStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = NetStats{}; }
+  NetStats stats() const;
+  void reset_stats();
 
   Simulator& sim() { return sim_; }
 
@@ -105,7 +106,15 @@ class Network {
 
   Simulator& sim_;
   NetConfig config_;
-  NetStats stats_;
+  // Registry-backed counters, resolved once so the hot path is one add.
+  struct {
+    telemetry::Counter* unicasts_sent;
+    telemetry::Counter* multicasts_sent;
+    telemetry::Counter* packets_delivered;
+    telemetry::Counter* packets_dropped;
+    telemetry::Counter* bytes_delivered;
+    telemetry::Histogram* delivery_delay_ns;
+  } metrics_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::map<McastGroupId, std::set<NodeId>> groups_;
   std::set<std::pair<NodeId, NodeId>> cut_links_;  // normalized (min, max)

@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace itdos::net {
 
@@ -25,10 +26,20 @@ struct EventHandle {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed = 1)
+      : rng_(seed), telemetry_([this] { return now_; }) {}
+
+  // The telemetry hub's clock captures `this`; pinning the address keeps it
+  // valid for the simulator's lifetime.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  /// The telemetry seam every component instruments through.
+  telemetry::Hub& telemetry() { return telemetry_; }
+  const telemetry::Hub& telemetry() const { return telemetry_; }
 
   /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
   /// Events at equal times fire in scheduling order (stable FIFO).
@@ -72,6 +83,7 @@ class Simulator {
 
   SimTime now_;
   Rng rng_;
+  telemetry::Hub telemetry_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,37 @@
+// The one seam every layer instruments through. A Hub bundles the metrics
+// registry with the tracer and stamps events with the simulator's clock; the
+// Simulator owns one Hub, and every Process reaches it via sim().telemetry().
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace itdos::telemetry {
+
+class Hub {
+ public:
+  using Clock = std::function<SimTime()>;
+
+  explicit Hub(Clock clock) : clock_(std::move(clock)) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Records a trace event stamped with the current simulation time.
+  void trace(TraceKind kind, NodeId node, std::uint64_t trace, std::uint64_t a = 0,
+             std::uint64_t b = 0) {
+    tracer_.record(clock_(), kind, node, trace, a, b);
+  }
+
+ private:
+  Clock clock_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace itdos::telemetry

@@ -1,0 +1,117 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+namespace itdos::telemetry {
+
+std::string_view trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kBftRequest:
+      return "bft.request";
+    case TraceKind::kBftPrePrepare:
+      return "bft.pre_prepare";
+    case TraceKind::kBftPrepare:
+      return "bft.prepare";
+    case TraceKind::kBftCommit:
+      return "bft.commit";
+    case TraceKind::kBftExecute:
+      return "bft.execute";
+    case TraceKind::kBftCheckpoint:
+      return "bft.checkpoint";
+    case TraceKind::kBftViewChange:
+      return "bft.view_change";
+    case TraceKind::kBftNewView:
+      return "bft.new_view";
+    case TraceKind::kBftStateTransfer:
+      return "bft.state_transfer";
+    case TraceKind::kSmiopConnectStart:
+      return "smiop.connect_start";
+    case TraceKind::kSmiopConnectOpen:
+      return "smiop.connect_open";
+    case TraceKind::kSmiopRequestSent:
+      return "smiop.request_sent";
+    case TraceKind::kSmiopReplyDecided:
+      return "smiop.reply_decided";
+    case TraceKind::kSmiopEpochAdvance:
+      return "smiop.epoch_advance";
+    case TraceKind::kSmiopFault:
+      return "smiop.fault";
+    case TraceKind::kVoteOpen:
+      return "vote.open";
+    case TraceKind::kVoteDecide:
+      return "vote.decide";
+    case TraceKind::kVoteDissent:
+      return "vote.dissent";
+    case TraceKind::kGmOpenRequest:
+      return "gm.open_request";
+    case TraceKind::kGmResend:
+      return "gm.resend";
+    case TraceKind::kGmChangeRequest:
+      return "gm.change_request";
+    case TraceKind::kGmExpulsion:
+      return "gm.expulsion";
+    case TraceKind::kGmRekey:
+      return "gm.rekey";
+    case TraceKind::kQueueAppend:
+      return "queue.append";
+    case TraceKind::kQueueGc:
+      return "queue.gc";
+    case TraceKind::kQueueLaggard:
+      return "queue.laggard";
+    case TraceKind::kQueueBroken:
+      return "queue.broken";
+    case TraceKind::kNetDrop:
+      return "net.drop";
+  }
+  return "unknown";
+}
+
+void Tracer::record(SimTime t, TraceKind kind, NodeId node, std::uint64_t trace, std::uint64_t a,
+                    std::uint64_t b) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{t, kind, node, trace, a, b});
+}
+
+std::size_t Tracer::count(TraceKind kind) const {
+  return static_cast<std::size_t>(std::count_if(
+      events_.begin(), events_.end(), [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::vector<TraceEvent> Tracer::for_trace(std::uint64_t trace) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.trace == trace) out.push_back(e);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string Tracer::export_jsonl() const {
+  std::string out;
+  out.reserve(events_.size() * 64);
+  for (const auto& e : events_) {
+    out += "{\"t\":";
+    out += std::to_string(e.t.ns);
+    out += ",\"ev\":\"";
+    out += trace_kind_name(e.kind);
+    out += "\",\"node\":";
+    out += std::to_string(e.node.value);
+    out += ",\"trace\":";
+    out += std::to_string(e.trace);
+    out += ",\"a\":";
+    out += std::to_string(e.a);
+    out += ",\"b\":";
+    out += std::to_string(e.b);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace itdos::telemetry

@@ -137,6 +137,43 @@ TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
   EXPECT_TRUE(sim.idle());
 }
 
+TEST(SimulatorTest, CancelledTimerAtExactDeadlineBoundary) {
+  // A timer sitting at exactly the run_until deadline is cancelled: the run
+  // must consume events up to the deadline, skip the cancelled one, advance
+  // the clock to the deadline, and leave later events untouched.
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime{100}, [&] { fired.push_back(1); });
+  const EventHandle at_deadline = sim.schedule_at(SimTime{200}, [&] { fired.push_back(2); });
+  sim.schedule_at(SimTime{200}, [&] { fired.push_back(3); });  // same timestamp, kept
+  sim.schedule_at(SimTime{300}, [&] { fired.push_back(4); });
+  sim.cancel(at_deadline);
+
+  sim.run_until(SimTime{200});
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sim.now().ns, 200);
+  EXPECT_EQ(sim.pending_events(), 1u);  // only the 300ns event remains
+
+  // Cancelling again past the deadline stays a no-op and the tail still runs.
+  sim.cancel(at_deadline);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 4}));
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, CancelDuringRunUntilOfLaterDeadlineEvent) {
+  // An event firing before the deadline cancels a timer scheduled exactly AT
+  // the deadline — the in-flight run_until must honour the cancellation.
+  Simulator sim;
+  bool fired = false;
+  const EventHandle victim = sim.schedule_at(SimTime{200}, [&] { fired = true; });
+  sim.schedule_at(SimTime{100}, [&] { sim.cancel(victim); });
+  sim.run_until(SimTime{200});
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now().ns, 200);
+  EXPECT_TRUE(sim.idle());
+}
+
 TEST(SimulatorTest, MaxEventsBound) {
   Simulator sim;
   int fired = 0;
