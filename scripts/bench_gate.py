@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Perf gate: compare net.delivery_delay_ns tails against a saved baseline.
+
+For every BENCH_<name>.json in the current run that carries a
+net.delivery_delay_ns histogram, compare p95/p99 against the same report in
+the baseline directory. A tail that grew beyond --tolerance (relative) is a
+regression: warn by default, fail with --strict.
+
+usage: bench_gate.py --baseline DIR [--strict] [--tolerance 0.25] BENCH_*.json
+
+Exit status: 0 OK (or warnings without --strict), 1 regression under
+--strict, 2 usage error. Missing baseline files are never an error — first
+runs simply seed the baseline.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HISTOGRAM = "net.delivery_delay_ns"
+PERCENTILES = ("p95", "p99")
+
+
+def load_tail(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"bench_gate: cannot parse {path}: {exc}", file=sys.stderr)
+        return None
+    hist = report.get("histograms", {}).get(HISTOGRAM)
+    if not hist:
+        return None
+    return {p: hist[p] for p in PERCENTILES}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding previous BENCH_*.json")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero on regression instead of warning")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative growth (default 0.25 = +25%%)")
+    parser.add_argument("reports", nargs="+")
+    args = parser.parse_args()
+
+    regressions = []
+    compared = 0
+    for path in args.reports:
+        current = load_tail(path)
+        if current is None:
+            continue
+        base_path = os.path.join(args.baseline, os.path.basename(path))
+        if not os.path.isfile(base_path):
+            print(f"bench_gate: no baseline for {os.path.basename(path)} "
+                  "(seeding)")
+            continue
+        baseline = load_tail(base_path)
+        if baseline is None:
+            continue
+        compared += 1
+        for pct in PERCENTILES:
+            before, after = baseline[pct], current[pct]
+            limit = before * (1.0 + args.tolerance)
+            status = "REGRESSION" if after > limit and before > 0 else "ok"
+            print(f"  {os.path.basename(path)} {HISTOGRAM}.{pct}: "
+                  f"{before} -> {after} ns ({status})")
+            if status == "REGRESSION":
+                regressions.append((os.path.basename(path), pct, before,
+                                    after))
+
+    if regressions:
+        verb = "FAIL" if args.strict else "WARN"
+        for name, pct, before, after in regressions:
+            growth = (after - before) / before * 100.0
+            print(f"bench_gate {verb}: {name} {HISTOGRAM}.{pct} grew "
+                  f"{growth:.0f}% ({before} -> {after} ns, tolerance "
+                  f"+{args.tolerance * 100:.0f}%)", file=sys.stderr)
+        if args.strict:
+            return 1
+    elif compared:
+        print(f"bench_gate: {compared} report(s) within "
+              f"+{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

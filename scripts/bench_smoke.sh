@@ -5,10 +5,19 @@
 # Registered as the `bench_smoke` ctest (label: bench):
 #   ctest --test-dir build -L bench
 # or standalone:
-#   scripts/bench_smoke.sh [build_dir]
+#   scripts/bench_smoke.sh [build_dir] [--strict]
+#
+# --strict turns delivery-delay tail regressions (see bench_gate.py) into a
+# nonzero exit instead of a warning.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+STRICT=""
+ARGS=()
+for arg in "$@"; do
+  if [[ "${arg}" == "--strict" ]]; then STRICT="--strict"; else ARGS+=("${arg}"); fi
+done
+set -- "${ARGS[@]:-}"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
 BUILD_DIR="$(cd "${BUILD_DIR}" 2>/dev/null && pwd || echo "${BUILD_DIR}")"
 BENCH_DIR="${BUILD_DIR}/bench"
@@ -63,3 +72,11 @@ done
 
 python3 "${REPO_ROOT}/scripts/validate_bench_json.py" --schema "${SCHEMA}" BENCH_*.json
 echo "bench smoke OK: ${#BENCHES[@]} reports validated against $(basename "${SCHEMA}")"
+
+# Perf gate: delivery-delay tails (p95/p99) vs the previous smoke run. Warn
+# by default; --strict makes a regression fail the test. The baseline is then
+# refreshed so the next run compares against this one.
+BASELINE_DIR="${ITDOS_BENCH_BASELINE_DIR:-${BUILD_DIR}/bench_baseline}"
+mkdir -p "${BASELINE_DIR}"
+python3 "${REPO_ROOT}/scripts/bench_gate.py" --baseline "${BASELINE_DIR}" ${STRICT} BENCH_*.json
+cp BENCH_*.json "${BASELINE_DIR}/"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Randomized fault soak: sweep every canned scenario across a range of seeds
+# via fault_scenario_tool. Any oracle violation or liveness shortfall fails
+# the sweep with a forensic dump on stderr.
+#
+# usage: soak.sh [build-dir]
+#   ITDOS_SOAK_ITERS  seeds per scenario            (default 10)
+#   ITDOS_SOAK_SEED   base seed; consecutive seeds  (default $RANDOM-derived)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+TOOL="$BUILD_DIR/tests/fault_scenario_tool"
+
+if [[ ! -x "$TOOL" ]]; then
+  echo "soak.sh: $TOOL not built — run: cmake --build $BUILD_DIR" >&2
+  exit 2
+fi
+
+ITERS="${ITDOS_SOAK_ITERS:-10}"
+BASE_SEED="${ITDOS_SOAK_SEED:-$((RANDOM * 32768 + RANDOM))}"
+
+echo "fault soak: scenarios=$("$TOOL" list | wc -l) iters=$ITERS base_seed=$BASE_SEED"
+if "$TOOL" sweep "$BASE_SEED" "$ITERS"; then
+  echo "fault soak PASSED (reproduce any seed with: $TOOL run <scenario> <seed>)"
+else
+  echo "fault soak FAILED at base_seed=$BASE_SEED — rerun with" >&2
+  echo "  ITDOS_SOAK_SEED=$BASE_SEED ITDOS_SOAK_ITERS=$ITERS $0 $BUILD_DIR" >&2
+  exit 1
+fi

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the same fault scenario twice with the same seed and asserts the two
+# causal traces are byte-identical (trace_diff.py reports the first divergent
+# event otherwise). Registered as the `fault_trace_determinism` ctest.
+#
+# usage: trace_determinism_check.sh <fault_scenario_tool> <trace_diff.py> <workdir>
+set -euo pipefail
+
+TOOL="${1:?path to fault_scenario_tool}"
+DIFF="${2:?path to trace_diff.py}"
+WORKDIR="${3:?scratch directory for trace files}"
+
+SCENARIOS="${ITDOS_TRACE_SCENARIOS:-expel_rekey_e2e partition_primary drop_storm}"
+SEED="${ITDOS_TRACE_SEED:-4242}"
+
+mkdir -p "$WORKDIR"
+
+status=0
+for scenario in $SCENARIOS; do
+  a="$WORKDIR/${scenario}_a.jsonl"
+  b="$WORKDIR/${scenario}_b.jsonl"
+  "$TOOL" run "$scenario" "$SEED" "$a" >/dev/null
+  "$TOOL" run "$scenario" "$SEED" "$b" >/dev/null
+  if python3 "$DIFF" "$a" "$b"; then
+    echo "determinism OK: $scenario seed=$SEED"
+  else
+    echo "determinism FAILED: $scenario seed=$SEED" >&2
+    status=1
+  fi
+done
+exit $status

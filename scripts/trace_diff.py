@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Diff two causal-trace JSONL files and report the FIRST divergent event.
+
+Deterministic fault runs with the same seed must produce byte-identical
+traces; when they do not, the first divergent line (plus surrounding
+context) is where the nondeterminism crept in — far more useful than a
+whole-file diff.
+
+usage: trace_diff.py A.jsonl B.jsonl [--context N]
+
+Exit status: 0 identical, 1 divergent (or length mismatch), 2 usage/IO.
+"""
+
+import argparse
+import sys
+
+
+def load_lines(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read().splitlines()
+    except OSError as exc:
+        print(f"trace_diff: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def show_context(label, lines, index, context):
+    lo = max(0, index - context)
+    hi = min(len(lines), index + context + 1)
+    for i in range(lo, hi):
+        marker = ">>" if i == index else "  "
+        text = lines[i] if i < len(lines) else "<end of trace>"
+        print(f"  {label} {marker} {i + 1}: {text}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("a")
+    parser.add_argument("b")
+    parser.add_argument("--context", type=int, default=3,
+                        help="lines of context around the divergence")
+    args = parser.parse_args()
+
+    a_lines = load_lines(args.a)
+    b_lines = load_lines(args.b)
+
+    for i, (la, lb) in enumerate(zip(a_lines, b_lines)):
+        if la != lb:
+            print(f"traces diverge at line {i + 1}:")
+            show_context("A", a_lines, i, args.context)
+            show_context("B", b_lines, i, args.context)
+            return 1
+
+    if len(a_lines) != len(b_lines):
+        shorter, longer = (args.a, args.b) if len(a_lines) < len(b_lines) \
+            else (args.b, args.a)
+        extra = max(len(a_lines), len(b_lines)) - min(len(a_lines),
+                                                      len(b_lines))
+        print(f"traces match for {min(len(a_lines), len(b_lines))} lines, "
+              f"then {longer} has {extra} extra event(s) missing from "
+              f"{shorter}:")
+        tail = a_lines if len(a_lines) > len(b_lines) else b_lines
+        for i in range(min(len(a_lines), len(b_lines)),
+                       min(len(tail), min(len(a_lines), len(b_lines))
+                           + args.context)):
+            print(f"  + {i + 1}: {tail[i]}")
+        return 1
+
+    print(f"traces identical ({len(a_lines)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,9 @@ Replica::Replica(net::Network& net, NodeId id, BftConfig config,
   // replicas that fall behind before the first checkpoint.
   stable_snapshot_ = make_snapshot();
   stable_digest_ = checkpoint_digest(0, stable_snapshot_);
+  // Open the view-0 span: forensics segment a replica's timeline on
+  // view.start / view.end pairs (see enter_view).
+  tel_->trace(telemetry::TraceKind::kViewStart, id, 0, view_.value);
 }
 
 ReplicaStats Replica::stats() const {
@@ -124,33 +127,54 @@ Status Replica::verify_envelope(const Envelope& env) const {
 // ---------------------------------------------------------------------------
 
 void Replica::multicast_authenticated(MsgType type, const Bytes& body) {
+  if (byz_.silent) return;
   Envelope env;
   env.type = type;
   env.sender = id();
   env.body = body;
   for (NodeId replica : config_.replicas) {
     if (replica == id()) continue;
-    env.auth.emplace_back(replica, keys_.tag(id(), replica, body));
+    crypto::MacTag tag = keys_.tag(id(), replica, body);
+    if (byz_.corrupt_macs) tag[0] ^= 0xFF;  // forged HMAC: receivers must reject
+    env.auth.emplace_back(replica, tag);
   }
   multicast_to(config_.group, env.encode());
 }
 
 void Replica::multicast_signed(MsgType type, const Bytes& body) {
+  if (byz_.silent) return;
   Envelope env;
   env.type = type;
   env.sender = id();
   env.body = body;
   env.signature = signing_key_.sign(body);
-  multicast_to(config_.group, env.encode());
+  Bytes encoded = env.encode();
+  if (type == MsgType::kViewChange) last_view_change_envelope_ = encoded;
+  multicast_to(config_.group, std::move(encoded));
 }
 
 void Replica::send_authenticated(NodeId to, MsgType type, const Bytes& body) {
+  if (byz_.silent) return;
   Envelope env;
   env.type = type;
   env.sender = id();
   env.body = body;
-  env.auth.emplace_back(to, keys_.tag(id(), to, body));
+  crypto::MacTag tag = keys_.tag(id(), to, body);
+  if (byz_.corrupt_macs) tag[0] ^= 0xFF;
+  env.auth.emplace_back(to, tag);
   send_to(to, env.encode());
+}
+
+void Replica::replay_stale_view_change() {
+  if (last_view_change_envelope_.empty()) return;
+  multicast_to(config_.group, last_view_change_envelope_);
+}
+
+void Replica::enter_view(ViewId view) {
+  if (view.value == active_view_.value) return;
+  tel_->trace(telemetry::TraceKind::kViewEnd, id(), 0, active_view_.value);
+  tel_->trace(telemetry::TraceKind::kViewStart, id(), 0, view.value);
+  active_view_ = view;
 }
 
 // ---------------------------------------------------------------------------
@@ -202,7 +226,7 @@ void Replica::handle_request(const Envelope& env) {
     // hold the primary accountable for ordering it.
     if (request.timestamp > record.last_forwarded) {
       record.last_forwarded = request.timestamp;
-      send_to(config_.primary_for(view_), env.encode());
+      if (!byz_.silent) send_to(config_.primary_for(view_), env.encode());
       arm_request_timer();
     }
   }
@@ -224,7 +248,26 @@ void Replica::assign_and_propose(const RequestMsg& request, const Bytes& encoded
   entry.pre_prepare = pp;
   entry.trace = app_->trace_of(request.payload);
   entry.first_seen = now();
-  multicast_authenticated(MsgType::kPrePrepare, pp.encode());
+  if (byz_.equivocate) {
+    // Equivocating primary: internally consistent but CONFLICTING proposals
+    // for the same (view, seq) — even-rank backups get the real request,
+    // odd-rank backups a mutated one (valid digest, altered payload).
+    // Neither side can gather a matching quorum; the view-change timeout is
+    // the documented recovery path.
+    RequestMsg lie_request = request;
+    lie_request.payload.push_back(0x5a);
+    PrePrepareMsg lie = pp;
+    lie.request = lie_request.encode();
+    lie.req_digest = crypto::sha256(ByteView(lie.request));
+    for (int rank = 0; rank < config_.n(); ++rank) {
+      const NodeId backup = config_.replicas[static_cast<std::size_t>(rank)];
+      if (backup == id()) continue;
+      const PrePrepareMsg& variant = (rank % 2 == 0) ? pp : lie;
+      send_authenticated(backup, MsgType::kPrePrepare, variant.encode());
+    }
+  } else {
+    multicast_authenticated(MsgType::kPrePrepare, pp.encode());
+  }
   metrics_.pre_prepares_sent->inc();
   tel_->trace(telemetry::TraceKind::kBftPrePrepare, id(), entry.trace, view_.value, seq);
   arm_request_timer();
@@ -274,6 +317,18 @@ void Replica::handle_pre_prepare(const Envelope& env) {
   }
 
   LogEntry& entry = log_[seq];
+  if (entry.pre_prepare && entry.pre_prepare->view.value < pp.view.value &&
+      !entry.committed) {
+    // The logged proposal is from a DEAD view and never committed. The
+    // current view's primary owns this seq now; without superseding the
+    // stale entry, its digest would make the fresh proposal look like a
+    // duplicate and no backup would ever prepare it — the group would
+    // view-change forever (uncommitted entries are exactly the ones a
+    // new-view certificate may not carry).
+    entry.pre_prepare.reset();
+    entry.prepares.clear();
+    entry.commits.clear();
+  }
   if (entry.pre_prepare && entry.pre_prepare->req_digest != pp.req_digest) {
     // Conflicting proposal for (view, seq): Byzantine primary. Keep the
     // first; the view-change timeout deals with the equivocation.
@@ -403,6 +458,7 @@ void Replica::execute_entry(std::uint64_t seq, LogEntry& entry) {
     metrics_.exec_latency_ns->record(now() - entry.first_seen);
   }
   tel_->trace(telemetry::TraceKind::kBftExecute, id(), entry.trace, seq);
+  if (execution_observer_) execution_observer_(SeqNum(seq), entry.pre_prepare->req_digest);
   if (!entry.pre_prepare->is_null_request()) {
     Result<RequestMsg> decoded = RequestMsg::decode(entry.pre_prepare->request);
     if (decoded.is_ok()) {
@@ -657,6 +713,7 @@ void Replica::after_install(ViewId sender_view) {
   }
   in_view_change_ = false;
   view_change_attempts_ = 0;
+  enter_view(view_);
   disarm_request_timer();
 }
 
@@ -959,6 +1016,7 @@ void Replica::adopt_new_view(const NewViewMsg& msg) {
   view_ = msg.view;
   in_view_change_ = false;
   view_change_attempts_ = 0;
+  enter_view(view_);
   next_seq_ = max_s;
   disarm_request_timer();
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -68,6 +69,36 @@ class Replica : public net::Process {
   /// by replacement elements joining with no history; f+1 matching replies
   /// certify the snapshot).
   void request_catch_up();
+
+  // --- fault-injection hooks (src/fault/) ---
+
+  /// Byzantine behaviors a compromised replica exhibits while active. All
+  /// protocol logic stays honest; only the outbound message layer lies —
+  /// which is exactly the attack surface pairwise MACs / signatures defend.
+  struct ByzantineHooks {
+    bool silent = false;        // drops every outbound protocol message
+    bool corrupt_macs = false;  // authenticator tags are garbage (forged HMACs)
+    bool equivocate = false;    // primary: conflicting pre-prepares per backup
+  };
+
+  /// Installs (or, with a default-constructed value, clears) the Byzantine
+  /// behavior set. Activated per replica by fault::FaultInjector.
+  void set_byzantine(const ByzantineHooks& hooks) { byz_ = hooks; }
+  const ByzantineHooks& byzantine() const { return byz_; }
+
+  /// Re-multicasts this replica's most recent signed VIEW-CHANGE envelope
+  /// verbatim (a stale-view replay attack; correct peers must discard it).
+  /// No-op if the replica never sent a view change.
+  void replay_stale_view_change();
+
+  /// Observer fired on every execution: (seq, request digest). The fault
+  /// oracle uses it to assert correct replicas never commit different
+  /// requests at the same sequence number.
+  using ExecutionObserver = std::function<void(SeqNum, const Digest&)>;
+  void set_execution_observer(ExecutionObserver observer) {
+    execution_observer_ = std::move(observer);
+  }
+
   ReplicaStats stats() const;
   const StateMachine& app() const { return *app_; }
   StateMachine& app() { return *app_; }
@@ -142,6 +173,9 @@ class Replica : public net::Process {
   void multicast_signed(MsgType type, const Bytes& body);
   void send_authenticated(NodeId to, MsgType type, const Bytes& body);
   Status verify_envelope(const Envelope& env) const;
+  /// Closes the active view's trace span and opens `view`'s (no-op if the
+  /// active view is unchanged).
+  void enter_view(ViewId view);
   void arm_request_timer();
   void disarm_request_timer();
   void on_request_timeout();
@@ -213,6 +247,14 @@ class Replica : public net::Process {
   // period (a Byzantine peer inflating seqs costs bounded requests).
   std::uint64_t max_observed_seq_ = 0;
   bool catch_up_cooldown_ = false;
+
+  // Fault-injection state (src/fault/): active Byzantine behaviors, the last
+  // signed VIEW-CHANGE envelope (stale-replay ammunition), the oracle's
+  // execution observer, and the view whose span is currently open.
+  ByzantineHooks byz_;
+  Bytes last_view_change_envelope_;
+  ExecutionObserver execution_observer_;
+  ViewId active_view_;
 };
 
 }  // namespace itdos::bft

@@ -1,0 +1,178 @@
+#include "fault/injector.hpp"
+
+namespace itdos::fault {
+
+FaultInjector::FaultInjector(net::Network& net, FaultPlan plan)
+    : net_(net),
+      plan_(std::move(plan)),
+      rng_(plan_.seed ^ 0xfa0175c0de5eedULL),
+      tel_(&net.sim().telemetry()) {
+  auto& reg = tel_->metrics();
+  injected_ = &reg.counter("fault.injected");
+  dropped_ = &reg.counter("fault.dropped");
+  delayed_ = &reg.counter("fault.delayed");
+  duplicated_ = &reg.counter("fault.duplicated");
+  corrupted_ = &reg.counter("fault.corrupted");
+}
+
+FaultInjector::~FaultInjector() {
+  for (NodeId node : intercepted_) net_.set_interceptor(node, nullptr);
+}
+
+void FaultInjector::trace_inject(NodeId node, InjectKind kind,
+                                 std::uint64_t detail) {
+  injected_->inc();
+  tel_->trace(telemetry::TraceKind::kFaultInject, node, 0,
+              static_cast<std::uint64_t>(kind), detail);
+}
+
+void FaultInjector::arm_links() {
+  for (const LinkFault& fault : plan_.link_faults) {
+    if (intercepted_.insert(fault.from_node).second) {
+      net_.set_interceptor(fault.from_node, [this](const net::Packet& packet) {
+        return intercept(packet);
+      });
+    }
+  }
+  for (const PartitionWindow& window : plan_.partitions) {
+    net_.sim().schedule_at(window.form, [this, &window] {
+      net_.partition(window.side_a, window.side_b);
+      trace_inject(*window.side_a.begin(), InjectKind::kPartitionForm,
+                   window.side_b.size());
+    });
+    net_.sim().schedule_at(window.heal, [this, &window] {
+      // Restore only the pairs this window cut — other injected cuts (or
+      // test-made ones) must survive an unrelated heal.
+      for (NodeId a : window.side_a) {
+        for (NodeId b : window.side_b) net_.set_link(a, b, true);
+      }
+      trace_inject(*window.side_a.begin(), InjectKind::kPartitionHeal,
+                   window.side_b.size());
+    });
+  }
+}
+
+std::optional<Bytes> FaultInjector::intercept(const net::Packet& packet) {
+  if (reinjecting_) return packet.payload;  // our own delayed/dup copy
+  const SimTime now = net_.sim().now();
+  for (const LinkFault& fault : plan_.link_faults) {
+    if (!fault.applies_to(packet.from, packet.to, now)) continue;
+    Bytes payload = packet.payload;
+    if (fault.corrupt > 0.0 && !payload.empty() && rng_.chance(fault.corrupt)) {
+      const std::size_t index = rng_.next_below(payload.size());
+      payload[index] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
+      corrupted_->inc();
+      trace_inject(packet.from, InjectKind::kCorrupt, packet.to.value);
+    }
+    if (fault.drop > 0.0 && rng_.chance(fault.drop)) {
+      dropped_->inc();
+      trace_inject(packet.from, InjectKind::kDrop, packet.to.value);
+      return std::nullopt;
+    }
+    if (fault.duplicate > 0.0 && rng_.chance(fault.duplicate)) {
+      const std::int64_t lag = rng_.next_in(micros(10), micros(500));
+      const NodeId from = packet.from;
+      const NodeId to = packet.to;
+      net_.sim().schedule_after(lag, [this, from, to, payload] {
+        reinjecting_ = true;
+        net_.send(from, to, payload);
+        reinjecting_ = false;
+      });
+      duplicated_->inc();
+      trace_inject(packet.from, InjectKind::kDuplicate, packet.to.value);
+    }
+    if (fault.delay_probability > 0.0 && rng_.chance(fault.delay_probability)) {
+      const std::int64_t lag = rng_.next_in(fault.delay_min_ns, fault.delay_max_ns);
+      const NodeId from = packet.from;
+      const NodeId to = packet.to;
+      net_.sim().schedule_after(lag, [this, from, to, payload] {
+        reinjecting_ = true;
+        net_.send(from, to, payload);
+        reinjecting_ = false;
+      });
+      delayed_->inc();
+      trace_inject(packet.from, InjectKind::kDelay,
+                   static_cast<std::uint64_t>(lag));
+      return std::nullopt;  // the original is held back, not lost
+    }
+    return payload;  // first matching fault wins
+  }
+  return packet.payload;
+}
+
+void FaultInjector::arm_replica(const ReplicaFault& fault,
+                                bft::Replica& replica) {
+  bft::Replica::ByzantineHooks hooks;
+  hooks.silent = fault.silent;
+  hooks.corrupt_macs = fault.corrupt_macs;
+  hooks.equivocate = fault.equivocate;
+  bft::Replica* target = &replica;
+  net_.sim().schedule_at(fault.window.from, [this, target, hooks] {
+    target->set_byzantine(hooks);
+    trace_inject(target->id(), InjectKind::kByzantineOn,
+                 (hooks.silent ? 1u : 0u) | (hooks.corrupt_macs ? 2u : 0u) |
+                     (hooks.equivocate ? 4u : 0u));
+  });
+  if (fault.window.bounded()) {
+    net_.sim().schedule_at(fault.window.until, [this, target] {
+      target->set_byzantine({});
+      trace_inject(target->id(), InjectKind::kByzantineOff, 0);
+    });
+  }
+  if (fault.stale_replay_period_ns > 0) {
+    const SimTime end =
+        fault.window.bounded() ? fault.window.until : plan_.heal_time;
+    for (SimTime t{fault.window.from.ns + fault.stale_replay_period_ns};
+         t.ns < end.ns; t.ns += fault.stale_replay_period_ns) {
+      net_.sim().schedule_at(t, [target] { target->replay_stale_view_change(); });
+    }
+  }
+}
+
+void FaultInjector::arm_element(const ElementFault& fault,
+                                core::ItdosSystem& system, DomainId domain) {
+  core::ItdosSystem* sys = &system;
+  const ElementFault spec = fault;
+  net_.sim().schedule_at(fault.at, [this, sys, domain, spec] {
+    core::DomainElement& element = sys->element(domain, spec.rank);
+    switch (spec.kind) {
+      case ElementFault::Kind::kDissentingReplies:
+        element.set_reply_mutator([](cdr::ReplyMessage reply) {
+          reply.result = cdr::Value::int64(-666);
+          return reply;
+        });
+        break;
+      case ElementFault::Kind::kBogusChangeRequests: {
+        // Frame a correct element. The reporter claims its (replicated)
+        // domain, so the GM's f+1-matching-reports rule applies — one rogue
+        // reporter must never reach the expulsion threshold.
+        core::ChangeRequestMsg frame;
+        frame.reporter = element.smiop_node();
+        frame.reporter_domain = domain;
+        frame.accused_domain = domain;
+        frame.accused_element = sys->element(domain, spec.victim_rank).smiop_node();
+        frame.conn = ConnectionId(1);
+        frame.rid = RequestId(1);
+        element.party().send_change_request(frame);
+        break;
+      }
+    }
+    trace_inject(element.smiop_node(), InjectKind::kElementFault,
+                 static_cast<std::uint64_t>(spec.kind));
+  });
+}
+
+void FaultInjector::arm_gm(const GmFault& fault, core::ItdosSystem& system) {
+  core::ItdosSystem* sys = &system;
+  const GmFault spec = fault;
+  net_.sim().schedule_at(fault.at, [this, sys, spec] {
+    core::GmElement& gm = sys->gm_element(spec.index);
+    if (spec.withhold_shares) gm.set_withhold_shares(true);
+    if (spec.corrupt_shares) gm.set_corrupt_shares(true);
+    trace_inject(gm.replica().id(), InjectKind::kGmFault,
+                 (spec.withhold_shares ? 1u : 0u) |
+                     (spec.corrupt_shares ? 2u : 0u));
+  });
+}
+
+}  // namespace itdos::fault

@@ -1,0 +1,62 @@
+// Turns a FaultPlan into live network interposition and scheduled Byzantine
+// activations. One injector owns the interceptors it installs; destroying it
+// restores the network (in-flight scheduled events are cancelled by the
+// simulator's normal teardown).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "bft/replica.hpp"
+#include "fault/plan.hpp"
+#include "itdos/system.hpp"
+#include "net/network.hpp"
+
+namespace itdos::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(net::Network& net, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs outbound interceptors for every LinkFault source and schedules
+  /// partition form/heal events. Call once, before driving the simulation.
+  void arm_links();
+
+  /// Schedules the Byzantine window of `fault` onto `replica` (hooks on at
+  /// window.from, off at window.until if bounded) plus periodic stale-view
+  /// replays when configured.
+  void arm_replica(const ReplicaFault& fault, bft::Replica& replica);
+
+  /// Applies an ElementFault to a deployed ITDOS element at its start time.
+  void arm_element(const ElementFault& fault, core::ItdosSystem& system,
+                   DomainId domain);
+
+  /// Applies a GmFault to a Group Manager element at its start time.
+  void arm_gm(const GmFault& fault, core::ItdosSystem& system);
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t injected() const { return injected_->value(); }
+
+ private:
+  std::optional<Bytes> intercept(const net::Packet& packet);
+  void trace_inject(NodeId node, InjectKind kind, std::uint64_t detail);
+
+  net::Network& net_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::set<NodeId> intercepted_;  // nodes whose interceptor we installed
+  bool reinjecting_ = false;      // delayed/duplicated copies pass through
+
+  telemetry::Hub* tel_;
+  telemetry::Counter* injected_;    // fault.injected (all effects)
+  telemetry::Counter* dropped_;     // fault.dropped
+  telemetry::Counter* delayed_;     // fault.delayed
+  telemetry::Counter* duplicated_;  // fault.duplicated
+  telemetry::Counter* corrupted_;   // fault.corrupted
+};
+
+}  // namespace itdos::fault

@@ -1,0 +1,118 @@
+#include "fault/oracle.hpp"
+
+namespace itdos::fault {
+
+std::string_view violation_kind_name(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kExecutionDivergence:
+      return "execution_divergence";
+    case Violation::Kind::kVoteUnderSupported:
+      return "vote_under_supported";
+    case Violation::Kind::kExpelledRejoined:
+      return "expelled_rejoined";
+    case Violation::Kind::kLiveness:
+      return "liveness";
+  }
+  return "unknown";
+}
+
+void Oracle::report(Violation violation) {
+  tel_->trace(telemetry::TraceKind::kOracleViolation, violation.node, 0,
+              static_cast<std::uint64_t>(violation.kind), violation.a);
+  violations_.push_back(std::move(violation));
+}
+
+void Oracle::note_execution(int group, NodeId node, SeqNum seq,
+                            const bft::Digest& digest) {
+  auto& per_seq = executions_[group];
+  const auto [it, inserted] = per_seq.emplace(seq.value, digest);
+  if (!inserted && it->second != digest) {
+    Violation v;
+    v.kind = Violation::Kind::kExecutionDivergence;
+    v.node = node;
+    v.a = seq.value;
+    v.detail = "correct replicas executed different requests at seq " +
+               std::to_string(seq.value);
+    report(std::move(v));
+  }
+}
+
+void Oracle::note_vote(NodeId node, ConnectionId conn, RequestId rid, int f,
+                       const core::VoteDecision& decision) {
+  if (decision.support >= f + 1) return;
+  Violation v;
+  v.kind = Violation::Kind::kVoteUnderSupported;
+  v.node = node;
+  v.a = static_cast<std::uint64_t>(decision.support);
+  v.b = telemetry::trace_id(conn, rid);
+  v.detail = "reply delivered with only " + std::to_string(decision.support) +
+             " matching ballots (f=" + std::to_string(f) + ")";
+  report(std::move(v));
+}
+
+void Oracle::watch_replica(int group, bft::Replica& replica) {
+  const NodeId node = replica.id();
+  replica.set_execution_observer(
+      [this, group, node](SeqNum seq, const bft::Digest& digest) {
+        note_execution(group, node, seq, digest);
+      });
+}
+
+void Oracle::watch_party(core::SmiopParty& party) {
+  const NodeId node = party.config().smiop_node;
+  party.set_vote_audit([this, node](ConnectionId conn, RequestId rid, int f,
+                                    const core::VoteDecision& decision) {
+    note_vote(node, conn, rid, f, decision);
+  });
+}
+
+void Oracle::watch_gm(core::GmElement& gm) {
+  gm.set_expulsion_observer([this](DomainId domain, NodeId element) {
+    expulsions_seen_.emplace_back(domain, element);
+  });
+}
+
+void Oracle::check_liveness(std::size_t completed, std::size_t expected) {
+  if (completed >= expected) return;
+  Violation v;
+  v.kind = Violation::Kind::kLiveness;
+  v.a = completed;
+  v.b = expected;
+  v.detail = std::to_string(expected - completed) +
+             " correct-client request(s) never completed after faults healed";
+  report(std::move(v));
+}
+
+void Oracle::check_expulsions(const core::GmStateMachine& gm) {
+  for (const auto& [domain, element] : expulsions_seen_) {
+    if (gm.is_expelled(domain, element)) continue;
+    Violation v;
+    v.kind = Violation::Kind::kExpelledRejoined;
+    v.node = element;
+    v.a = domain.value;
+    v.detail = "expelled element " + element.to_string() +
+               " is active again in domain " + domain.to_string();
+    report(std::move(v));
+  }
+}
+
+std::string Oracle::forensic_report() const {
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += "{\"violation\":\"";
+    out += violation_kind_name(v.kind);
+    out += "\",\"node\":";
+    out += std::to_string(v.node.value);
+    out += ",\"a\":";
+    out += std::to_string(v.a);
+    out += ",\"b\":";
+    out += std::to_string(v.b);
+    out += ",\"detail\":\"";
+    out += v.detail;
+    out += "\"}\n";
+  }
+  out += tel_->tracer().export_jsonl();
+  return out;
+}
+
+}  // namespace itdos::fault

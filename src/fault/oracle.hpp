@@ -1,0 +1,105 @@
+// Safety and liveness oracles for fault-injected runs.
+//
+// The oracle watches the system through the hooks the protocol layers expose
+// (execution observers, vote audits, expulsion observers) and records a
+// Violation the moment an invariant breaks:
+//
+//   * kExecutionDivergence — two watched (correct) replicas of the same BFT
+//     group executed different request digests at the same sequence number
+//     (the paper's core safety property; Castro-Liskov §4);
+//   * kVoteUnderSupported — a voted reply was delivered with fewer than f+1
+//     matching ballots (§3.6's decision rule);
+//   * kExpelledRejoined — an element the GM expelled shows up as active
+//     again (§3.5/§3.6: rekey "keys them out of all communication groups");
+//   * kLiveness — a correct client's request did not complete even though
+//     all injected faults healed (liveness-under-quiescence).
+//
+// Each violation is also recorded through the telemetry Tracer
+// (kOracleViolation), so a failing run dumps a causal JSONL forensic trail.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bft/replica.hpp"
+#include "itdos/group_manager.hpp"
+#include "itdos/smiop.hpp"
+
+namespace itdos::fault {
+
+struct Violation {
+  enum class Kind : std::uint64_t {
+    kExecutionDivergence = 1,
+    kVoteUnderSupported = 2,
+    kExpelledRejoined = 3,
+    kLiveness = 4,
+  };
+
+  Kind kind{};
+  NodeId node{};       // the node where the violation surfaced
+  std::uint64_t a = 0; // kind-specific (seq / support / element / missing)
+  std::uint64_t b = 0;
+  std::string detail;
+};
+
+std::string_view violation_kind_name(Violation::Kind kind);
+
+class Oracle {
+ public:
+  explicit Oracle(telemetry::Hub& hub) : tel_(&hub) {}
+
+  // --- wiring (install before driving the simulation) ---
+
+  /// Watches a CORRECT replica of BFT group `group` (distinct deployments —
+  /// e.g. the GM domain vs. a server domain — use distinct group ids).
+  /// Faulty replicas must NOT be watched: the invariant only binds correct
+  /// ones.
+  void watch_replica(int group, bft::Replica& replica);
+
+  /// Audits every vote the party's connection voters decide.
+  void watch_party(core::SmiopParty& party);
+
+  /// Records expulsions ordered by this GM element's state machine.
+  void watch_gm(core::GmElement& gm);
+
+  // --- direct feeds (what the hooks above call; public for unit tests) ---
+
+  /// Records that `node` (a watched, correct replica of `group`) executed
+  /// `digest` at `seq`; flags divergence from earlier executions.
+  void note_execution(int group, NodeId node, SeqNum seq,
+                      const bft::Digest& digest);
+
+  /// Audits one decided vote against the f+1-support rule.
+  void note_vote(NodeId node, ConnectionId conn, RequestId rid, int f,
+                 const core::VoteDecision& decision);
+
+  // --- final checks (run after the simulation settles) ---
+
+  /// Every correct-client request must have completed once faults healed.
+  void check_liveness(std::size_t completed, std::size_t expected);
+
+  /// Every recorded expulsion must still hold in the GM's final state.
+  void check_expulsions(const core::GmStateMachine& gm);
+
+  // --- results ---
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool clean() const { return violations_.empty(); }
+
+  /// One line per violation plus the full causal trace — the forensic
+  /// artifact a failing scenario dumps.
+  std::string forensic_report() const;
+
+ private:
+  void report(Violation violation);
+
+  telemetry::Hub* tel_;
+  std::vector<Violation> violations_;
+  // group -> seq -> first digest executed by any watched replica.
+  std::map<int, std::map<std::uint64_t, bft::Digest>> executions_;
+  std::vector<std::pair<DomainId, NodeId>> expulsions_seen_;
+};
+
+}  // namespace itdos::fault

@@ -1,0 +1,127 @@
+// Declarative, seed-deterministic fault schedules (the adversary's script).
+//
+// A FaultPlan says WHAT goes wrong and WHEN, in simulated time: lossy /
+// slow / duplicating / corrupting links, partition windows that form and
+// heal, and Byzantine behaviors activated per BFT replica, ITDOS element or
+// Group Manager element. fault::FaultInjector turns the plan into network
+// interceptors and scheduled events; fault::Oracle checks that the system
+// upholds the paper's safety and liveness guarantees under it.
+//
+// Everything is driven by the plan's own Rng stream, so a (scenario, seed)
+// pair replays byte-identically — the trace JSONL of a faulty run is itself
+// a regression artifact (see src/telemetry/trace.hpp).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace itdos::fault {
+
+/// Half-open activity window in simulated time: [from, until).
+struct TimeWindow {
+  SimTime from{0};
+  SimTime until{std::numeric_limits<std::int64_t>::max()};
+
+  bool contains(SimTime t) const { return t.ns >= from.ns && t.ns < until.ns; }
+  bool bounded() const {
+    return until.ns != std::numeric_limits<std::int64_t>::max();
+  }
+};
+
+/// Degrades traffic a node emits (optionally only toward one peer) while the
+/// window is open. Effects compose per packet: corruption mutates the
+/// payload, then the drop/duplicate/delay dice roll independently.
+struct LinkFault {
+  NodeId from_node;
+  std::optional<NodeId> to_node;  // nullopt: every destination
+  TimeWindow window;
+  double drop = 0.0;               // P(packet silently vanishes)
+  double duplicate = 0.0;          // P(an extra delayed copy is injected)
+  double corrupt = 0.0;            // P(one payload byte is flipped)
+  double delay_probability = 0.0;  // P(packet is held back...)
+  std::int64_t delay_min_ns = 0;   // ...for a uniform extra delay
+  std::int64_t delay_max_ns = 0;
+
+  bool applies_to(NodeId from, NodeId to, SimTime t) const {
+    return from == from_node && (!to_node || *to_node == to) &&
+           window.contains(t);
+  }
+};
+
+/// A network partition that forms at `form` and heals at `heal`; while it
+/// holds, no packet crosses between side_a and side_b.
+struct PartitionWindow {
+  std::set<NodeId> side_a;
+  std::set<NodeId> side_b;
+  SimTime form{0};
+  SimTime heal{0};
+};
+
+/// Byzantine behaviors for one BFT replica (by rank), active in the window.
+/// The behavior set maps onto bft::Replica::ByzantineHooks; stale-view
+/// replays additionally fire every `stale_replay_period_ns` inside the
+/// window (0 = never).
+struct ReplicaFault {
+  int rank = 0;
+  TimeWindow window;
+  bool silent = false;
+  bool corrupt_macs = false;
+  bool equivocate = false;
+  std::int64_t stale_replay_period_ns = 0;
+};
+
+/// Byzantine behaviors for one ITDOS domain element (by rank), active from
+/// `at` onward (element misbehavior is sticky: detection should expel it).
+struct ElementFault {
+  enum class Kind {
+    kDissentingReplies,     // mutate every reply value (voter must mask it)
+    kBogusChangeRequests,   // frame a correct element with forged proof
+  };
+  int rank = 0;
+  Kind kind = Kind::kDissentingReplies;
+  SimTime at{0};
+  int victim_rank = 0;  // kBogusChangeRequests: the framed element
+};
+
+/// Misbehavior of one Group Manager element, active from `at` onward.
+struct GmFault {
+  int index = 0;
+  bool withhold_shares = false;
+  bool corrupt_shares = false;
+  SimTime at{0};
+};
+
+/// Codes carried in kFaultInject trace events (field `a`).
+enum class InjectKind : std::uint64_t {
+  kDrop = 1,
+  kDelay = 2,
+  kDuplicate = 3,
+  kCorrupt = 4,
+  kPartitionForm = 5,
+  kPartitionHeal = 6,
+  kByzantineOn = 7,
+  kByzantineOff = 8,
+  kElementFault = 9,
+  kGmFault = 10,
+};
+
+/// The adversary's full script for one run.
+struct FaultPlan {
+  std::uint64_t seed = 1;  // drives the injector's OWN dice, not the sim's
+  std::vector<LinkFault> link_faults;
+  std::vector<PartitionWindow> partitions;
+  std::vector<ReplicaFault> replica_faults;
+  std::vector<ElementFault> element_faults;
+  std::vector<GmFault> gm_faults;
+
+  /// When the last injected fault is over: the oracle's liveness check
+  /// demands every correct-client request completes after this point.
+  SimTime heal_time{0};
+};
+
+}  // namespace itdos::fault

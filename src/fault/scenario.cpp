@@ -1,0 +1,451 @@
+#include "fault/scenario.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "bft/harness.hpp"
+#include "fault/injector.hpp"
+#include "itdos/system.hpp"
+
+namespace itdos::fault {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BFT-cluster scenarios: a 3f+1 replica group ordering counter increments
+// while the adversary works the network / individual replicas.
+// ---------------------------------------------------------------------------
+
+constexpr int kClusterRequests = 8;
+
+ScenarioResult run_cluster(const std::string& name, std::uint64_t seed,
+                           FaultPlan plan, int requests,
+                           std::int64_t grace_after_heal) {
+  bft::ClusterOptions options;
+  options.f = 1;
+  options.seed = seed;
+  bft::Cluster cluster(options, [](int) {
+    return std::make_unique<bft::CounterStateMachine>();
+  });
+
+  // Translate replica ranks to node ids now that the cluster exists.
+  std::set<int> faulty_ranks;
+  for (const ReplicaFault& fault : plan.replica_faults) {
+    faulty_ranks.insert(fault.rank);
+  }
+
+  FaultInjector injector(cluster.network(), plan);
+  injector.arm_links();
+  for (const ReplicaFault& fault : injector.plan().replica_faults) {
+    injector.arm_replica(fault, cluster.replica(fault.rank));
+  }
+
+  Oracle oracle(cluster.sim().telemetry());
+  for (int rank = 0; rank < cluster.n(); ++rank) {
+    if (!faulty_ranks.contains(rank)) {
+      oracle.watch_replica(0, cluster.replica(rank));
+    }
+  }
+
+  bft::Client& client = cluster.add_client();
+  auto completed = std::make_shared<std::size_t>(0);
+  for (int i = 0; i < requests; ++i) {
+    // The outcome slot outlives this frame via shared_ptr: under faults a
+    // completion may fire long after any particular drive step.
+    client.invoke(to_bytes("add:1"), [completed](Result<Bytes> result) {
+      if (result.is_ok()) ++*completed;
+    });
+  }
+
+  const SimTime deadline{injector.plan().heal_time.ns + grace_after_heal};
+  cluster.sim().run_until(injector.plan().heal_time);
+  while (*completed < static_cast<std::size_t>(requests) &&
+         cluster.sim().now() < deadline && !cluster.sim().idle()) {
+    cluster.sim().run_for(millis(50));
+  }
+  oracle.check_liveness(*completed, static_cast<std::size_t>(requests));
+
+  const telemetry::Hub& hub = cluster.sim().telemetry();
+  ScenarioResult result;
+  result.name = name;
+  result.seed = seed;
+  result.violations = oracle.violations();
+  result.requests_sent = static_cast<std::size_t>(requests);
+  result.requests_completed = *completed;
+  result.view_changes = hub.tracer().count(telemetry::TraceKind::kBftNewView);
+  result.trace_jsonl = hub.tracer().export_jsonl();
+  return result;
+}
+
+std::set<NodeId> cluster_nodes(int f, const std::set<int>& ranks) {
+  // bft::Cluster assigns replica node ids 1..3f+1 in rank order.
+  std::set<NodeId> nodes;
+  for (int rank : ranks) nodes.insert(NodeId(static_cast<std::uint64_t>(rank + 1)));
+  (void)f;
+  return nodes;
+}
+
+FaultPlan all_links_plan(std::uint64_t seed, int n,
+                         const std::function<void(LinkFault&)>& configure) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{seconds(2)};
+  for (int rank = 0; rank < n; ++rank) {
+    LinkFault fault;
+    fault.from_node = NodeId(static_cast<std::uint64_t>(rank + 1));
+    fault.window.until = plan.heal_time;
+    configure(fault);
+    plan.link_faults.push_back(fault);
+  }
+  return plan;
+}
+
+ScenarioResult scenario_drop_storm(std::uint64_t seed) {
+  FaultPlan plan = all_links_plan(seed, 4, [](LinkFault& fault) {
+    fault.drop = 0.25;
+  });
+  return run_cluster("drop_storm", seed, std::move(plan), kClusterRequests,
+                     seconds(10));
+}
+
+ScenarioResult scenario_delay_spike(std::uint64_t seed) {
+  FaultPlan plan = all_links_plan(seed, 4, [](LinkFault& fault) {
+    fault.delay_probability = 0.5;
+    fault.delay_min_ns = millis(5);
+    fault.delay_max_ns = millis(40);
+  });
+  return run_cluster("delay_spike", seed, std::move(plan), kClusterRequests,
+                     seconds(10));
+}
+
+ScenarioResult scenario_duplicate_flood(std::uint64_t seed) {
+  FaultPlan plan = all_links_plan(seed, 4, [](LinkFault& fault) {
+    fault.duplicate = 0.5;
+  });
+  return run_cluster("duplicate_flood", seed, std::move(plan),
+                     kClusterRequests, seconds(10));
+}
+
+ScenarioResult scenario_corrupt_link(std::uint64_t seed) {
+  // One replica's outbound traffic is bit-flipped half the time; MACs reject
+  // the garbage and retransmissions recover the rest.
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{seconds(2)};
+  LinkFault fault;
+  fault.from_node = NodeId(2);
+  fault.corrupt = 0.5;
+  fault.window.until = plan.heal_time;
+  plan.link_faults.push_back(fault);
+  return run_cluster("corrupt_link", seed, std::move(plan), kClusterRequests,
+                     seconds(10));
+}
+
+ScenarioResult scenario_partition_minority(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{seconds(1)};
+  PartitionWindow window;
+  window.side_a = cluster_nodes(1, {3});
+  window.side_b = cluster_nodes(1, {0, 1, 2});
+  window.form = SimTime{0};  // before the first commit, or nothing is stressed
+  window.heal = plan.heal_time;
+  plan.partitions.push_back(window);
+  return run_cluster("partition_minority", seed, std::move(plan),
+                     kClusterRequests, seconds(10));
+}
+
+ScenarioResult scenario_partition_primary(std::uint64_t seed) {
+  // Isolating the view-0 primary forces a view change; requests must still
+  // complete once the group re-forms around the new primary.
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{millis(1500)};
+  PartitionWindow window;
+  window.side_a = cluster_nodes(1, {0});
+  window.side_b = cluster_nodes(1, {1, 2, 3});
+  window.form = SimTime{0};  // before the first commit, or nothing is stressed
+  window.heal = plan.heal_time;
+  plan.partitions.push_back(window);
+  return run_cluster("partition_primary", seed, std::move(plan),
+                     kClusterRequests, seconds(12));
+}
+
+ScenarioResult scenario_silent_replica(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{0};  // nothing heals; f = 1 absorbs the fault
+  ReplicaFault fault;
+  fault.rank = 3;
+  fault.silent = true;
+  plan.replica_faults.push_back(fault);
+  return run_cluster("silent_replica", seed, std::move(plan),
+                     kClusterRequests, seconds(10));
+}
+
+ScenarioResult scenario_corrupt_mac_replica(std::uint64_t seed) {
+  // A replica whose authenticators never verify is indistinguishable from a
+  // silent one to its peers — the quorum math must absorb it.
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{0};
+  ReplicaFault fault;
+  fault.rank = 3;
+  fault.corrupt_macs = true;
+  plan.replica_faults.push_back(fault);
+  return run_cluster("corrupt_mac_replica", seed, std::move(plan),
+                     kClusterRequests, seconds(10));
+}
+
+ScenarioResult scenario_equivocating_primary(std::uint64_t seed) {
+  // The view-0 primary sends conflicting pre-prepares per backup; no quorum
+  // can form, the view-change timeout fires, and the next primary takes
+  // over (Castro-Liskov's documented recovery; DESIGN.md §ordering).
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{seconds(1)};
+  ReplicaFault fault;
+  fault.rank = 0;
+  fault.equivocate = true;
+  fault.window.until = plan.heal_time;
+  plan.replica_faults.push_back(fault);
+  return run_cluster("equivocating_primary", seed, std::move(plan),
+                     kClusterRequests, seconds(12));
+}
+
+ScenarioResult scenario_stale_view_replay(std::uint64_t seed) {
+  // Phase 1: a brief primary partition forces a real view change, arming
+  // every replica with a signed VIEW-CHANGE envelope. Phase 2: replica 2
+  // replays its stale envelope every 100ms; correct peers must discard the
+  // replays without spurious view changes or lost liveness.
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{seconds(2)};
+  PartitionWindow window;
+  window.side_a = cluster_nodes(1, {0});
+  window.side_b = cluster_nodes(1, {1, 2, 3});
+  window.form = SimTime{0};
+  window.heal = SimTime{millis(500)};
+  plan.partitions.push_back(window);
+  ReplicaFault fault;
+  fault.rank = 2;
+  fault.window.from = SimTime{millis(600)};
+  fault.window.until = plan.heal_time;
+  fault.stale_replay_period_ns = millis(100);
+  plan.replica_faults.push_back(fault);
+  return run_cluster("stale_view_replay", seed, std::move(plan),
+                     kClusterRequests, seconds(12));
+}
+
+// ---------------------------------------------------------------------------
+// ITDOS scenarios: the full stack — SMIOP connections, unmarshalled voting,
+// Group Manager detection / expulsion / rekey.
+// ---------------------------------------------------------------------------
+
+class SumServant : public orb::Servant {
+ public:
+  std::string interface_name() const override { return "IDL:fault/Sum:1.0"; }
+  void dispatch(const std::string&, const cdr::Value& args, orb::ServerContext&,
+                orb::ReplySinkPtr sink) override {
+    std::int64_t sum = 0;
+    for (const auto& v : args.elements()) sum += v.as_int64();
+    sink->reply(cdr::Value::int64(sum));
+  }
+};
+
+/// invoke_sync with a heap-allocated outcome slot: under faults the
+/// completion may fire after a timeout return, which must not write into a
+/// dead stack frame.
+Result<cdr::Value> safe_invoke(core::ItdosSystem& system,
+                               core::ItdosClient& client,
+                               const orb::ObjectRef& ref,
+                               const std::string& operation, cdr::Value args,
+                               std::int64_t timeout_ns) {
+  auto outcome = std::make_shared<std::optional<Result<cdr::Value>>>();
+  client.orb().invoke(ref, operation, std::move(args),
+                      [outcome](Result<cdr::Value> r) { *outcome = std::move(r); });
+  const SimTime deadline = system.sim().now() + timeout_ns;
+  while (!outcome->has_value() && system.sim().now() < deadline) {
+    if (!system.sim().step()) break;
+  }
+  if (!outcome->has_value()) {
+    return error(Errc::kUnavailable, "fault-scenario invocation timed out");
+  }
+  return std::move(**outcome);
+}
+
+ScenarioResult run_itdos(const std::string& name, std::uint64_t seed,
+                         FaultPlan plan, int requests) {
+  core::SystemOptions options;
+  options.seed = seed;
+  core::ItdosSystem system(options);
+  const DomainId domain = system.add_domain(
+      1, core::VotePolicy::exact(), [](orb::ObjectAdapter& adapter, int) {
+        (void)adapter.activate_with_key(ObjectId(1),
+                                        std::make_shared<SumServant>());
+      });
+
+  std::set<int> faulty_ranks;
+  for (const ElementFault& fault : plan.element_faults) {
+    if (fault.kind == ElementFault::Kind::kDissentingReplies) {
+      faulty_ranks.insert(fault.rank);
+    }
+  }
+
+  FaultInjector injector(system.network(), plan);
+  injector.arm_links();
+  for (const ElementFault& fault : injector.plan().element_faults) {
+    injector.arm_element(fault, system, domain);
+  }
+  for (const GmFault& fault : injector.plan().gm_faults) {
+    injector.arm_gm(fault, system);
+  }
+
+  Oracle oracle(system.sim().telemetry());
+  for (int i = 0; i < system.gm_n(); ++i) {
+    oracle.watch_replica(0, system.gm_element(i).replica());
+    oracle.watch_gm(system.gm_element(i));
+  }
+  for (int rank = 0; rank < system.domain_n(domain); ++rank) {
+    if (!faulty_ranks.contains(rank)) {
+      oracle.watch_replica(1, system.element(domain, rank).replica());
+    }
+  }
+
+  core::ItdosClient& client = system.add_client();
+  oracle.watch_party(client.party());
+  const orb::ObjectRef ref =
+      system.object_ref(domain, ObjectId(1), "IDL:fault/Sum:1.0");
+
+  std::size_t completed = 0;
+  for (int i = 0; i < requests; ++i) {
+    const Result<cdr::Value> result = safe_invoke(
+        system, client, ref, "add",
+        cdr::Value::sequence({cdr::Value::int64(i), cdr::Value::int64(7)}),
+        seconds(30));
+    if (result.is_ok() && result.value().as_int64() == i + 7) ++completed;
+  }
+  system.settle();
+
+  oracle.check_liveness(completed, static_cast<std::size_t>(requests));
+  oracle.check_expulsions(system.gm_element(0).state());
+
+  const telemetry::Hub& hub = system.sim().telemetry();
+  ScenarioResult result;
+  result.name = name;
+  result.seed = seed;
+  result.violations = oracle.violations();
+  result.requests_sent = static_cast<std::size_t>(requests);
+  result.requests_completed = completed;
+  result.expulsions = system.gm_element(0).state().expulsions();
+  result.detection = result.expulsions > 0;
+  result.rekeys = hub.tracer().count(telemetry::TraceKind::kGmRekey);
+  result.view_changes = hub.tracer().count(telemetry::TraceKind::kBftNewView);
+  result.trace_jsonl = hub.tracer().export_jsonl();
+  return result;
+}
+
+ScenarioResult scenario_expel_rekey_e2e(std::uint64_t seed) {
+  // The paper's §3.6 -> §3.5 pipeline end-to-end: a dissenting element is
+  // outvoted, detected from the signed-message proof, expelled, and keyed
+  // out by an epoch rekey — all while the client keeps getting right
+  // answers.
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{0};  // misbehavior is sticky; expulsion IS the heal
+  ElementFault fault;
+  fault.rank = 2;
+  fault.kind = ElementFault::Kind::kDissentingReplies;
+  plan.element_faults.push_back(fault);
+  return run_itdos("expel_rekey_e2e", seed, std::move(plan), 4);
+}
+
+ScenarioResult scenario_bogus_change_request(std::uint64_t seed) {
+  // One element of a replicated domain files a change_request framing a
+  // correct peer. Replicated reporters are only believed at f+1 matching
+  // reports (§3.6), so a lone rogue must never trigger an expulsion.
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{millis(100)};
+  ElementFault fault;
+  fault.rank = 1;
+  fault.kind = ElementFault::Kind::kBogusChangeRequests;
+  fault.victim_rank = 0;
+  fault.at = SimTime{millis(50)};  // after the first connection exists
+  plan.element_faults.push_back(fault);
+  return run_itdos("bogus_change_request", seed, std::move(plan), 4);
+}
+
+ScenarioResult scenario_gm_withhold_shares(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{0};
+  GmFault fault;
+  fault.index = 0;
+  fault.withhold_shares = true;
+  plan.gm_faults.push_back(fault);
+  return run_itdos("gm_withhold_shares", seed, std::move(plan), 4);
+}
+
+ScenarioResult scenario_gm_corrupt_shares(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{0};
+  GmFault fault;
+  fault.index = 0;
+  fault.corrupt_shares = true;
+  plan.gm_faults.push_back(fault);
+  return run_itdos("gm_corrupt_shares", seed, std::move(plan), 4);
+}
+
+struct ScenarioEntry {
+  const char* name;
+  ScenarioResult (*run)(std::uint64_t seed);
+};
+
+constexpr ScenarioEntry kScenarios[] = {
+    {"drop_storm", scenario_drop_storm},
+    {"delay_spike", scenario_delay_spike},
+    {"duplicate_flood", scenario_duplicate_flood},
+    {"corrupt_link", scenario_corrupt_link},
+    {"partition_minority", scenario_partition_minority},
+    {"partition_primary", scenario_partition_primary},
+    {"silent_replica", scenario_silent_replica},
+    {"corrupt_mac_replica", scenario_corrupt_mac_replica},
+    {"equivocating_primary", scenario_equivocating_primary},
+    {"stale_view_replay", scenario_stale_view_replay},
+    {"expel_rekey_e2e", scenario_expel_rekey_e2e},
+    {"bogus_change_request", scenario_bogus_change_request},
+    {"gm_withhold_shares", scenario_gm_withhold_shares},
+    {"gm_corrupt_shares", scenario_gm_corrupt_shares},
+};
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const ScenarioEntry& entry : kScenarios) names.emplace_back(entry.name);
+  return names;
+}
+
+ScenarioResult run_scenario(const std::string& name, std::uint64_t seed) {
+  for (const ScenarioEntry& entry : kScenarios) {
+    if (name == entry.name) return entry.run(seed);
+  }
+  throw std::invalid_argument("unknown fault scenario: " + name);
+}
+
+ScenarioResult run_silent_replicas(int silent_count, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{0};
+  for (int i = 0; i < silent_count; ++i) {
+    ReplicaFault fault;
+    fault.rank = 3 - i;  // mute from the highest rank down
+    fault.silent = true;
+    plan.replica_faults.push_back(fault);
+  }
+  return run_cluster("silent_x" + std::to_string(silent_count), seed,
+                     std::move(plan), 4, seconds(5));
+}
+
+}  // namespace itdos::fault

@@ -1,0 +1,49 @@
+// Canned fault scenarios: one call builds a deployment, arms a FaultPlan,
+// drives a client workload through the fault window, and returns what the
+// oracles saw. Each (name, seed) pair is fully deterministic, so the
+// returned trace JSONL is byte-stable across runs — tests/fault/ sweeps
+// these as ctest cases and scripts/soak.sh sweeps random seeds.
+//
+// DESIGN.md ("Fault model & oracles") maps each scenario to the paper
+// section whose claim it stresses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/oracle.hpp"
+#include "fault/plan.hpp"
+
+namespace itdos::fault {
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t seed = 0;
+
+  std::vector<Violation> violations;
+  std::size_t requests_sent = 0;
+  std::size_t requests_completed = 0;
+
+  bool detection = false;        // a fault was detected (expulsion ordered)
+  std::uint64_t expulsions = 0;  // GM expulsions in the final state
+  std::uint64_t rekeys = 0;      // gm.rekey trace events
+  std::uint64_t view_changes = 0;  // bft.new_view trace events
+
+  std::string trace_jsonl;  // full causal trace (byte-stable per seed)
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Names of all canned scenarios, in a fixed order.
+std::vector<std::string> scenario_names();
+
+/// Runs one canned scenario. Throws std::invalid_argument on unknown names.
+ScenarioResult run_scenario(const std::string& name, std::uint64_t seed);
+
+/// The f-boundary harness: a BFT cluster (f = 1) with `silent_count`
+/// replicas muted from t = 0. With silent_count <= f every request must
+/// complete; at f+1 the quorum is gone and the oracle must report the
+/// liveness loss (tests assert the DETECTION, not silence).
+ScenarioResult run_silent_replicas(int silent_count, std::uint64_t seed);
+
+}  // namespace itdos::fault

@@ -299,6 +299,7 @@ void GmStateMachine::expel(DomainId domain, NodeId element_smiop) {
   ++expulsions_;
   if (metrics_.expulsions != nullptr) metrics_.expulsions->inc();
   trace(telemetry::TraceKind::kGmExpulsion, 0, element_smiop.value);
+  if (expulsion_observer_) expulsion_observer_(domain, element_smiop);
   ITDOS_INFO(kLog) << "expelling element " << element_smiop.to_string()
                    << " from domain " << domain.to_string();
   // Rekey every connection the domain participates in, excluding the

@@ -22,6 +22,7 @@
 //     communication groups of which they are part".
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <set>
 
@@ -76,6 +77,13 @@ class GmStateMachine : public bft::StateMachine {
   const std::map<ConnectionId, ConnRecord>& connections() const { return conns_; }
   std::uint64_t expulsions() const { return expulsions_; }
 
+  /// Observer fired on every expulsion this GM element orders (the fault
+  /// oracle asserts expelled elements never rejoin a communication group).
+  using ExpulsionObserver = std::function<void(DomainId, NodeId)>;
+  void set_expulsion_observer(ExpulsionObserver observer) {
+    expulsion_observer_ = std::move(observer);
+  }
+
   /// Active (non-expelled) SMIOP nodes of a domain.
   std::vector<NodeId> active_elements(const DomainInfo& info) const;
 
@@ -109,6 +117,7 @@ class GmStateMachine : public bft::StateMachine {
   // Domain-quorum change_request tallies: (accused, conn, rid) -> reporters.
   std::map<std::tuple<NodeId, std::uint64_t, std::uint64_t>, std::set<NodeId>> tallies_;
   std::uint64_t expulsions_ = 0;
+  ExpulsionObserver expulsion_observer_;  // not replicated state
 };
 
 /// One Group Manager replication domain element: the BFT replica running the
@@ -124,6 +133,11 @@ class GmElement {
   int index() const { return index_; }
   const GmStateMachine& state() const { return *state_; }
   bft::Replica& replica() { return *replica_; }
+
+  /// Forwards to the owned GmStateMachine (fault oracle wiring).
+  void set_expulsion_observer(GmStateMachine::ExpulsionObserver observer) {
+    state_->set_expulsion_observer(std::move(observer));
+  }
 
   /// Test hook: make this element stop distributing shares (a crashed or
   /// withholding GM element; parties must still combine from the rest).

@@ -137,6 +137,10 @@ SmiopParty::SmiopParty(net::Network& net,
     } else if (record.epoch.value > prev->record.epoch.value) {
       tel_->trace(telemetry::TraceKind::kSmiopEpochAdvance, config_.smiop_node, 0,
                   record.conn.value, record.epoch.value);
+      // Span event: this party's traffic on `conn` now seals under the new
+      // epoch (fault forensics segment per-connection timelines on these).
+      tel_->trace(telemetry::TraceKind::kEpochRekey, config_.smiop_node, 0,
+                  record.conn.value, record.epoch.value);
     }
     table_.install(record, key);
     // Wake any connect waiting on this key.
@@ -175,6 +179,13 @@ PartyStats SmiopParty::stats() const {
 
 std::unique_ptr<orb::PluggableProtocol> SmiopParty::make_protocol() {
   return std::make_unique<Protocol>(*this);
+}
+
+void SmiopParty::set_vote_audit(ConnectionVoter::DecisionAudit audit) {
+  vote_audit_ = std::move(audit);
+  for (auto& [conn, state] : conns_) {
+    if (state->voter) state->voter->set_audit(vote_audit_);
+  }
 }
 
 VotePolicy SmiopParty::policy_for(const DomainInfo& target) const {
@@ -238,6 +249,7 @@ void SmiopParty::connect_to(const orb::ObjectRef& ref,
         state->voter =
             std::make_unique<ConnectionVoter>(target->f, policy_for(*target));
         state->voter->set_telemetry(tel_, config_.smiop_node, conn);
+        if (vote_audit_) state->voter->set_audit(vote_audit_);
         conns_[conn.value] = state;
 
         if (table_.find(conn) != nullptr) {

@@ -96,6 +96,10 @@ class SmiopParty {
   const PartyConfig& config() const { return config_; }
   bft::Client& gm_client() { return *gm_client_; }
 
+  /// Installs a vote audit (fault::Oracle) on every current and future
+  /// connection voter of this party.
+  void set_vote_audit(ConnectionVoter::DecisionAudit audit);
+
  private:
   class Protocol;
   class Connection;
@@ -142,6 +146,7 @@ class SmiopParty {
   std::unique_ptr<bft::Client> gm_client_;
   std::map<DomainId, std::unique_ptr<bft::Client>> target_clients_;
   std::map<std::uint64_t, std::shared_ptr<ConnState>> conns_;
+  ConnectionVoter::DecisionAudit vote_audit_;  // applied to every voter
 
   // Connects waiting for their key shares: conn -> completions + timer.
   struct PendingConnect {

@@ -156,6 +156,7 @@ std::optional<VoteDecision> ConnectionVoter::submit(RequestId request_id,
       tel_->trace(telemetry::TraceKind::kVoteDissent, self_, trace, dissenter.value);
     }
   }
+  if (decision && audit_) audit_(conn_, request_id, f_, *decision);
   return decision;
 }
 

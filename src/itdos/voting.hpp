@@ -13,6 +13,7 @@
 // all 3f+1 messages."
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -121,6 +122,13 @@ class ConnectionVoter {
   /// events to the request trace.
   void set_telemetry(telemetry::Hub* hub, NodeId self, ConnectionId conn);
 
+  /// Audit hook fired on every completed vote with the deciding f and the
+  /// decision. The fault oracle uses it to assert every delivered reply was
+  /// backed by at least f+1 matching ballots.
+  using DecisionAudit = std::function<void(ConnectionId, RequestId, int f,
+                                           const VoteDecision&)>;
+  void set_audit(DecisionAudit audit) { audit_ = std::move(audit); }
+
   /// Opens the vote for the next outstanding request. Any state from prior
   /// requests is garbage collected (the paper's voter GC).
   void expect(RequestId request_id);
@@ -145,6 +153,7 @@ class ConnectionVoter {
   NodeId self_{};
   ConnectionId conn_{};
   telemetry::Counter* discarded_counter_ = nullptr;  // vote.<self>.discarded
+  DecisionAudit audit_;
 };
 
 }  // namespace itdos::core

@@ -62,6 +62,16 @@ std::string_view trace_kind_name(TraceKind kind) {
       return "queue.broken";
     case TraceKind::kNetDrop:
       return "net.drop";
+    case TraceKind::kViewStart:
+      return "view.start";
+    case TraceKind::kViewEnd:
+      return "view.end";
+    case TraceKind::kEpochRekey:
+      return "epoch.rekey";
+    case TraceKind::kFaultInject:
+      return "fault.inject";
+    case TraceKind::kOracleViolation:
+      return "oracle.violation";
   }
   return "unknown";
 }

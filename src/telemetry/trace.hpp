@@ -54,6 +54,13 @@ enum class TraceKind : std::uint8_t {
   kQueueBroken,   // virtual synchrony lost
   // Simulated network (src/net/network.cpp).
   kNetDrop,  // a=destination node
+  // Span events segmenting a node's timeline (fault forensics cut on these).
+  kViewStart,   // a=view now active on this replica
+  kViewEnd,     // a=view that just ended on this replica
+  kEpochRekey,  // a=connection, b=key epoch now newest at this party
+  // Fault-injection subsystem (src/fault/).
+  kFaultInject,      // a=fault::InjectKind, b=kind-specific detail
+  kOracleViolation,  // a=fault::Violation::Kind, b=kind-specific detail
 };
 
 std::string_view trace_kind_name(TraceKind kind);

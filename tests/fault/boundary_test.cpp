@@ -1,0 +1,52 @@
+// The f+1 boundary: with exactly f silent replicas the cluster must stay
+// live; with f+1 the quorum is gone and the ORACLE must say so. The faulty
+// case asserts detection — a silently-passing harness would be worse than
+// no harness.
+#include "fault/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace itdos::fault {
+namespace {
+
+bool has_violation(const ScenarioResult& result, Violation::Kind kind) {
+  for (const Violation& v : result.violations) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(FaultBoundaryTest, ExactlyFSilentReplicasStaysLive) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const ScenarioResult result = run_silent_replicas(1, seed);
+    EXPECT_TRUE(result.clean()) << "seed " << seed;
+    EXPECT_EQ(result.requests_completed, result.requests_sent)
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultBoundaryTest, FPlusOneSilentReplicasIsDetectedLivenessLoss) {
+  const ScenarioResult result = run_silent_replicas(2, 1);
+  // 2f+1 = 3 of 4 replicas are needed; with 2 muted the quorum is
+  // unreachable. The oracle must flag the stall, not shrug.
+  EXPECT_FALSE(result.clean())
+      << "oracle failed to detect a quorum-loss stall";
+  EXPECT_TRUE(has_violation(result, Violation::Kind::kLiveness));
+  EXPECT_LT(result.requests_completed, result.requests_sent);
+}
+
+TEST(FaultBoundaryTest, ZeroSilentReplicasIsTriviallyClean) {
+  const ScenarioResult result = run_silent_replicas(0, 1);
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.requests_completed, result.requests_sent);
+}
+
+TEST(FaultBoundaryTest, BoundaryRunsAreDeterministic) {
+  const ScenarioResult a = run_silent_replicas(2, 5);
+  const ScenarioResult b = run_silent_replicas(2, 5);
+  EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+}  // namespace
+}  // namespace itdos::fault

@@ -1,0 +1,254 @@
+// Units for the fault-injection building blocks: plan predicates, the
+// injector's network interposition (drop / corrupt / delay / duplicate /
+// partition), and the oracle's invariant checks fed directly.
+#include "fault/injector.hpp"
+#include "fault/oracle.hpp"
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace itdos::fault {
+namespace {
+
+TEST(TimeWindowTest, ContainsIsHalfOpen) {
+  TimeWindow window{SimTime{100}, SimTime{200}};
+  EXPECT_FALSE(window.contains(SimTime{99}));
+  EXPECT_TRUE(window.contains(SimTime{100}));
+  EXPECT_TRUE(window.contains(SimTime{199}));
+  EXPECT_FALSE(window.contains(SimTime{200}));
+  EXPECT_TRUE(window.bounded());
+  EXPECT_FALSE(TimeWindow{}.bounded());
+  EXPECT_TRUE(TimeWindow{}.contains(SimTime{1'000'000'000}));
+}
+
+TEST(LinkFaultTest, AppliesPerSourceDestinationAndWindow) {
+  LinkFault fault;
+  fault.from_node = NodeId(1);
+  fault.window = TimeWindow{SimTime{0}, SimTime{1000}};
+  EXPECT_TRUE(fault.applies_to(NodeId(1), NodeId(2), SimTime{10}));
+  EXPECT_TRUE(fault.applies_to(NodeId(1), NodeId(3), SimTime{10}));
+  EXPECT_FALSE(fault.applies_to(NodeId(2), NodeId(1), SimTime{10}));
+  EXPECT_FALSE(fault.applies_to(NodeId(1), NodeId(2), SimTime{1000}));
+  fault.to_node = NodeId(2);
+  EXPECT_TRUE(fault.applies_to(NodeId(1), NodeId(2), SimTime{10}));
+  EXPECT_FALSE(fault.applies_to(NodeId(1), NodeId(3), SimTime{10}));
+}
+
+// ---------------------------------------------------------------------------
+// Injector interposition over a live simulated network.
+// ---------------------------------------------------------------------------
+
+struct Wire {
+  net::Simulator sim{7};
+  net::Network net{sim, net::NetConfig{micros(10), micros(20), 0.0, 0.0}};
+  std::vector<Bytes> received;
+
+  Wire() {
+    net.attach(NodeId(1), [](const net::Packet&) {});
+    net.attach(NodeId(2), [this](const net::Packet& p) {
+      received.push_back(p.payload);
+    });
+  }
+};
+
+FaultPlan one_link_plan(const std::function<void(LinkFault&)>& configure) {
+  FaultPlan plan;
+  plan.seed = 42;
+  LinkFault fault;
+  fault.from_node = NodeId(1);
+  configure(fault);
+  plan.link_faults.push_back(fault);
+  return plan;
+}
+
+TEST(FaultInjectorTest, CertainDropSuppressesDelivery) {
+  Wire wire;
+  FaultInjector injector(wire.net,
+                         one_link_plan([](LinkFault& f) { f.drop = 1.0; }));
+  injector.arm_links();
+  wire.net.send(NodeId(1), NodeId(2), to_bytes("hello"));
+  wire.sim.run();
+  EXPECT_TRUE(wire.received.empty());
+  EXPECT_EQ(wire.sim.telemetry().metrics().counter("fault.dropped").value(), 1u);
+  EXPECT_EQ(wire.sim.telemetry().tracer().count(
+                telemetry::TraceKind::kFaultInject), 1u);
+}
+
+TEST(FaultInjectorTest, CertainCorruptionMutatesExactlyOneByte) {
+  Wire wire;
+  FaultInjector injector(wire.net,
+                         one_link_plan([](LinkFault& f) { f.corrupt = 1.0; }));
+  injector.arm_links();
+  const Bytes sent = to_bytes("payload");
+  wire.net.send(NodeId(1), NodeId(2), sent);
+  wire.sim.run();
+  ASSERT_EQ(wire.received.size(), 1u);
+  ASSERT_EQ(wire.received[0].size(), sent.size());
+  int differing = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    if (wire.received[0][i] != sent[i]) ++differing;
+  }
+  EXPECT_EQ(differing, 1);
+}
+
+TEST(FaultInjectorTest, DelayHoldsThePacketBackButDeliversIt) {
+  Wire wire;
+  FaultInjector injector(wire.net, one_link_plan([](LinkFault& f) {
+    f.delay_probability = 1.0;
+    f.delay_min_ns = millis(5);
+    f.delay_max_ns = millis(5);
+  }));
+  injector.arm_links();
+  wire.net.send(NodeId(1), NodeId(2), to_bytes("late"));
+  wire.sim.run_until(SimTime{millis(1)});
+  EXPECT_TRUE(wire.received.empty());  // held back past the normal delay
+  wire.sim.run();
+  ASSERT_EQ(wire.received.size(), 1u);  // delivered exactly once, later
+  EXPECT_EQ(wire.received[0], to_bytes("late"));
+  EXPECT_GT(wire.sim.now().ns, millis(5));
+}
+
+TEST(FaultInjectorTest, DuplicateInjectsASecondCopy) {
+  Wire wire;
+  FaultInjector injector(wire.net, one_link_plan([](LinkFault& f) {
+    f.duplicate = 1.0;
+    f.window.until = SimTime{1};  // only the first send is duplicated,
+                                  // not our own re-injected copy
+  }));
+  injector.arm_links();
+  wire.net.send(NodeId(1), NodeId(2), to_bytes("twice"));
+  wire.sim.run();
+  EXPECT_EQ(wire.received.size(), 2u);
+}
+
+TEST(FaultInjectorTest, WindowExpiredFaultIsInert) {
+  Wire wire;
+  FaultInjector injector(wire.net, one_link_plan([](LinkFault& f) {
+    f.drop = 1.0;
+    f.window = TimeWindow{SimTime{0}, SimTime{1}};
+  }));
+  injector.arm_links();
+  wire.sim.run_until(SimTime{millis(1)});
+  wire.net.send(NodeId(1), NodeId(2), to_bytes("fine"));
+  wire.sim.run();
+  ASSERT_EQ(wire.received.size(), 1u);
+}
+
+TEST(FaultInjectorTest, PartitionWindowCutsAndHeals) {
+  Wire wire;
+  FaultPlan plan;
+  plan.seed = 1;
+  PartitionWindow window;
+  window.side_a = {NodeId(1)};
+  window.side_b = {NodeId(2)};
+  window.form = SimTime{0};
+  window.heal = SimTime{millis(2)};
+  plan.partitions.push_back(window);
+  FaultInjector injector(wire.net, plan);
+  injector.arm_links();
+  wire.sim.run_until(SimTime{micros(1)});  // partition formed
+  wire.net.send(NodeId(1), NodeId(2), to_bytes("blocked"));
+  wire.sim.run_until(SimTime{millis(1)});
+  EXPECT_TRUE(wire.received.empty());
+  wire.sim.run_until(SimTime{millis(3)});  // healed
+  wire.net.send(NodeId(1), NodeId(2), to_bytes("through"));
+  wire.sim.run();
+  ASSERT_EQ(wire.received.size(), 1u);
+  EXPECT_EQ(wire.received[0], to_bytes("through"));
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  auto run_once = []() {
+    Wire wire;
+    FaultInjector injector(wire.net,
+                           one_link_plan([](LinkFault& f) { f.drop = 0.5; }));
+    injector.arm_links();
+    for (int i = 0; i < 64; ++i) {
+      wire.net.send(NodeId(1), NodeId(2), to_bytes("x" + std::to_string(i)));
+    }
+    wire.sim.run();
+    std::vector<Bytes> got = wire.received;
+    return got;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// Oracle invariants fed directly.
+// ---------------------------------------------------------------------------
+
+bft::Digest digest_of(std::uint8_t fill) {
+  bft::Digest d{};
+  d.fill(fill);
+  return d;
+}
+
+TEST(OracleTest, MatchingExecutionsAreClean) {
+  net::Simulator sim(1);
+  Oracle oracle(sim.telemetry());
+  oracle.note_execution(0, NodeId(1), SeqNum(1), digest_of(0xaa));
+  oracle.note_execution(0, NodeId(2), SeqNum(1), digest_of(0xaa));
+  oracle.note_execution(0, NodeId(1), SeqNum(2), digest_of(0xbb));
+  EXPECT_TRUE(oracle.clean());
+}
+
+TEST(OracleTest, DivergentExecutionAtSameSeqIsViolation) {
+  net::Simulator sim(1);
+  Oracle oracle(sim.telemetry());
+  oracle.note_execution(0, NodeId(1), SeqNum(5), digest_of(0xaa));
+  oracle.note_execution(0, NodeId(2), SeqNum(5), digest_of(0xbb));
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].kind, Violation::Kind::kExecutionDivergence);
+  EXPECT_EQ(oracle.violations()[0].a, 5u);
+  // The violation is also in the causal trace (forensics).
+  EXPECT_EQ(sim.telemetry().tracer().count(
+                telemetry::TraceKind::kOracleViolation), 1u);
+  EXPECT_NE(oracle.forensic_report().find("execution_divergence"),
+            std::string::npos);
+}
+
+TEST(OracleTest, SameSeqInDifferentGroupsIsIndependent) {
+  net::Simulator sim(1);
+  Oracle oracle(sim.telemetry());
+  oracle.note_execution(0, NodeId(1), SeqNum(5), digest_of(0xaa));
+  oracle.note_execution(1, NodeId(9), SeqNum(5), digest_of(0xbb));
+  EXPECT_TRUE(oracle.clean());
+}
+
+TEST(OracleTest, UnderSupportedVoteIsViolation) {
+  net::Simulator sim(1);
+  Oracle oracle(sim.telemetry());
+  core::VoteDecision decision;
+  decision.support = 1;  // f = 1 demands 2
+  oracle.note_vote(NodeId(3), ConnectionId(1), RequestId(1), 1, decision);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].kind, Violation::Kind::kVoteUnderSupported);
+  decision.support = 2;
+  oracle.note_vote(NodeId(3), ConnectionId(1), RequestId(2), 1, decision);
+  EXPECT_EQ(oracle.violations().size(), 1u);  // f+1 support is fine
+}
+
+TEST(OracleTest, LivenessShortfallIsViolation) {
+  net::Simulator sim(1);
+  Oracle oracle(sim.telemetry());
+  oracle.check_liveness(8, 8);
+  EXPECT_TRUE(oracle.clean());
+  oracle.check_liveness(5, 8);
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].kind, Violation::Kind::kLiveness);
+  EXPECT_EQ(oracle.violations()[0].a, 5u);
+  EXPECT_EQ(oracle.violations()[0].b, 8u);
+}
+
+TEST(ViolationKindNameTest, AllKindsNamed) {
+  EXPECT_EQ(violation_kind_name(Violation::Kind::kExecutionDivergence),
+            "execution_divergence");
+  EXPECT_EQ(violation_kind_name(Violation::Kind::kVoteUnderSupported),
+            "vote_under_supported");
+  EXPECT_EQ(violation_kind_name(Violation::Kind::kExpelledRejoined),
+            "expelled_rejoined");
+  EXPECT_EQ(violation_kind_name(Violation::Kind::kLiveness), "liveness");
+}
+
+}  // namespace
+}  // namespace itdos::fault

@@ -78,7 +78,7 @@ TEST(TracerTest, ExportJsonlFixedFieldOrder) {
 }
 
 TEST(TraceKindNameTest, EveryKindHasADottedLayerName) {
-  for (int k = 0; k <= static_cast<int>(TraceKind::kNetDrop); ++k) {
+  for (int k = 0; k <= static_cast<int>(TraceKind::kOracleViolation); ++k) {
     const std::string_view name = trace_kind_name(static_cast<TraceKind>(k));
     EXPECT_NE(name, "unknown") << k;
     EXPECT_NE(name.find('.'), std::string_view::npos) << name;
