@@ -66,7 +66,13 @@ class BenchReport {
     sep = "";
     for (const auto& [gname, gauge] : registry_.gauges()) {
       out << sep << "\n    \"" << gname << "\": {\"value\": " << gauge.value()
-          << ", \"peak\": " << gauge.peak() << "}";
+          << ", \"peak\": " << gauge.peak() << ", \"series\": [";
+      const char* ssep = "";
+      for (const auto& sample : gauge.series()) {
+        out << ssep << "{\"t\": " << sample.t_ns << ", \"v\": " << sample.v << "}";
+        ssep = ", ";
+      }
+      out << "]}";
       sep = ",";
     }
     out << "\n  },\n";

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""TraceKind coverage matrix over the canned fault scenarios.
+
+Runs every scenario fault_scenario_tool knows (plus the f+1 boundary probe,
+which is the only run that legitimately produces oracle.violation events),
+collects each run's causal trace JSONL, and reports which TraceKinds each
+scenario exercised. The kind universe is parsed from the wire-name string
+table in src/telemetry/trace.cpp, so a newly added TraceKind is counted as
+uncovered until some scenario actually emits it.
+
+With --check, exits 1 if any TraceKind has zero coverage across all runs —
+an enum entry no scenario can produce is either dead code or a hole in the
+fault suite, and both deserve a failing test (tests/CMakeLists.txt registers
+this as the `trace_coverage` ctest under the `fault` label).
+
+Usage:
+  trace_coverage.py --tool build/tests/fault_scenario_tool \
+      --workdir build/trace_coverage [--check] [--seed N]
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Wire names in the string table: `return "bft.commit";`
+_WIRE_NAME_RE = re.compile(r'return\s+"([a-z0-9_.]+)";')
+
+
+def parse_trace_kinds(trace_cpp):
+    """Every wire name trace_kind_name() can return, in table order."""
+    names = []
+    in_switch = False
+    for line in trace_cpp.read_text(encoding="utf-8").splitlines():
+        if "trace_kind_name" in line:
+            in_switch = True
+        if not in_switch:
+            continue
+        match = _WIRE_NAME_RE.search(line)
+        if match and match.group(1) != "unknown":
+            names.append(match.group(1))
+        if line.strip() == "}" and names:
+            break
+    if not names:
+        raise SystemExit(f"no TraceKind wire names parsed from {trace_cpp}")
+    return names
+
+
+def run_tool(tool, args, trace_path, allow_nonzero=False):
+    proc = subprocess.run([str(tool), *args, str(trace_path)],
+                          capture_output=True, text=True)
+    if proc.returncode != 0 and not allow_nonzero:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"{tool} {' '.join(args)} exited {proc.returncode}")
+    return proc
+
+
+def kinds_in_trace(trace_path):
+    counts = {}
+    with open(trace_path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)["ev"]
+            counts[event] = counts.get(event, 0) + 1
+    return counts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tool", required=True,
+                        help="path to fault_scenario_tool")
+    parser.add_argument("--workdir", required=True,
+                        help="directory for per-scenario trace files")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any TraceKind has zero coverage")
+    parser.add_argument("--trace-cpp",
+                        default=str(REPO_ROOT / "src/telemetry/trace.cpp"))
+    args = parser.parse_args()
+
+    kinds = parse_trace_kinds(pathlib.Path(args.trace_cpp))
+    workdir = pathlib.Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    scenarios = subprocess.run([args.tool, "list"], capture_output=True,
+                               text=True, check=True).stdout.split()
+
+    # runs: ordered (label, {kind: count}); the probe is a deliberate f+1
+    # boundary crossing and the sole source of oracle.violation events.
+    runs = []
+    for name in scenarios:
+        trace = workdir / f"{name}.jsonl"
+        run_tool(args.tool, ["run", name, str(args.seed)], trace)
+        runs.append((name, kinds_in_trace(trace)))
+    probe_trace = workdir / "probe.jsonl"
+    run_tool(args.tool, ["probe", str(args.seed)], probe_trace)
+    runs.append(("probe(f+1)", kinds_in_trace(probe_trace)))
+
+    # Matrix: one row per TraceKind, one column per run.
+    label_width = max(len(k) for k in kinds) + 2
+    print(f"TraceKind coverage, seed {args.seed} "
+          f"({len(runs)} runs incl. boundary probe):\n")
+    for index, (name, _) in enumerate(runs):
+        print(f"  {'':{label_width}}col {index + 1:2}: {name}")
+    header = "".join(f"{i + 1:>4}" for i in range(len(runs)))
+    print(f"\n  {'':{label_width}}{header}   total")
+    uncovered = []
+    for kind in kinds:
+        row = [counts.get(kind, 0) for _, counts in runs]
+        total = sum(row)
+        cells = "".join(f"{'x' if c else '.':>4}" for c in row)
+        print(f"  {kind:{label_width}}{cells}{total:8}")
+        if total == 0:
+            uncovered.append(kind)
+
+    stray = sorted({k for _, counts in runs for k in counts} - set(kinds))
+    if stray:
+        print(f"\nWARNING: trace events not in the string table: {stray}")
+
+    if uncovered:
+        print(f"\nUNCOVERED TraceKinds ({len(uncovered)}): "
+              f"{', '.join(uncovered)}")
+        if args.check:
+            return 1
+    else:
+        print(f"\nAll {len(kinds)} TraceKinds covered.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

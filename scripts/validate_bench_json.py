@@ -3,9 +3,9 @@
 
 Stdlib only (the build image has no jsonschema package): implements exactly
 the JSON-Schema keyword subset the schema file uses — type, const, required,
-properties, additionalProperties, minProperties, minimum — and errors out on
-any schema keyword it does not know, so the schema file cannot silently grow
-past what is enforced.
+properties, additionalProperties, minProperties, minimum, items — and errors
+out on any schema keyword it does not know, so the schema file cannot
+silently grow past what is enforced.
 
 Beyond the schema, histogram sanity is checked directly: min <= p50 <= p95
 <= p99 <= max (the percentile walk clamps to the observed max, so any other
@@ -21,13 +21,15 @@ import sys
 HANDLED = {
     "$schema", "title", "description",  # annotations
     "type", "const", "required", "properties", "additionalProperties",
-    "minProperties", "minimum",
+    "minProperties", "minimum", "items",
 }
 
 
 def type_ok(value, expected):
     if expected == "object":
         return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
     if expected == "string":
         return isinstance(value, str)
     if expected == "integer":
@@ -50,6 +52,10 @@ def validate(value, schema, path, errors):
         return
     if "minimum" in schema and isinstance(value, (int, float)) and value < schema["minimum"]:
         errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{index}]", errors)
 
     if isinstance(value, dict):
         for key in schema.get("required", ()):

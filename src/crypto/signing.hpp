@@ -13,8 +13,8 @@
 #pragma once
 
 #include <array>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
@@ -66,7 +66,9 @@ class Keystore {
   bool knows(NodeId signer) const { return verify_keys_.contains(signer); }
 
  private:
-  std::unordered_map<NodeId, Bytes> verify_keys_;
+  // Ordered map (DET-002): key material must never be iterated in hash
+  // order anywhere near signing or share-distribution code.
+  std::map<NodeId, Bytes> verify_keys_;
 };
 
 /// A message plus its signature and signer identity — the unit the paper's

@@ -1,5 +1,6 @@
 #include "fault/scenario.hpp"
 
+#include <functional>
 #include <set>
 #include <stdexcept>
 
@@ -273,16 +274,24 @@ Result<cdr::Value> safe_invoke(core::ItdosSystem& system,
   return std::move(**outcome);
 }
 
-ScenarioResult run_itdos(const std::string& name, std::uint64_t seed,
-                         FaultPlan plan, int requests) {
+/// Builds the system first, then asks `build_plan` for the fault plan —
+/// plans that target specific endpoints (partitions around an element's
+/// SMIOP node, say) need the directory's node-id assignments, which only
+/// exist once the deployment is up.
+ScenarioResult run_itdos_with(
+    const std::string& name, std::uint64_t seed,
+    const std::function<FaultPlan(const core::ItdosSystem&, DomainId)>& build_plan,
+    int requests) {
   core::SystemOptions options;
   options.seed = seed;
   core::ItdosSystem system(options);
   const DomainId domain = system.add_domain(
       1, core::VotePolicy::exact(), [](orb::ObjectAdapter& adapter, int) {
+        // Key 1 is free in a freshly built domain; activation cannot fail.
         (void)adapter.activate_with_key(ObjectId(1),
                                         std::make_shared<SumServant>());
       });
+  FaultPlan plan = build_plan(system, domain);
 
   std::set<int> faulty_ranks;
   for (const ElementFault& fault : plan.element_faults) {
@@ -344,6 +353,14 @@ ScenarioResult run_itdos(const std::string& name, std::uint64_t seed,
   return result;
 }
 
+ScenarioResult run_itdos(const std::string& name, std::uint64_t seed,
+                         FaultPlan plan, int requests) {
+  return run_itdos_with(
+      name, seed,
+      [&plan](const core::ItdosSystem&, DomainId) { return std::move(plan); },
+      requests);
+}
+
 ScenarioResult scenario_expel_rekey_e2e(std::uint64_t seed) {
   // The paper's §3.6 -> §3.5 pipeline end-to-end: a dissenting element is
   // outvoted, detected from the signed-message proof, expelled, and keyed
@@ -373,6 +390,40 @@ ScenarioResult scenario_bogus_change_request(std::uint64_t seed) {
   fault.at = SimTime{millis(50)};  // after the first connection exists
   plan.element_faults.push_back(fault);
   return run_itdos("bogus_change_request", seed, std::move(plan), 4);
+}
+
+ScenarioResult scenario_share_starvation(std::uint64_t seed) {
+  // One element's SMIOP endpoint is cut off from every Group Manager
+  // element for the whole run, so its connection-key shares never arrive
+  // (and neither do the re-sent ones). The element still participates in
+  // BFT ordering: it consumes the first sealed request, finds no key, and
+  // files an authoritative resend request with the GM (§3.4). The run is
+  // long enough (requests >> lag_window) that queue GC eventually declares
+  // the stalled element dead and passes its consumption point: its own
+  // queue marks virtual synchrony broken, every peer's laggard hook files a
+  // change request, and the f+1 matching reports expel it (§3.6) — all
+  // while the remaining three elements keep the client fully live. This is
+  // the long-horizon scenario: BFT checkpoints, queue GC, laggard
+  // detection and the virtual-synchrony break all only appear past ~130
+  // ordered entries.
+  return run_itdos_with(
+      "share_starvation", seed,
+      [seed](const core::ItdosSystem& system, DomainId domain) {
+        const core::DomainInfo* info = system.directory().find_domain(domain);
+        PartitionWindow window;
+        window.side_a.insert(info->elements[1].smiop_node);
+        for (const core::ElementInfo& gm : system.directory().gm().elements) {
+          window.side_b.insert(gm.smiop_node);
+        }
+        window.form = SimTime{0};
+        window.heal = SimTime{seconds(30)};  // far past the run's traffic
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.partitions.push_back(window);
+        plan.heal_time = SimTime{0};  // expulsion IS the heal (§3.6)
+        return plan;
+      },
+      150);
 }
 
 ScenarioResult scenario_gm_withhold_shares(std::uint64_t seed) {
@@ -415,6 +466,7 @@ constexpr ScenarioEntry kScenarios[] = {
     {"stale_view_replay", scenario_stale_view_replay},
     {"expel_rekey_e2e", scenario_expel_rekey_e2e},
     {"bogus_change_request", scenario_bogus_change_request},
+    {"share_starvation", scenario_share_starvation},
     {"gm_withhold_shares", scenario_gm_withhold_shares},
     {"gm_corrupt_shares", scenario_gm_corrupt_shares},
 };

@@ -216,6 +216,8 @@ Status GmStateMachine::verify_proof(const ChangeRequestMsg& msg) const {
           {cdr::Field("status", cdr::Value::octet(static_cast<std::uint8_t>(reply.status))),
            cdr::Field("result", reply.result)});
     }
+    // Duplicate-source ballots were rejected above; a late ballot after the
+    // vote decided is fine — decided() below is the only outcome consulted.
     (void)vote.add(std::move(ballot));
     accused_present |= (entry.element == msg.accused_element);
   }

@@ -114,11 +114,22 @@ void QueueStateMachine::advance_base() {
     }
   }
   if (on_laggard_) {
-    for (const auto& [element, index] : acks_) {
+    const auto flag_if_lagging = [&](NodeId element) {
+      const auto it = acks_.find(element);
+      const std::uint64_t index = it == acks_.end() ? 0 : it->second;
       if (base_ - std::min(index, base_) > options_.lag_window) {
         trace(telemetry::TraceKind::kQueueLaggard, 0, element.value);
         on_laggard_(element);
       }
+    };
+    // Check the member list, not just the ack map: a member that has NEVER
+    // acked (stalled before its first ack) must still be flagged once GC
+    // leaves it behind. Unit harnesses with no member list keep the
+    // ack-map behavior.
+    if (!options_.members.empty()) {
+      for (NodeId member : options_.members) flag_if_lagging(member);
+    } else {
+      for (const auto& [element, index] : acks_) flag_if_lagging(element);
     }
   }
 }

@@ -369,6 +369,8 @@ void SmiopParty::handle_smiop_packet(ByteView payload) {
   if (type.value() == SmiopType::kKeyShare) {
     Result<KeyShareMsg> msg = KeyShareMsg::decode(payload);
     if (!msg.is_ok()) return;
+    // A rejected share (bad MAC, stale epoch) is an expected hostile event;
+    // the agent already counted it and quorum math absorbs the loss.
     (void)agent_.handle_share(msg.value());
     return;
   }

@@ -11,7 +11,6 @@
 #include <map>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -115,11 +114,13 @@ class Network {
     telemetry::Counter* bytes_delivered;
     telemetry::Histogram* delivery_delay_ns;
   } metrics_;
-  std::unordered_map<NodeId, Handler> handlers_;
+  // Ordered containers throughout (DET-002): hash order varies across
+  // libstdc++ versions, and any iteration here feeds delivery order.
+  std::map<NodeId, Handler> handlers_;
   std::map<McastGroupId, std::set<NodeId>> groups_;
   std::set<std::pair<NodeId, NodeId>> cut_links_;  // normalized (min, max)
-  std::unordered_map<NodeId, Interceptor> interceptors_;
-  std::unordered_map<NodeId, InboundFilter> inbound_filters_;
+  std::map<NodeId, Interceptor> interceptors_;
+  std::map<NodeId, InboundFilter> inbound_filters_;
 };
 
 }  // namespace itdos::net

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -89,8 +89,10 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> pending_ids_;  // queued and not cancelled
-  std::unordered_set<std::uint64_t> cancelled_;
+  // Ordered sets (DET-002): lookup-only today, but nothing downstream may
+  // ever observe hash order from the scheduler.
+  std::set<std::uint64_t> pending_ids_;  // queued and not cancelled
+  std::set<std::uint64_t> cancelled_;
 };
 
 }  // namespace itdos::net

@@ -66,6 +66,30 @@ void Histogram::reset() {
   sum_ = 0;
 }
 
+void Gauge::sample(std::int64_t v) {
+  const std::int64_t t = (*clock_)();
+  // Coalesce same-instant updates: a burst of set() calls within one event
+  // is one level change as far as the timeline is concerned.
+  if (!series_.empty() && series_.back().t_ns == t) {
+    series_.back().v = v;
+    return;
+  }
+  if (ticks_++ % stride_ != 0) return;
+  append_sample({t, v});
+}
+
+void Gauge::append_sample(Sample s) {
+  series_.push_back(s);
+  if (series_.size() >= kMaxSeriesSamples) decimate();
+}
+
+void Gauge::decimate() {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < series_.size(); r += 2) series_[w++] = series_[r];
+  series_.resize(w);
+  stride_ *= 2;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) it = counters_.emplace(std::string(name), Counter{}).first;
@@ -74,8 +98,16 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   auto it = gauges_.find(name);
-  if (it == gauges_.end()) it = gauges_.emplace(std::string(name), Gauge{}).first;
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+    it->second.clock_ = clock_;
+  }
   return it->second;
+}
+
+void MetricsRegistry::set_clock(std::function<std::int64_t()> clock) {
+  clock_ = std::make_shared<const std::function<std::int64_t()>>(std::move(clock));
+  for (auto& [name, g] : gauges_) g.clock_ = clock_;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
@@ -102,7 +134,14 @@ void MetricsRegistry::reset() {
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const auto& [name, c] : other.counters_) counter(name).inc(c.value());
-  for (const auto& [name, g] : other.gauges_) gauge(name).add(g.value());
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauge(name);
+    mine.add(g.value());
+    // Carry the source's history across (bench aggregation: each simulated
+    // system restarts at t=0, so the merged series is a concatenation of
+    // runs, re-decimated to stay within the sample cap).
+    for (const Gauge::Sample& s : g.series_) mine.append_sample(s);
+  }
   for (const auto& [name, h] : other.histograms_) histogram(name).merge_from(h);
 }
 

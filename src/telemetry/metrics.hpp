@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,24 +32,58 @@ class Counter {
 };
 
 /// A point-in-time level (queue depth, open connections). Tracks the peak
-/// since the last reset alongside the current value.
+/// since the last reset alongside the current value, and — when the owning
+/// registry has a clock (MetricsRegistry::set_clock, wired by the telemetry
+/// Hub) — a bounded (time, value) series of the level over the run.
+///
+/// The series is sampled on change, never on a timer: scheduling sampling
+/// events would perturb the discrete-event simulator and break same-seed
+/// trace stability. Capacity is bounded by decimation — when the buffer
+/// fills, every other sample is dropped and the recording stride doubles, so
+/// a long run keeps ~uniform coverage at a fixed memory cost and the kept
+/// samples depend only on the sequence of set() calls (deterministic under
+/// the same seed).
 class Gauge {
  public:
+  struct Sample {
+    std::int64_t t_ns = 0;  // simulation time of the change
+    std::int64_t v = 0;     // gauge value after the change
+  };
+  static constexpr std::size_t kMaxSeriesSamples = 256;
+
   void set(std::int64_t v) {
     value_ = v;
     if (v > peak_) peak_ = v;
+    if (clock_) sample(v);
   }
   void add(std::int64_t delta) { set(value_ + delta); }
   std::int64_t value() const { return value_; }
   std::int64_t peak() const { return peak_; }
+
+  /// Decimated (time, value) history; empty when the registry has no clock.
+  const std::vector<Sample>& series() const { return series_; }
+
   void reset() {
     value_ = 0;
     peak_ = 0;
+    series_.clear();
+    stride_ = 1;
+    ticks_ = 0;
   }
 
  private:
+  friend class MetricsRegistry;
+
+  void sample(std::int64_t v);
+  void append_sample(Sample s);
+  void decimate();
+
   std::int64_t value_ = 0;
   std::int64_t peak_ = 0;
+  std::shared_ptr<const std::function<std::int64_t()>> clock_;
+  std::vector<Sample> series_;
+  std::uint64_t stride_ = 1;  // record every stride-th change
+  std::uint64_t ticks_ = 0;
 };
 
 /// Log-linear histogram over non-negative integer samples (nanoseconds,
@@ -93,6 +129,12 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Installs the time source gauges stamp their series samples with
+  /// (simulation nanoseconds; the Hub wires this to the simulator clock).
+  /// Applies to existing gauges and to gauges created later. Without a
+  /// clock, gauges track value/peak only and record no series.
+  void set_clock(std::function<std::int64_t()> clock);
+
   /// Value of a counter, or 0 when it has never been touched. Lets views
   /// read metrics without creating them.
   std::uint64_t counter_value(std::string_view name) const;
@@ -114,6 +156,7 @@ class MetricsRegistry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::shared_ptr<const std::function<std::int64_t()>> clock_;
 };
 
 }  // namespace itdos::telemetry

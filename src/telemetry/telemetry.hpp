@@ -15,7 +15,11 @@ class Hub {
  public:
   using Clock = std::function<SimTime()>;
 
-  explicit Hub(Clock clock) : clock_(std::move(clock)) {}
+  explicit Hub(Clock clock) : clock_(std::move(clock)) {
+    // Gauges sample their time series against the same simulation clock that
+    // stamps trace events, so both timelines line up in exported reports.
+    metrics_.set_clock([c = clock_] { return c().ns; });
+  }
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }

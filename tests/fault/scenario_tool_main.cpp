@@ -3,12 +3,19 @@
 //   fault_scenario_tool list
 //   fault_scenario_tool run <scenario> <seed> [trace-out.jsonl]
 //   fault_scenario_tool sweep <base-seed> <iterations>
+//   fault_scenario_tool probe <seed> [trace-out.jsonl]
 //
 // `run` executes one scenario, optionally dumps its causal trace JSONL, and
 // exits nonzero if the oracle recorded any violation (printing the forensic
 // lines to stderr). `sweep` runs every scenario across consecutive seeds —
 // the engine behind scripts/soak.sh. Determinism tests run `run` twice with
 // the same seed and diff the two trace files.
+//
+// `probe` deliberately crosses the f+1 boundary (two silent replicas with
+// f=1) and expects the oracle to object: it exits nonzero if NO violation
+// was recorded. It exists so the oracle's own alarm path — including the
+// oracle.violation trace events — is exercised by tooling, not just unit
+// tests (scripts/trace_coverage.py consumes its trace).
 #include "fault/scenario.hpp"
 
 #include <cstdint>
@@ -22,7 +29,8 @@ int usage() {
   std::cerr << "usage: fault_scenario_tool list\n"
             << "       fault_scenario_tool run <scenario> <seed> "
                "[trace-out.jsonl]\n"
-            << "       fault_scenario_tool sweep <base-seed> <iterations>\n";
+            << "       fault_scenario_tool sweep <base-seed> <iterations>\n"
+            << "       fault_scenario_tool probe <seed> [trace-out.jsonl]\n";
   return 2;
 }
 
@@ -64,6 +72,31 @@ int run_one(const std::string& name, std::uint64_t seed,
   return 0;
 }
 
+int probe(std::uint64_t seed, const std::string& trace_path) {
+  // Two silent replicas with f=1 is one beyond what the quorum math absorbs;
+  // a healthy oracle MUST flag the stalled requests.
+  const itdos::fault::ScenarioResult result =
+      itdos::fault::run_silent_replicas(2, seed);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write trace to " << trace_path << "\n";
+      return 2;
+    }
+    out << result.trace_jsonl;
+  }
+  std::cout << result.name << " seed=" << result.seed << " completed "
+            << result.requests_completed << "/" << result.requests_sent
+            << " violations=" << result.violations.size() << "\n";
+  print_violations(result);
+  if (result.clean()) {
+    std::cerr << "PROBE FAILURE: oracle recorded no violation beyond the "
+                 "f+1 boundary\n";
+    return 1;
+  }
+  return 0;
+}
+
 int sweep(std::uint64_t base_seed, std::uint64_t iterations) {
   int failures = 0;
   for (std::uint64_t i = 0; i < iterations; ++i) {
@@ -100,6 +133,10 @@ int main(int argc, char** argv) {
   }
   if (mode == "sweep" && argc == 4) {
     return sweep(std::stoull(argv[2]), std::stoull(argv[3]));
+  }
+  if (mode == "probe" && (argc == 3 || argc == 4)) {
+    const std::string trace_path = (argc == 4) ? argv[3] : "";
+    return probe(std::stoull(argv[2]), trace_path);
   }
   return usage();
 }

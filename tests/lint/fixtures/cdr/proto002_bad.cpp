@@ -1,0 +1,16 @@
+// PROTO-002 fixture: raw copies in a CDR decode path (the /cdr/ directory
+// component is what puts this file in scope) with no visible bounds check.
+// Never compiled; linter food only.
+#include <cstring>
+
+struct Frame {
+  const unsigned char* data;
+  unsigned long len;
+};
+
+void decode_header(Frame frame, unsigned char* out, unsigned long n) {
+  std::memcpy(out, frame.data, n);
+
+  const char* text = reinterpret_cast<const char*>(frame.data);
+  (void)text;  // plain identifier discard
+}

@@ -1,0 +1,22 @@
+// PROTO-002 negative fixture: the same raw copies, each with the visible
+// bounds evidence the rule requires. Must lint clean.
+#include <cstring>
+
+struct Frame {
+  const unsigned char* data;
+  unsigned long len;
+
+  unsigned long remaining() const { return len; }
+};
+
+bool decode_header(Frame frame, unsigned char* out, unsigned long n) {
+  if (frame.remaining() < n) return false;
+  std::memcpy(out, frame.data, n);
+
+  unsigned int bits = 0;
+  std::memcpy(&bits, frame.data, sizeof(bits));  // statically bounded pun
+
+  if (frame.remaining() < 4) return false;
+  const char* text = reinterpret_cast<const char*>(frame.data);
+  return text != nullptr && bits != 0;
+}

@@ -1,0 +1,32 @@
+// DET-001 fixture: every banned nondeterminism API category, one hit each.
+// This file is never compiled; it only feeds tools/itdos_lint.py.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int wall_clock() {
+  auto now = std::chrono::steady_clock::now();          // DET-001 (clock id)
+  (void)now;
+  return static_cast<int>(time(nullptr));               // DET-001 (time call)
+}
+
+int ambient_random() {
+  std::random_device rd;                                // DET-001 (random id)
+  return static_cast<int>(rd()) + rand();               // DET-001 (rand call)
+}
+
+const char* environment() {
+  return getenv("ITDOS_SECRET_KNOB");                   // DET-001 (getenv)
+}
+
+unsigned long pointer_laundering(int* p) {
+  return reinterpret_cast<unsigned long>(p) +
+         static_cast<unsigned long>(
+             reinterpret_cast<std::uintptr_t>(p));      // DET-001 (uintptr_t)
+}
+
+template <typename T>
+struct PointerKeyed {
+  std::hash<T*> hasher;                                 // DET-001 (hash<T*>)
+};

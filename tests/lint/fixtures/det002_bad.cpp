@@ -1,0 +1,17 @@
+// DET-002 fixture: unordered containers whose iteration order would feed
+// protocol decisions. Never compiled; linter food only.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Router {
+  std::unordered_map<std::uint64_t, std::string> handlers;  // DET-002
+  std::unordered_set<std::uint64_t> pending;                // DET-002
+
+  std::string serialize() const {
+    std::string out;
+    for (const auto& [id, name] : handlers) out += name;  // hash order!
+    return out;
+  }
+};

@@ -1,0 +1,18 @@
+// PROTO-001 fixture: Result/Status discards [[nodiscard]] cannot see.
+// Never compiled; linter food only.
+struct Status {
+  bool ok;
+};
+
+Status do_send();
+Status do_ack();
+
+void fire_and_forget() {
+  (void)do_send();
+
+  static_cast<void>(do_ack());
+}
+
+void unused_param(int state) {
+  (void)state;  // plain identifier discard: NOT a violation
+}

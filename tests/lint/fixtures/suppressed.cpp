@@ -1,0 +1,24 @@
+// Suppression fixture: the same violations as the *_bad fixtures, each
+// silenced by an itdos-lint allow() WITH a reason. Must lint clean.
+#include <cstdlib>
+#include <unordered_map>
+
+struct Status {
+  bool ok;
+};
+
+Status do_send();
+
+const char* knob() {
+  // itdos-lint: allow(DET-001) test-only override read once at startup
+  return getenv("ITDOS_FIXTURE_KNOB");
+}
+
+void fire_and_forget() {
+  (void)do_send();  // itdos-lint: allow(PROTO-001) best-effort wakeup ping
+}
+
+struct Cache {
+  // itdos-lint: allow(DET-002) scratch lookup; never iterated
+  std::unordered_map<int, int> scratch;
+};

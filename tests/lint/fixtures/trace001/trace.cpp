@@ -1,0 +1,19 @@
+// TRACE-001 fixture source: kGhost missing, kStray undeclared, and the two
+// present entries share one wire name.
+#include "trace.hpp"
+
+namespace itdos::telemetry {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kAlpha:
+      return "fixture.same";
+    case TraceKind::kBeta:
+      return "fixture.same";
+    case TraceKind::kStray:
+      return "fixture.stray";
+  }
+  return "unknown";
+}
+
+}  // namespace itdos::telemetry

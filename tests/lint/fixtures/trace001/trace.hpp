@@ -1,0 +1,13 @@
+// TRACE-001 fixture header: kGhost has no string-table entry.
+#pragma once
+#include <cstdint>
+
+namespace itdos::telemetry {
+
+enum class TraceKind : std::uint8_t {
+  kAlpha,  // a=thing
+  kBeta,   // b=other
+  kGhost,  // missing from trace_kind_name() below
+};
+
+}  // namespace itdos::telemetry

@@ -1,0 +1,7 @@
+// META-001 fixture: a suppression with no reason is itself a violation.
+#include <cstdlib>
+
+const char* knob() {
+  // itdos-lint: allow(DET-001)
+  return getenv("ITDOS_FIXTURE_KNOB");
+}

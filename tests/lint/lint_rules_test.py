@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Tests for tools/itdos_lint.py: every rule ID fires on its fixture, stops
+firing when the rule is disabled, and is silenced by an explained allow().
+
+Stdlib-only (unittest + subprocess); registered as the `lint_fixtures` ctest
+(label: lint). Run standalone with:  python3 tests/lint/lint_rules_test.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "itdos_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_lint(*args):
+    """Returns (exit_code, findings) from a --json lint run."""
+    proc = subprocess.run(
+        [sys.executable, LINT, "--json", *args],
+        capture_output=True, text=True, check=False)
+    findings = json.loads(proc.stdout) if proc.stdout.strip() else []
+    return proc.returncode, findings
+
+
+def fixture(*parts):
+    return os.path.join(FIXTURES, *parts)
+
+
+def rules_of(findings):
+    return {f["rule"] for f in findings}
+
+
+class RuleFires(unittest.TestCase):
+    """Each rule ID must fire on its bad fixture — and stop when disabled."""
+
+    def assert_rule(self, rule, path, *extra, min_count=1):
+        code, findings = run_lint(path, "--no-trace-check", *extra)
+        hits = [f for f in findings if f["rule"] == rule]
+        self.assertEqual(code, 1, f"expected findings in {path}: {findings}")
+        self.assertGreaterEqual(len(hits), min_count,
+                                f"{rule} did not fire on {path}: {findings}")
+        # Disabling the rule must silence exactly those findings.
+        code_off, findings_off = run_lint(path, "--no-trace-check",
+                                          "--disable", rule, *extra)
+        self.assertNotIn(rule, rules_of(findings_off),
+                         f"{rule} fired despite --disable")
+        return hits
+
+    def test_det001_fires_on_every_category(self):
+        hits = self.assert_rule("DET-001", fixture("det001_bad.cpp"),
+                                min_count=6)
+        messages = " ".join(h["message"] for h in hits)
+        for needle in ("steady_clock", "time()", "random_device", "rand()",
+                       "getenv", "pointer-to-integer", "hash over a pointer"):
+            self.assertIn(needle, messages)
+
+    def test_det002_fires_per_container(self):
+        self.assert_rule("DET-002", fixture("det002_bad.cpp"), min_count=2)
+
+    def test_proto001_fires_on_call_discards_only(self):
+        hits = self.assert_rule("PROTO-001", fixture("proto001_bad.cpp"),
+                                min_count=2)
+        # The `(void)state;` unused-param idiom must NOT be flagged.
+        lines = {h["line"] for h in hits}
+        self.assertEqual(len(lines), 2, hits)
+
+    def test_proto002_fires_in_cdr_scope(self):
+        self.assert_rule("PROTO-002", fixture("cdr", "proto002_bad.cpp"),
+                         min_count=2)
+
+    def test_proto002_accepts_visible_bounds_checks(self):
+        code, findings = run_lint(fixture("cdr", "proto002_ok.cpp"),
+                                  "--no-trace-check")
+        self.assertEqual(code, 0, findings)
+
+    def test_trace001_fires_on_desynced_tables(self):
+        code, findings = run_lint(
+            fixture("trace001", "trace.cpp"),  # any file; TRACE-001 is global
+            "--trace-hpp", fixture("trace001", "trace.hpp"),
+            "--trace-cpp", fixture("trace001", "trace.cpp"))
+        self.assertEqual(code, 1)
+        messages = " ".join(f["message"] for f in findings
+                            if f["rule"] == "TRACE-001")
+        self.assertIn("kGhost", messages)      # enum entry with no string
+        self.assertIn("kStray", messages)      # string for undeclared entry
+        self.assertIn("fixture.same", messages)  # duplicate wire name
+        code_off, findings_off = run_lint(
+            fixture("trace001", "trace.cpp"), "--disable", "TRACE-001",
+            "--trace-hpp", fixture("trace001", "trace.hpp"),
+            "--trace-cpp", fixture("trace001", "trace.cpp"))
+        self.assertNotIn("TRACE-001", rules_of(findings_off))
+
+    def test_meta001_fires_on_unexplained_suppression(self):
+        self.assert_rule("META-001", fixture("unexplained.cpp"))
+
+
+class SuppressionsWork(unittest.TestCase):
+    def test_explained_allows_silence_all_rules(self):
+        code, findings = run_lint(fixture("suppressed.cpp"),
+                                  "--no-trace-check")
+        self.assertEqual(code, 0, f"allow() did not silence: {findings}")
+
+
+class RealTreeIsClean(unittest.TestCase):
+    def test_src_lints_clean(self):
+        code, findings = run_lint(os.path.join(REPO, "src"))
+        self.assertEqual(code, 0,
+                         "src/ must stay lint-clean:\n" +
+                         "\n".join(f"{f['file']}:{f['line']} {f['rule']} "
+                                   f"{f['message']}" for f in findings))
+
+    def test_real_trace_tables_are_in_sync(self):
+        # TRACE-001 against the real telemetry tables, standalone.
+        code, findings = run_lint(os.path.join(REPO, "src", "telemetry",
+                                               "trace.cpp"))
+        self.assertEqual(code, 0, findings)
+
+
+class CliContract(unittest.TestCase):
+    def test_unknown_rule_is_a_usage_error(self):
+        code, _ = run_lint(fixture("suppressed.cpp"), "--disable", "NOPE-999")
+        self.assertEqual(code, 2)
+
+    def test_list_rules_names_every_stable_id(self):
+        proc = subprocess.run([sys.executable, LINT, "--list-rules"],
+                              capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("DET-001", "DET-002", "PROTO-001", "PROTO-002",
+                     "TRACE-001", "META-001"):
+            self.assertIn(rule, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -160,6 +160,123 @@ TEST(GaugeTest, PeakTracksHighWaterMarkUntilReset) {
   EXPECT_EQ(g.peak(), 2);
 }
 
+TEST(GaugeTest, NoClockMeansNoSeries) {
+  Gauge g;
+  g.set(1);
+  g.add(2);
+  EXPECT_TRUE(g.series().empty());
+}
+
+TEST(GaugeSeriesTest, ClockedGaugeRecordsTimeValuePairs) {
+  MetricsRegistry reg;
+  std::int64_t now = 0;
+  reg.set_clock([&now] { return now; });
+  Gauge& g = reg.gauge("depth");
+  now = 10;
+  g.set(3);
+  now = 20;
+  g.add(-1);
+  ASSERT_EQ(g.series().size(), 2u);
+  EXPECT_EQ(g.series()[0].t_ns, 10);
+  EXPECT_EQ(g.series()[0].v, 3);
+  EXPECT_EQ(g.series()[1].t_ns, 20);
+  EXPECT_EQ(g.series()[1].v, 2);
+}
+
+TEST(GaugeSeriesTest, SetClockAppliesToExistingGauges) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("made.before.clock");
+  g.set(1);
+  EXPECT_TRUE(g.series().empty());
+  reg.set_clock([] { return std::int64_t{7}; });
+  g.set(2);
+  ASSERT_EQ(g.series().size(), 1u);
+  EXPECT_EQ(g.series()[0].t_ns, 7);
+}
+
+TEST(GaugeSeriesTest, SameInstantUpdatesCoalesce) {
+  MetricsRegistry reg;
+  reg.set_clock([] { return std::int64_t{5}; });
+  Gauge& g = reg.gauge("g");
+  g.set(1);
+  g.set(2);
+  g.set(3);
+  ASSERT_EQ(g.series().size(), 1u);
+  EXPECT_EQ(g.series()[0].v, 3);
+}
+
+TEST(GaugeSeriesTest, DecimationBoundsMemoryAndKeepsCoverage) {
+  MetricsRegistry reg;
+  std::int64_t now = 0;
+  reg.set_clock([&now] { return now; });
+  Gauge& g = reg.gauge("g");
+  for (std::int64_t i = 0; i < 100000; ++i) {
+    now = i + 1;  // strictly increasing: no coalescing
+    g.set(i);
+  }
+  const auto& s = g.series();
+  ASSERT_FALSE(s.empty());
+  EXPECT_LT(s.size(), Gauge::kMaxSeriesSamples);
+  EXPECT_EQ(s.front().t_ns, 1);  // the first change always survives decimation
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LT(s[i - 1].t_ns, s[i].t_ns);  // still chronological
+  }
+  // Decimated tail still reaches deep into the run.
+  EXPECT_GT(s.back().t_ns, 50000);
+}
+
+TEST(GaugeSeriesTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    MetricsRegistry reg;
+    std::int64_t now = 0;
+    reg.set_clock([&now] { return now; });
+    Gauge& g = reg.gauge("g");
+    for (std::int64_t i = 0; i < 5000; ++i) {
+      now = i * 3;
+      g.set(i % 17);
+    }
+    return reg.gauge("g").series();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t_ns, b[i].t_ns);
+    EXPECT_EQ(a[i].v, b[i].v);
+  }
+}
+
+TEST(GaugeSeriesTest, ResetClearsSeries) {
+  MetricsRegistry reg;
+  reg.set_clock([] { return std::int64_t{1}; });
+  Gauge& g = reg.gauge("g");
+  g.set(5);
+  EXPECT_FALSE(g.series().empty());
+  reg.reset();
+  EXPECT_TRUE(g.series().empty());
+  g.set(6);  // still clocked after reset
+  ASSERT_EQ(g.series().size(), 1u);
+  EXPECT_EQ(g.series()[0].v, 6);
+}
+
+TEST(GaugeSeriesTest, MergeConcatenatesHistories) {
+  MetricsRegistry src;
+  std::int64_t now = 0;
+  src.set_clock([&now] { return now; });
+  now = 4;
+  src.gauge("g").set(2);
+
+  MetricsRegistry dst;  // unclocked, like the bench report aggregate
+  dst.merge_from(src);
+  ASSERT_EQ(dst.gauge("g").series().size(), 1u);
+  EXPECT_EQ(dst.gauge("g").series()[0].t_ns, 4);
+  EXPECT_EQ(dst.gauge("g").series()[0].v, 2);
+  // A second harvest appends.
+  dst.merge_from(src);
+  EXPECT_EQ(dst.gauge("g").series().size(), 2u);
+  EXPECT_EQ(dst.gauge("g").value(), 4);  // values still fold additively
+}
+
 TEST(MetricsRegistryTest, InstrumentsHaveStableAddresses) {
   MetricsRegistry reg;
   Counter* c = &reg.counter("a.ctr");

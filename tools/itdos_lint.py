@@ -1,0 +1,580 @@
+#!/usr/bin/env python3
+"""itdos_lint — repo-specific determinism & protocol-safety checker.
+
+The simulation's verification story (same-seed byte-stable traces, the fault
+Oracle, scripts/trace_diff.py) silently depends on protocol code never
+consulting ambient state: one wall-clock read or hash-order iteration feeding
+message order breaks reproducibility without failing any test. This linter
+enforces that contract statically, at build time (ctest label `lint`).
+
+Rules (stable IDs — suppressions and docs refer to them):
+
+  DET-001   banned nondeterminism APIs: wall clocks (system_clock,
+            steady_clock, high_resolution_clock, time(), clock(),
+            gettimeofday, clock_gettime), ambient randomness (rand, srand,
+            random_device, default_random_engine, mt19937, random_shuffle),
+            environment reads (getenv), and pointer-to-integer laundering
+            (std::hash over pointer types, reinterpret_cast to
+            uintptr_t/intptr_t) whose values change run to run.
+  DET-002   any use of std::unordered_map / unordered_set (and multi
+            variants): hash iteration order varies across libstdc++
+            versions and seeds, and in protocol code it feeds
+            serialization, signing and delivery order. Use std::map /
+            std::set or sort before iterating.
+  PROTO-001 discarded Result/Status that [[nodiscard]] cannot see:
+            `(void)call(...)` or `static_cast<void>(call(...))` with no
+            explanation. A comment on the same line or the line directly
+            above counts as the explanation.
+  PROTO-002 raw memcpy / reinterpret_cast in CDR decode paths (src/cdr/)
+            with no visible bounds check: within the 8 preceding lines
+            there must be a `remaining()` / `.size()` comparison, an
+            ITDOS_RETURN_IF_ERROR/ITDOS_ASSIGN_OR_RETURN guard, or the
+            copy length must be a `sizeof(...)` of a local (statically
+            bounded type-pun).
+  TRACE-001 telemetry::TraceKind enum and the string table in
+            trace_kind_name() must stay in sync: every enumerator named in
+            exactly one `case`, every wire name unique.
+  META-001  an itdos-lint suppression with no reason text. Suppressions
+            must say why: `// itdos-lint: allow(DET-001) <reason>`.
+
+Suppressions: `// itdos-lint: allow(RULE-ID) reason` on the offending line,
+or alone on the line directly above it. A suppression without a reason is
+itself a violation (META-001) — the acceptance bar is zero *unexplained*
+suppressions.
+
+Implementation: lexes C++ with libclang when the python bindings are
+importable (exact token stream), else with a built-in tokenizer that
+understands comments, string/char literals, raw strings and preprocessor
+continuations. All rules operate on the resulting (kind, text, line) token
+stream, so both paths report identical findings on well-formed code.
+
+Usage:
+  tools/itdos_lint.py [paths...]            # default: <repo>/src
+  tools/itdos_lint.py --json src            # machine-readable findings
+  tools/itdos_lint.py --disable DET-002 src # turn a rule off
+  tools/itdos_lint.py --list-rules
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALL_RULES = {
+    "DET-001": "banned nondeterminism API",
+    "DET-002": "unordered container in protocol code",
+    "PROTO-001": "unexplained Result/Status discard",
+    "PROTO-002": "unchecked raw copy in CDR decode path",
+    "TRACE-001": "TraceKind enum/string-table desync",
+    "META-001": "suppression without a reason",
+}
+
+CXX_EXTENSIONS = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".inl"}
+
+
+@dataclass
+class Token:
+    kind: str  # "id", "num", "str", "punct"
+    text: str
+    line: int
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Lexing: libclang when importable, built-in tokenizer otherwise. Both
+# produce (tokens, comments) where comments maps line -> comment text.
+# ---------------------------------------------------------------------------
+
+def _try_libclang():
+    try:
+        from clang import cindex  # type: ignore
+
+        # Probe that the native library actually loads, not just the module.
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+_CINDEX = _try_libclang()
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<raw>R"(?P<delim>[^()\s\\]{0,16})\()            # raw string opener
+  | (?P<str>"(?:[^"\\\n]|\\.)*")                        # string literal
+  | (?P<chr>'(?:[^'\\\n]|\\.)*')                        # char literal
+  | (?P<lcom>//[^\n]*)                                  # line comment
+  | (?P<bcom>/\*)                                       # block comment opener
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)                      # identifier/keyword
+  | (?P<num>\.?\d(?:[\w.]|'\d|[eEpP][+-])*)             # pp-number
+  | (?P<punct>::|->|\+\+|--|<<=?|>>=?|<=|>=|==|!=|&&|\|\||[-+*/%^&|~!=<>.,;:?(){}\[\]#])
+    """,
+    re.VERBOSE,
+)
+
+
+def _fallback_lex(text: str):
+    tokens: list[Token] = []
+    comments: dict[int, str] = {}
+    i, line = 0, 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        m = _TOKEN_RE.match(text, i)
+        if not m:
+            i += 1  # unknown byte (e.g. backslash-continuation): skip
+            continue
+        if m.lastgroup == "raw":
+            closer = ")" + m.group("delim") + '"'
+            end = text.find(closer, m.end())
+            end = n if end < 0 else end + len(closer)
+            tokens.append(Token("str", text[i:end], line))
+            line += text.count("\n", i, end)
+            i = end
+        elif m.lastgroup == "bcom":
+            end = text.find("*/", m.end())
+            end = n if end < 0 else end + 2
+            body = text[i:end]
+            comments[line] = comments.get(line, "") + " " + body
+            line += body.count("\n")
+            i = end
+        elif m.lastgroup == "lcom":
+            comments[line] = comments.get(line, "") + " " + m.group()
+            i = m.end()
+        elif m.lastgroup == "str" or m.lastgroup == "chr":
+            tokens.append(Token("str", m.group(), line))
+            i = m.end()
+        elif m.lastgroup == "id":
+            tokens.append(Token("id", m.group(), line))
+            i = m.end()
+        elif m.lastgroup == "num":
+            tokens.append(Token("num", m.group(), line))
+            i = m.end()
+        else:
+            tokens.append(Token("punct", m.group(), line))
+            i = m.end()
+    return tokens, comments
+
+
+def _libclang_lex(path: str, text: str):
+    from clang.cindex import TokenKind  # type: ignore
+
+    tu = _CINDEX.Index.create().parse(
+        path, args=["-std=c++20", "-fsyntax-only"],
+        unsaved_files=[(path, text)],
+        options=_CINDEX.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD,
+    )
+    tokens: list[Token] = []
+    comments: dict[int, str] = {}
+    kind_map = {
+        TokenKind.IDENTIFIER: "id",
+        TokenKind.KEYWORD: "id",
+        TokenKind.LITERAL: "num",
+        TokenKind.PUNCTUATION: "punct",
+    }
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        line = tok.location.line
+        if tok.kind == TokenKind.COMMENT:
+            comments[line] = comments.get(line, "") + " " + tok.spelling
+            continue
+        kind = kind_map.get(tok.kind, "punct")
+        if kind == "num" and tok.spelling[:1] in "\"'R":
+            kind = "str"
+        tokens.append(Token(kind, tok.spelling, line))
+    return tokens, comments
+
+
+def lex(path: str, text: str):
+    if _CINDEX is not None:
+        try:
+            return _libclang_lex(path, text)
+        except Exception:
+            pass  # fall back: the tokenizer must never take the build down
+    return _fallback_lex(text)
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+_ALLOW_RE = re.compile(r"itdos-lint:\s*allow\(([A-Z]+-\d{3})\)\s*(.*?)(?:\*/)?\s*$")
+
+
+class Suppressions:
+    """allow() directives by line; a directive covers its own line and, when
+    the comment stands alone, the next line."""
+
+    def __init__(self, text: str, comments: dict[int, str]):
+        self.at: dict[int, set[str]] = {}
+        self.unexplained: list[tuple[int, str]] = []
+        lines = text.split("\n")
+        for line_no, comment in comments.items():
+            m = _ALLOW_RE.search(comment)
+            if not m:
+                continue
+            rule, reason = m.group(1), m.group(2).strip()
+            if not reason:
+                self.unexplained.append((line_no, rule))
+            covered = {line_no}
+            src_line = lines[line_no - 1] if line_no - 1 < len(lines) else ""
+            before_comment = src_line.split("//")[0].split("/*")[0].strip()
+            if not before_comment:  # comment-only line: covers the next line
+                covered.add(line_no + 1)
+            for ln in covered:
+                self.at.setdefault(ln, set()).add(rule)
+
+    def covers(self, rule: str, line: int) -> bool:
+        return rule in self.at.get(line, set())
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+_BANNED_CLOCK_IDS = {"system_clock", "steady_clock", "high_resolution_clock"}
+_BANNED_RANDOM_IDS = {
+    "random_device", "default_random_engine", "mt19937", "mt19937_64",
+    "random_shuffle", "srand",
+}
+_BANNED_CALLS = {"time", "clock", "gettimeofday", "clock_gettime", "getenv",
+                 "rand", "srand"}
+_UNORDERED_IDS = {"unordered_map", "unordered_set", "unordered_multimap",
+                  "unordered_multiset"}
+_PTR_INT_CASTS = {"uintptr_t", "intptr_t"}
+
+
+def check_det001(tokens: list[Token], path: str) -> list[Finding]:
+    out = []
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id":
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        member = prev is not None and prev.text in {".", "->"}
+        if tok.text in _BANNED_CLOCK_IDS and not member:
+            out.append(Finding("DET-001", path, tok.line,
+                               f"wall-clock `{tok.text}` in simulation code; "
+                               "all time must come from net::Simulator::now()"))
+        elif tok.text in _BANNED_RANDOM_IDS and not member:
+            out.append(Finding("DET-001", path, tok.line,
+                               f"ambient randomness `{tok.text}`; all "
+                               "randomness must come from a seeded itdos::Rng"))
+        elif (tok.text in _BANNED_CALLS and not member
+              and nxt is not None and nxt.text == "("):
+            what = ("environment read" if tok.text == "getenv"
+                    else "ambient randomness" if tok.text in {"rand", "srand"}
+                    else "wall-clock call")
+            out.append(Finding("DET-001", path, tok.line,
+                               f"{what} `{tok.text}()`; deterministic "
+                               "simulation must not consult ambient state"))
+        elif tok.text == "hash" and nxt is not None and nxt.text == "<":
+            # std::hash over a pointer type: the hash value is the address.
+            j, depth = i + 1, 0
+            while j < len(tokens) and j < i + 24:
+                t = tokens[j].text
+                if t == "<":
+                    depth += 1
+                elif t == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif t == "*" and depth >= 1:
+                    out.append(Finding("DET-001", path, tok.line,
+                                       "std::hash over a pointer type hashes "
+                                       "the address, which varies per run"))
+                    break
+                j += 1
+        elif tok.text == "reinterpret_cast" and nxt is not None and nxt.text == "<":
+            j = i + 2
+            target = []
+            while j < len(tokens) and tokens[j].text != ">" and j < i + 10:
+                target.append(tokens[j].text)
+                j += 1
+            if any(t in _PTR_INT_CASTS for t in target):
+                out.append(Finding("DET-001", path, tok.line,
+                                   "pointer-to-integer cast produces "
+                                   "run-varying values; use a stable id"))
+    return out
+
+
+def check_det002(tokens: list[Token], path: str) -> list[Finding]:
+    out = []
+    for i, tok in enumerate(tokens):
+        # `#include <unordered_map>` names the header, not a use.
+        if i >= 2 and tokens[i - 1].text == "<" and tokens[i - 2].text == "include":
+            continue
+        if tok.kind == "id" and tok.text in _UNORDERED_IDS:
+            out.append(Finding("DET-002", path, tok.line,
+                               f"`{tok.text}` iterates in hash order, which "
+                               "varies across libstdc++ versions; use "
+                               "std::map/std::set or sort before iterating"))
+    return out
+
+
+def check_proto001(tokens: list[Token], path: str,
+                   comments: dict[int, str]) -> list[Finding]:
+    out = []
+
+    def has_reason(line: int) -> bool:
+        return line in comments or (line - 1) in comments
+
+    def call_in_statement(start: int) -> bool:
+        """True if a `(` appears before the statement's terminating `;`."""
+        depth = 0
+        for j in range(start, min(start + 64, len(tokens))):
+            t = tokens[j].text
+            if t == "(":
+                return True
+            if t == ";" and depth == 0:
+                return False
+            if t in "{}":
+                return False
+        return False
+
+    for i, tok in enumerate(tokens):
+        if (tok.text == "(" and i + 2 < len(tokens)
+                and tokens[i + 1].text == "void" and tokens[i + 2].text == ")"):
+            # `(void)` in a parameter list is `f(void)` — previous token would
+            # be an identifier; a discard follows `;`, `{`, `}` or line start.
+            prev = tokens[i - 1] if i > 0 else None
+            if prev is not None and prev.kind in {"id", "num", "str"}:
+                continue
+            if not call_in_statement(i + 3):
+                continue  # `(void)identifier;` — unused-param idiom, fine
+            if not has_reason(tok.line):
+                out.append(Finding("PROTO-001", path, tok.line,
+                                   "`(void)` discards a call result with no "
+                                   "explanation; handle the Status or say why "
+                                   "dropping it is safe"))
+        elif (tok.text == "static_cast" and i + 3 < len(tokens)
+              and tokens[i + 1].text == "<" and tokens[i + 2].text == "void"
+              and tokens[i + 3].text == ">"):
+            if not has_reason(tok.line):
+                out.append(Finding("PROTO-001", path, tok.line,
+                                   "`static_cast<void>` discards a result "
+                                   "with no explanation"))
+    return out
+
+
+_BOUNDS_EVIDENCE = {"remaining", "ITDOS_RETURN_IF_ERROR",
+                    "ITDOS_ASSIGN_OR_RETURN", "size", "ssize", "at"}
+
+
+def check_proto002(tokens: list[Token], path: str) -> list[Finding]:
+    if "/cdr/" not in path.replace(os.sep, "/") and "\\cdr\\" not in path:
+        return []
+    out = []
+    lines_with_evidence = {t.line for t in tokens
+                           if t.kind == "id" and t.text in _BOUNDS_EVIDENCE}
+
+    def guarded(line: int) -> bool:
+        return any(ln in lines_with_evidence for ln in range(line - 8, line + 1))
+
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id":
+            continue
+        if tok.text == "memcpy":
+            # A `sizeof(...)` length argument is a statically bounded
+            # type-pun (float<->bits), not an attacker-sized copy.
+            arg_has_sizeof = any(
+                tokens[j].text == "sizeof"
+                for j in range(i + 1, min(i + 32, len(tokens)))
+                if tokens[j].line == tok.line or tokens[j].line == tok.line + 1)
+            if not arg_has_sizeof and not guarded(tok.line):
+                out.append(Finding("PROTO-002", path, tok.line,
+                                   "raw memcpy in a CDR decode path with no "
+                                   "visible bounds check in the preceding 8 "
+                                   "lines"))
+        elif tok.text == "reinterpret_cast" and not guarded(tok.line):
+            out.append(Finding("PROTO-002", path, tok.line,
+                               "reinterpret_cast in a CDR decode path with "
+                               "no visible bounds check in the preceding 8 "
+                               "lines"))
+    return out
+
+
+_ENUM_RE = re.compile(r"enum\s+class\s+TraceKind[^{]*\{(.*?)\};", re.DOTALL)
+_ENUMERATOR_RE = re.compile(r"^\s*(k[A-Za-z0-9_]+)\s*[,=}]", re.MULTILINE)
+_CASE_RE = re.compile(
+    r"case\s+TraceKind::(k[A-Za-z0-9_]+)\s*:\s*return\s+\"([^\"]+)\"")
+
+
+def check_trace001(hpp_path: str, cpp_path: str) -> list[Finding]:
+    out = []
+    try:
+        with open(hpp_path, encoding="utf-8") as f:
+            hpp = f.read()
+        with open(cpp_path, encoding="utf-8") as f:
+            cpp = f.read()
+    except OSError as exc:
+        return [Finding("TRACE-001", hpp_path, 1, f"cannot read: {exc}")]
+
+    m = _ENUM_RE.search(hpp)
+    if not m:
+        return [Finding("TRACE-001", hpp_path, 1,
+                        "enum class TraceKind not found")]
+    body = re.sub(r"//[^\n]*", "", m.group(1))
+    enum_line = hpp[: m.start()].count("\n") + 1
+    enumerators = _ENUMERATOR_RE.findall(body + "}")
+
+    cases: dict[str, str] = {}
+    for case_m in _CASE_RE.finditer(cpp):
+        name, wire = case_m.group(1), case_m.group(2)
+        line = cpp[: case_m.start()].count("\n") + 1
+        if name in cases:
+            out.append(Finding("TRACE-001", cpp_path, line,
+                               f"duplicate case for TraceKind::{name}"))
+        cases[name] = wire
+
+    for enumerator in enumerators:
+        if enumerator not in cases:
+            out.append(Finding("TRACE-001", cpp_path, 1,
+                               f"TraceKind::{enumerator} (trace.hpp:{enum_line}) "
+                               "has no string in trace_kind_name()"))
+    for name in cases:
+        if name not in enumerators:
+            out.append(Finding("TRACE-001", cpp_path, 1,
+                               f"trace_kind_name() names TraceKind::{name}, "
+                               "which the enum does not declare"))
+    wires = list(cases.values())
+    for wire in sorted({w for w in wires if wires.count(w) > 1}):
+        out.append(Finding("TRACE-001", cpp_path, 1,
+                           f'wire name "{wire}" used by more than one '
+                           "TraceKind"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def lint_file(path: str, enabled: set[str]) -> list[Finding]:
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as exc:
+        return [Finding("META-001", path, 1, f"cannot read: {exc}")]
+    tokens, comments = lex(path, text)
+    suppress = Suppressions(text, comments)
+
+    findings: list[Finding] = []
+    if "DET-001" in enabled:
+        findings += check_det001(tokens, path)
+    if "DET-002" in enabled:
+        findings += check_det002(tokens, path)
+    if "PROTO-001" in enabled:
+        findings += check_proto001(tokens, path, comments)
+    if "PROTO-002" in enabled:
+        findings += check_proto002(tokens, path)
+
+    kept = [f for f in findings if not suppress.covers(f.rule, f.line)]
+    if "META-001" in enabled:
+        for line, rule in suppress.unexplained:
+            kept.append(Finding("META-001", path, line,
+                                f"allow({rule}) has no reason; write "
+                                "`// itdos-lint: allow({0}) <why>`".format(rule)))
+    return kept
+
+
+def collect_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs.sort()
+            for name in sorted(names):
+                if os.path.splitext(name)[1] in CXX_EXTENSIONS:
+                    files.append(os.path.join(root, name))
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="itdos_lint.py",
+        description="ITDOS determinism & protocol-safety linter")
+    parser.add_argument("paths", nargs="*",
+                        default=[os.path.join(REPO_ROOT, "src")],
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="RULE", help="disable a rule id "
+                        "(repeatable, comma-separated ok)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--trace-hpp", default=None,
+                        help="TraceKind header for TRACE-001 "
+                        "(default: <repo>/src/telemetry/trace.hpp)")
+    parser.add_argument("--trace-cpp", default=None,
+                        help="string-table source for TRACE-001")
+    parser.add_argument("--no-trace-check", action="store_true",
+                        help="skip TRACE-001 (e.g. when linting fixtures)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, summary in ALL_RULES.items():
+            print(f"{rule}  {summary}")
+        return 0
+
+    disabled = {r.strip() for spec in args.disable for r in spec.split(",")}
+    unknown = disabled - set(ALL_RULES)
+    if unknown:
+        print(f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+    enabled = set(ALL_RULES) - disabled
+
+    findings: list[Finding] = []
+    files = collect_files(args.paths)
+    for path in files:
+        findings += lint_file(path, enabled)
+
+    if "TRACE-001" in enabled and not args.no_trace_check:
+        hpp = args.trace_hpp or os.path.join(REPO_ROOT, "src", "telemetry",
+                                             "trace.hpp")
+        cpp = args.trace_cpp or os.path.join(REPO_ROOT, "src", "telemetry",
+                                             "trace.cpp")
+        if os.path.exists(hpp) and os.path.exists(cpp):
+            findings += check_trace001(hpp, cpp)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    if args.json:
+        print(json.dumps(
+            [{"rule": f.rule, "file": f.path, "line": f.line,
+              "message": f.message} for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        backend = "libclang" if _CINDEX is not None else "tokenizer"
+        print(f"itdos_lint: {len(files)} file(s), {len(findings)} finding(s) "
+              f"[{backend} backend]", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
