@@ -6,7 +6,13 @@ net.delivery_delay_ns histogram, compare p95/p99 against the same report in
 the baseline directory. A tail that grew beyond --tolerance (relative) is a
 regression: warn by default, fail with --strict.
 
-usage: bench_gate.py --baseline DIR [--strict] [--tolerance 0.25] BENCH_*.json
+Additionally, any report carrying a recovery.mttr_ns histogram (the e10
+recovery bench) is gated against an ABSOLUTE ceiling: mean time to repair is
+measured in deterministic simulated time, so its max must stay inside the
+recovery watchdog deadline regardless of host speed.
+
+usage: bench_gate.py --baseline DIR [--strict] [--tolerance 0.25]
+                     [--mttr-ceiling-ns N] BENCH_*.json
 
 Exit status: 0 OK (or warnings without --strict), 1 regression under
 --strict, 2 usage error. Missing baseline files are never an error — first
@@ -20,6 +26,34 @@ import sys
 
 HISTOGRAM = "net.delivery_delay_ns"
 PERCENTILES = ("p95", "p99")
+
+# Recovery MTTR (simulated ns) must stay inside the fault oracle's recovery
+# budget — watchdog deadline (2s) x max attempts (3) + retry backoff (100ms)
+# x 2 — the bound past which the oracle calls a recovery_deadline violation.
+# A repair that needs a watchdog retry is still legal; one that outlives the
+# budget is not.
+MTTR_HISTOGRAM = "recovery.mttr_ns"
+DEFAULT_MTTR_CEILING_NS = 6_200_000_000
+
+
+def check_mttr(path, ceiling_ns):
+    """Returns (checked, violation_message_or_None) for one report."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        return False, None
+    hist = report.get("histograms", {}).get(MTTR_HISTOGRAM)
+    if not hist:
+        return False, None
+    worst = hist["max"]
+    print(f"  {os.path.basename(path)} {MTTR_HISTOGRAM}.max: {worst} ns "
+          f"(ceiling {ceiling_ns} ns, "
+          f"{'VIOLATION' if worst > ceiling_ns else 'ok'})")
+    if worst > ceiling_ns:
+        return True, (f"{os.path.basename(path)} {MTTR_HISTOGRAM}.max "
+                      f"{worst} ns exceeds ceiling {ceiling_ns} ns")
+    return True, None
 
 
 def load_tail(path):
@@ -43,8 +77,30 @@ def main():
                         help="exit nonzero on regression instead of warning")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative growth (default 0.25 = +25%%)")
+    parser.add_argument("--mttr-ceiling-ns", type=int,
+                        default=DEFAULT_MTTR_CEILING_NS,
+                        help="absolute ceiling on recovery.mttr_ns max "
+                             "(simulated ns; default: the 2s watchdog "
+                             "deadline)")
     parser.add_argument("reports", nargs="+")
     args = parser.parse_args()
+
+    mttr_failures = []
+    mttr_checked = 0
+    for path in args.reports:
+        checked, violation = check_mttr(path, args.mttr_ceiling_ns)
+        mttr_checked += checked
+        if violation:
+            mttr_failures.append(violation)
+    if mttr_failures:
+        for message in mttr_failures:
+            print(f"bench_gate FAIL: {message}", file=sys.stderr)
+        # MTTR is deterministic simulated time: a breach is a hard failure
+        # even without --strict.
+        return 1
+    if mttr_checked:
+        print(f"bench_gate: {mttr_checked} MTTR report(s) within the "
+              f"{args.mttr_ceiling_ns} ns ceiling")
 
     regressions = []
     compared = 0

@@ -37,6 +37,23 @@ std::vector<DprfElementKeys> dprf_deal(const DprfParams& params, Rng& rng) {
   return out;
 }
 
+DprfElementKeys dprf_refresh(const DprfElementKeys& keys, std::uint64_t epoch) {
+  if (epoch == 0) return keys;
+  DprfElementKeys out;
+  out.index = keys.index;
+  Bytes label;
+  const char* tag = "itdos.dprf.refresh";
+  label.insert(label.end(), tag, tag + 18);
+  for (int i = 0; i < 8; ++i) {
+    label.push_back(static_cast<std::uint8_t>(epoch >> (i * 8)));
+  }
+  for (const auto& [subset_id, subkey] : keys.subkeys) {
+    out.subkeys[subset_id] =
+        digest_bytes(hmac_sha256(subkey, ByteView(label.data(), label.size())));
+  }
+  return out;
+}
+
 DprfShare DprfElement::evaluate(ByteView input) const {
   DprfShare share;
   share.element = keys_.index;

@@ -72,6 +72,15 @@ struct DprfShare {
 /// for its pseudo-random functions").
 std::vector<DprfElementKeys> dprf_deal(const DprfParams& params, Rng& rng);
 
+/// Epoch-scoped proactive refresh of one element's sub-keys: every sub-key
+/// is replaced by k_A^(e) = HMAC(k_A, "itdos.dprf.refresh" | e). Because the
+/// derivation is deterministic per sub-key, all holders of k_A derive the
+/// same k_A^(e) independently — no interaction needed — while material from
+/// epoch e is useless for epoch e' != e (the window-of-vulnerability bound:
+/// key shares leaked before a recovery do not survive it). Epoch 0 is the
+/// identity so deal-time key material keeps working unchanged.
+DprfElementKeys dprf_refresh(const DprfElementKeys& keys, std::uint64_t epoch);
+
 /// A Group Manager element's evaluator.
 class DprfElement {
  public:

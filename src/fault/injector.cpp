@@ -142,6 +142,15 @@ void FaultInjector::arm_element(const ElementFault& fault,
           return reply;
         });
         break;
+      case ElementFault::Kind::kCorruptStateBundles:
+        element.set_bundle_corruptor([](Bytes plain) {
+          // MAC-valid wrong content: the seal happens after this hook, so
+          // only the joining element's f+1 byte-identical-offers rule can
+          // reject the bundle.
+          if (!plain.empty()) plain[plain.size() / 2] ^= 0x5a;
+          return plain;
+        });
+        break;
       case ElementFault::Kind::kBogusChangeRequests: {
         // Frame a correct element. The reporter claims its (replicated)
         // domain, so the GM's f+1-matching-reports rule applies — one rogue
@@ -158,6 +167,24 @@ void FaultInjector::arm_element(const ElementFault& fault,
       }
     }
     trace_inject(element.smiop_node(), InjectKind::kElementFault,
+                 static_cast<std::uint64_t>(spec.kind));
+  });
+}
+
+void FaultInjector::arm_client(const ClientFault& fault,
+                               core::ItdosClient& client) {
+  core::ItdosClient* target = &client;
+  const ClientFault spec = fault;
+  net_.sim().schedule_at(fault.at, [this, target, spec] {
+    switch (spec.kind) {
+      case ClientFault::Kind::kDuplicateRequests:
+        target->party().set_misbehavior(/*duplicate=*/true, /*replay=*/false);
+        break;
+      case ClientFault::Kind::kReplayStaleFrames:
+        target->party().set_misbehavior(/*duplicate=*/false, /*replay=*/true);
+        break;
+    }
+    trace_inject(target->smiop_node(), InjectKind::kClientFault,
                  static_cast<std::uint64_t>(spec.kind));
   });
 }

@@ -38,6 +38,9 @@ class FaultInjector {
   /// Applies a GmFault to a Group Manager element at its start time.
   void arm_gm(const GmFault& fault, core::ItdosSystem& system);
 
+  /// Applies a ClientFault to a singleton client party at its start time.
+  void arm_client(const ClientFault& fault, core::ItdosClient& client);
+
   const FaultPlan& plan() const { return plan_; }
   std::uint64_t injected() const { return injected_->value(); }
 

@@ -12,6 +12,12 @@ std::string_view violation_kind_name(Violation::Kind kind) {
       return "expelled_rejoined";
     case Violation::Kind::kLiveness:
       return "liveness";
+    case Violation::Kind::kRecoveryDeadline:
+      return "recovery_deadline";
+    case Violation::Kind::kRecoveryOverlap:
+      return "recovery_overlap";
+    case Violation::Kind::kMembershipEpochRegression:
+      return "membership_epoch_regression";
   }
   return "unknown";
 }
@@ -67,9 +73,72 @@ void Oracle::watch_party(core::SmiopParty& party) {
 }
 
 void Oracle::watch_gm(core::GmElement& gm) {
-  gm.set_expulsion_observer([this](DomainId domain, NodeId element) {
+  gm.add_expulsion_observer([this](DomainId domain, NodeId element) {
     expulsions_seen_.emplace_back(domain, element);
   });
+}
+
+void Oracle::watch_recovery(recovery::RecoveryManager& manager) {
+  // The full time budget of one slot: every attempt may run to its watchdog
+  // deadline, with a backoff between attempts.
+  const recovery::RecoveryConfig& config = manager.config();
+  recovery_budget_ns_ =
+      config.deadline_ns * config.max_attempts +
+      config.retry_backoff_ns * (config.max_attempts - 1);
+  manager.add_listener(
+      [this](const recovery::RecoveryEvent& event) { note_recovery(event); });
+}
+
+void Oracle::note_recovery(const recovery::RecoveryEvent& event) {
+  using Kind = recovery::RecoveryEvent::Kind;
+  switch (event.kind) {
+    case Kind::kStarted: {
+      recovery_domains_.insert(event.domain);
+      const int now_recovering = ++recovering_now_[event.domain];
+      if (now_recovering > 1) {
+        Violation v;
+        v.kind = Violation::Kind::kRecoveryOverlap;
+        v.node = event.admitted;
+        v.a = event.domain.value;
+        v.b = static_cast<std::uint64_t>(now_recovering);
+        v.detail = std::to_string(now_recovering) + " elements of domain " +
+                   event.domain.to_string() + " recovering at once";
+        report(std::move(v));
+      }
+      break;
+    }
+    case Kind::kCompleted: {
+      --recovering_now_[event.domain];
+      if (event.mttr_ns > recovery_budget_ns_) {
+        Violation v;
+        v.kind = Violation::Kind::kRecoveryDeadline;
+        v.node = event.admitted;
+        v.a = static_cast<std::uint64_t>(event.mttr_ns);
+        v.b = static_cast<std::uint64_t>(recovery_budget_ns_);
+        v.detail = "recovery of domain " + event.domain.to_string() +
+                   " took " + std::to_string(event.mttr_ns) +
+                   "ns, budget " + std::to_string(recovery_budget_ns_) + "ns";
+        report(std::move(v));
+      }
+      std::uint64_t& last = last_epoch_seen_[event.domain];
+      if (event.member_epoch <= last) {
+        Violation v;
+        v.kind = Violation::Kind::kMembershipEpochRegression;
+        v.node = event.admitted;
+        v.a = event.member_epoch;
+        v.b = last;
+        v.detail = "membership epoch of domain " + event.domain.to_string() +
+                   " did not advance (" + std::to_string(event.member_epoch) +
+                   " after " + std::to_string(last) + ")";
+        report(std::move(v));
+      }
+      last = event.member_epoch;
+      break;
+    }
+    case Kind::kAborted:
+      --recovering_now_[event.domain];
+      break;
+  }
 }
 
 void Oracle::check_liveness(std::size_t completed, std::size_t expected) {
@@ -92,6 +161,24 @@ void Oracle::check_expulsions(const core::GmStateMachine& gm) {
     v.a = domain.value;
     v.detail = "expelled element " + element.to_string() +
                " is active again in domain " + domain.to_string();
+    report(std::move(v));
+  }
+}
+
+void Oracle::check_membership(const core::GmStateMachine& gm,
+                              const core::SystemDirectory& directory) {
+  for (const DomainId domain : recovery_domains_) {
+    const core::DomainInfo* info = directory.find_domain(domain);
+    if (info == nullptr) continue;
+    const std::size_t active = gm.active_elements(*info).size();
+    if (active == static_cast<std::size_t>(info->n())) continue;
+    Violation v;
+    v.kind = Violation::Kind::kRecoveryDeadline;
+    v.a = domain.value;
+    v.b = active;
+    v.detail = "domain " + domain.to_string() + " ended the run with " +
+               std::to_string(active) + " of " + std::to_string(info->n()) +
+               " active elements";
     report(std::move(v));
   }
 }

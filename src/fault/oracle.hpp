@@ -12,7 +12,15 @@
 //   * kExpelledRejoined — an element the GM expelled shows up as active
 //     again (§3.5/§3.6: rekey "keys them out of all communication groups");
 //   * kLiveness — a correct client's request did not complete even though
-//     all injected faults healed (liveness-under-quiescence).
+//     all injected faults healed (liveness-under-quiescence);
+//   * kRecoveryDeadline — a recovery cycle overran its time budget, or a
+//     domain that started recovering never returned to full 3f+1 strength
+//     (the window-of-vulnerability stayed open, DESIGN.md §6d);
+//   * kRecoveryOverlap — more than the budgeted one element of a domain was
+//     mid-recovery at once (recovery itself must not weaken the domain);
+//   * kMembershipEpochRegression — a domain's membership epoch failed to
+//     strictly increase across admissions (stale identities would be
+//     accepted again).
 //
 // Each violation is also recorded through the telemetry Tracer
 // (kOracleViolation), so a failing run dumps a causal JSONL forensic trail.
@@ -26,6 +34,7 @@
 #include "bft/replica.hpp"
 #include "itdos/group_manager.hpp"
 #include "itdos/smiop.hpp"
+#include "recovery/recovery_manager.hpp"
 
 namespace itdos::fault {
 
@@ -35,6 +44,9 @@ struct Violation {
     kVoteUnderSupported = 2,
     kExpelledRejoined = 3,
     kLiveness = 4,
+    kRecoveryDeadline = 5,
+    kRecoveryOverlap = 6,
+    kMembershipEpochRegression = 7,
   };
 
   Kind kind{};
@@ -64,6 +76,12 @@ class Oracle {
   /// Records expulsions ordered by this GM element's state machine.
   void watch_gm(core::GmElement& gm);
 
+  /// Learns the f-exhaustion / window-of-vulnerability invariants from a
+  /// recovery manager: per-completion deadline (the manager's full retry
+  /// budget), at most one element per domain mid-recovery, and strictly
+  /// increasing membership epochs.
+  void watch_recovery(recovery::RecoveryManager& manager);
+
   // --- direct feeds (what the hooks above call; public for unit tests) ---
 
   /// Records that `node` (a watched, correct replica of `group`) executed
@@ -83,6 +101,11 @@ class Oracle {
   /// Every recorded expulsion must still hold in the GM's final state.
   void check_expulsions(const core::GmStateMachine& gm);
 
+  /// Every domain that started recovering must be back at full 3f+1
+  /// strength in the GM's final state (window of vulnerability closed).
+  void check_membership(const core::GmStateMachine& gm,
+                        const core::SystemDirectory& directory);
+
   // --- results ---
 
   const std::vector<Violation>& violations() const { return violations_; }
@@ -97,9 +120,17 @@ class Oracle {
 
   telemetry::Hub* tel_;
   std::vector<Violation> violations_;
+  void note_recovery(const recovery::RecoveryEvent& event);
+
   // group -> seq -> first digest executed by any watched replica.
   std::map<int, std::map<std::uint64_t, bft::Digest>> executions_;
   std::vector<std::pair<DomainId, NodeId>> expulsions_seen_;
+
+  // Recovery bookkeeping (watch_recovery).
+  std::int64_t recovery_budget_ns_ = 0;        // full multi-attempt budget
+  std::map<DomainId, int> recovering_now_;     // concurrent recoveries
+  std::map<DomainId, std::uint64_t> last_epoch_seen_;
+  std::set<DomainId> recovery_domains_;        // domains with >=1 kStarted
 };
 
 }  // namespace itdos::fault

@@ -81,11 +81,27 @@ struct ElementFault {
   enum class Kind {
     kDissentingReplies,     // mutate every reply value (voter must mask it)
     kBogusChangeRequests,   // frame a correct element with forged proof
+    kCorruptStateBundles,   // serve corrupt state offers to a joining
+                            // replacement (f+1 matching rule must mask it)
   };
   int rank = 0;
   Kind kind = Kind::kDissentingReplies;
   SimTime at{0};
   int victim_rank = 0;  // kBogusChangeRequests: the framed element
+};
+
+/// Misbehavior of one compromised singleton client party, active from `at`
+/// onward: duplicated ordered submissions and/or replays of previously
+/// sealed GIOP frames. Every element must discard both identically (stale
+/// rid, §3.6) — a split decision would fork the domain.
+struct ClientFault {
+  enum class Kind {
+    kDuplicateRequests,   // each ordered request submitted twice
+    kReplayStaleFrames,   // resubmit the previous sealed frame each round
+  };
+  int client_index = 0;   // which add_client() party is compromised
+  Kind kind = Kind::kDuplicateRequests;
+  SimTime at{0};
 };
 
 /// Misbehavior of one Group Manager element, active from `at` onward.
@@ -108,6 +124,7 @@ enum class InjectKind : std::uint64_t {
   kByzantineOff = 8,
   kElementFault = 9,
   kGmFault = 10,
+  kClientFault = 11,
 };
 
 /// The adversary's full script for one run.
@@ -118,6 +135,7 @@ struct FaultPlan {
   std::vector<ReplicaFault> replica_faults;
   std::vector<ElementFault> element_faults;
   std::vector<GmFault> gm_faults;
+  std::vector<ClientFault> client_faults;
 
   /// When the last injected fault is over: the oracle's liveness check
   /// demands every correct-client request completes after this point.

@@ -7,6 +7,7 @@
 #include "bft/harness.hpp"
 #include "fault/injector.hpp"
 #include "itdos/system.hpp"
+#include "recovery/proactive.hpp"
 
 namespace itdos::fault {
 namespace {
@@ -448,6 +449,332 @@ ScenarioResult scenario_gm_corrupt_shares(std::uint64_t seed) {
   return run_itdos("gm_corrupt_shares", seed, std::move(plan), 4);
 }
 
+// ---------------------------------------------------------------------------
+// Recovery scenarios: the expel -> replace -> rekey loop of src/recovery/,
+// including attacks on the recovery machinery itself (DESIGN.md §6d).
+// ---------------------------------------------------------------------------
+
+/// A stateful accumulator WITH persistence: recovery scenarios must move real
+/// servant state through the f+1 byte-identical bundle certification.
+class PersistentSum : public orb::Servant {
+ public:
+  std::string interface_name() const override { return "IDL:fault/PSum:1.0"; }
+
+  void dispatch(const std::string& operation, const cdr::Value& args,
+                orb::ServerContext&, orb::ReplySinkPtr sink) override {
+    if (operation == "add") {
+      for (const auto& v : args.elements()) total_ += v.as_int64();
+      sink->reply(cdr::Value::int64(total_));
+    } else {
+      sink->reply(cdr::Value::int64(total_));
+    }
+  }
+
+  Result<Bytes> save_state() const override {
+    cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
+    enc.write_int64(total_);
+    return enc.take();
+  }
+
+  Status load_state(ByteView state) override {
+    cdr::Decoder dec(state, cdr::ByteOrder::kLittleEndian);
+    ITDOS_ASSIGN_OR_RETURN(total_, dec.read_int64());
+    return Status::ok();
+  }
+
+ private:
+  std::int64_t total_ = 0;
+};
+
+struct RecoverySpec {
+  bool dissent = false;           // rank 2 dissents -> proof-based expulsion
+  bool corrupt_bundles = false;   // rank 0 serves corrupt state offers
+  bool partition_joiner = false;  // isolate the joining identity mid-onboarding
+  bool proactive = false;         // scheduler-driven rejuvenation, no faults
+  int requests = 6;
+};
+
+ScenarioResult run_recovery(const std::string& name, std::uint64_t seed,
+                            const RecoverySpec& spec) {
+  core::SystemOptions options;
+  options.seed = seed;
+  core::ItdosSystem system(options);
+  const DomainId domain = system.add_domain(
+      1, core::VotePolicy::exact(), [](orb::ObjectAdapter& adapter, int) {
+        // Key 1 is free in a freshly built domain; activation cannot fail.
+        (void)adapter.activate_with_key(ObjectId(1),
+                                        std::make_shared<PersistentSum>());
+      });
+
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{0};  // expulsion + replacement IS the heal
+  if (spec.dissent) {
+    ElementFault fault;
+    fault.rank = 2;
+    fault.kind = ElementFault::Kind::kDissentingReplies;
+    plan.element_faults.push_back(fault);
+  }
+  if (spec.corrupt_bundles) {
+    ElementFault fault;
+    fault.rank = 0;
+    fault.kind = ElementFault::Kind::kCorruptStateBundles;
+    plan.element_faults.push_back(fault);
+  }
+
+  FaultInjector injector(system.network(), plan);
+  injector.arm_links();
+  for (const ElementFault& fault : injector.plan().element_faults) {
+    injector.arm_element(fault, system, domain);
+  }
+
+  recovery::RecoveryConfig config =
+      recovery::RecoveryConfig::from_timing(system.directory().timing());
+  if (spec.partition_joiner) {
+    // Tight enough that attempt 1 watchdog-aborts INSIDE the partition and
+    // the retry completes after the heal; the multi-attempt budget the
+    // oracle learns stays above the healed-path MTTR.
+    config.deadline_ns = millis(400);
+    config.retry_backoff_ns = millis(50);
+  }
+  recovery::RecoveryManager manager(system, config);
+  manager.watch();
+
+  Oracle oracle(system.sim().telemetry());
+  oracle.watch_recovery(manager);
+  for (int i = 0; i < system.gm_n(); ++i) {
+    oracle.watch_replica(0, system.gm_element(i).replica());
+    oracle.watch_gm(system.gm_element(i));
+  }
+  for (int rank = 0; rank < system.domain_n(domain); ++rank) {
+    if (!(spec.dissent && rank == 2)) {
+      oracle.watch_replica(1, system.element(domain, rank).replica());
+    }
+  }
+
+  // The partition attack forms around identities that only exist once the
+  // manager picks them, so it triggers off the first kStarted event: the
+  // joining identity (reused BFT slot + fresh SMIOP endpoint) is cut off
+  // from its domain peers, then healed at a fixed offset.
+  auto partitioned = std::make_shared<bool>(false);
+  if (spec.partition_joiner) {
+    manager.add_listener([&system, domain,
+                          partitioned](const recovery::RecoveryEvent& event) {
+      if (event.kind != recovery::RecoveryEvent::Kind::kStarted || *partitioned) {
+        return;
+      }
+      *partitioned = true;
+      const core::DomainInfo* info = system.directory().find_domain(domain);
+      std::set<NodeId> joiner{info->elements[event.rank].bft_node,
+                              event.admitted};
+      std::set<NodeId> peers;
+      for (int rank = 0; rank < static_cast<int>(info->elements.size()); ++rank) {
+        if (rank == event.rank) continue;
+        peers.insert(info->elements[rank].bft_node);
+        peers.insert(info->elements[rank].smiop_node);
+      }
+      system.network().partition(joiner, peers);
+      system.sim().schedule_after(millis(600), [&system, joiner, peers] {
+        for (NodeId a : joiner) {
+          for (NodeId b : peers) system.network().set_link(a, b, true);
+        }
+      });
+    });
+  }
+
+  core::ItdosClient& client = system.add_client();
+  oracle.watch_party(client.party());
+  const orb::ObjectRef ref =
+      system.object_ref(domain, ObjectId(1), "IDL:fault/PSum:1.0");
+
+  std::size_t sent = 0;
+  std::size_t completed = 0;
+  const auto drive = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      ++sent;
+      const Result<cdr::Value> result = safe_invoke(
+          system, client, ref, "add",
+          cdr::Value::sequence({cdr::Value::int64(1)}), seconds(30));
+      if (result.is_ok()) ++completed;
+    }
+  };
+
+  std::optional<recovery::ProactiveScheduler> scheduler;
+  if (spec.proactive) {
+    scheduler.emplace(manager, millis(150));
+    scheduler->add_domain(domain, system.domain_n(domain));
+    scheduler->start();
+    // Live traffic interleaved with rejuvenation rounds: every element of
+    // the domain should rotate out and back in while the client never
+    // notices.
+    for (int round = 0; round < 6; ++round) {
+      drive(1);
+      system.sim().run_for(millis(150));
+    }
+    scheduler->stop();
+  } else {
+    drive(spec.requests);
+  }
+  system.settle();
+  drive(2);  // the restored 3f+1 domain must serve fresh requests
+  system.settle();
+
+  oracle.check_liveness(completed, sent);
+  oracle.check_expulsions(system.gm_element(0).state());
+  oracle.check_membership(system.gm_element(0).state(), system.directory());
+
+  const telemetry::Hub& hub = system.sim().telemetry();
+  ScenarioResult result;
+  result.name = name;
+  result.seed = seed;
+  result.violations = oracle.violations();
+  result.requests_sent = sent;
+  result.requests_completed = completed;
+  result.expulsions = system.gm_element(0).state().expulsions();
+  result.detection = result.expulsions > 0;
+  result.rekeys = hub.tracer().count(telemetry::TraceKind::kGmRekey);
+  result.view_changes = hub.tracer().count(telemetry::TraceKind::kBftNewView);
+  result.membership_updates =
+      hub.tracer().count(telemetry::TraceKind::kGmMembershipUpdate);
+  result.recoveries_started = manager.stats().started;
+  result.recoveries_completed = manager.stats().completed;
+  result.recoveries_aborted = manager.stats().aborted;
+  result.last_mttr_ns = manager.stats().last_mttr_ns;
+  for (int rank = 0; rank < system.domain_n(domain); ++rank) {
+    result.element_discards.push_back(
+        system.element(domain, rank).stats().entries_discarded);
+  }
+  result.trace_jsonl = hub.tracer().export_jsonl();
+  return result;
+}
+
+ScenarioResult scenario_expel_replace_recover(std::uint64_t seed) {
+  // The tentpole end-to-end: a dissenting element is expelled on its signed
+  // proof, the recovery manager admits a fresh identity through an ordered
+  // membership_update, certified state and epoch-refreshed keys install,
+  // and the domain is back at 3f+1 serving requests.
+  RecoverySpec spec;
+  spec.dissent = true;
+  return run_recovery("expel_replace_recover", seed, spec);
+}
+
+ScenarioResult scenario_recovery_corrupt_state_offer(std::uint64_t seed) {
+  // Attack on recovery itself: a Byzantine peer serves MAC-valid but
+  // corrupted state offers to the joining element. The f+1 byte-identical
+  // bundle rule must mask it — two honest matching offers out-vote the
+  // corrupt one and onboarding completes cleanly.
+  RecoverySpec spec;
+  spec.dissent = true;
+  spec.corrupt_bundles = true;
+  return run_recovery("recovery_corrupt_state_offer", seed, spec);
+}
+
+ScenarioResult scenario_recovery_partition_onboarding(std::uint64_t seed) {
+  // Attack on recovery itself: the joining identity is partitioned from its
+  // domain peers mid-onboarding. The watchdog must abort the stalled
+  // attempt (clean retirement, never a forked domain) and the retry must
+  // complete once the partition heals — MTTR inside the multi-attempt
+  // budget.
+  RecoverySpec spec;
+  spec.dissent = true;
+  spec.partition_joiner = true;
+  return run_recovery("recovery_partition_onboarding", seed, spec);
+}
+
+ScenarioResult scenario_proactive_rejuvenation(std::uint64_t seed) {
+  // No detected fault at all: the scheduler rotates every element of the
+  // domain through periodic restart-from-certified-state with fresh keys,
+  // staggered so the domain never drops below 3f live elements and client
+  // traffic keeps completing throughout.
+  RecoverySpec spec;
+  spec.proactive = true;
+  return run_recovery("proactive_rejuvenation", seed, spec);
+}
+
+ScenarioResult scenario_client_replay_storm(std::uint64_t seed) {
+  // A compromised singleton client duplicates every ordered submission AND
+  // replays the previous sealed GIOP frame each round. Both arrive with
+  // already-consumed request ids, so every element must discard them
+  // identically (§3.6 stale-rid rule) — a split decision would fork the
+  // domain state.
+  core::SystemOptions options;
+  options.seed = seed;
+  core::ItdosSystem system(options);
+  const DomainId domain = system.add_domain(
+      1, core::VotePolicy::exact(), [](orb::ObjectAdapter& adapter, int) {
+        // Key 1 is free in a freshly built domain; activation cannot fail.
+        (void)adapter.activate_with_key(ObjectId(1),
+                                        std::make_shared<SumServant>());
+      });
+
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{0};  // misbehavior is masked, never healed
+  for (const ClientFault::Kind kind : {ClientFault::Kind::kDuplicateRequests,
+                                       ClientFault::Kind::kReplayStaleFrames}) {
+    ClientFault fault;
+    fault.client_index = 1;
+    fault.kind = kind;
+    plan.client_faults.push_back(fault);
+  }
+
+  core::ItdosClient& honest = system.add_client();
+  core::ItdosClient& rogue = system.add_client();
+
+  FaultInjector injector(system.network(), plan);
+  injector.arm_links();
+  for (const ClientFault& fault : injector.plan().client_faults) {
+    injector.arm_client(fault, fault.client_index == 0 ? honest : rogue);
+  }
+
+  Oracle oracle(system.sim().telemetry());
+  for (int i = 0; i < system.gm_n(); ++i) {
+    oracle.watch_replica(0, system.gm_element(i).replica());
+    oracle.watch_gm(system.gm_element(i));
+  }
+  for (int rank = 0; rank < system.domain_n(domain); ++rank) {
+    oracle.watch_replica(1, system.element(domain, rank).replica());
+  }
+  oracle.watch_party(honest.party());
+
+  const orb::ObjectRef ref =
+      system.object_ref(domain, ObjectId(1), "IDL:fault/Sum:1.0");
+  std::size_t sent = 0;
+  std::size_t completed = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (core::ItdosClient* who : {&rogue, &honest}) {
+      ++sent;
+      const Result<cdr::Value> result = safe_invoke(
+          system, *who, ref, "add",
+          cdr::Value::sequence({cdr::Value::int64(round), cdr::Value::int64(7)}),
+          seconds(30));
+      if (result.is_ok() && result.value().as_int64() == round + 7) ++completed;
+    }
+  }
+  system.settle();
+
+  oracle.check_liveness(completed, sent);
+  oracle.check_expulsions(system.gm_element(0).state());
+
+  const telemetry::Hub& hub = system.sim().telemetry();
+  ScenarioResult result;
+  result.name = "client_replay_storm";
+  result.seed = seed;
+  result.violations = oracle.violations();
+  result.requests_sent = sent;
+  result.requests_completed = completed;
+  result.expulsions = system.gm_element(0).state().expulsions();
+  result.detection = result.expulsions > 0;
+  result.rekeys = hub.tracer().count(telemetry::TraceKind::kGmRekey);
+  result.view_changes = hub.tracer().count(telemetry::TraceKind::kBftNewView);
+  for (int rank = 0; rank < system.domain_n(domain); ++rank) {
+    result.element_discards.push_back(
+        system.element(domain, rank).stats().entries_discarded);
+  }
+  result.trace_jsonl = hub.tracer().export_jsonl();
+  return result;
+}
+
 struct ScenarioEntry {
   const char* name;
   ScenarioResult (*run)(std::uint64_t seed);
@@ -469,6 +796,11 @@ constexpr ScenarioEntry kScenarios[] = {
     {"share_starvation", scenario_share_starvation},
     {"gm_withhold_shares", scenario_gm_withhold_shares},
     {"gm_corrupt_shares", scenario_gm_corrupt_shares},
+    {"expel_replace_recover", scenario_expel_replace_recover},
+    {"recovery_corrupt_state_offer", scenario_recovery_corrupt_state_offer},
+    {"recovery_partition_onboarding", scenario_recovery_partition_onboarding},
+    {"client_replay_storm", scenario_client_replay_storm},
+    {"proactive_rejuvenation", scenario_proactive_rejuvenation},
 };
 
 }  // namespace

@@ -29,6 +29,16 @@ struct ScenarioResult {
   std::uint64_t rekeys = 0;      // gm.rekey trace events
   std::uint64_t view_changes = 0;  // bft.new_view trace events
 
+  // Recovery scenarios (src/recovery/): expel -> replace -> rekey cycles.
+  std::uint64_t recoveries_started = 0;
+  std::uint64_t recoveries_completed = 0;
+  std::uint64_t recoveries_aborted = 0;    // watchdog aborts (retried)
+  std::int64_t last_mttr_ns = 0;           // trigger -> restored 3f+1
+  std::uint64_t membership_updates = 0;    // gm.membership_update trace events
+  // Per-rank entries_discarded of the server domain: a compromised client's
+  // duplicates/replays must be discarded IDENTICALLY at every element.
+  std::vector<std::uint64_t> element_discards;
+
   std::string trace_jsonl;  // full causal trace (byte-stable per seed)
 
   bool clean() const { return violations.empty(); }

@@ -138,14 +138,15 @@ DomainElement::DomainElement(net::Network& net,
   });
 }
 
-DomainElement::~DomainElement() = default;
+DomainElement::~DomainElement() { *alive_ = false; }
 
 void DomainElement::schedule_consume() {
   if (consume_scheduled_) return;
   consume_scheduled_ = true;
   // The hand-off from the delivery actor to the ORB actor (the paper's
   // inter-thread queue handoff).
-  net_.sim().schedule_after(micros(5), [this] {
+  net_.sim().schedule_after(micros(5), [this, alive = alive_] {
+    if (!*alive) return;
     consume_scheduled_ = false;
     consume_step();
   });
@@ -190,9 +191,21 @@ bool DomainElement::process_head(const Bytes& entry) {
   }
   const OrderedMsg msg = std::move(decoded).take();
   if (party_->conn_table().key_for(msg.conn, msg.epoch) == nullptr) {
-    // Unknown connection or epoch: the shares may still be in flight. Ask
-    // the GM authoritatively; a rejection is identical (BFT) for every
-    // element, so discarding on rejection stays deterministic.
+    if (const ConnTable::Entry* known = party_->conn_table().find(msg.conn);
+        known != nullptr &&
+        known->record.epoch.value > msg.epoch.value + kMaxRetainedEpochs) {
+      // Sealed under an epoch beyond the retained window: pruned everywhere
+      // and no longer re-servable by the GM, so waiting can never succeed.
+      // Every element prunes on the same installs, so the discard is
+      // identical across the domain.
+      queue_->pop();
+      ++stats_.entries_discarded;
+      return true;
+    }
+    // Unknown connection or epoch: the shares may still be in flight (a
+    // resend re-serves every retained epoch). Ask the GM authoritatively; a
+    // rejection is identical (BFT) for every element, so discarding on
+    // rejection stays deterministic.
     begin_key_wait(msg.conn);
     return false;
   }
@@ -513,7 +526,10 @@ void DomainElement::try_finish_replacement() {
   const Status queue_status = queue_->complete_bootstrap(consumed_index);
   if (queue_status.code() == Errc::kUnavailable) {
     // Our BFT queue has not reached the sync point yet; retry shortly.
-    net_.sim().schedule_after(millis(5), [this] { try_finish_replacement(); });
+    net_.sim().schedule_after(millis(5), [this, alive = alive_] {
+      if (!*alive) return;
+      try_finish_replacement();
+    });
     return;
   }
   if (!queue_status.is_ok()) {
@@ -545,6 +561,8 @@ void DomainElement::send_state_bundle(NodeId requester) {
                      << plain.status().to_string();
     return;
   }
+  Bytes plain_bytes = plain.value();
+  if (bundle_corruptor_) plain_bytes = bundle_corruptor_(std::move(plain_bytes));
   StateBundleMsg msg;
   msg.domain = domain_;
   msg.element = info_.smiop_node;
@@ -553,7 +571,7 @@ void DomainElement::send_state_bundle(NodeId requester) {
       keys_.key_for(info_.smiop_node, requester));
   msg.sealed_bundle =
       crypto::seal(channel, crypto::make_nonce(info_.smiop_node.value, bundle_nonce_++),
-                   /*aad=*/{}, plain.value());
+                   /*aad=*/{}, plain_bytes);
   net_.send(info_.smiop_node, requester, msg.encode());
   ++stats_.bundles_sent;
 }

@@ -63,6 +63,13 @@ class DomainElement {
     reply_mutator_ = std::move(mutator);
   }
 
+  /// Test hook: a Byzantine peer that corrupts the state bundles it serves
+  /// to a joining replacement (MAC-valid wrong content over the pairwise
+  /// channel — only the f+1 byte-identical-offers rule can mask it).
+  void set_bundle_corruptor(std::function<Bytes(Bytes)> corruptor) {
+    bundle_corruptor_ = std::move(corruptor);
+  }
+
   /// Starts this element as a REPLACEMENT for a crashed/wiped predecessor
   /// (the paper's §4 future-work item). The element catches up its BFT-level
   /// queue, orders a sync point, and installs servant state certified by
@@ -118,6 +125,12 @@ class DomainElement {
 
   ElementStats stats_;
   std::function<cdr::ReplyMessage(cdr::ReplyMessage)> reply_mutator_;
+  std::function<Bytes(Bytes)> bundle_corruptor_;
+
+  // Recovery can destroy an element (watchdog abort) while self-scheduled
+  // events are still pending in the simulator; those lambdas hold a copy of
+  // this flag and become no-ops once the element is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   bool consume_scheduled_ = false;
   bool executing_ = false;              // upcall in progress (maybe nested)

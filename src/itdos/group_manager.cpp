@@ -41,6 +41,7 @@ GmStateMachine::GmStateMachine(std::shared_ptr<const SystemDirectory> directory,
     metrics_.change_requests = &reg.counter(prefix + "change_requests");
     metrics_.expulsions = &reg.counter(prefix + "expulsions");
     metrics_.rekeys = &reg.counter(prefix + "rekeys");
+    metrics_.membership_updates = &reg.counter(prefix + "membership_updates");
   }
 }
 
@@ -56,10 +57,61 @@ bool GmStateMachine::is_expelled(DomainId domain, NodeId element_smiop) const {
 
 std::vector<NodeId> GmStateMachine::active_elements(const DomainInfo& info) const {
   std::vector<NodeId> out;
+  if (const auto it = views_.find(info.id); it != views_.end()) {
+    for (const MemberIdentity& member : it->second.members) {
+      if (!is_expelled(info.id, member.smiop)) out.push_back(member.smiop);
+    }
+    return out;
+  }
   for (const ElementInfo& element : info.elements) {
     if (!is_expelled(info.id, element.smiop_node)) out.push_back(element.smiop_node);
   }
   return out;
+}
+
+const MembershipView* GmStateMachine::membership_view(DomainId domain) const {
+  const auto it = views_.find(domain);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t GmStateMachine::membership_epoch(DomainId domain) const {
+  const auto it = views_.find(domain);
+  return it == views_.end() ? 0 : it->second.epoch;
+}
+
+int GmStateMachine::member_rank(const DomainInfo& info, NodeId smiop) const {
+  const auto it = views_.find(info.id);
+  if (it == views_.end()) return info.rank_of_smiop(smiop);
+  for (std::size_t i = 0; i < it->second.members.size(); ++i) {
+    if (it->second.members[i].smiop == smiop) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+NodeId GmStateMachine::member_gm_client(const DomainInfo& info, int rank) const {
+  const auto it = views_.find(info.id);
+  if (it == views_.end()) {
+    return info.elements[static_cast<std::size_t>(rank)].gm_client_node;
+  }
+  return it->second.members[static_cast<std::size_t>(rank)].gm_client;
+}
+
+void GmStateMachine::ensure_views_seeded() {
+  // Seed the replicated view of every domain known at the first ordered
+  // command. Every replica executes that command before any recovery-driven
+  // directory mutation can occur (recovery only starts after expulsions,
+  // which are themselves ordered commands), so all replicas seed identical
+  // views; from then on views evolve only through ordered membership_update
+  // commands and live directory churn cannot diverge the replicas.
+  for (const auto& [id, info] : directory_->domains()) {
+    if (views_.contains(id)) continue;
+    MembershipView view;
+    for (const ElementInfo& element : info.elements) {
+      view.members.push_back(
+          MemberIdentity{element.smiop_node, element.gm_client_node});
+    }
+    views_.emplace(id, std::move(view));
+  }
 }
 
 std::vector<NodeId> GmStateMachine::recipients_for(const ConnRecord& record) const {
@@ -77,6 +129,7 @@ std::vector<NodeId> GmStateMachine::recipients_for(const ConnRecord& record) con
 
 Bytes GmStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
   (void)seq;
+  ensure_views_seeded();
   const Result<GmCommand> command = decode_gm_command(request);
   GmCommandResult result;
   if (!command.is_ok()) {
@@ -88,6 +141,8 @@ Bytes GmStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
     result = handle_open(std::get<OpenRequestMsg>(command.value()));
   } else if (std::holds_alternative<ResendSharesMsg>(command.value())) {
     result = handle_resend(std::get<ResendSharesMsg>(command.value()));
+  } else if (std::holds_alternative<MembershipUpdateMsg>(command.value())) {
+    result = handle_membership(std::get<MembershipUpdateMsg>(command.value()), client);
   } else {
     result = handle_change(std::get<ChangeRequestMsg>(command.value()), client);
   }
@@ -135,6 +190,8 @@ GmCommandResult GmStateMachine::handle_open(const OpenRequestMsg& msg) {
   record.client_domain = msg.client_domain;
   record.target = msg.target;
   record.epoch = KeyEpoch(1);
+  record.member_epoch = membership_generation_;
+  record.epoch_generations[record.epoch.value] = record.member_epoch;
   conns_[record.conn] = record;
 
   if (distributor_ != nullptr) {
@@ -164,7 +221,19 @@ GmCommandResult GmStateMachine::handle_resend(const ResendSharesMsg& msg) {
     return result;
   }
   if (distributor_ != nullptr) {
-    distributor_->distribute(it->second, {msg.requester});
+    // Serve every retained epoch, oldest first: a fresh replacement element
+    // may still need pre-admission epochs to drain queue entries sealed
+    // before its rekey — discarding those would diverge its servant state
+    // from peers that held the old keys.
+    for (const auto& [epoch, generation] : it->second.epoch_generations) {
+      ConnRecord historical = it->second;
+      historical.epoch = KeyEpoch(epoch);
+      historical.member_epoch = generation;
+      distributor_->distribute(historical, {msg.requester});
+    }
+    if (it->second.epoch_generations.empty()) {
+      distributor_->distribute(it->second, {msg.requester});
+    }
   }
   if (metrics_.resends != nullptr) metrics_.resends->inc();
   trace(telemetry::TraceKind::kGmResend, 0, it->second.epoch.value);
@@ -188,7 +257,7 @@ Status GmStateMachine::verify_proof(const ChangeRequestMsg& msg) const {
   Vote vote(accused->f, accused->vote_policy);
   bool accused_present = false;
   for (const ProofEntry& entry : msg.proof) {
-    if (accused->rank_of_smiop(entry.element) < 0) {
+    if (member_rank(*accused, entry.element) < 0) {
       return error(Errc::kPermissionDenied, "proof entry from non-member element");
     }
     if (!sources.insert(entry.element).second) {
@@ -248,13 +317,15 @@ GmCommandResult GmStateMachine::handle_change(const ChangeRequestMsg& msg,
     result.detail = "unknown accused domain";
     return result;
   }
-  if (accused->rank_of_smiop(msg.accused_element) < 0) {
-    result.detail = "accused element not in domain";
-    return result;
-  }
+  // Expelled-first so accusations of identities already retired by a
+  // membership_update (and thus no longer in the view) stay idempotent.
   if (is_expelled(msg.accused_domain, msg.accused_element)) {
     result.accepted = true;  // idempotent: already expelled
     result.detail = "already expelled";
+    return result;
+  }
+  if (member_rank(*accused, msg.accused_element) < 0) {
+    result.detail = "accused element not in domain";
     return result;
   }
 
@@ -275,8 +346,8 @@ GmCommandResult GmStateMachine::handle_change(const ChangeRequestMsg& msg,
       result.detail = "unknown reporter domain";
       return result;
     }
-    const int rank = reporter_domain->rank_of_smiop(msg.reporter);
-    if (rank < 0 || reporter_domain->elements[rank].gm_client_node != submitter) {
+    const int rank = member_rank(*reporter_domain, msg.reporter);
+    if (rank < 0 || member_gm_client(*reporter_domain, rank) != submitter) {
       result.detail = "reporter identity mismatch";
       return result;
     }
@@ -296,20 +367,106 @@ GmCommandResult GmStateMachine::handle_change(const ChangeRequestMsg& msg,
   return result;
 }
 
-void GmStateMachine::expel(DomainId domain, NodeId element_smiop) {
+GmCommandResult GmStateMachine::handle_membership(const MembershipUpdateMsg& msg,
+                                                  NodeId submitter) {
+  GmCommandResult result;
+  if (metrics_.membership_updates != nullptr) metrics_.membership_updates->inc();
+  // The authority identity is set once at deployment construction, before
+  // any ordered command, so this live read is identical on every replica.
+  const NodeId authority = directory_->recovery_authority();
+  if (authority.value == 0 || submitter != authority) {
+    result.detail = "submitter is not the recovery authority";
+    return result;
+  }
+  if (directory_->find_domain(msg.domain) == nullptr) {
+    result.detail = "unknown domain";
+    return result;
+  }
+  const auto view_it = views_.find(msg.domain);
+  if (view_it == views_.end()) {
+    result.detail = "domain has no membership view";
+    return result;
+  }
+  MembershipView& view = view_it->second;
+  if (msg.rank >= view.members.size()) {
+    result.detail = "rank out of range";
+    return result;
+  }
+  MemberIdentity& slot = view.members[msg.rank];
+  if (msg.expected_epoch != view.epoch) {
+    if (view.epoch == msg.expected_epoch + 1 && slot.smiop == msg.admitted_element) {
+      result.accepted = true;  // idempotent: this exact update already applied
+      result.epoch = KeyEpoch(view.epoch);
+      result.detail = "already admitted";
+      return result;
+    }
+    result.detail = "membership epoch mismatch";
+    return result;
+  }
+  if (slot.smiop != msg.retired_element) {
+    result.detail = "retired identity does not hold the slot";
+    return result;
+  }
+  if (is_expelled(msg.domain, msg.admitted_element)) {
+    result.detail = "admitted identity was previously expelled";
+    return result;
+  }
+  for (const MemberIdentity& member : view.members) {
+    if (member.smiop == msg.admitted_element) {
+      result.detail = "admitted identity is already a member";
+      return result;
+    }
+  }
+
+  slot = MemberIdentity{msg.admitted_element, msg.admitted_gm_client};
+  ++view.epoch;
+  ++membership_generation_;
+  trace(telemetry::TraceKind::kGmMembershipUpdate,
+        telemetry::trace_id(ConnectionId(msg.domain.value), RequestId(msg.rank)),
+        msg.admitted_element.value, view.epoch);
+  ITDOS_INFO(kLog) << "membership update: domain " << msg.domain.to_string()
+                   << " rank " << msg.rank << " retires "
+                   << msg.retired_element.to_string() << " admits "
+                   << msg.admitted_element.to_string() << " (epoch "
+                   << view.epoch << ")";
+  // Retire the old identity — §3.5's "keying out", without charging the
+  // fault budget (retirement is recovery, not necessarily intrusion) — then
+  // rekey so the fresh identity receives generation-refreshed shares and
+  // the retired one receives nothing.
+  retire(msg.domain, msg.retired_element, /*count_expulsion=*/false);
+  rekey_domain(msg.domain);
+  result.accepted = true;
+  result.epoch = KeyEpoch(view.epoch);
+  result.detail = "admitted";
+  return result;
+}
+
+void GmStateMachine::retire(DomainId domain, NodeId element_smiop,
+                            bool count_expulsion) {
   expelled_[domain].insert(element_smiop);
-  ++expulsions_;
-  if (metrics_.expulsions != nullptr) metrics_.expulsions->inc();
-  trace(telemetry::TraceKind::kGmExpulsion, 0, element_smiop.value);
-  if (expulsion_observer_) expulsion_observer_(domain, element_smiop);
-  ITDOS_INFO(kLog) << "expelling element " << element_smiop.to_string()
-                   << " from domain " << domain.to_string();
-  // Rekey every connection the domain participates in, excluding the
-  // expelled element (§3.5: "re-keying the communication group, excepting
-  // the compromised element").
+  if (count_expulsion) {
+    ++expulsions_;
+    if (metrics_.expulsions != nullptr) metrics_.expulsions->inc();
+  }
+  trace(telemetry::TraceKind::kGmExpulsion, 0, element_smiop.value,
+        count_expulsion ? 0 : 1);
+  for (const ExpulsionObserver& observer : expulsion_observers_) {
+    observer(domain, element_smiop);
+  }
+}
+
+void GmStateMachine::rekey_domain(DomainId domain) {
+  // Rekey every connection the domain participates in, excluding retired
+  // and expelled identities (§3.5: "re-keying the communication group,
+  // excepting the compromised element").
   for (auto& [conn, record] : conns_) {
     if (record.target != domain && record.client_domain != domain) continue;
     record.epoch = KeyEpoch(record.epoch.value + 1);
+    record.member_epoch = membership_generation_;
+    record.epoch_generations[record.epoch.value] = record.member_epoch;
+    while (record.epoch_generations.size() > kMaxRetainedEpochs + 1) {
+      record.epoch_generations.erase(record.epoch_generations.begin());
+    }
     if (metrics_.rekeys != nullptr) metrics_.rekeys->inc();
     trace(telemetry::TraceKind::kGmRekey, 0, record.conn.value, record.epoch.value);
     if (distributor_ != nullptr) {
@@ -318,10 +475,18 @@ void GmStateMachine::expel(DomainId domain, NodeId element_smiop) {
   }
 }
 
+void GmStateMachine::expel(DomainId domain, NodeId element_smiop) {
+  retire(domain, element_smiop, /*count_expulsion=*/true);
+  ITDOS_INFO(kLog) << "expelling element " << element_smiop.to_string()
+                   << " from domain " << domain.to_string();
+  rekey_domain(domain);
+}
+
 Bytes GmStateMachine::snapshot() const {
   cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
   enc.write_uint64(next_conn_);
   enc.write_uint64(expulsions_);
+  enc.write_uint64(membership_generation_);
   enc.write_uint32(static_cast<std::uint32_t>(conns_.size()));
   for (const auto& [conn, record] : conns_) {
     enc.write_uint64(record.conn.value);
@@ -329,6 +494,22 @@ Bytes GmStateMachine::snapshot() const {
     enc.write_uint64(record.client_domain.value);
     enc.write_uint64(record.target.value);
     enc.write_uint64(record.epoch.value);
+    enc.write_uint64(record.member_epoch);
+    enc.write_uint32(static_cast<std::uint32_t>(record.epoch_generations.size()));
+    for (const auto& [epoch, generation] : record.epoch_generations) {
+      enc.write_uint64(epoch);
+      enc.write_uint64(generation);
+    }
+  }
+  enc.write_uint32(static_cast<std::uint32_t>(views_.size()));
+  for (const auto& [domain, view] : views_) {
+    enc.write_uint64(domain.value);
+    enc.write_uint64(view.epoch);
+    enc.write_uint32(static_cast<std::uint32_t>(view.members.size()));
+    for (const MemberIdentity& member : view.members) {
+      enc.write_uint64(member.smiop.value);
+      enc.write_uint64(member.gm_client.value);
+    }
   }
   enc.write_uint32(static_cast<std::uint32_t>(expelled_.size()));
   for (const auto& [domain, elements] : expelled_) {
@@ -352,6 +533,7 @@ Status GmStateMachine::restore(ByteView snapshot) {
   GmStateMachine fresh(directory_, keystore_, distributor_);
   ITDOS_ASSIGN_OR_RETURN(fresh.next_conn_, dec.read_uint64());
   ITDOS_ASSIGN_OR_RETURN(fresh.expulsions_, dec.read_uint64());
+  ITDOS_ASSIGN_OR_RETURN(fresh.membership_generation_, dec.read_uint64());
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t conn_count, dec.read_uint32());
   for (std::uint32_t i = 0; i < conn_count; ++i) {
     ConnRecord record;
@@ -365,7 +547,36 @@ Status GmStateMachine::restore(ByteView snapshot) {
     record.target = DomainId(target);
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t epoch, dec.read_uint64());
     record.epoch = KeyEpoch(epoch);
+    ITDOS_ASSIGN_OR_RETURN(record.member_epoch, dec.read_uint64());
+    ITDOS_ASSIGN_OR_RETURN(std::uint32_t history_count, dec.read_uint32());
+    if (history_count > dec.remaining()) {
+      return error(Errc::kMalformedMessage, "hostile epoch history count");
+    }
+    for (std::uint32_t j = 0; j < history_count; ++j) {
+      ITDOS_ASSIGN_OR_RETURN(std::uint64_t hist_epoch, dec.read_uint64());
+      ITDOS_ASSIGN_OR_RETURN(std::uint64_t generation, dec.read_uint64());
+      record.epoch_generations[hist_epoch] = generation;
+    }
     fresh.conns_[record.conn] = record;
+  }
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t view_count, dec.read_uint32());
+  for (std::uint32_t i = 0; i < view_count; ++i) {
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t domain, dec.read_uint64());
+    MembershipView view;
+    ITDOS_ASSIGN_OR_RETURN(view.epoch, dec.read_uint64());
+    ITDOS_ASSIGN_OR_RETURN(std::uint32_t member_count, dec.read_uint32());
+    if (member_count > dec.remaining()) {
+      return error(Errc::kMalformedMessage, "hostile membership view count");
+    }
+    for (std::uint32_t j = 0; j < member_count; ++j) {
+      MemberIdentity member;
+      ITDOS_ASSIGN_OR_RETURN(std::uint64_t smiop, dec.read_uint64());
+      member.smiop = NodeId(smiop);
+      ITDOS_ASSIGN_OR_RETURN(std::uint64_t gm_client, dec.read_uint64());
+      member.gm_client = NodeId(gm_client);
+      view.members.push_back(member);
+    }
+    fresh.views_.emplace(DomainId(domain), std::move(view));
   }
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t domain_count, dec.read_uint32());
   for (std::uint32_t i = 0; i < domain_count; ++i) {
@@ -390,7 +601,9 @@ Status GmStateMachine::restore(ByteView snapshot) {
   }
   next_conn_ = fresh.next_conn_;
   expulsions_ = fresh.expulsions_;
+  membership_generation_ = fresh.membership_generation_;
   conns_ = std::move(fresh.conns_);
+  views_ = std::move(fresh.views_);
   expelled_ = std::move(fresh.expelled_);
   tallies_ = std::move(fresh.tallies_);
   return Status::ok();
@@ -411,14 +624,14 @@ class GmElement::Distributor : public ShareDistributor {
         directory_(std::move(directory)),
         index_(index),
         keys_(keys),
-        dprf_(directory_->dprf_params(), std::move(dprf_keys)) {}
+        dprf_keys_(std::move(dprf_keys)) {}
 
   void distribute(const ConnRecord& record,
                   const std::vector<NodeId>& recipients) override {
     if (withhold_) return;
     const NodeId my_node = directory_->gm().elements[index_].smiop_node;
     const Bytes input = dprf_input(record.conn, record.epoch);
-    crypto::DprfShare share = dprf_.evaluate(input);
+    crypto::DprfShare share = evaluator_for(record.member_epoch).evaluate(input);
     if (corrupt_) {
       for (auto& [id, digest] : share.evaluations) digest[0] ^= 0xff;
     }
@@ -431,6 +644,7 @@ class GmElement::Distributor : public ShareDistributor {
       msg.client_node = record.client_node;
       msg.client_domain = record.client_domain;
       msg.gm_index = static_cast<std::uint32_t>(index_);
+      msg.member_epoch = record.member_epoch;
       const auto channel_key = crypto::SymmetricKey::from_bytes(
           keys_.key_for(my_node, recipient));
       msg.sealed_share = crypto::seal(channel_key,
@@ -444,11 +658,28 @@ class GmElement::Distributor : public ShareDistributor {
   bool corrupt_ = false;
 
  private:
+  /// Evaluator over the sub-keys proactively refreshed to the given
+  /// membership generation (crypto::dprf_refresh; generation 0 = deal-time
+  /// keys). Cached — every conn at the same generation reuses it.
+  const crypto::DprfElement& evaluator_for(std::uint64_t member_epoch) {
+    auto it = evaluators_.find(member_epoch);
+    if (it == evaluators_.end()) {
+      it = evaluators_
+               .emplace(member_epoch,
+                        crypto::DprfElement(directory_->dprf_params(),
+                                            crypto::dprf_refresh(dprf_keys_,
+                                                                 member_epoch)))
+               .first;
+    }
+    return it->second;
+  }
+
   net::Network& net_;
   std::shared_ptr<const SystemDirectory> directory_;
   int index_;
   const bft::SessionKeys& keys_;
-  crypto::DprfElement dprf_;
+  crypto::DprfElementKeys dprf_keys_;
+  std::map<std::uint64_t, crypto::DprfElement> evaluators_;
   std::uint64_t nonce_ctr_ = 1;
 };
 

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 
@@ -41,8 +42,37 @@ struct ConnRecord {
   DomainId client_domain;  // 0 for singleton clients
   DomainId target;
   KeyEpoch epoch;
+  std::uint64_t member_epoch = 0;  // membership generation whose refreshed
+                                   // DPRF keys seal this conn's epoch
+  // Generation history over the retained-epoch window (epoch -> membership
+  // generation), newest last. A resend re-serves shares for every entry, so
+  // a fresh replacement element can still unseal queue entries sealed just
+  // before its admission rekey; pruned in lockstep with ConnTable.
+  std::map<std::uint64_t, std::uint64_t> epoch_generations;
 
   bool operator==(const ConnRecord&) const = default;
+};
+
+/// One slot of a domain's replicated membership view: the identities that
+/// currently hold the rank (fresh identities replace retired ones via
+/// ordered membership_update commands — DESIGN.md §6d).
+struct MemberIdentity {
+  NodeId smiop;
+  NodeId gm_client;
+
+  bool operator==(const MemberIdentity&) const = default;
+};
+
+/// The GM's replicated view of one replication domain's membership. Seeded
+/// from the (startup) system directory at the first ordered command and from
+/// then on evolved ONLY by ordered membership_update commands, so every GM
+/// replica sees identical membership at identical sequence numbers even
+/// while the deployment layer is mutating the live directory.
+struct MembershipView {
+  std::uint64_t epoch = 0;              // bumped once per admitted replacement
+  std::vector<MemberIdentity> members;  // by rank
+
+  bool operator==(const MembershipView&) const = default;
 };
 
 /// The common non-repeating DPRF input for a connection epoch (§3.5).
@@ -77,11 +107,25 @@ class GmStateMachine : public bft::StateMachine {
   const std::map<ConnectionId, ConnRecord>& connections() const { return conns_; }
   std::uint64_t expulsions() const { return expulsions_; }
 
-  /// Observer fired on every expulsion this GM element orders (the fault
-  /// oracle asserts expelled elements never rejoin a communication group).
+  /// The replicated membership view of a domain, or null before the first
+  /// ordered command referenced it.
+  const MembershipView* membership_view(DomainId domain) const;
+
+  /// A domain's membership epoch (0 while still at startup membership).
+  std::uint64_t membership_epoch(DomainId domain) const;
+
+  /// Global membership generation: bumped once per applied membership_update;
+  /// keys distributed afterwards derive from proactively refreshed DPRF
+  /// sub-keys of this generation.
+  std::uint64_t membership_generation() const { return membership_generation_; }
+
+  /// Observer fired whenever an identity leaves a communication group — via
+  /// expulsion or via membership_update retirement (the fault oracle asserts
+  /// retired identities never rejoin; the recovery manager reacts to
+  /// expulsions by minting replacements).
   using ExpulsionObserver = std::function<void(DomainId, NodeId)>;
-  void set_expulsion_observer(ExpulsionObserver observer) {
-    expulsion_observer_ = std::move(observer);
+  void add_expulsion_observer(ExpulsionObserver observer) {
+    expulsion_observers_.push_back(std::move(observer));
   }
 
   /// Active (non-expelled) SMIOP nodes of a domain.
@@ -91,8 +135,17 @@ class GmStateMachine : public bft::StateMachine {
   GmCommandResult handle_open(const OpenRequestMsg& msg);
   GmCommandResult handle_resend(const ResendSharesMsg& msg);
   GmCommandResult handle_change(const ChangeRequestMsg& msg, NodeId submitter);
+  GmCommandResult handle_membership(const MembershipUpdateMsg& msg, NodeId submitter);
   Status verify_proof(const ChangeRequestMsg& msg) const;
   void expel(DomainId domain, NodeId element_smiop);
+  void retire(DomainId domain, NodeId element_smiop, bool count_expulsion);
+  void rekey_domain(DomainId domain);
+  void ensure_views_seeded();
+  /// Rank an SMIOP identity holds in the domain's current membership (view
+  /// when seeded, startup directory otherwise), or -1.
+  int member_rank(const DomainInfo& info, NodeId smiop) const;
+  /// The GM-client identity of the given rank under current membership.
+  NodeId member_gm_client(const DomainInfo& info, int rank) const;
   std::vector<NodeId> recipients_for(const ConnRecord& record) const;
   void trace(telemetry::TraceKind kind, std::uint64_t trace_id, std::uint64_t a = 0,
              std::uint64_t b = 0) const;
@@ -108,16 +161,19 @@ class GmStateMachine : public bft::StateMachine {
     telemetry::Counter* change_requests;
     telemetry::Counter* expulsions;
     telemetry::Counter* rekeys;
+    telemetry::Counter* membership_updates;
   } metrics_{};
 
   // Replicated deterministic state.
   std::uint64_t next_conn_ = 1;
   std::map<ConnectionId, ConnRecord> conns_;
   std::map<DomainId, std::set<NodeId>> expelled_;
+  std::map<DomainId, MembershipView> views_;
+  std::uint64_t membership_generation_ = 0;
   // Domain-quorum change_request tallies: (accused, conn, rid) -> reporters.
   std::map<std::tuple<NodeId, std::uint64_t, std::uint64_t>, std::set<NodeId>> tallies_;
   std::uint64_t expulsions_ = 0;
-  ExpulsionObserver expulsion_observer_;  // not replicated state
+  std::vector<ExpulsionObserver> expulsion_observers_;  // not replicated state
 };
 
 /// One Group Manager replication domain element: the BFT replica running the
@@ -134,9 +190,9 @@ class GmElement {
   const GmStateMachine& state() const { return *state_; }
   bft::Replica& replica() { return *replica_; }
 
-  /// Forwards to the owned GmStateMachine (fault oracle wiring).
-  void set_expulsion_observer(GmStateMachine::ExpulsionObserver observer) {
-    state_->set_expulsion_observer(std::move(observer));
+  /// Forwards to the owned GmStateMachine (fault oracle + recovery wiring).
+  void add_expulsion_observer(GmStateMachine::ExpulsionObserver observer) {
+    state_->add_expulsion_observer(std::move(observer));
   }
 
   /// Test hook: make this element stop distributing shares (a crashed or

@@ -35,7 +35,7 @@ Status KeyAgent::handle_share(const KeyShareMsg& msg) {
         crypto::DprfCombiner(directory_->dprf_params(),
                              dprf_input(msg.conn, msg.epoch)),
         ConnRecord{msg.conn, msg.client_node, msg.client_domain, msg.target_domain,
-                   msg.epoch},
+                   msg.epoch, msg.member_epoch},
         false};
     it = pending_.emplace(key, std::move(pending)).first;
   }

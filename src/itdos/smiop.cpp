@@ -33,6 +33,11 @@ void ConnTable::install(const ConnRecord& record, const crypto::SymmetricKey& ke
   Entry& entry = entries_[record.conn.value];
   entry.keys[record.epoch.value] = key;
   if (record.epoch.value >= entry.record.epoch.value) entry.record = record;
+  // Epoch hygiene: discard keys older than the retained window so frames
+  // sealed before an expulsion long past cannot be replayed indefinitely.
+  while (entry.keys.size() > kMaxRetainedEpochs + 1) {
+    entry.keys.erase(entry.keys.begin());
+  }
   for (const Listener& listener : listeners_) listener(entry);
 }
 
@@ -160,7 +165,7 @@ SmiopParty::SmiopParty(net::Network& net,
   });
 }
 
-SmiopParty::~SmiopParty() = default;
+SmiopParty::~SmiopParty() { *alive_ = false; }
 
 PartyStats SmiopParty::stats() const {
   return PartyStats{
@@ -263,7 +268,9 @@ void SmiopParty::connect_to(const orb::ObjectRef& ref,
         pending.target = target_id;
         pending.waiting.push_back(std::move(done));
         pending.timer = net_.sim().schedule_after(
-            directory_->timing().reply_vote_timeout_ns * 4, [this, conn] {
+            directory_->timing().reply_vote_timeout_ns * 4,
+            [this, alive = alive_, conn] {
+              if (!*alive) return;
               const auto it = pending_connects_.find(conn.value);
               if (it == pending_connects_.end()) return;
               auto waiting = std::move(it->second.waiting);
@@ -319,7 +326,9 @@ void SmiopParty::send_on(ConnState& state, cdr::RequestMessage request,
   round.sent_at = net_.sim().now();
   round.timer_armed = true;
   round.timer = net_.sim().schedule_after(
-      directory_->timing().reply_vote_timeout_ns, [this, conn = state.conn] {
+      directory_->timing().reply_vote_timeout_ns,
+      [this, alive = alive_, conn = state.conn] {
+        if (!*alive) return;
         const auto it = conns_.find(conn.value);
         if (it == conns_.end() || !it->second->round) return;
         if (!it->second->round->done) return;
@@ -332,10 +341,24 @@ void SmiopParty::send_on(ConnState& state, cdr::RequestMessage request,
 
   bft::Client& transport = target_client(state.target);
   if (ordered.sealed_giop.size() <= max_entry) {
-    transport.invoke(ordered.encode(), [](Result<Bytes>) {
+    const Bytes frame = ordered.encode();
+    // Compromised-client hooks: a replayed stale frame carries an already
+    // executed rid, a duplicate carries the current one twice — every
+    // element's last_rid_ check must discard both identically.
+    if (replay_stale_frames_ && !last_sealed_frame_.empty()) {
+      target_client(last_frame_target_).invoke(last_sealed_frame_, [](Result<Bytes>) {});
+    }
+    transport.invoke(frame, [](Result<Bytes>) {
       // The BFT-level reply is the static ordering ACK (§3.1); the real
       // CORBA reply arrives as DirectReply messages and is voted there.
     });
+    if (duplicate_submits_) {
+      transport.invoke(frame, [](Result<Bytes>) {});
+    }
+    if (replay_stale_frames_) {
+      last_sealed_frame_ = frame;
+      last_frame_target_ = state.target;
+    }
     return;
   }
   // §4 large messages: split the sealed payload into fragments, each an

@@ -100,6 +100,17 @@ class SmiopParty {
   /// connection voter of this party.
   void set_vote_audit(ConnectionVoter::DecisionAudit audit);
 
+  /// Test hook: a compromised client party. `duplicate` submits every
+  /// ordered request twice; `replay` resubmits the previously sealed frame
+  /// alongside each new request. Both must be discarded identically at every
+  /// element (stale rid, §3.6) — the fault scenarios assert exactly that.
+  void set_misbehavior(bool duplicate, bool replay) {
+    // Sticky and cumulative: arming one behavior never disarms another, so a
+    // fault plan can schedule both kinds independently.
+    duplicate_submits_ |= duplicate;
+    replay_stale_frames_ |= replay;
+  }
+
  private:
   class Protocol;
   class Connection;
@@ -147,6 +158,17 @@ class SmiopParty {
   std::map<DomainId, std::unique_ptr<bft::Client>> target_clients_;
   std::map<std::uint64_t, std::shared_ptr<ConnState>> conns_;
   ConnectionVoter::DecisionAudit vote_audit_;  // applied to every voter
+
+  // Compromised-client test hooks (see set_misbehavior).
+  bool duplicate_submits_ = false;
+  bool replay_stale_frames_ = false;
+  Bytes last_sealed_frame_;       // previously submitted ordered entry
+  DomainId last_frame_target_{};  // domain it was submitted to
+
+  // Recovery can destroy a party (watchdog abort) while self-scheduled sim
+  // timers are still pending; those lambdas hold a copy of this flag and
+  // become no-ops once the party is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   // Connects waiting for their key shares: conn -> completions + timer.
   struct PendingConnect {

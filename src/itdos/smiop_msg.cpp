@@ -263,6 +263,7 @@ Bytes KeyShareMsg::encode() const {
   enc.write_uint64(client_node.value);
   enc.write_uint64(client_domain.value);
   enc.write_uint32(gm_index);
+  enc.write_uint64(member_epoch);
   enc.write_bytes(sealed_share);
   return enc.take();
 }
@@ -285,6 +286,7 @@ Result<KeyShareMsg> KeyShareMsg::decode(ByteView data) {
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t client_domain, dec.read_uint64());
   msg.client_domain = DomainId(client_domain);
   ITDOS_ASSIGN_OR_RETURN(msg.gm_index, dec.read_uint32());
+  ITDOS_ASSIGN_OR_RETURN(msg.member_epoch, dec.read_uint64());
   ITDOS_ASSIGN_OR_RETURN(msg.sealed_share, dec.read_bytes());
   ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "KeyShareMsg"));
   return msg;
@@ -298,6 +300,7 @@ namespace {
 constexpr std::uint8_t kCmdOpen = 1;
 constexpr std::uint8_t kCmdChange = 2;
 constexpr std::uint8_t kCmdResend = 3;
+constexpr std::uint8_t kCmdMembership = 4;
 }  // namespace
 
 Bytes encode_gm_command(const GmCommand& cmd) {
@@ -313,6 +316,16 @@ Bytes encode_gm_command(const GmCommand& cmd) {
     enc.write_octet(kCmdResend);
     enc.write_uint64(resend.conn.value);
     enc.write_uint64(resend.requester.value);
+  } else if (std::holds_alternative<MembershipUpdateMsg>(cmd)) {
+    const auto& update = std::get<MembershipUpdateMsg>(cmd);
+    enc.write_octet(kCmdMembership);
+    enc.write_uint64(update.domain.value);
+    enc.write_uint32(update.rank);
+    enc.write_uint64(update.retired_element.value);
+    enc.write_uint64(update.admitted_element.value);
+    enc.write_uint64(update.admitted_gm_client.value);
+    enc.write_uint64(update.admitted_self_client.value);
+    enc.write_uint64(update.expected_epoch);
   } else {
     const auto& change = std::get<ChangeRequestMsg>(cmd);
     enc.write_octet(kCmdChange);
@@ -386,6 +399,23 @@ Result<GmCommand> decode_gm_command(ByteView data) {
     resend.requester = NodeId(requester);
     ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "ResendSharesMsg"));
     return GmCommand(resend);
+  }
+  if (tag == kCmdMembership) {
+    MembershipUpdateMsg update;
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t domain, dec.read_uint64());
+    update.domain = DomainId(domain);
+    ITDOS_ASSIGN_OR_RETURN(update.rank, dec.read_uint32());
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t retired, dec.read_uint64());
+    update.retired_element = NodeId(retired);
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t admitted, dec.read_uint64());
+    update.admitted_element = NodeId(admitted);
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t gm_client, dec.read_uint64());
+    update.admitted_gm_client = NodeId(gm_client);
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t self_client, dec.read_uint64());
+    update.admitted_self_client = NodeId(self_client);
+    ITDOS_ASSIGN_OR_RETURN(update.expected_epoch, dec.read_uint64());
+    ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "MembershipUpdateMsg"));
+    return GmCommand(update);
   }
   return error(Errc::kMalformedMessage, "unknown GM command tag");
 }

@@ -33,6 +33,15 @@
 
 namespace itdos::core {
 
+/// Old key epochs retained per connection beyond the newest one, by BOTH
+/// sides of the key path: ConnTable prunes installed keys to this window
+/// (bounding the replay horizon a compromised party can hoard frames
+/// across), and the GM keeps per-epoch DPRF generation history over the
+/// same window so a resend can re-serve every epoch a correct element might
+/// still legitimately need (a fresh replacement element consuming queue
+/// entries sealed before its admission rekey).
+inline constexpr std::size_t kMaxRetainedEpochs = 4;
+
 enum class SmiopType : std::uint8_t {
   kDirectReply = 1,
   kKeyShare = 2,
@@ -129,6 +138,8 @@ struct KeyShareMsg {
   NodeId client_node;       // SMIOP node of the client party
   DomainId client_domain;   // 0 for singleton clients
   std::uint32_t gm_index = 0;  // which GM element sent this
+  std::uint64_t member_epoch = 0;  // membership epoch the DPRF keys were
+                                   // refreshed to (0 = deal-time keys)
   Bytes sealed_share;       // crypto::seal(pairwise key, DprfShare::encode())
 
   bool operator==(const KeyShareMsg&) const = default;
@@ -220,7 +231,26 @@ struct ResendSharesMsg {
   bool operator==(const ResendSharesMsg&) const = default;
 };
 
-using GmCommand = std::variant<OpenRequestMsg, ChangeRequestMsg, ResendSharesMsg>;
+/// Totally-ordered membership update: retire one element identity of a
+/// replication domain and admit a fresh identity in its place (proactive
+/// recovery / replacement of an *expelled* element — DESIGN.md §6d). Only
+/// the system's recovery authority may submit one; the GM validates against
+/// its replicated membership view and bumps the domain's membership epoch,
+/// so stale identities are rejected deterministically by every element.
+struct MembershipUpdateMsg {
+  DomainId domain;
+  std::uint32_t rank = 0;          // slot being replaced
+  NodeId retired_element;          // SMIOP node currently holding the slot
+  NodeId admitted_element;         // fresh SMIOP identity taking the slot
+  NodeId admitted_gm_client;       // fresh GM-client identity of the element
+  NodeId admitted_self_client;     // fresh self-client identity of the element
+  std::uint64_t expected_epoch = 0;  // CAS: current membership epoch
+
+  bool operator==(const MembershipUpdateMsg&) const = default;
+};
+
+using GmCommand = std::variant<OpenRequestMsg, ChangeRequestMsg, ResendSharesMsg,
+                               MembershipUpdateMsg>;
 
 Bytes encode_gm_command(const GmCommand& cmd);
 Result<GmCommand> decode_gm_command(ByteView data);

@@ -65,6 +65,11 @@ ItdosSystem::ItdosSystem(SystemOptions options)
     gm.elements.push_back(allocate_element(cdr::ByteOrder::kLittleEndian));
   }
   directory_ = std::make_shared<SystemDirectory>(gm, options.timing);
+  // The recovery authority (src/recovery/): the one identity whose
+  // membership_update commands the GM accepts. Fixed here, before any
+  // ordered command executes, so every GM replica validates against the
+  // same value deterministically.
+  directory_->set_recovery_authority(allocator_->next());
 
   Rng dprf_rng(options.seed ^ 0xd96fULL);
   auto dprf_keys = crypto::dprf_deal(directory_->dprf_params(), dprf_rng);
@@ -168,6 +173,32 @@ DomainElement& ItdosSystem::replace_element(DomainId domain, int rank) {
       installers_.at(domain));
   slot->begin_replacement();
   return *slot;
+}
+
+ItdosSystem::ReplacementTicket ItdosSystem::admit_replacement(DomainId domain,
+                                                              int rank) {
+  auto& slot = elements_.at(domain).at(rank);
+  slot.reset();  // ensure the predecessor is gone
+  const DomainInfo* info = directory_->find_domain(domain);
+  const ElementInfo retired = info->elements.at(rank);
+
+  ElementInfo fresh;
+  fresh.bft_node = retired.bft_node;  // BFT slot address survives the swap
+  fresh.smiop_node = allocator_->next();
+  fresh.gm_client_node = allocator_->next();
+  fresh.self_client_node = allocator_->next();
+  fresh.byte_order = retired.byte_order;
+  // elements_.at() above already validated domain and rank; the swap cannot
+  // fail on the same pair.
+  (void)directory_->replace_element(domain, rank, fresh);
+
+  slot = std::make_unique<DomainElement>(
+      net_, directory_, domain, rank, keys_,
+      keystore_->issue(fresh.bft_node, key_rng_),
+      keystore_->issue(fresh.smiop_node, key_rng_), keystore_, allocator_,
+      installers_.at(domain));
+  slot->begin_replacement();
+  return ReplacementTicket{retired, fresh};
 }
 
 void ItdosSystem::crash_gm_element(int index) { gm_elements_.at(index).reset(); }

@@ -101,6 +101,25 @@ class ItdosSystem {
   /// Requires the domain's servants to implement save_state/load_state.
   DomainElement& replace_element(DomainId domain, int rank);
 
+  // --- recovery (src/recovery/) ---
+
+  /// The identities swapped by admit_replacement: `retired` is the old
+  /// (expelled/crashed) element, `admitted` the fresh one now in the
+  /// directory. The recovery manager feeds both into the ordered
+  /// membership_update it submits to the GM.
+  struct ReplacementTicket {
+    ElementInfo retired;
+    ElementInfo admitted;
+  };
+
+  /// Spawns a FRESH-IDENTITY replacement in `slot`: new SMIOP / GM-client /
+  /// self-client endpoints and fresh signing keys (the BFT slot address is
+  /// reused so the replica catches up exactly like a crash replacement).
+  /// The directory is swapped before return so key shares can be addressed
+  /// to the fresh endpoint; the caller must then submit the ordered
+  /// membership_update that admits the identity GM-side and rekeys.
+  ReplacementTicket admit_replacement(DomainId domain, int rank);
+
   /// Crash-stops a Group Manager element.
   void crash_gm_element(int index);
 

@@ -29,4 +29,17 @@ std::vector<NodeId> DomainInfo::smiop_nodes() const {
   return out;
 }
 
+Status SystemDirectory::replace_element(DomainId domain, int rank,
+                                        const ElementInfo& fresh) {
+  const auto it = domains_.find(domain);
+  if (it == domains_.end()) {
+    return error(Errc::kInvalidArgument, "replace_element: unknown domain");
+  }
+  if (rank < 0 || rank >= it->second.n()) {
+    return error(Errc::kInvalidArgument, "replace_element: rank out of range");
+  }
+  it->second.elements[static_cast<std::size_t>(rank)] = fresh;
+  return Status::ok();
+}
+
 }  // namespace itdos::core

@@ -2,7 +2,12 @@
 // their elements (with per-element native byte order — the heterogeneity the
 // system tolerates), the Group Manager's composition, vote policies and
 // protocol timing. In a production system this is the configuration the
-// paper's "configuration inputs" allude to; it is immutable after startup.
+// paper's "configuration inputs" allude to; it is immutable after startup
+// EXCEPT for recovery-driven element replacement: the deployment layer
+// (ItdosSystem, holding the sole non-const handle) swaps one element's
+// identities via replace_element when a fresh identity is admitted. The
+// Group Manager never trusts these live reads for ordered decisions — it
+// keeps its own replicated MembershipView (DESIGN.md §6d).
 //
 // Node-id layout: every element occupies several simulated-network endpoints
 // (the moral equivalent of ports on one host):
@@ -44,6 +49,14 @@ struct ProtocolTiming {
   /// ordered entries (§4 large messages) and reassembled deterministically
   /// at the elements.
   std::size_t max_entry_bytes = 16384;
+
+  /// Recovery watchdog: a replacement must be serving again within this long
+  /// of being started, else the recovery manager aborts and retries with
+  /// another fresh identity (DESIGN.md §6d).
+  std::int64_t recovery_deadline_ns = seconds(2);
+
+  /// Backoff between an aborted recovery attempt and its retry.
+  std::int64_t recovery_retry_backoff_ns = millis(100);
 };
 
 struct DomainInfo {
@@ -81,6 +94,18 @@ class SystemDirectory {
 
   const std::map<DomainId, DomainInfo>& domains() const { return domains_; }
 
+  /// Recovery-driven identity swap: install fresh identities for one rank of
+  /// a domain. Only the deployment layer (ItdosSystem) holds a non-const
+  /// handle; ordered GM decisions never read the result directly (they use
+  /// the replicated MembershipView).
+  Status replace_element(DomainId domain, int rank, const ElementInfo& fresh);
+
+  /// The BFT-client identity entitled to submit membership_update commands
+  /// (the recovery manager). 0 (the default) rejects every membership update
+  /// — deployments without a recovery subsystem keep the startup membership.
+  NodeId recovery_authority() const { return recovery_authority_; }
+  void set_recovery_authority(NodeId node) { recovery_authority_ = node; }
+
   /// DPRF parameters follow the GM's composition (§3.5: f+1 of 3f+1 GM
   /// elements must cooperate to form a key).
   crypto::DprfParams dprf_params() const {
@@ -91,6 +116,7 @@ class SystemDirectory {
   DomainInfo gm_;
   ProtocolTiming timing_;
   std::map<DomainId, DomainInfo> domains_;
+  NodeId recovery_authority_;
 };
 
 /// Monotonic NodeId allocator for building deployments.

@@ -3,6 +3,8 @@
 // send/multicast/timer surface the protocol layers use.
 #pragma once
 
+#include <memory>
+
 #include "net/network.hpp"
 
 namespace itdos::net {
@@ -13,7 +15,10 @@ class Process {
     net_.attach(id_, [this](const Packet& p) { on_packet(p); });
   }
 
-  virtual ~Process() { net_.detach(id_); }
+  virtual ~Process() {
+    *alive_ = false;
+    net_.detach(id_);
+  }
 
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
@@ -35,7 +40,14 @@ class Process {
   void leave(McastGroupId group) { net_.leave_group(group, id_); }
 
   EventHandle set_timer(std::int64_t delay_ns, std::function<void()> fn) {
-    return net_.sim().schedule_after(delay_ns, std::move(fn));
+    // Timers must not outlive the process: crash-style teardown (element
+    // replacement, recovery watchdog aborts) destroys processes with timers
+    // still armed, and the simulator would otherwise fire them into freed
+    // memory.
+    return net_.sim().schedule_after(
+        delay_ns, [alive = alive_, fn = std::move(fn)] {
+          if (*alive) fn();
+        });
   }
 
   void cancel_timer(EventHandle handle) { net_.sim().cancel(handle); }
@@ -47,6 +59,7 @@ class Process {
  private:
   Network& net_;
   NodeId id_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace itdos::net

@@ -52,6 +52,8 @@ std::string_view trace_kind_name(TraceKind kind) {
       return "gm.expulsion";
     case TraceKind::kGmRekey:
       return "gm.rekey";
+    case TraceKind::kGmMembershipUpdate:
+      return "gm.membership_update";
     case TraceKind::kQueueAppend:
       return "queue.append";
     case TraceKind::kQueueGc:
@@ -72,6 +74,14 @@ std::string_view trace_kind_name(TraceKind kind) {
       return "fault.inject";
     case TraceKind::kOracleViolation:
       return "oracle.violation";
+    case TraceKind::kRecoveryStart:
+      return "recovery.start";
+    case TraceKind::kRecoveryComplete:
+      return "recovery.complete";
+    case TraceKind::kRecoveryAbort:
+      return "recovery.abort";
+    case TraceKind::kRecoveryProactive:
+      return "recovery.proactive";
   }
   return "unknown";
 }

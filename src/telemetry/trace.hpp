@@ -45,8 +45,9 @@ enum class TraceKind : std::uint8_t {
   kGmOpenRequest,    // a=client domain, b=server domain
   kGmResend,         // a=connection epoch
   kGmChangeRequest,  // a=accused node, b=connection
-  kGmExpulsion,      // a=expelled node
+  kGmExpulsion,      // a=expelled node, b=1 when a recovery retirement
   kGmRekey,          // a=connection, b=new epoch
+  kGmMembershipUpdate,  // a=admitted node, b=new membership epoch
   // Queue state machine (src/itdos/queue.cpp).
   kQueueAppend,   // a=queue index
   kQueueGc,       // a=new base index, b=entries collected
@@ -61,6 +62,11 @@ enum class TraceKind : std::uint8_t {
   // Fault-injection subsystem (src/fault/).
   kFaultInject,      // a=fault::InjectKind, b=kind-specific detail
   kOracleViolation,  // a=fault::Violation::Kind, b=kind-specific detail
+  // Proactive recovery & replacement (src/recovery/).
+  kRecoveryStart,      // a=retired node, b=attempt number
+  kRecoveryComplete,   // a=admitted node, b=MTTR ns
+  kRecoveryAbort,      // a=failed fresh node, b=attempt number
+  kRecoveryProactive,  // a=domain, b=rank scheduled for rejuvenation
 };
 
 std::string_view trace_kind_name(TraceKind kind);

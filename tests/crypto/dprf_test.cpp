@@ -275,5 +275,59 @@ TEST(CoinTest, AnyHonestContributionChangesOutput) {
   EXPECT_NE(run(1), run(2));
 }
 
+// ---------------------------------------------------------------------------
+// Proactive refresh (recovery subsystem): epoch-scoped sub-key derivation.
+// ---------------------------------------------------------------------------
+
+TEST_P(DprfTest, RefreshEpochZeroIsIdentity) {
+  // Deal-time material keeps working unchanged until the first refresh.
+  for (const auto& ek : keys_) {
+    const DprfElementKeys refreshed = dprf_refresh(ek, 0);
+    EXPECT_EQ(refreshed.index, ek.index);
+    EXPECT_EQ(refreshed.subkeys, ek.subkeys);
+  }
+}
+
+TEST_P(DprfTest, RefreshIsDeterministicPerEpoch) {
+  // Independent holders of the same sub-key derive the same refreshed key
+  // without interaction.
+  const DprfElementKeys a = dprf_refresh(keys_[0], 3);
+  const DprfElementKeys b = dprf_refresh(keys_[0], 3);
+  EXPECT_EQ(a.subkeys, b.subkeys);
+}
+
+TEST_P(DprfTest, RefreshedEpochsAreMutuallyUseless) {
+  // Material leaked before a recovery must not survive it: every epoch's
+  // sub-keys differ from every other epoch's (window-of-vulnerability bound).
+  const DprfElementKeys e1 = dprf_refresh(keys_[0], 1);
+  const DprfElementKeys e2 = dprf_refresh(keys_[0], 2);
+  for (const auto& [id, key] : e1.subkeys) {
+    EXPECT_NE(key, keys_[0].subkeys.at(id));
+    EXPECT_NE(key, e2.subkeys.at(id));
+  }
+}
+
+TEST_P(DprfTest, RefreshedSharesStillCombineToOneKey) {
+  // After a generation bump, every element refreshes independently and the
+  // threshold property is preserved: all shares combine to the (refreshed)
+  // master evaluation, and corrupt-share detection still works.
+  const Bytes input = to_bytes("conn:7|epoch:2");
+  std::vector<DprfElementKeys> refreshed;
+  refreshed.reserve(keys_.size());
+  for (const auto& ek : keys_) refreshed.push_back(dprf_refresh(ek, 5));
+
+  DprfCombiner combiner(params_, input);
+  for (const auto& ek : refreshed) {
+    DprfElement element(params_, ek);
+    ASSERT_TRUE(combiner.add_share(element.evaluate(input)).is_ok());
+  }
+  ASSERT_TRUE(combiner.ready());
+  const auto key = combiner.combine();
+  ASSERT_TRUE(key.is_ok());
+  EXPECT_EQ(key.value(), dprf_eval_master(params_, refreshed, input));
+  // A different generation's combination yields a DIFFERENT key.
+  EXPECT_NE(key.value(), dprf_eval_master(params_, keys_, input));
+}
+
 }  // namespace
 }  // namespace itdos::crypto

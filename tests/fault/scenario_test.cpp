@@ -123,9 +123,9 @@ TEST(FaultScenarioDetail, UnknownScenarioThrows) {
 
 TEST(FaultScenarioDetail, ScenarioListIsStable) {
   const std::vector<std::string> names = scenario_names();
-  EXPECT_GE(names.size(), 12u);
+  EXPECT_GE(names.size(), 20u);
   EXPECT_EQ(names.front(), "drop_storm");
-  EXPECT_EQ(names.back(), "gm_corrupt_shares");
+  EXPECT_EQ(names.back(), "proactive_rejuvenation");
 }
 
 }  // namespace

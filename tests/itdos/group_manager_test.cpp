@@ -42,6 +42,7 @@ class GmStateMachineTest : public ::testing::Test {
     server.vote_policy = VotePolicy::exact();
     for (int i = 0; i < 4; ++i) server.elements.push_back(element_info(500 + i * 10));
     directory->add_domain(server);
+    directory->set_recovery_authority(NodeId(8000));
     directory_ = directory;
 
     keystore_ = std::make_shared<crypto::Keystore>();
@@ -477,6 +478,156 @@ TEST_F(GmStateMachineTest, ProofVoteUsesAccusedDomainsPolicy) {
 }
 
 // ---------------------------------------------------------------------------
+// Membership updates (recovery subsystem, DESIGN.md §6d)
+// ---------------------------------------------------------------------------
+
+class MembershipUpdateTest : public GmStateMachineTest {
+ protected:
+  /// A valid update replacing `rank` of domain 10 with a fresh identity.
+  MembershipUpdateMsg make_update(std::uint32_t rank,
+                                  std::uint64_t expected_epoch = 0,
+                                  std::uint64_t fresh_base = 900) {
+    const DomainInfo* server = directory_->find_domain(DomainId(10));
+    MembershipUpdateMsg msg;
+    msg.domain = DomainId(10);
+    msg.rank = rank;
+    msg.retired_element = server->elements[rank].smiop_node;
+    msg.admitted_element = NodeId(fresh_base + 1);
+    msg.admitted_gm_client = NodeId(fresh_base + 2);
+    msg.admitted_self_client = NodeId(fresh_base + 3);
+    msg.expected_epoch = expected_epoch;
+    return msg;
+  }
+};
+
+TEST_F(MembershipUpdateTest, AdmitsReplacementRetiresOldAndRekeys) {
+  (void)open_singleton();
+  distributor_.calls.clear();
+  const MembershipUpdateMsg update = make_update(1);
+  const GmCommandResult result = run(GmCommand(update), NodeId(8000));
+  ASSERT_TRUE(result.accepted) << result.detail;
+
+  EXPECT_EQ(gm_->membership_epoch(DomainId(10)), 1u);
+  EXPECT_EQ(gm_->membership_generation(), 1u);
+  // The old identity is keyed out like an expelled one, but retirement
+  // spends none of the intrusion budget.
+  EXPECT_TRUE(gm_->is_expelled(DomainId(10), update.retired_element));
+  EXPECT_EQ(gm_->expulsions(), 0u);
+  const MembershipView* view = gm_->membership_view(DomainId(10));
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->members[1].smiop, update.admitted_element);
+
+  // Admission rekeyed the domain's connection: the fresh identity receives
+  // shares, the retired one does not.
+  ASSERT_EQ(distributor_.calls.size(), 1u);
+  EXPECT_EQ(distributor_.calls[0].record.epoch, KeyEpoch(2));
+  const auto& recipients = distributor_.calls[0].recipients;
+  EXPECT_EQ(std::count(recipients.begin(), recipients.end(),
+                       update.retired_element), 0);
+  EXPECT_EQ(std::count(recipients.begin(), recipients.end(),
+                       update.admitted_element), 1);
+}
+
+TEST_F(MembershipUpdateTest, RejectsNonAuthoritySubmitter) {
+  const GmCommandResult result = run(GmCommand(make_update(1)), NodeId(31337));
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(gm_->membership_epoch(DomainId(10)), 0u);
+}
+
+TEST_F(MembershipUpdateTest, EpochCasMismatchRejected) {
+  const GmCommandResult result =
+      run(GmCommand(make_update(1, /*expected_epoch=*/5)), NodeId(8000));
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(gm_->membership_epoch(DomainId(10)), 0u);
+}
+
+TEST_F(MembershipUpdateTest, ReAcceptIsIdempotentWithoutSecondRekey) {
+  (void)open_singleton();
+  const MembershipUpdateMsg update = make_update(1);
+  ASSERT_TRUE(run(GmCommand(update), NodeId(8000)).accepted);
+  distributor_.calls.clear();
+  // A retried submission of the SAME update (stale expected_epoch, same
+  // admitted identity) is acknowledged without state change.
+  const GmCommandResult again = run(GmCommand(update), NodeId(8000));
+  EXPECT_TRUE(again.accepted);
+  EXPECT_EQ(gm_->membership_epoch(DomainId(10)), 1u);
+  EXPECT_TRUE(distributor_.calls.empty());
+}
+
+TEST_F(MembershipUpdateTest, ExpelledIdentityCannotBeReadmitted) {
+  const GmCommandResult open = open_singleton();
+  const NodeId expelled =
+      directory_->find_domain(DomainId(10))->elements[1].smiop_node;
+  ASSERT_TRUE(run(GmCommand(make_proof_change(open.conn, expelled))).accepted);
+
+  MembershipUpdateMsg update = make_update(2);
+  update.admitted_element = expelled;  // the compromised identity sneaks back
+  const GmCommandResult result = run(GmCommand(update), NodeId(8000));
+  EXPECT_FALSE(result.accepted);
+  const MembershipView* view = gm_->membership_view(DomainId(10));
+  ASSERT_NE(view, nullptr);
+  EXPECT_NE(view->members[2].smiop, expelled);
+}
+
+TEST_F(MembershipUpdateTest, CurrentMemberCannotBeAdmittedTwice) {
+  MembershipUpdateMsg update = make_update(1);
+  update.admitted_element =
+      directory_->find_domain(DomainId(10))->elements[0].smiop_node;
+  EXPECT_FALSE(run(GmCommand(update), NodeId(8000)).accepted);
+}
+
+TEST_F(MembershipUpdateTest, RetiredIdentityMustHoldTheSlot) {
+  MembershipUpdateMsg update = make_update(1);
+  update.retired_element = NodeId(424242);
+  EXPECT_FALSE(run(GmCommand(update), NodeId(8000)).accepted);
+}
+
+TEST_F(MembershipUpdateTest, RankOutOfRangeRejected) {
+  EXPECT_FALSE(run(GmCommand(make_update(9)), NodeId(8000)).accepted);
+}
+
+TEST_F(MembershipUpdateTest, RetiredIdentityGetsNoResends) {
+  const GmCommandResult open = open_singleton();
+  const MembershipUpdateMsg update = make_update(1);
+  ASSERT_TRUE(run(GmCommand(update), NodeId(8000)).accepted);
+  distributor_.calls.clear();
+  ResendSharesMsg resend;
+  resend.conn = open.conn;
+  resend.requester = update.retired_element;
+  EXPECT_FALSE(run(GmCommand(resend)).accepted);
+  EXPECT_TRUE(distributor_.calls.empty());
+}
+
+TEST_F(MembershipUpdateTest, ResendServesEveryRetainedEpochToTheAdmitted) {
+  // A fresh replacement may still hold queue entries sealed under
+  // pre-admission epochs; resend must re-serve ALL retained epochs so it can
+  // drain them instead of diverging.
+  const GmCommandResult open = open_singleton();
+  ASSERT_TRUE(run(GmCommand(make_update(1)), NodeId(8000)).accepted);
+  distributor_.calls.clear();
+  ResendSharesMsg resend;
+  resend.conn = open.conn;
+  resend.requester = make_update(1).admitted_element;
+  ASSERT_TRUE(run(GmCommand(resend)).accepted);
+  ASSERT_EQ(distributor_.calls.size(), 2u);  // epochs 1 and 2, oldest first
+  EXPECT_EQ(distributor_.calls[0].record.epoch, KeyEpoch(1));
+  EXPECT_EQ(distributor_.calls[1].record.epoch, KeyEpoch(2));
+}
+
+TEST_F(MembershipUpdateTest, SnapshotRoundTripCarriesViewsAndEpochHistory) {
+  (void)open_singleton();
+  ASSERT_TRUE(run(GmCommand(make_update(1)), NodeId(8000)).accepted);
+  const Bytes snap = gm_->snapshot();
+
+  GmStateMachine restored(directory_, keystore_, nullptr);
+  ASSERT_TRUE(restored.restore(snap).is_ok());
+  EXPECT_EQ(restored.membership_epoch(DomainId(10)), 1u);
+  EXPECT_EQ(restored.membership_generation(), 1u);
+  EXPECT_TRUE(restored.is_expelled(DomainId(10), make_update(1).retired_element));
+  EXPECT_EQ(restored.snapshot(), snap);
+}
+
+// ---------------------------------------------------------------------------
 // KeyAgent
 // ---------------------------------------------------------------------------
 
@@ -511,8 +662,13 @@ class KeyAgentTest : public GmStateMachineTest {
   }
 
   ConnRecord record() const {
-    return ConnRecord{ConnectionId(1), NodeId(9000), DomainId(0), DomainId(10),
-                      KeyEpoch(1)};
+    ConnRecord r;
+    r.conn = ConnectionId(1);
+    r.client_node = NodeId(9000);
+    r.client_domain = DomainId(0);
+    r.target = DomainId(10);
+    r.epoch = KeyEpoch(1);
+    return r;
   }
 
   std::vector<crypto::DprfElementKeys> dprf_keys_;
