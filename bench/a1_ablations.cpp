@@ -138,8 +138,8 @@ BENCHMARK(BM_A3FirewallAdmitValid)->Arg(64)->Arg(4096)->Arg(65536);
 void BM_A3FirewallRejectGarbage(benchmark::State& state) {
   core::FirewallProxy proxy;
   Rng rng(9);
-  const Bytes garbage = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
-  const net::Packet packet{NodeId(1), NodeId(2), std::nullopt, garbage};
+  const net::Packet packet{NodeId(1), NodeId(2), std::nullopt,
+                           rng.next_bytes(static_cast<std::size_t>(state.range(0)))};
   for (auto _ : state) {
     benchmark::DoNotOptimize(proxy.admit(packet));
   }

@@ -47,6 +47,15 @@ class BenchReport {
     registry_.merge_from(sim.telemetry().metrics());
   }
 
+  /// Mirrors the process-wide buffer copy accounting (BufStats) into the
+  /// registry as `buf.copies` / `buf.bytes_copied`. Called once by
+  /// ITDOS_BENCH_MAIN just before the report is written, so the counters
+  /// reflect every copy the binary's whole run made on the message path.
+  void mirror_buf_stats() {
+    registry_.counter("buf.copies").inc(BufStats::copies);
+    registry_.counter("buf.bytes_copied").inc(BufStats::bytes_copied);
+  }
+
   /// Writes BENCH_<name>.json into the working directory.
   void write(const std::string& name) const {
     std::ofstream out("BENCH_" + name + ".json");
@@ -178,6 +187,7 @@ inline cdr::Value payload_of_size(std::size_t bytes) {
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
     ::benchmark::RunSpecifiedBenchmarks();                                  \
     ::benchmark::Shutdown();                                                \
+    ::itdos::bench::BenchReport::instance().mirror_buf_stats();             \
     ::itdos::bench::BenchReport::instance().write(name);                    \
     return 0;                                                               \
   }

@@ -198,7 +198,7 @@ void BM_E10MembershipUpdate(benchmark::State& state) {
     update.expected_epoch = epoch;
     holders[epoch % 2] = update.admitted_element;
     ++epoch;
-    const Bytes command = core::encode_gm_command(core::GmCommand(update));
+    const BufView command = core::encode_gm_command(core::GmCommand(update));
     ScopedHostTimer timer(hist);
     ops.inc();
     const Bytes reply = machine.execute(command, authority, SeqNum(++seq));

@@ -28,7 +28,7 @@ class FatStateMachine : public bft::StateMachine {
  public:
   explicit FatStateMachine(std::size_t state_bytes) : state_(state_bytes, 0x7a) {}
 
-  Bytes execute(ByteView request, NodeId, SeqNum) override {
+  Bytes execute(const BufView& request, NodeId, SeqNum) override {
     // Touch a few bytes so execution isn't free.
     for (std::size_t i = 0; i < std::min<std::size_t>(request.size(), 16); ++i) {
       state_[i % state_.size()] ^= request[i];

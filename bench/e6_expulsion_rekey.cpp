@@ -122,7 +122,7 @@ void BM_E6ProofVerification(benchmark::State& state) {
         crypto::sha256(ByteView(entry.plain_giop))));
     change.proof.push_back(std::move(entry));
   }
-  const Bytes command = core::encode_gm_command(core::GmCommand(change));
+  const BufView command = core::encode_gm_command(core::GmCommand(change));
 
   auto& reg = BenchReport::instance().registry();
   telemetry::Histogram& hist = reg.histogram("e6.proof_verify_ns");

@@ -24,6 +24,7 @@ void BM_E9PayloadSweep(benchmark::State& state) {
     return;
   }
 
+  auto& ops = BenchReport::instance().registry().counter("e9.ops");
   std::int64_t total_sim_ns = 0;
   std::uint64_t total_packets = 0;
   for (auto _ : state) {
@@ -35,6 +36,7 @@ void BM_E9PayloadSweep(benchmark::State& state) {
       state.SkipWithError("invocation failed");
       return;
     }
+    ops.inc();
     total_sim_ns += system.sim().now() - before;
     total_packets += system.network().stats().packets_delivered;
   }

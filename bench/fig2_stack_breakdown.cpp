@@ -107,7 +107,7 @@ void BM_Layer_BftOrdering(benchmark::State& state) {
   bft::Cluster cluster(options,
                        [](int) { return std::make_unique<bft::LogStateMachine>(); });
   bft::Client& client = cluster.add_client();
-  const Bytes payload = Bytes(static_cast<std::size_t>(state.range(0)), 0x5a);
+  const BufView payload = Bytes(static_cast<std::size_t>(state.range(0)), 0x5a);
   std::int64_t total_sim_ns = 0;
   for (auto _ : state) {
     const SimTime before = cluster.sim().now();

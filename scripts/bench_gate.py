@@ -11,8 +11,15 @@ recovery bench) is gated against an ABSOLUTE ceiling: mean time to repair is
 measured in deterministic simulated time, so its max must stay inside the
 recovery watchdog deadline regardless of host speed.
 
+Reports that carry buffer copy accounting alongside an op counter (the e9
+large-message bench exports buf.copies / buf.bytes_copied and e9.ops) get an
+ADVISORY copies-per-op check: the zero-copy message path budgets a fixed
+number of counted copies per invocation, and a jump past --copies-per-op
+means an owning-buffer copy crept back in. Advisory means warn-only unless
+--strict.
+
 usage: bench_gate.py --baseline DIR [--strict] [--tolerance 0.25]
-                     [--mttr-ceiling-ns N] BENCH_*.json
+                     [--mttr-ceiling-ns N] [--copies-per-op N] BENCH_*.json
 
 Exit status: 0 OK (or warnings without --strict), 1 regression under
 --strict, 2 usage error. Missing baseline files are never an error — first
@@ -34,6 +41,41 @@ PERCENTILES = ("p95", "p99")
 # budget is not.
 MTTR_HISTOGRAM = "recovery.mttr_ns"
 DEFAULT_MTTR_CEILING_NS = 6_200_000_000
+
+# Advisory zero-copy budget: counted copies per e9 invocation. The converted
+# message path makes a bounded number of explicit copies per call (fragment
+# gather, unseal output, checkpoint snapshots, and legacy read_raw sites for
+# small fixed fields in per-packet envelope decode); the e9 sweep measures
+# ~1050 such copies per invocation averaged over its payload ladder. The
+# ceiling leaves ~40% headroom: a by-value buffer parameter regressing back
+# into the per-hop path roughly doubles the figure.
+COPIES_COUNTER = "buf.copies"
+BYTES_COPIED_COUNTER = "buf.bytes_copied"
+OPS_COUNTER = "e9.ops"
+DEFAULT_COPIES_PER_OP = 1500
+
+
+def check_copies_per_op(path, ceiling):
+    """Returns (checked, violation_message_or_None) for one report."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        return False, None
+    counters = report.get("counters", {})
+    copies = counters.get(COPIES_COUNTER)
+    ops = counters.get(OPS_COUNTER)
+    if copies is None or not ops:
+        return False, None
+    per_op = copies / ops
+    per_op_bytes = counters.get(BYTES_COPIED_COUNTER, 0) / ops
+    status = "VIOLATION" if per_op > ceiling else "ok"
+    print(f"  {os.path.basename(path)} {COPIES_COUNTER}/op: {per_op:.1f} "
+          f"({per_op_bytes:.0f} bytes/op, ceiling {ceiling}, {status})")
+    if per_op > ceiling:
+        return True, (f"{os.path.basename(path)} makes {per_op:.1f} counted "
+                      f"buffer copies per op (advisory ceiling {ceiling})")
+    return True, None
 
 
 def check_mttr(path, ceiling_ns):
@@ -82,6 +124,11 @@ def main():
                         help="absolute ceiling on recovery.mttr_ns max "
                              "(simulated ns; default: the 2s watchdog "
                              "deadline)")
+    parser.add_argument("--copies-per-op", type=float,
+                        default=DEFAULT_COPIES_PER_OP,
+                        help="advisory ceiling on counted buffer copies per "
+                             "benchmark op (reports with buf.copies + "
+                             "e9.ops counters)")
     parser.add_argument("reports", nargs="+")
     args = parser.parse_args()
 
@@ -101,6 +148,23 @@ def main():
     if mttr_checked:
         print(f"bench_gate: {mttr_checked} MTTR report(s) within the "
               f"{args.mttr_ceiling_ns} ns ceiling")
+
+    copy_warnings = []
+    copies_checked = 0
+    for path in args.reports:
+        checked, violation = check_copies_per_op(path, args.copies_per_op)
+        copies_checked += checked
+        if violation:
+            copy_warnings.append(violation)
+    if copy_warnings:
+        verb = "FAIL" if args.strict else "WARN"
+        for message in copy_warnings:
+            print(f"bench_gate {verb}: {message}", file=sys.stderr)
+        if args.strict:
+            return 1
+    elif copies_checked:
+        print(f"bench_gate: {copies_checked} report(s) within the "
+              f"{args.copies_per_op} copies/op advisory ceiling")
 
     regressions = []
     compared = 0

@@ -4,6 +4,7 @@
 // makes f+1 matching replies meaningful.
 #pragma once
 
+#include "common/buffer.hpp"
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
@@ -16,7 +17,9 @@ class StateMachine {
 
   /// Executes one totally-ordered request and returns the reply payload.
   /// `seq` is the agreed sequence number (deterministic across replicas).
-  virtual Bytes execute(ByteView request, NodeId client, SeqNum seq) = 0;
+  /// The request is a refcounted view: implementations that log requests
+  /// (e.g. the ITDOS message queue) retain it without copying.
+  virtual Bytes execute(const BufView& request, NodeId client, SeqNum seq) = 0;
 
   /// Serializes the full application state (Castro-Liskov keeps state "in a
   /// contiguous block of memory"; this is our equivalent).

@@ -14,7 +14,7 @@ Client::Client(net::Network& net, NodeId id, BftConfig config, const SessionKeys
   collector_factory_ = [](int f) { return std::make_unique<MatchingReplyCollector>(f); };
 }
 
-void Client::invoke(Bytes payload, Completion done) {
+void Client::invoke(BufView payload, Completion done) {
   queue_.push_back(PendingRequest{std::move(payload), std::move(done)});
   if (!current_) dispatch_next();
 }
@@ -36,7 +36,7 @@ void Client::send_current(bool broadcast) {
   request.client = id();
   request.timestamp = current_timestamp_;
   request.payload = current_->payload;
-  const Bytes body = request.encode();
+  const BufView body = request.encode();
 
   Envelope env;
   env.type = MsgType::kRequest;
@@ -47,8 +47,9 @@ void Client::send_current(bool broadcast) {
   for (NodeId replica : config_.replicas) {
     env.auth.emplace_back(replica, keys_.tag(id(), replica, body));
   }
-  const Bytes wire = env.encode();
+  const BufView wire = env.encode_into(arena());
   if (broadcast) {
+    // All replicas share the one sealed wire frame.
     for (NodeId replica : config_.replicas) send_to(replica, wire);
   } else {
     send_to(config_.primary_for(view_estimate_), wire);

@@ -54,8 +54,9 @@ class Client : public net::Process {
 
   /// Submits a request. Requests queue internally; one is outstanding at a
   /// time (the paper's single-threaded model: "only one outstanding request
-  /// can exist for a connection at a time").
-  void invoke(Bytes payload, Completion done);
+  /// can exist for a connection at a time"). The payload view is retained
+  /// across retransmissions without copying.
+  void invoke(BufView payload, Completion done);
 
   /// Number of requests submitted so far (== last timestamp used).
   std::uint64_t timestamps_used() const { return next_timestamp_ - 1; }
@@ -67,7 +68,7 @@ class Client : public net::Process {
 
  private:
   struct PendingRequest {
-    Bytes payload;
+    BufView payload;
     Completion done;
   };
 

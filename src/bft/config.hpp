@@ -53,6 +53,7 @@ struct BftConfig {
 /// a production deployment would run.
 class SessionKeys {
  public:
+  // itdos-lint: allow(BUF-001) key-material sink, moved into place; not a message-path payload
   explicit SessionKeys(Bytes master_secret) : master_(std::move(master_secret)) {}
 
   /// Symmetric key shared by nodes `a` and `b` (order-independent).

@@ -50,7 +50,7 @@ Client& Cluster::add_client() {
   return *clients_.back();
 }
 
-Result<Bytes> Cluster::invoke_sync(Client& client, Bytes payload,
+Result<Bytes> Cluster::invoke_sync(Client& client, BufView payload,
                                    std::int64_t timeout_ns) {
   std::optional<Result<Bytes>> outcome;
   client.invoke(std::move(payload),
@@ -70,10 +70,10 @@ Result<Bytes> Cluster::invoke_sync(Client& client, Bytes payload,
 // Sample state machines
 // ---------------------------------------------------------------------------
 
-Bytes LogStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
+Bytes LogStateMachine::execute(const BufView& request, NodeId client, SeqNum seq) {
   (void)client;
   (void)seq;
-  entries_.emplace_back(request.begin(), request.end());
+  entries_.push_back(request.clone_bytes());
   return to_bytes("OK:" + std::to_string(entries_.size()));
 }
 
@@ -97,7 +97,7 @@ Status LogStateMachine::restore(ByteView snapshot) {
   return Status::ok();
 }
 
-Bytes CounterStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
+Bytes CounterStateMachine::execute(const BufView& request, NodeId client, SeqNum seq) {
   (void)client;
   (void)seq;
   const std::string cmd = to_string(request);

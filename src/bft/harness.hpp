@@ -52,7 +52,7 @@ class Cluster {
 
   /// Invokes synchronously: runs the simulation until the request completes
   /// or `timeout_ns` of simulated time elapses (kUnavailable on timeout).
-  Result<Bytes> invoke_sync(Client& client, Bytes payload,
+  Result<Bytes> invoke_sync(Client& client, BufView payload,
                             std::int64_t timeout_ns = seconds(5));
 
   /// Runs the simulation until idle or for `max_events`.
@@ -76,7 +76,7 @@ class Cluster {
 /// Appends commands to a log and replies "OK:<count>".
 class LogStateMachine : public StateMachine {
  public:
-  Bytes execute(ByteView request, NodeId client, SeqNum seq) override;
+  Bytes execute(const BufView& request, NodeId client, SeqNum seq) override;
   Bytes snapshot() const override;
   Status restore(ByteView snapshot) override;
 
@@ -89,7 +89,7 @@ class LogStateMachine : public StateMachine {
 /// A replicated counter: request "add:<n>" adds, "get" reads.
 class CounterStateMachine : public StateMachine {
  public:
-  Bytes execute(ByteView request, NodeId client, SeqNum seq) override;
+  Bytes execute(const BufView& request, NodeId client, SeqNum seq) override;
   Bytes snapshot() const override;
   Status restore(ByteView snapshot) override;
 

@@ -82,13 +82,13 @@ Bytes RequestMsg::encode() const {
   return enc.take();
 }
 
-Result<RequestMsg> RequestMsg::decode(ByteView data) {
+Result<RequestMsg> RequestMsg::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   RequestMsg msg;
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t client, dec.read_uint64());
   msg.client = NodeId(client);
   ITDOS_ASSIGN_OR_RETURN(msg.timestamp, dec.read_uint64());
-  ITDOS_ASSIGN_OR_RETURN(msg.payload, dec.read_bytes());
+  ITDOS_ASSIGN_OR_RETURN(msg.payload, dec.read_bytes_view());
   ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "REQUEST"));
   return msg;
 }
@@ -104,7 +104,7 @@ Bytes PrePrepareMsg::encode() const {
   return enc.take();
 }
 
-Result<PrePrepareMsg> PrePrepareMsg::decode(ByteView data) {
+Result<PrePrepareMsg> PrePrepareMsg::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   PrePrepareMsg msg;
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t view, dec.read_uint64());
@@ -112,7 +112,7 @@ Result<PrePrepareMsg> PrePrepareMsg::decode(ByteView data) {
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t seq, dec.read_uint64());
   msg.seq = SeqNum(seq);
   ITDOS_ASSIGN_OR_RETURN(msg.req_digest, read_digest(dec));
-  ITDOS_ASSIGN_OR_RETURN(msg.request, dec.read_bytes());
+  ITDOS_ASSIGN_OR_RETURN(msg.request, dec.read_bytes_view());
   ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "PRE-PREPARE"));
   return msg;
 }
@@ -215,7 +215,7 @@ Result<PreparedProof> decode_prepared_proof(cdr::Decoder& dec) {
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t seq, dec.read_uint64());
   p.seq = SeqNum(seq);
   ITDOS_ASSIGN_OR_RETURN(p.req_digest, read_digest(dec));
-  ITDOS_ASSIGN_OR_RETURN(p.request, dec.read_bytes());
+  ITDOS_ASSIGN_OR_RETURN(p.request, dec.read_bytes_view());
   return p;
 }
 }  // namespace
@@ -231,7 +231,7 @@ Bytes ViewChangeMsg::encode() const {
   return enc.take();
 }
 
-Result<ViewChangeMsg> ViewChangeMsg::decode(ByteView data) {
+Result<ViewChangeMsg> ViewChangeMsg::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   ViewChangeMsg msg;
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t view, dec.read_uint64());
@@ -268,7 +268,7 @@ Bytes NewViewMsg::encode() const {
   return enc.take();
 }
 
-Result<NewViewMsg> NewViewMsg::decode(ByteView data) {
+Result<NewViewMsg> NewViewMsg::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   NewViewMsg msg;
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t view, dec.read_uint64());
@@ -278,7 +278,7 @@ Result<NewViewMsg> NewViewMsg::decode(ByteView data) {
   msg.view_changes.reserve(vc_count);
   for (std::uint32_t i = 0; i < vc_count; ++i) {
     SignedViewChange svc;
-    ITDOS_ASSIGN_OR_RETURN(Bytes vc_body, dec.read_bytes());
+    ITDOS_ASSIGN_OR_RETURN(BufView vc_body, dec.read_bytes_view());
     ITDOS_ASSIGN_OR_RETURN(svc.msg, ViewChangeMsg::decode(vc_body));
     ITDOS_ASSIGN_OR_RETURN(svc.signature, read_signature(dec));
     msg.view_changes.push_back(std::move(svc));
@@ -287,7 +287,7 @@ Result<NewViewMsg> NewViewMsg::decode(ByteView data) {
   ITDOS_RETURN_IF_ERROR(check_count(dec, pp_count, "NEW-VIEW"));
   msg.pre_prepares.reserve(pp_count);
   for (std::uint32_t i = 0; i < pp_count; ++i) {
-    ITDOS_ASSIGN_OR_RETURN(Bytes pp_body, dec.read_bytes());
+    ITDOS_ASSIGN_OR_RETURN(BufView pp_body, dec.read_bytes_view());
     ITDOS_ASSIGN_OR_RETURN(PrePrepareMsg pp, PrePrepareMsg::decode(pp_body));
     msg.pre_prepares.push_back(std::move(pp));
   }
@@ -340,22 +340,36 @@ Result<StateResponseMsg> StateResponseMsg::decode(ByteView data) {
   return msg;
 }
 
-Bytes Envelope::encode() const {
-  cdr::Encoder enc(kWire);
-  enc.write_octet(static_cast<std::uint8_t>(type));
-  enc.write_uint64(sender.value);
-  enc.write_bytes(body);
-  enc.write_uint32(static_cast<std::uint32_t>(auth.size()));
-  for (const auto& [node, tag] : auth) {
+namespace {
+
+void encode_envelope_fields(const Envelope& env, cdr::Encoder& enc) {
+  enc.write_octet(static_cast<std::uint8_t>(env.type));
+  enc.write_uint64(env.sender.value);
+  enc.write_bytes(env.body);
+  enc.write_uint32(static_cast<std::uint32_t>(env.auth.size()));
+  for (const auto& [node, tag] : env.auth) {
     enc.write_uint64(node.value);
     write_mac_tag(enc, tag);
   }
-  enc.write_boolean(signature.has_value());
-  if (signature) write_signature(enc, *signature);
+  enc.write_boolean(env.signature.has_value());
+  if (env.signature) write_signature(enc, *env.signature);
+}
+
+}  // namespace
+
+Bytes Envelope::encode() const {
+  cdr::Encoder enc(kWire);
+  encode_envelope_fields(*this, enc);
   return enc.take();
 }
 
-Result<Envelope> Envelope::decode(ByteView data) {
+BufView Envelope::encode_into(Arena& arena) const {
+  cdr::Encoder enc(kWire, &arena);
+  encode_envelope_fields(*this, enc);
+  return enc.take_view();
+}
+
+Result<Envelope> Envelope::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   Envelope env;
   ITDOS_ASSIGN_OR_RETURN(std::uint8_t type, dec.read_octet());
@@ -366,7 +380,7 @@ Result<Envelope> Envelope::decode(ByteView data) {
   env.type = static_cast<MsgType>(type);
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t sender, dec.read_uint64());
   env.sender = NodeId(sender);
-  ITDOS_ASSIGN_OR_RETURN(env.body, dec.read_bytes());
+  ITDOS_ASSIGN_OR_RETURN(env.body, dec.read_bytes_view());
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t auth_count, dec.read_uint32());
   ITDOS_RETURN_IF_ERROR(check_count(dec, auth_count, "envelope"));
   env.auth.reserve(auth_count);

@@ -34,15 +34,16 @@ enum class MsgType : std::uint8_t {
 std::string_view msg_type_name(MsgType t);
 
 /// Client request. `timestamp` is the client's strictly-increasing request
-/// counter; replicas use it to deduplicate retransmissions.
+/// counter; replicas use it to deduplicate retransmissions. The payload is
+/// a view: relaying, logging and re-proposing share one sealed chunk.
 struct RequestMsg {
   NodeId client;
   std::uint64_t timestamp = 0;
-  Bytes payload;
+  BufView payload;
 
   bool operator==(const RequestMsg&) const = default;
   Bytes encode() const;
-  static Result<RequestMsg> decode(ByteView data);
+  static Result<RequestMsg> decode(const BufView& data);
   Digest digest() const;
 };
 
@@ -53,12 +54,12 @@ struct PrePrepareMsg {
   ViewId view;
   SeqNum seq;
   Digest req_digest{};
-  Bytes request;  // encoded RequestMsg; empty for null requests
+  BufView request;  // encoded RequestMsg; empty for null requests
 
   bool is_null_request() const { return request.empty(); }
   bool operator==(const PrePrepareMsg&) const = default;
   Bytes encode() const;
-  static Result<PrePrepareMsg> decode(ByteView data);
+  static Result<PrePrepareMsg> decode(const BufView& data);
 };
 
 struct PrepareMsg {
@@ -112,7 +113,7 @@ struct PreparedProof {
   ViewId view;
   SeqNum seq;
   Digest req_digest{};
-  Bytes request;  // piggybacked so the new primary can re-propose it
+  BufView request;  // piggybacked so the new primary can re-propose it
 
   bool operator==(const PreparedProof&) const = default;
 };
@@ -126,7 +127,7 @@ struct ViewChangeMsg {
 
   bool operator==(const ViewChangeMsg&) const = default;
   Bytes encode() const;
-  static Result<ViewChangeMsg> decode(ByteView data);
+  static Result<ViewChangeMsg> decode(const BufView& data);
 };
 
 /// A view change plus its signature, as relayed inside NEW-VIEW.
@@ -145,7 +146,7 @@ struct NewViewMsg {
 
   bool operator==(const NewViewMsg&) const = default;
   Bytes encode() const;
-  static Result<NewViewMsg> decode(ByteView data);
+  static Result<NewViewMsg> decode(const BufView& data);
 };
 
 struct StateRequestMsg {
@@ -176,12 +177,18 @@ struct StateResponseMsg {
 struct Envelope {
   MsgType type = MsgType::kRequest;
   NodeId sender;
-  Bytes body;
+  BufView body;  // zero-copy sub-view of the decoded wire buffer
   std::vector<std::pair<NodeId, crypto::MacTag>> auth;
   std::optional<crypto::Signature> signature;
 
   Bytes encode() const;
-  static Result<Envelope> decode(ByteView data);
+
+  /// Hot-path form: marshals into `arena` so the chunk's capacity recycles
+  /// when the last downstream view (net queue, BFT log) drops. encode()
+  /// allocates fresh storage instead — use it where the caller mutates.
+  BufView encode_into(Arena& arena) const;
+
+  static Result<Envelope> decode(const BufView& data);
 
   /// The receiver's MAC entry, if any.
   const crypto::MacTag* tag_for(NodeId receiver) const;

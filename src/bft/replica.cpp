@@ -126,34 +126,34 @@ Status Replica::verify_envelope(const Envelope& env) const {
 // Sending helpers
 // ---------------------------------------------------------------------------
 
-void Replica::multicast_authenticated(MsgType type, const Bytes& body) {
+void Replica::multicast_authenticated(MsgType type, BufView body) {
   if (byz_.silent) return;
   Envelope env;
   env.type = type;
   env.sender = id();
-  env.body = body;
+  env.body = body;  // shares the chunk; encode() assembles the wire frame once
   for (NodeId replica : config_.replicas) {
     if (replica == id()) continue;
     crypto::MacTag tag = keys_.tag(id(), replica, body);
     if (byz_.corrupt_macs) tag[0] ^= 0xFF;  // forged HMAC: receivers must reject
     env.auth.emplace_back(replica, tag);
   }
-  multicast_to(config_.group, env.encode());
+  multicast_to(config_.group, env.encode_into(arena()));
 }
 
-void Replica::multicast_signed(MsgType type, const Bytes& body) {
+void Replica::multicast_signed(MsgType type, BufView body) {
   if (byz_.silent) return;
   Envelope env;
   env.type = type;
   env.sender = id();
   env.body = body;
   env.signature = signing_key_.sign(body);
-  Bytes encoded = env.encode();
+  BufView encoded = env.encode_into(arena());
   if (type == MsgType::kViewChange) last_view_change_envelope_ = encoded;
   multicast_to(config_.group, std::move(encoded));
 }
 
-void Replica::send_authenticated(NodeId to, MsgType type, const Bytes& body) {
+void Replica::send_authenticated(NodeId to, MsgType type, BufView body) {
   if (byz_.silent) return;
   Envelope env;
   env.type = type;
@@ -162,7 +162,7 @@ void Replica::send_authenticated(NodeId to, MsgType type, const Bytes& body) {
   crypto::MacTag tag = keys_.tag(id(), to, body);
   if (byz_.corrupt_macs) tag[0] ^= 0xFF;
   env.auth.emplace_back(to, tag);
-  send_to(to, env.encode());
+  send_to(to, env.encode_into(arena()));
 }
 
 void Replica::replay_stale_view_change() {
@@ -226,13 +226,13 @@ void Replica::handle_request(const Envelope& env) {
     // hold the primary accountable for ordering it.
     if (request.timestamp > record.last_forwarded) {
       record.last_forwarded = request.timestamp;
-      if (!byz_.silent) send_to(config_.primary_for(view_), env.encode());
+      if (!byz_.silent) send_to(config_.primary_for(view_), env.encode_into(arena()));
       arm_request_timer();
     }
   }
 }
 
-void Replica::assign_and_propose(const RequestMsg& request, const Bytes& encoded) {
+void Replica::assign_and_propose(const RequestMsg& request, const BufView& encoded) {
   const std::uint64_t seq = std::max(next_seq_, last_executed_) + 1;
   if (!in_window(seq)) {
     proposal_backlog_.push_back(encoded);
@@ -255,7 +255,9 @@ void Replica::assign_and_propose(const RequestMsg& request, const Bytes& encoded
     // Neither side can gather a matching quorum; the view-change timeout is
     // the documented recovery path.
     RequestMsg lie_request = request;
-    lie_request.payload.push_back(0x5a);
+    Bytes lie_payload = request.payload.clone_bytes();  // copy-on-write
+    lie_payload.push_back(0x5a);
+    lie_request.payload = BufView(std::move(lie_payload));
     PrePrepareMsg lie = pp;
     lie.request = lie_request.encode();
     lie.req_digest = crypto::sha256(ByteView(lie.request));
@@ -276,7 +278,7 @@ void Replica::assign_and_propose(const RequestMsg& request, const Bytes& encoded
 void Replica::drain_proposal_backlog() {
   if (!is_primary() || in_view_change_) return;
   while (!proposal_backlog_.empty()) {
-    const Bytes encoded = proposal_backlog_.front();
+    const BufView encoded = proposal_backlog_.front();
     const std::uint64_t seq = std::max(next_seq_, last_executed_) + 1;
     if (!in_window(seq)) break;
     proposal_backlog_.pop_front();
@@ -823,7 +825,7 @@ void Replica::start_view_change(ViewId new_view) {
     proof.request = entry.pre_prepare->request;
     msg.prepared.push_back(std::move(proof));
   }
-  const Bytes body = msg.encode();
+  const BufView body = msg.encode();
   SignedViewChange svc;
   svc.msg = msg;
   svc.signature = signing_key_.sign(body);

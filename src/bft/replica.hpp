@@ -137,7 +137,7 @@ class Replica : public net::Process {
   void handle_state_response(const Envelope& env);
 
   // --- normal case ---
-  void assign_and_propose(const RequestMsg& request, const Bytes& encoded);
+  void assign_and_propose(const RequestMsg& request, const BufView& encoded);
   void drain_proposal_backlog();
   void maybe_send_commit(std::uint64_t seq);
   void try_execute();
@@ -169,9 +169,9 @@ class Replica : public net::Process {
       std::uint64_t* min_s_out, std::uint64_t* max_s_out) const;
 
   // --- plumbing ---
-  void multicast_authenticated(MsgType type, const Bytes& body);
-  void multicast_signed(MsgType type, const Bytes& body);
-  void send_authenticated(NodeId to, MsgType type, const Bytes& body);
+  void multicast_authenticated(MsgType type, BufView body);
+  void multicast_signed(MsgType type, BufView body);
+  void send_authenticated(NodeId to, MsgType type, BufView body);
   Status verify_envelope(const Envelope& env) const;
   /// Closes the active view's trace span and opens `view`'s (no-op if the
   /// active view is unchanged).
@@ -218,8 +218,9 @@ class Replica : public net::Process {
   std::map<std::uint64_t, std::map<Digest, std::set<NodeId>>> checkpoint_votes_;
   std::map<std::uint64_t, Bytes> pending_snapshots_;  // taken but not yet stable
 
-  // Requests the primary could not yet assign (window full).
-  std::deque<Bytes> proposal_backlog_;
+  // Requests the primary could not yet assign (window full). Views into the
+  // relayed wire buffers — backlogged requests pin their chunks, no copies.
+  std::deque<BufView> proposal_backlog_;
 
   // View change bookkeeping.
   std::map<ViewId, std::map<NodeId, SignedViewChange>> view_change_msgs_;
@@ -252,7 +253,7 @@ class Replica : public net::Process {
   // signed VIEW-CHANGE envelope (stale-replay ammunition), the oracle's
   // execution observer, and the view whose span is currently open.
   ByzantineHooks byz_;
-  Bytes last_view_change_envelope_;
+  BufView last_view_change_envelope_;
   ExecutionObserver execution_observer_;
   ViewId active_view_;
 };

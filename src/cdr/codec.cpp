@@ -159,8 +159,21 @@ Result<Bytes> Decoder::read_bytes() {
 
 Result<Bytes> Decoder::read_raw(std::size_t n) {
   if (remaining() < n) return error(Errc::kMalformedMessage, "truncated CDR bytes");
+  BufStats::note_copy(n);
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
             data_.begin() + static_cast<std::ptrdiff_t>(offset_ + n));
+  offset_ += n;
+  return out;
+}
+
+Result<BufView> Decoder::read_bytes_view() {
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t len, read_uint32());
+  return read_raw_view(len);
+}
+
+Result<BufView> Decoder::read_raw_view(std::size_t n) {
+  if (remaining() < n) return error(Errc::kMalformedMessage, "truncated CDR bytes");
+  BufView out = owner_.slice(offset_, n);
   offset_ += n;
   return out;
 }

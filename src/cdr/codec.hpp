@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/buffer.hpp"
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 
@@ -26,7 +27,12 @@ ByteOrder native_byte_order();
 
 class Encoder {
  public:
-  explicit Encoder(ByteOrder order = native_byte_order()) : order_(order) {}
+  /// With an arena, the marshal buffer is a recycled chunk and take_view()
+  /// seals it back into that arena — the single-marshal-step discipline.
+  explicit Encoder(ByteOrder order = native_byte_order(), Arena* arena = nullptr)
+      : order_(order), arena_(arena) {
+    if (arena_) buffer_ = arena_->acquire();
+  }
 
   ByteOrder order() const { return order_; }
 
@@ -55,19 +61,39 @@ class Encoder {
 
   const Bytes& buffer() const { return buffer_; }
   Bytes take() { return std::move(buffer_); }
+
+  /// Seals the marshalled bytes into an immutable view without copying.
+  BufView take_view() {
+    return arena_ ? arena_->seal(std::move(buffer_)) : BufView(std::move(buffer_));
+  }
+
   std::size_t size() const { return buffer_.size(); }
 
  private:
   void write_uint(std::uint64_t v, std::size_t width);
 
   ByteOrder order_;
+  Arena* arena_;
   Bytes buffer_;
 };
 
 class Decoder {
  public:
-  /// Decodes a buffer whose contents were written with `order`.
-  Decoder(ByteView data, ByteOrder order) : data_(data), order_(order) {}
+  /// Decodes a buffer whose contents were written with `order`. The caller
+  /// keeps `data` alive for the decoder's lifetime; views returned by the
+  /// *_view readers borrow it too.
+  Decoder(ByteView data, ByteOrder order)
+      : owner_(BufView::borrow(data)), data_(data), order_(order) {}
+
+  /// Decodes a refcounted view; *_view readers return sub-views that keep
+  /// the underlying chunk alive on their own.
+  Decoder(const BufView& data, ByteOrder order)
+      : owner_(data), data_(owner_.bytes()), order_(order) {}
+
+  /// Lvalue byte vectors are borrowed (caller keeps them alive); rvalues are
+  /// adopted so views decoded from a temporary stay valid.
+  Decoder(const Bytes& data, ByteOrder order) : Decoder(ByteView(data), order) {}
+  Decoder(Bytes&& data, ByteOrder order) : Decoder(BufView(std::move(data)), order) {}
 
   ByteOrder order() const { return order_; }
   std::size_t remaining() const { return data_.size() - offset_; }
@@ -90,12 +116,20 @@ class Decoder {
   /// Reads `n` raw bytes without alignment.
   Result<Bytes> read_raw(std::size_t n);
 
+  /// Counted byte sequence as a zero-copy sub-view of the decoded buffer
+  /// (shares the chunk when the decoder was built from a BufView).
+  Result<BufView> read_bytes_view();
+
+  /// `n` raw bytes as a zero-copy sub-view, no alignment.
+  Result<BufView> read_raw_view(std::size_t n);
+
   /// Skips padding to `alignment` from buffer start.
   Status align(std::size_t alignment);
 
  private:
   Result<std::uint64_t> read_uint(std::size_t width);
 
+  BufView owner_;
   ByteView data_;
   ByteOrder order_;
   std::size_t offset_ = 0;

@@ -37,32 +37,41 @@ Bytes mac_subkey(const SymmetricKey& key) {
 
 }  // namespace
 
-Bytes ctr_crypt(const SymmetricKey& key, const Nonce& nonce, ByteView data) {
+void ctr_crypt_inplace(const SymmetricKey& key, const Nonce& nonce,
+                       std::span<std::uint8_t> data) {
   const Bytes ek = enc_subkey(key);
-  Bytes out(data.begin(), data.end());
   std::uint64_t block_index = 0;
   std::size_t offset = 0;
-  while (offset < out.size()) {
+  while (offset < data.size()) {
     std::uint8_t counter_bytes[8];
     for (int i = 0; i < 8; ++i) {
       counter_bytes[i] = static_cast<std::uint8_t>(block_index >> (i * 8));
     }
     const Digest keystream =
         hmac_sha256(ek, {ByteView(nonce.data(), nonce.size()), ByteView(counter_bytes, 8)});
-    const std::size_t take = std::min(out.size() - offset, keystream.size());
-    for (std::size_t i = 0; i < take; ++i) out[offset + i] ^= keystream[i];
+    const std::size_t take = std::min(data.size() - offset, keystream.size());
+    for (std::size_t i = 0; i < take; ++i) data[offset + i] ^= keystream[i];
     offset += take;
     ++block_index;
   }
+}
+
+Bytes ctr_crypt(const SymmetricKey& key, const Nonce& nonce, ByteView data) {
+  Bytes out(data.begin(), data.end());
+  ctr_crypt_inplace(key, nonce, out);
   return out;
 }
 
 Bytes seal(const SymmetricKey& key, const Nonce& nonce, ByteView aad, ByteView plaintext) {
+  // Single-buffer seal: nonce and plaintext are written once, the ciphertext
+  // transform and the MAC both run over that buffer in place. `reserve`
+  // covers the tag, so no append below reallocates.
   Bytes out;
   out.reserve(kSealOverhead + plaintext.size());
   append(out, ByteView(nonce.data(), nonce.size()));
-  const Bytes ciphertext = ctr_crypt(key, nonce, plaintext);
-  append(out, ciphertext);
+  append(out, plaintext);
+  ctr_crypt_inplace(key, nonce, std::span<std::uint8_t>(out).subspan(kNonceSize));
+  const ByteView ciphertext(out.data() + kNonceSize, plaintext.size());
 
   const Bytes mk = mac_subkey(key);
   const Digest d = hmac_sha256(mk, {ByteView(nonce.data(), nonce.size()), aad, ciphertext});

@@ -40,6 +40,11 @@ Nonce make_nonce(std::uint64_t sender, std::uint64_t counter);
 /// Raw CTR keystream XOR (encrypt == decrypt). Exposed for tests/benches.
 Bytes ctr_crypt(const SymmetricKey& key, const Nonce& nonce, ByteView data);
 
+/// CTR keystream XOR applied in place — the zero-copy seal path transforms
+/// the marshal buffer directly instead of producing a second buffer.
+void ctr_crypt_inplace(const SymmetricKey& key, const Nonce& nonce,
+                       std::span<std::uint8_t> data);
+
 /// Sealed message: nonce || ciphertext || tag, where
 /// tag = HMAC(mac_subkey, nonce || aad || ciphertext) truncated.
 Bytes seal(const SymmetricKey& key, const Nonce& nonce, ByteView aad, ByteView plaintext);

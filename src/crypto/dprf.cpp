@@ -98,9 +98,9 @@ Result<DprfShare> DprfShare::decode(ByteView data) {
   return share;
 }
 
-DprfCombiner::DprfCombiner(DprfParams params, Bytes input)
+DprfCombiner::DprfCombiner(DprfParams params, ByteView input)
     : params_(params),
-      input_(std::move(input)),
+      input_(input.begin(), input.end()),
       subsets_(params.subsets()),
       accepted_(subsets_.size()),
       votes_(subsets_.size()) {}
@@ -171,7 +171,7 @@ std::vector<int> DprfCombiner::misbehaving() const {
 SymmetricKey dprf_eval_master(const DprfParams& params,
                               const std::vector<DprfElementKeys>& all_keys,
                               ByteView input) {
-  DprfCombiner combiner(params, Bytes(input.begin(), input.end()));
+  DprfCombiner combiner(params, input);
   for (const auto& keys : all_keys) {
     DprfElement element(params, keys);
     const Status s = combiner.add_share(element.evaluate(input));
@@ -195,17 +195,17 @@ Status CommitRevealCoin::commit(int element, const Digest& commitment) {
   return Status::ok();
 }
 
-Status CommitRevealCoin::reveal(int element, Bytes value) {
+Status CommitRevealCoin::reveal(int element, ByteView value) {
   if (element < 0 || element >= static_cast<int>(reveals_.size())) {
     return error(Errc::kInvalidArgument, "coin reveal from out-of-range element");
   }
   if (!commitments_[element]) {
     return error(Errc::kFailedPrecondition, "coin reveal without commitment");
   }
-  if (sha256(ByteView(value.data(), value.size())) != *commitments_[element]) {
+  if (sha256(value) != *commitments_[element]) {
     return error(Errc::kAuthFailure, "coin reveal does not match commitment");
   }
-  reveals_[element] = std::move(value);
+  reveals_[element] = Bytes(value.begin(), value.end());
   return Status::ok();
 }
 

@@ -100,7 +100,9 @@ class DprfElement {
 /// key once every subset's sub-value is confirmed by f+1 agreeing copies.
 class DprfCombiner {
  public:
-  DprfCombiner(DprfParams params, Bytes input);
+  /// `input` is copied once into the combiner (it outlives the caller's
+  /// buffer); it is the only copy this class makes.
+  DprfCombiner(DprfParams params, ByteView input);
 
   /// Adds one element's share; duplicate elements are ignored, malformed
   /// shares (unknown subset ids / subsets not containing the element) are
@@ -146,7 +148,7 @@ class CommitRevealCoin {
   explicit CommitRevealCoin(int n) : commitments_(n), reveals_(n) {}
 
   Status commit(int element, const Digest& commitment);
-  Status reveal(int element, Bytes value);
+  Status reveal(int element, ByteView value);
 
   int reveals_accepted() const;
 

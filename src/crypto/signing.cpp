@@ -34,7 +34,7 @@ Status Keystore::verify(NodeId signer, ByteView message, const Signature& sig) c
   return Status::ok();
 }
 
-SignedMessage sign_message(const SigningKey& key, Bytes payload) {
+SignedMessage sign_message(const SigningKey& key, BufView payload) {
   SignedMessage msg;
   msg.signer = key.owner();
   msg.signature = key.sign(payload);

@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 
+#include "common/buffer.hpp"
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
@@ -31,6 +32,7 @@ using Signature = std::array<std::uint8_t, kSignatureSize>;
 /// secret material.
 class SigningKey {
  public:
+  // itdos-lint: allow(BUF-001) key-material sink, moved into place; not a message-path payload
   SigningKey(NodeId owner, Bytes secret) : owner_(owner), secret_(std::move(secret)) {}
   SigningKey(SigningKey&&) = default;
   SigningKey& operator=(SigningKey&&) = default;
@@ -72,15 +74,17 @@ class Keystore {
 };
 
 /// A message plus its signature and signer identity — the unit the paper's
-/// fault proofs are made of.
+/// fault proofs are made of. The payload is a retained view: proofs share
+/// the signed frame's chunk instead of copying it.
 struct SignedMessage {
   NodeId signer;
-  Bytes payload;
+  BufView payload;
   Signature signature{};
 };
 
-/// Signs `payload` producing a SignedMessage.
-SignedMessage sign_message(const SigningKey& key, Bytes payload);
+/// Signs `payload` producing a SignedMessage (the view is retained, not
+/// copied — pass an encode() rvalue or an owning view).
+SignedMessage sign_message(const SigningKey& key, BufView payload);
 
 /// Verifies a SignedMessage against the keystore.
 Status verify_message(const Keystore& keystore, const SignedMessage& msg);

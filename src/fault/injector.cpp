@@ -52,15 +52,19 @@ void FaultInjector::arm_links() {
   }
 }
 
-std::optional<Bytes> FaultInjector::intercept(const net::Packet& packet) {
-  if (reinjecting_) return packet.payload;  // our own delayed/dup copy
+std::optional<BufView> FaultInjector::intercept(const net::Packet& packet) {
+  if (reinjecting_) return packet.payload;  // our own delayed/dup view
   const SimTime now = net_.sim().now();
   for (const LinkFault& fault : plan_.link_faults) {
     if (!fault.applies_to(packet.from, packet.to, now)) continue;
-    Bytes payload = packet.payload;
+    // Copy-on-write: the sealed payload is shared with other recipients, so
+    // corruption clones it (counted) and everything else passes the view.
+    BufView payload = packet.payload;
     if (fault.corrupt > 0.0 && !payload.empty() && rng_.chance(fault.corrupt)) {
-      const std::size_t index = rng_.next_below(payload.size());
-      payload[index] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
+      Bytes mutated = payload.clone_bytes();
+      const std::size_t index = rng_.next_below(mutated.size());
+      mutated[index] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
+      payload = BufView(std::move(mutated));
       corrupted_->inc();
       trace_inject(packet.from, InjectKind::kCorrupt, packet.to.value);
     }

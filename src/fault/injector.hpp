@@ -45,7 +45,7 @@ class FaultInjector {
   std::uint64_t injected() const { return injected_->value(); }
 
  private:
-  std::optional<Bytes> intercept(const net::Packet& packet);
+  std::optional<BufView> intercept(const net::Packet& packet);
   void trace_inject(NodeId node, InjectKind kind, std::uint64_t detail);
 
   net::Network& net_;

@@ -154,13 +154,13 @@ void DomainElement::schedule_consume() {
 
 void DomainElement::consume_step() {
   while (!executing_ && !waiting_key_ && queue_->has_next()) {
-    const std::optional<Bytes> entry = queue_->peek();
+    const std::optional<BufView> entry = queue_->peek();
     if (!entry) return;
     if (!process_head(*entry)) return;  // stalled (key wait or executing)
   }
 }
 
-bool DomainElement::process_head(const Bytes& entry) {
+bool DomainElement::process_head(const BufView& entry) {
   // Replacement sync points are delivered in-order like requests: every
   // element snapshots at exactly this queue position (§4 future work).
   if (const Result<QueueEntryKind> kind = queue_entry_kind(entry);
@@ -288,7 +288,7 @@ bool DomainElement::process_sealed_request(const OrderedMsg& msg) {
   return !executing_;  // continue only if the upcall completed synchronously
 }
 
-bool DomainElement::process_fragment(const Bytes& entry) {
+bool DomainElement::process_fragment(const BufView& entry) {
   Result<FragmentMsg> decoded = FragmentMsg::decode(entry);
   if (!decoded.is_ok()) {
     queue_->pop();
@@ -341,8 +341,17 @@ bool DomainElement::process_fragment(const Bytes& entry) {
   whole.origin = fragment.origin;
   whole.origin_domain = fragment.origin_domain;
   whole.epoch = fragment.epoch;
-  for (const auto& [index, chunk] : buffer.chunks) {
-    append(whole.sealed_giop, chunk);
+  if (buffer.total == 1) {
+    whole.sealed_giop = buffer.chunks.begin()->second;  // already whole
+  } else {
+    // The one unavoidable copy of the fragment path: gathering the chunks
+    // into a contiguous buffer for the seal check.
+    std::size_t total_len = 0;
+    for (const auto& [index, chunk] : buffer.chunks) total_len += chunk.size();
+    BufBuilder gather(nullptr, total_len);
+    for (const auto& [index, chunk] : buffer.chunks) gather.append(chunk);
+    BufStats::note_copy(total_len);
+    whole.sealed_giop = gather.seal();
   }
   fragment_buffers_.erase(buffer_key);
   ++stats_.requests_reassembled;
@@ -402,7 +411,9 @@ void DomainElement::finish_request(OrderedMsg meta, cdr::ReplyMessage reply) {
   const Bytes aad = seal_aad(meta.conn, meta.rid, meta.epoch, /*is_reply=*/true);
   direct.sealed_giop = crypto::seal(
       *key, crypto::make_nonce(info_.smiop_node.value, reply_nonce_++), aad, plain);
-  const Bytes wire = direct.encode();
+  // One wire frame, shared by every recipient (the fan-out below bumps the
+  // refcount, it does not copy).
+  const BufView wire = direct.encode();
 
   // Send to the requesting party: the singleton client, or every element of
   // the calling domain (each votes independently).

@@ -90,9 +90,9 @@ class DomainElement {
   void consume_step();
   /// Handles the entry at the queue cursor. Returns true if the cursor
   /// advanced (continue consuming), false if consumption must stall.
-  bool process_head(const Bytes& entry);
+  bool process_head(const BufView& entry);
   bool process_sealed_request(const OrderedMsg& msg);
-  bool process_fragment(const Bytes& entry);
+  bool process_fragment(const BufView& entry);
   void execute_request(const OrderedMsg& meta, cdr::RequestMessage request);
   void finish_request(OrderedMsg meta, cdr::ReplyMessage reply);
   void begin_key_wait(ConnectionId conn);
@@ -150,10 +150,12 @@ class DomainElement {
   std::optional<std::pair<std::uint64_t, Bytes>> pending_install_;  // awaiting queue
   std::uint64_t bundle_nonce_ = 1;
 
-  // Large-message reassembly (§4): buffers keyed (conn, origin, rid).
+  // Large-message reassembly (§4): buffers keyed (conn, origin, rid). Each
+  // buffered chunk is a view retaining its queue entry's chunk — buffering
+  // copies nothing; only the final gather materializes the payload.
   struct FragmentBuffer {
     std::uint32_t total = 0;
-    std::map<std::uint32_t, Bytes> chunks;
+    std::map<std::uint32_t, BufView> chunks;
   };
   static constexpr std::size_t kMaxFragmentBuffers = 64;
   std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>, FragmentBuffer>

@@ -127,7 +127,7 @@ std::vector<NodeId> GmStateMachine::recipients_for(const ConnRecord& record) con
   return recipients;
 }
 
-Bytes GmStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
+Bytes GmStateMachine::execute(const BufView& request, NodeId client, SeqNum seq) {
   (void)seq;
   ensure_views_seeded();
   const Result<GmCommand> command = decode_gm_command(request);

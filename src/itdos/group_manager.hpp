@@ -98,7 +98,7 @@ class GmStateMachine : public bft::StateMachine {
                  ShareDistributor* distributor,
                  telemetry::Hub* telemetry = nullptr, NodeId self = {});
 
-  Bytes execute(ByteView request, NodeId client, SeqNum seq) override;
+  Bytes execute(const BufView& request, NodeId client, SeqNum seq) override;
   Bytes snapshot() const override;
   Status restore(ByteView snapshot) override;
 

@@ -30,17 +30,18 @@ void QueueStateMachine::update_depth() const {
 std::uint64_t QueueStateMachine::trace_of(ByteView request) const {
   const Result<QueueEntryKind> kind = queue_entry_kind(request);
   if (!kind.is_ok()) return 0;
+  const BufView scoped = BufView::borrow(request);  // ids only; nothing retained
   if (kind.value() == QueueEntryKind::kRequest) {
-    const Result<OrderedMsg> msg = OrderedMsg::decode(request);
+    const Result<OrderedMsg> msg = OrderedMsg::decode(scoped);
     if (msg.is_ok()) return telemetry::trace_id(msg.value().conn, msg.value().rid);
   } else if (kind.value() == QueueEntryKind::kFragment) {
-    const Result<FragmentMsg> msg = FragmentMsg::decode(request);
+    const Result<FragmentMsg> msg = FragmentMsg::decode(scoped);
     if (msg.is_ok()) return telemetry::trace_id(msg.value().conn, msg.value().rid);
   }
   return 0;
 }
 
-Bytes QueueStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
+Bytes QueueStateMachine::execute(const BufView& request, NodeId client, SeqNum seq) {
   (void)client;
   (void)seq;
   const Result<QueueEntryKind> kind = queue_entry_kind(request);
@@ -59,8 +60,9 @@ Bytes QueueStateMachine::execute(ByteView request, NodeId client, SeqNum seq) {
   }
 
   // kRequest and kSyncPoint entries are both delivered to the consumer (the
-  // sync point marks the exact queue position peers snapshot at).
-  entries_[next_index_++] = Bytes(request.begin(), request.end());
+  // sync point marks the exact queue position peers snapshot at). The entry
+  // is a view into the BFT wire buffer — retained, not copied.
+  entries_[next_index_++] = request;
   trace(telemetry::TraceKind::kQueueAppend, trace_of(request), next_index_ - 1);
   update_depth();
   if (on_delivery_) on_delivery_();
@@ -134,13 +136,13 @@ void QueueStateMachine::advance_base() {
   }
 }
 
-std::optional<Bytes> QueueStateMachine::next() {
-  std::optional<Bytes> entry = peek();
+std::optional<BufView> QueueStateMachine::next() {
+  std::optional<BufView> entry = peek();
   if (entry) pop();
   return entry;
 }
 
-std::optional<Bytes> QueueStateMachine::peek() const {
+std::optional<BufView> QueueStateMachine::peek() const {
   if (!has_next()) return std::nullopt;
   const auto it = entries_.find(consumed_);
   if (it == entries_.end()) return std::nullopt;
@@ -182,11 +184,12 @@ Status QueueStateMachine::restore(ByteView snapshot) {
   ITDOS_ASSIGN_OR_RETURN(base, dec.read_uint64());
   ITDOS_ASSIGN_OR_RETURN(next, dec.read_uint64());
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t entry_count, dec.read_uint32());
-  std::map<std::uint64_t, Bytes> entries;
+  std::map<std::uint64_t, BufView> entries;
   for (std::uint32_t i = 0; i < entry_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t index, dec.read_uint64());
+    // Snapshots arrive as borrowed ByteViews; entries must own their bytes.
     ITDOS_ASSIGN_OR_RETURN(Bytes data, dec.read_bytes());
-    entries[index] = std::move(data);
+    entries[index] = BufView(std::move(data));
   }
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t ack_count, dec.read_uint32());
   std::map<NodeId, std::uint64_t> acks;

@@ -69,7 +69,7 @@ class QueueStateMachine : public bft::StateMachine {
   }
 
   // --- bft::StateMachine (deterministic, identical on every element) ---
-  Bytes execute(ByteView request, NodeId client, SeqNum seq) override;
+  Bytes execute(const BufView& request, NodeId client, SeqNum seq) override;
   Bytes snapshot() const override;
   Status restore(ByteView snapshot) override;
   /// Derives the request-scoped trace id from an ordered queue entry (the
@@ -78,11 +78,12 @@ class QueueStateMachine : public bft::StateMachine {
 
   // --- element-local consumption (the ORB actor side) ---
   bool has_next() const { return !broken_ && !bootstrap_ && consumed_ < next_index_; }
-  /// Returns the entry at the consumption cursor and advances it.
-  std::optional<Bytes> next();
+  /// Returns the entry at the consumption cursor and advances it. The view
+  /// shares the retained entry's chunk (no copy).
+  std::optional<BufView> next();
   /// Returns the entry at the cursor without advancing (the consumer may
   /// need to stall on it, e.g. while its communication key is in flight).
-  std::optional<Bytes> peek() const;
+  std::optional<BufView> peek() const;
   /// Advances past the current entry (after a successful peek).
   void pop();
   std::uint64_t consumed_index() const { return consumed_; }
@@ -125,7 +126,7 @@ class QueueStateMachine : public bft::StateMachine {
   std::function<void(NodeId)> on_laggard_;
 
   // Ordered (replicated) state:
-  std::map<std::uint64_t, Bytes> entries_;  // index -> data entry
+  std::map<std::uint64_t, BufView> entries_;  // index -> data entry (retained view)
   std::uint64_t next_index_ = 0;            // next index to assign
   std::uint64_t base_ = 0;                  // lowest retained index (GC floor)
   std::map<NodeId, std::uint64_t> acks_;    // element -> consumed index

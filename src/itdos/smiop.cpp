@@ -341,7 +341,7 @@ void SmiopParty::send_on(ConnState& state, cdr::RequestMessage request,
 
   bft::Client& transport = target_client(state.target);
   if (ordered.sealed_giop.size() <= max_entry) {
-    const Bytes frame = ordered.encode();
+    const BufView frame = ordered.encode();
     // Compromised-client hooks: a replayed stale frame carries an already
     // executed rid, a duplicate carries the current one twice — every
     // element's last_rid_ check must discard both identically.
@@ -364,8 +364,9 @@ void SmiopParty::send_on(ConnState& state, cdr::RequestMessage request,
   // §4 large messages: split the sealed payload into fragments, each an
   // ordered entry. The seal spans the whole payload, so integrity and
   // confidentiality remain end-to-end; the BFT client serializes its queue,
-  // so fragments arrive in order.
-  const Bytes& sealed = ordered.sealed_giop;
+  // so fragments arrive in order. Each chunk is a slice of the one sealed
+  // buffer — fragmentation itself copies nothing.
+  const BufView& sealed = ordered.sealed_giop;
   const auto total = static_cast<std::uint32_t>(
       (sealed.size() + max_entry - 1) / max_entry);
   for (std::uint32_t i = 0; i < total; ++i) {
@@ -379,14 +380,13 @@ void SmiopParty::send_on(ConnState& state, cdr::RequestMessage request,
     fragment.total = total;
     const std::size_t begin = i * max_entry;
     const std::size_t end = std::min(sealed.size(), begin + max_entry);
-    fragment.chunk.assign(sealed.begin() + static_cast<std::ptrdiff_t>(begin),
-                          sealed.begin() + static_cast<std::ptrdiff_t>(end));
+    fragment.chunk = sealed.slice(begin, end - begin);
     transport.invoke(fragment.encode(), [](Result<Bytes>) {});
   }
   metrics_.fragmented_requests->inc();
 }
 
-void SmiopParty::handle_smiop_packet(ByteView payload) {
+void SmiopParty::handle_smiop_packet(const BufView& payload) {
   const Result<SmiopType> type = smiop_type(payload);
   if (!type.is_ok()) return;
   if (type.value() == SmiopType::kKeyShare) {

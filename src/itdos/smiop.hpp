@@ -79,7 +79,8 @@ class SmiopParty {
   std::unique_ptr<orb::PluggableProtocol> make_protocol();
 
   /// Feeds one SMIOP datagram (key share or direct reply) from the endpoint.
-  void handle_smiop_packet(ByteView payload);
+  /// The decoded payload fields share the datagram's chunk (no copy).
+  void handle_smiop_packet(const BufView& payload);
 
   /// Shared with the server role of a domain element.
   ConnTable& conn_table() { return table_; }
@@ -162,7 +163,7 @@ class SmiopParty {
   // Compromised-client test hooks (see set_misbehavior).
   bool duplicate_submits_ = false;
   bool replay_stale_frames_ = false;
-  Bytes last_sealed_frame_;       // previously submitted ordered entry
+  BufView last_sealed_frame_;     // previously submitted ordered entry
   DomainId last_frame_target_{};  // domain it was submitted to
 
   // Recovery can destroy a party (watchdog abort) while self-scheduled sim

@@ -55,7 +55,7 @@ Bytes FragmentMsg::encode() const {
   return enc.take();
 }
 
-Result<FragmentMsg> FragmentMsg::decode(ByteView data) {
+Result<FragmentMsg> FragmentMsg::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   ITDOS_ASSIGN_OR_RETURN(std::uint8_t kind, dec.read_octet());
   if (kind != static_cast<std::uint8_t>(QueueEntryKind::kFragment)) {
@@ -77,7 +77,7 @@ Result<FragmentMsg> FragmentMsg::decode(ByteView data) {
   if (msg.total == 0 || msg.total > kMaxFragments || msg.index >= msg.total) {
     return error(Errc::kMalformedMessage, "fragment indices out of range");
   }
-  ITDOS_ASSIGN_OR_RETURN(msg.chunk, dec.read_bytes());
+  ITDOS_ASSIGN_OR_RETURN(msg.chunk, dec.read_bytes_view());
   ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "FragmentMsg"));
   return msg;
 }
@@ -114,7 +114,7 @@ Bytes OrderedMsg::encode() const {
   return enc.take();
 }
 
-Result<OrderedMsg> OrderedMsg::decode(ByteView data) {
+Result<OrderedMsg> OrderedMsg::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   ITDOS_ASSIGN_OR_RETURN(std::uint8_t kind, dec.read_octet());
   if (kind != static_cast<std::uint8_t>(QueueEntryKind::kRequest)) {
@@ -131,7 +131,7 @@ Result<OrderedMsg> OrderedMsg::decode(ByteView data) {
   msg.origin_domain = DomainId(origin_domain);
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t epoch, dec.read_uint64());
   msg.epoch = KeyEpoch(epoch);
-  ITDOS_ASSIGN_OR_RETURN(msg.sealed_giop, dec.read_bytes());
+  ITDOS_ASSIGN_OR_RETURN(msg.sealed_giop, dec.read_bytes_view());
   ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "OrderedMsg"));
   return msg;
 }
@@ -175,10 +175,13 @@ Result<SmiopType> smiop_type(ByteView data) {
 bool parses_as_smiop(ByteView data) {
   const Result<SmiopType> type = smiop_type(data);
   if (!type.is_ok()) return false;
+  // Validation only: the decoded views never outlive this scope, so a
+  // non-owning borrow avoids copying the payload.
+  const BufView scoped = BufView::borrow(data);
   switch (type.value()) {
-    case SmiopType::kDirectReply: return DirectReplyMsg::decode(data).is_ok();
-    case SmiopType::kKeyShare: return KeyShareMsg::decode(data).is_ok();
-    case SmiopType::kStateBundle: return StateBundleMsg::decode(data).is_ok();
+    case SmiopType::kDirectReply: return DirectReplyMsg::decode(scoped).is_ok();
+    case SmiopType::kKeyShare: return KeyShareMsg::decode(scoped).is_ok();
+    case SmiopType::kStateBundle: return StateBundleMsg::decode(scoped).is_ok();
   }
   return false;
 }
@@ -193,7 +196,7 @@ Bytes StateBundleMsg::encode() const {
   return enc.take();
 }
 
-Result<StateBundleMsg> StateBundleMsg::decode(ByteView data) {
+Result<StateBundleMsg> StateBundleMsg::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   ITDOS_ASSIGN_OR_RETURN(std::uint8_t type, dec.read_octet());
   if (type != static_cast<std::uint8_t>(SmiopType::kStateBundle)) {
@@ -205,7 +208,7 @@ Result<StateBundleMsg> StateBundleMsg::decode(ByteView data) {
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t element, dec.read_uint64());
   msg.element = NodeId(element);
   ITDOS_ASSIGN_OR_RETURN(msg.consumed_index, dec.read_uint64());
-  ITDOS_ASSIGN_OR_RETURN(msg.sealed_bundle, dec.read_bytes());
+  ITDOS_ASSIGN_OR_RETURN(msg.sealed_bundle, dec.read_bytes_view());
   ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "StateBundleMsg"));
   return msg;
 }
@@ -233,7 +236,7 @@ Bytes DirectReplyMsg::encode() const {
   return enc.take();
 }
 
-Result<DirectReplyMsg> DirectReplyMsg::decode(ByteView data) {
+Result<DirectReplyMsg> DirectReplyMsg::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   ITDOS_ASSIGN_OR_RETURN(std::uint8_t type, dec.read_octet());
   if (type != static_cast<std::uint8_t>(SmiopType::kDirectReply)) {
@@ -248,7 +251,7 @@ Result<DirectReplyMsg> DirectReplyMsg::decode(ByteView data) {
   msg.element = NodeId(element);
   ITDOS_ASSIGN_OR_RETURN(std::uint64_t epoch, dec.read_uint64());
   msg.epoch = KeyEpoch(epoch);
-  ITDOS_ASSIGN_OR_RETURN(msg.sealed_giop, dec.read_bytes());
+  ITDOS_ASSIGN_OR_RETURN(msg.sealed_giop, dec.read_bytes_view());
   ITDOS_ASSIGN_OR_RETURN(msg.plain_signature, read_signature(dec));
   ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "DirectReplyMsg"));
   return msg;
@@ -268,7 +271,7 @@ Bytes KeyShareMsg::encode() const {
   return enc.take();
 }
 
-Result<KeyShareMsg> KeyShareMsg::decode(ByteView data) {
+Result<KeyShareMsg> KeyShareMsg::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   ITDOS_ASSIGN_OR_RETURN(std::uint8_t type, dec.read_octet());
   if (type != static_cast<std::uint8_t>(SmiopType::kKeyShare)) {
@@ -287,7 +290,7 @@ Result<KeyShareMsg> KeyShareMsg::decode(ByteView data) {
   msg.client_domain = DomainId(client_domain);
   ITDOS_ASSIGN_OR_RETURN(msg.gm_index, dec.read_uint32());
   ITDOS_ASSIGN_OR_RETURN(msg.member_epoch, dec.read_uint64());
-  ITDOS_ASSIGN_OR_RETURN(msg.sealed_share, dec.read_bytes());
+  ITDOS_ASSIGN_OR_RETURN(msg.sealed_share, dec.read_bytes_view());
   ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "KeyShareMsg"));
   return msg;
 }

@@ -63,11 +63,12 @@ struct OrderedMsg {
   NodeId origin;           // SMIOP node of the sender (client or element)
   DomainId origin_domain;  // 0 for singleton clients
   KeyEpoch epoch;          // communication-key epoch the payload is sealed under
-  Bytes sealed_giop;
+  BufView sealed_giop;
 
   bool operator==(const OrderedMsg&) const = default;
   Bytes encode() const;  // includes the QueueEntryKind tag
-  static Result<OrderedMsg> decode(ByteView data);
+  /// Zero-copy: `sealed_giop` is a sub-view sharing `data`'s chunk.
+  static Result<OrderedMsg> decode(const BufView& data);
 };
 
 /// One fragment of a large sealed request (§4: "we must find an efficient
@@ -86,11 +87,11 @@ struct FragmentMsg {
   KeyEpoch epoch;
   std::uint32_t index = 0;   // 0-based fragment number
   std::uint32_t total = 0;   // fragments in this request
-  Bytes chunk;
+  BufView chunk;             // slice of the sealed payload (shared chunk)
 
   bool operator==(const FragmentMsg&) const = default;
   Bytes encode() const;  // includes the QueueEntryKind tag
-  static Result<FragmentMsg> decode(ByteView data);
+  static Result<FragmentMsg> decode(const BufView& data);
 };
 
 /// Upper bound on fragments per request (bounds hostile memory use).
@@ -115,7 +116,7 @@ struct DirectReplyMsg {
   RequestId rid;
   NodeId element;          // SMIOP node of the replying element
   KeyEpoch epoch;
-  Bytes sealed_giop;       // plaintext GIOP reply sealed with the conn key
+  BufView sealed_giop;     // plaintext GIOP reply sealed with the conn key
   crypto::Signature plain_signature{};  // over signed_region(plain_digest)
 
   /// The byte string plain_signature covers: conn | rid | element | epoch |
@@ -126,7 +127,7 @@ struct DirectReplyMsg {
 
   bool operator==(const DirectReplyMsg&) const = default;
   Bytes encode() const;  // includes the SmiopType tag
-  static Result<DirectReplyMsg> decode(ByteView data);
+  static Result<DirectReplyMsg> decode(const BufView& data);
 };
 
 /// One GM element's DPRF key share for (conn, epoch), sealed with the
@@ -140,11 +141,11 @@ struct KeyShareMsg {
   std::uint32_t gm_index = 0;  // which GM element sent this
   std::uint64_t member_epoch = 0;  // membership epoch the DPRF keys were
                                    // refreshed to (0 = deal-time keys)
-  Bytes sealed_share;       // crypto::seal(pairwise key, DprfShare::encode())
+  BufView sealed_share;     // crypto::seal(pairwise key, DprfShare::encode())
 
   bool operator==(const KeyShareMsg&) const = default;
   Bytes encode() const;  // includes the SmiopType tag
-  static Result<KeyShareMsg> decode(ByteView data);
+  static Result<KeyShareMsg> decode(const BufView& data);
 };
 
 /// A replacement sync point ordered into the queue: every element, upon
@@ -166,11 +167,11 @@ struct StateBundleMsg {
   DomainId domain;
   NodeId element;                 // sender
   std::uint64_t consumed_index = 0;  // queue cursor the bundle captures
-  Bytes sealed_bundle;
+  BufView sealed_bundle;
 
   bool operator==(const StateBundleMsg&) const = default;
   Bytes encode() const;  // includes the SmiopType tag
-  static Result<StateBundleMsg> decode(ByteView data);
+  static Result<StateBundleMsg> decode(const BufView& data);
 };
 
 /// Reads the SmiopType tag of a direct (non-queue) SMIOP message.

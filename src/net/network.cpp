@@ -117,7 +117,7 @@ void Network::deliver_copy(Packet packet) {
   auto& hub = sim_.telemetry();
   // Outbound interceptor: a compromised host's network stack.
   if (const auto it = interceptors_.find(packet.from); it != interceptors_.end()) {
-    std::optional<Bytes> mutated = it->second(packet);
+    std::optional<BufView> mutated = it->second(packet);
     if (!mutated) {
       metrics_.packets_dropped->inc();
       hub.trace(telemetry::TraceKind::kNetDrop, packet.from, 0, packet.to.value,
@@ -162,16 +162,17 @@ void Network::deliver_copy(Packet packet) {
   }
 }
 
-void Network::send(NodeId from, NodeId to, Bytes payload) {
+void Network::send(NodeId from, NodeId to, BufView payload) {
   metrics_.unicasts_sent->inc();
   deliver_copy(Packet{from, to, std::nullopt, std::move(payload)});
 }
 
-void Network::multicast(NodeId from, McastGroupId group, Bytes payload) {
+void Network::multicast(NodeId from, McastGroupId group, BufView payload) {
   metrics_.multicasts_sent->inc();
   const auto it = groups_.find(group);
   if (it == groups_.end()) return;
   for (NodeId member : it->second) {
+    // Per-member Packet shares the sealed chunk: refcount bump, no memcpy.
     deliver_copy(Packet{from, member, group, payload});
   }
 }

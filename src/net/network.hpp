@@ -13,6 +13,7 @@
 #include <set>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "net/sim.hpp"
@@ -20,11 +21,13 @@
 namespace itdos::net {
 
 /// A datagram in flight. `group` is set for multicast deliveries.
+/// The payload is a refcounted view: every in-flight copy of a multicast
+/// (and every duplicated/delayed replay) shares one sealed chunk.
 struct Packet {
   NodeId from;
   NodeId to;                               // receiver (per-copy for multicast)
   std::optional<McastGroupId> group;       // multicast group, if any
-  Bytes payload;
+  BufView payload;
 };
 
 /// Latency / loss / duplication configuration.
@@ -51,8 +54,10 @@ class Network {
 
   /// An interceptor sees every packet a node emits; it returns the (possibly
   /// mutated) payload to deliver, or nullopt to drop. Used to model
-  /// compromised hosts whose traffic an adversary controls.
-  using Interceptor = std::function<std::optional<Bytes>(const Packet&)>;
+  /// compromised hosts whose traffic an adversary controls. Mutation is
+  /// copy-on-write: return the packet's own view to pass through untouched,
+  /// or clone_bytes(), mutate, and return the clone.
+  using Interceptor = std::function<std::optional<BufView>(const Packet&)>;
 
   Network(Simulator& sim, NetConfig config);
 
@@ -69,11 +74,12 @@ class Network {
   std::vector<NodeId> group_members(McastGroupId group) const;
 
   /// Sends a unicast datagram (unreliable, unordered).
-  void send(NodeId from, NodeId to, Bytes payload);
+  void send(NodeId from, NodeId to, BufView payload);
 
   /// Sends one datagram per current group member, including the sender if
-  /// it is a member (IP multicast loopback semantics).
-  void multicast(NodeId from, McastGroupId group, Bytes payload);
+  /// it is a member (IP multicast loopback semantics). All members share
+  /// the same sealed payload chunk.
+  void multicast(NodeId from, McastGroupId group, BufView payload);
 
   /// Cuts / restores the bidirectional link between two nodes.
   void set_link(NodeId a, NodeId b, bool up);

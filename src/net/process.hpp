@@ -30,9 +30,13 @@ class Process {
   /// problem — the network is untrusted.
   virtual void on_packet(const Packet& packet) = 0;
 
-  void send_to(NodeId to, Bytes payload) { net_.send(id_, to, std::move(payload)); }
+  void send_to(NodeId to, BufView payload) { net_.send(id_, to, std::move(payload)); }
 
-  void multicast_to(McastGroupId group, Bytes payload) {
+  /// The deployment-wide marshal arena — encode_into() here so sealed-chunk
+  /// capacity recycles once the net queue and protocol logs drop their views.
+  Arena& arena() { return net_.sim().arena(); }
+
+  void multicast_to(McastGroupId group, BufView payload) {
     net_.multicast(id_, group, std::move(payload));
   }
 

@@ -13,6 +13,7 @@
 #include <set>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "telemetry/telemetry.hpp"
@@ -40,6 +41,10 @@ class Simulator {
   /// The telemetry seam every component instruments through.
   telemetry::Hub& telemetry() { return telemetry_; }
   const telemetry::Hub& telemetry() const { return telemetry_; }
+
+  /// The deployment-wide message arena: marshal buffers are acquired here
+  /// and their capacity returns when the last in-flight view drops.
+  Arena& arena() { return arena_; }
 
   /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
   /// Events at equal times fire in scheduling order (stable FIFO).
@@ -84,6 +89,7 @@ class Simulator {
   SimTime now_;
   Rng rng_;
   telemetry::Hub telemetry_;
+  Arena arena_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;

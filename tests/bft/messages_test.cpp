@@ -181,7 +181,7 @@ TEST(BftMessagesTest, EnvelopeRejectsUnknownType) {
   env.body = to_bytes("b");
   Bytes wire = env.encode();
   wire[0] = 0x7f;
-  EXPECT_EQ(Envelope::decode(wire).status().code(), Errc::kMalformedMessage);
+  EXPECT_EQ(Envelope::decode(BufView(std::move(wire))).status().code(), Errc::kMalformedMessage);
 }
 
 TEST(BftMessagesTest, EnvelopeRejectsHostileAuthCount) {
@@ -193,7 +193,7 @@ TEST(BftMessagesTest, EnvelopeRejectsHostileAuthCount) {
   // The auth count field follows type(1)+pad/sender(8 aligned)+body(len+data).
   // Corrupt by truncation instead: drop the last byte.
   wire.pop_back();
-  EXPECT_FALSE(Envelope::decode(wire).is_ok());
+  EXPECT_FALSE(Envelope::decode(BufView(std::move(wire))).is_ok());
 }
 
 TEST(BftMessagesTest, FuzzedEnvelopesNeverCrash) {
@@ -213,7 +213,7 @@ TEST(BftMessagesTest, FuzzedEnvelopesNeverCrash) {
     Bytes mutated = base;
     const std::size_t idx = rng.next_below(mutated.size());
     mutated[idx] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
-    const auto decoded = Envelope::decode(mutated);
+    const auto decoded = Envelope::decode(BufView(std::move(mutated)));
     if (decoded.is_ok() && decoded.value().type == MsgType::kNewView) {
       (void)NewViewMsg::decode(decoded.value().body);  // must not crash
     }

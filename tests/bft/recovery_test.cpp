@@ -131,12 +131,12 @@ TEST(BftRecoveryTest, EquivocatingPrimaryCannotSplitBackups) {
     auto env = Envelope::decode(p.payload);
     if (env.is_ok() && env.value().type == MsgType::kPrePrepare) {
       if (++toggle % 2 == 0) {
-        Bytes mutated = p.payload;
+        Bytes mutated = p.payload.clone_bytes();  // copy-on-write
         mutated[mutated.size() / 2] ^= 0x01;
-        return std::optional<Bytes>(std::move(mutated));
+        return std::optional<BufView>(BufView(std::move(mutated)));
       }
     }
-    return std::optional<Bytes>(p.payload);
+    return std::optional<BufView>(p.payload);
   });
   Client& client = cluster.add_client();
   const Result<Bytes> result =

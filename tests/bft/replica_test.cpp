@@ -31,6 +31,18 @@ TEST(BftClusterTest, SingleInvocationCompletes) {
   EXPECT_EQ(to_string(result.value()), "VAL:5");
 }
 
+TEST(BftClusterTest, HotPathRecyclesArenaChunks) {
+  // Envelope marshaling goes through Simulator::arena(); once the first
+  // round's frames are delivered and dropped, later rounds must reuse
+  // their chunk capacity instead of allocating fresh.
+  Cluster cluster(fast_options(), counter_factory());
+  Client& client = cluster.add_client();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster.invoke_sync(client, to_bytes("add:1")).is_ok());
+  }
+  EXPECT_GT(cluster.sim().arena().reuses(), 0u);
+}
+
 TEST(BftClusterTest, AllReplicasExecuteInSameOrder) {
   Cluster cluster(fast_options(), counter_factory());
   Client& client = cluster.add_client();
@@ -123,11 +135,11 @@ TEST(BftClusterTest, ByzantineReplyDoesNotFoolClient) {
   cluster.network().set_interceptor(liar, [&](const net::Packet& p) {
     auto env = Envelope::decode(p.payload);
     if (env.is_ok() && env.value().type == MsgType::kReply) {
-      Bytes mutated = p.payload;
+      Bytes mutated = p.payload.clone_bytes();  // copy-on-write
       mutated[mutated.size() / 2] ^= 0xff;
-      return std::optional<Bytes>(std::move(mutated));
+      return std::optional<BufView>(BufView(std::move(mutated)));
     }
-    return std::optional<Bytes>(p.payload);
+    return std::optional<BufView>(p.payload);
   });
   Client& client = cluster.add_client();
   const Result<Bytes> result = cluster.invoke_sync(client, to_bytes("add:9"));
@@ -140,7 +152,7 @@ TEST(BftClusterTest, ByzantineConsistentLieOutvoted) {
   // state machine. f+1 matching correct replies still win.
   class LyingCounter : public CounterStateMachine {
    public:
-    Bytes execute(ByteView request, NodeId client, SeqNum seq) override {
+    Bytes execute(const BufView& request, NodeId client, SeqNum seq) override {
       (void)CounterStateMachine::execute(request, client, seq);
       return to_bytes("VAL:666");  // always lies
     }

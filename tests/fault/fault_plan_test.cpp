@@ -41,7 +41,7 @@ TEST(LinkFaultTest, AppliesPerSourceDestinationAndWindow) {
 struct Wire {
   net::Simulator sim{7};
   net::Network net{sim, net::NetConfig{micros(10), micros(20), 0.0, 0.0}};
-  std::vector<Bytes> received;
+  std::vector<BufView> received;
 
   Wire() {
     net.attach(NodeId(1), [](const net::Packet&) {});
@@ -80,7 +80,7 @@ TEST(FaultInjectorTest, CertainCorruptionMutatesExactlyOneByte) {
                          one_link_plan([](LinkFault& f) { f.corrupt = 1.0; }));
   injector.arm_links();
   const Bytes sent = to_bytes("payload");
-  wire.net.send(NodeId(1), NodeId(2), sent);
+  wire.net.send(NodeId(1), NodeId(2), BufView::copy_of(sent));
   wire.sim.run();
   ASSERT_EQ(wire.received.size(), 1u);
   ASSERT_EQ(wire.received[0].size(), sent.size());
@@ -167,7 +167,8 @@ TEST(FaultInjectorTest, SameSeedSameDecisions) {
       wire.net.send(NodeId(1), NodeId(2), to_bytes("x" + std::to_string(i)));
     }
     wire.sim.run();
-    std::vector<Bytes> got = wire.received;
+    std::vector<Bytes> got;
+    for (const BufView& v : wire.received) got.push_back(v.clone_bytes());
     return got;
   };
   EXPECT_EQ(run_once(), run_once());

@@ -128,6 +128,34 @@ TEST_F(FragmentTest, HostileFragmentsDiscardedWithoutDesync) {
   EXPECT_GE(d0, 2u);
 }
 
+TEST(FragmentDeterminism, SameSeedLargeMessageTraceIsByteStable) {
+  // Two same-seed runs of a fragmented large-message invocation must export
+  // byte-identical traces: the arena pool, view slicing and fragment
+  // reassembly introduce no address- or allocation-order dependence.
+  auto run_once = [] {
+    SystemOptions options;
+    options.seed = 77;
+    options.timing.max_entry_bytes = 4096;
+    ItdosSystem system(options);
+    const DomainId domain = system.add_domain(
+        1, VotePolicy::exact(), [](orb::ObjectAdapter& adapter, int) {
+          (void)adapter.activate_with_key(ObjectId(1),
+                                          std::make_shared<BlobServant>());
+        });
+    ItdosClient& client = system.add_client();
+    const orb::ObjectRef ref =
+        system.object_ref(domain, ObjectId(1), "IDL:itdos/Blob:1.0");
+    const Result<Value> result = system.invoke_sync(
+        client, ref, "size",
+        Value::sequence({Value::string(std::string(20000, 'z'))}), seconds(30));
+    EXPECT_TRUE(result.is_ok());
+    return system.sim().telemetry().tracer().export_jsonl();
+  };
+  const std::string first = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run_once()) << "same-seed fragmented runs diverged";
+}
+
 TEST(FragmentMsgTest, RoundTrip) {
   FragmentMsg msg;
   msg.conn = ConnectionId(3);

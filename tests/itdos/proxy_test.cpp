@@ -69,7 +69,7 @@ TEST(FirewallProxyTest, PolicyKnobsDisableFamilies) {
 TEST(FirewallProxyTest, InstalledFilterGuardsDelivery) {
   net::Simulator sim(1);
   net::Network net(sim, net::NetConfig{10, 10, 0, 0});
-  std::vector<Bytes> received;
+  std::vector<BufView> received;
   net.attach(NodeId(2), [&](const net::Packet& p) { received.push_back(p.payload); });
   FirewallProxy proxy;
   proxy.protect(net, NodeId(2));

@@ -175,10 +175,11 @@ TEST(SmiopMsgTest, FuzzedMessagesNeverCrash) {
       mutated[rng.next_below(mutated.size())] ^=
           static_cast<std::uint8_t>(1 + rng.next_below(255));
       if (rng.chance(0.3) && mutated.size() > 1) mutated.pop_back();
-      (void)OrderedMsg::decode(mutated);
-      (void)DirectReplyMsg::decode(mutated);
-      (void)decode_gm_command(mutated);
-      (void)parses_as_smiop(mutated);
+      const BufView view(std::move(mutated));
+      (void)OrderedMsg::decode(view);
+      (void)DirectReplyMsg::decode(view);
+      (void)decode_gm_command(view);
+      (void)parses_as_smiop(view);
     }
   }
 }

@@ -1,0 +1,25 @@
+// BUF-001 fixture: owning byte-vector parameters in a message-path header.
+// Each declaration below re-introduces a per-call payload copy that the
+// zero-copy buffer API (common/buffer.hpp) exists to eliminate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace itdos::fixture {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// BAD: by-value Bytes parameter — copies the payload at every call.
+void deliver(Bytes payload);
+
+// BAD: `const` does not help; the argument is still copied into the param.
+void log_frame(const Bytes frame, int replica);
+
+// BAD: the spelled-out vector type is the same owning copy.
+void rebroadcast(std::vector<std::uint8_t> wire);
+
+// BAD: second parameter position.
+void store(int seq, Bytes entry);
+
+}  // namespace itdos::fixture

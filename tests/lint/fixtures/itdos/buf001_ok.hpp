@@ -1,0 +1,39 @@
+// BUF-001 negative fixture: none of these declarations copy a payload, so
+// the rule must stay quiet on all of them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace itdos::fixture {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+class BufView;
+
+// Views: the zero-copy way to accept a payload.
+void deliver(const BufView& payload);
+void inspect(ByteView frame);
+
+// References and rvalue-reference sinks never copy.
+void fill(Bytes& out);
+void adopt(Bytes&& owned);
+void peek(const Bytes& scratch);
+
+// Returning Bytes (including inside templates) is not a parameter.
+Bytes encode();
+struct Codec {
+  Bytes take() { return Bytes{}; }
+};
+
+// Locals and members are not parameters.
+struct Holder {
+  Bytes storage;
+};
+
+// A reasoned suppression covers a legitimate ownership-transfer sink.
+// itdos-lint: allow(BUF-001) key-material sink, moved into place
+void install_secret(Bytes secret);
+
+}  // namespace itdos::fixture

@@ -95,6 +95,18 @@ class RuleFires(unittest.TestCase):
             "--trace-cpp", fixture("trace001", "trace.cpp"))
         self.assertNotIn("TRACE-001", rules_of(findings_off))
 
+    def test_buf001_fires_per_owning_param(self):
+        hits = self.assert_rule("BUF-001", fixture("itdos", "buf001_bad.hpp"),
+                                min_count=4)
+        messages = " ".join(h["message"] for h in hits)
+        for needle in ("payload", "frame", "wire", "entry"):
+            self.assertIn(f"`{needle}`", messages)
+
+    def test_buf001_accepts_views_refs_and_suppressed_sinks(self):
+        code, findings = run_lint(fixture("itdos", "buf001_ok.hpp"),
+                                  "--no-trace-check")
+        self.assertEqual(code, 0, findings)
+
     def test_meta001_fires_on_unexplained_suppression(self):
         self.assert_rule("META-001", fixture("unexplained.cpp"))
 
@@ -131,7 +143,7 @@ class CliContract(unittest.TestCase):
                               capture_output=True, text=True, check=False)
         self.assertEqual(proc.returncode, 0)
         for rule in ("DET-001", "DET-002", "PROTO-001", "PROTO-002",
-                     "TRACE-001", "META-001"):
+                     "TRACE-001", "BUF-001", "META-001"):
             self.assertIn(rule, proc.stdout)
 
 

@@ -178,10 +178,10 @@ TEST_F(NetworkTest, DuplicateProbabilityDuplicates) {
 TEST_F(NetworkTest, InterceptorCanMutate) {
   Recorder a(net_, NodeId(1));
   Recorder b(net_, NodeId(2));
-  net_.set_interceptor(NodeId(1), [](const Packet& p) -> std::optional<Bytes> {
-    Bytes mutated = p.payload;
+  net_.set_interceptor(NodeId(1), [](const Packet& p) -> std::optional<BufView> {
+    Bytes mutated = p.payload.clone_bytes();  // copy-on-write
     if (!mutated.empty()) mutated[0] ^= 0xff;
-    return mutated;
+    return BufView(std::move(mutated));
   });
   a.send_to(NodeId(2), to_bytes("attack"));
   sim_.run();
@@ -193,7 +193,7 @@ TEST_F(NetworkTest, InterceptorCanDrop) {
   Recorder a(net_, NodeId(1));
   Recorder b(net_, NodeId(2));
   net_.set_interceptor(NodeId(1),
-                       [](const Packet&) -> std::optional<Bytes> { return std::nullopt; });
+                       [](const Packet&) -> std::optional<BufView> { return std::nullopt; });
   a.send_to(NodeId(2), to_bytes("x"));
   sim_.run();
   EXPECT_TRUE(b.received.empty());
@@ -204,7 +204,7 @@ TEST_F(NetworkTest, InterceptorClearRestores) {
   Recorder a(net_, NodeId(1));
   Recorder b(net_, NodeId(2));
   net_.set_interceptor(NodeId(1),
-                       [](const Packet&) -> std::optional<Bytes> { return std::nullopt; });
+                       [](const Packet&) -> std::optional<BufView> { return std::nullopt; });
   net_.set_interceptor(NodeId(1), nullptr);
   a.send_to(NodeId(2), to_bytes("x"));
   sim_.run();

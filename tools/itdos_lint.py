@@ -34,6 +34,12 @@ Rules (stable IDs — suppressions and docs refer to them):
   TRACE-001 telemetry::TraceKind enum and the string table in
             trace_kind_name() must stay in sync: every enumerator named in
             exactly one `case`, every wire name unique.
+  BUF-001   owning byte-vector parameter (`Bytes` / std::vector<uint8_t>
+            by value) in a message-path header (src/cdr, src/net, src/bft,
+            src/itdos, src/fault, src/crypto). The zero-copy contract
+            (common/buffer.hpp) passes sealed payloads as BufView/ByteView;
+            a by-value vector parameter re-introduces a per-hop copy.
+            References and rvalue-reference sinks are fine.
   META-001  an itdos-lint suppression with no reason text. Suppressions
             must say why: `// itdos-lint: allow(DET-001) <reason>`.
 
@@ -73,6 +79,7 @@ ALL_RULES = {
     "PROTO-001": "unexplained Result/Status discard",
     "PROTO-002": "unchecked raw copy in CDR decode path",
     "TRACE-001": "TraceKind enum/string-table desync",
+    "BUF-001": "owning byte-vector param in message-path header",
     "META-001": "suppression without a reason",
 }
 
@@ -417,6 +424,72 @@ def check_proto002(tokens: list[Token], path: str) -> list[Finding]:
     return out
 
 
+_MESSAGE_PATH_DIRS = ("/cdr/", "/net/", "/bft/", "/itdos/", "/fault/",
+                      "/crypto/")
+_HEADER_EXTENSIONS = (".hpp", ".hh", ".h")
+
+
+def check_buf001(tokens: list[Token], path: str) -> list[Finding]:
+    norm = path.replace(os.sep, "/")
+    if not norm.endswith(_HEADER_EXTENSIONS):
+        return []
+    if not any(d in norm for d in _MESSAGE_PATH_DIRS):
+        return []
+    out = []
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id":
+            continue
+        # Match the owning type: `Bytes` or a spelled-out
+        # `std::vector<std::uint8_t>` / `std::vector<uint8_t>`.
+        if tok.text == "Bytes":
+            type_end = i
+        elif tok.text == "vector":
+            j = i + 1
+            if j >= len(tokens) or tokens[j].text != "<":
+                continue
+            depth, k, is_bytes = 0, j, False
+            while k < len(tokens) and k < j + 12:
+                t = tokens[k].text
+                if t == "<":
+                    depth += 1
+                elif t == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif t in {"uint8_t", "byte"}:
+                    is_bytes = True
+                k += 1
+            if not is_bytes or k >= len(tokens) or tokens[k].text != ">":
+                continue
+            type_end = k
+        else:
+            continue
+        # The type must open a parameter: preceded by `(` or `,`, allowing a
+        # `const` and a `std::` qualifier in between (`const Bytes x` is
+        # still a by-value copy).
+        p = i - 1
+        while p >= 0 and tokens[p].text in {"::", "std"}:
+            p -= 1
+        if p >= 0 and tokens[p].text == "const":
+            p -= 1
+        if p < 0 or tokens[p].text not in {"(", ","}:
+            continue
+        # ...and be followed by a parameter name, then `,` / `)` / `=`.
+        # `Bytes&`, `Bytes&&` and `Bytes*` never copy and are not flagged.
+        name = tokens[type_end + 1] if type_end + 1 < len(tokens) else None
+        after = tokens[type_end + 2] if type_end + 2 < len(tokens) else None
+        if name is None or name.kind != "id":
+            continue
+        if after is None or after.text not in {",", ")", "="}:
+            continue
+        out.append(Finding("BUF-001", path, tok.line,
+                           f"by-value byte-vector parameter `{name.text}` in "
+                           "a message-path header copies the payload per "
+                           "call; take itdos::BufView (retained) or "
+                           "ByteView (scoped) instead"))
+    return out
+
+
 _ENUM_RE = re.compile(r"enum\s+class\s+TraceKind[^{]*\{(.*?)\};", re.DOTALL)
 _ENUMERATOR_RE = re.compile(r"^\s*(k[A-Za-z0-9_]+)\s*[,=}]", re.MULTILINE)
 _CASE_RE = re.compile(
@@ -490,6 +563,8 @@ def lint_file(path: str, enabled: set[str]) -> list[Finding]:
         findings += check_proto001(tokens, path, comments)
     if "PROTO-002" in enabled:
         findings += check_proto002(tokens, path)
+    if "BUF-001" in enabled:
+        findings += check_buf001(tokens, path)
 
     kept = [f for f in findings if not suppress.covers(f.rule, f.line)]
     if "META-001" in enabled:
