@@ -21,7 +21,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "itdos/system.hpp"
 #include "telemetry/telemetry.hpp"
@@ -40,6 +42,35 @@ class BenchReport {
   }
 
   telemetry::MetricsRegistry& registry() { return registry_; }
+
+  /// One point of a latency-vs-offered-load curve (bench/e11_offered_load):
+  /// outcome counts and latency percentiles at one offered rate.
+  struct CurvePoint {
+    double rate_per_s = 0.0;
+    std::uint64_t offered = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t overloaded = 0;  // explicit admission-control replies
+    std::uint64_t failed = 0;      // timeouts / transport errors
+    std::uint64_t starved = 0;     // arrivals the generator had to drop
+    std::uint64_t sheds = 0;       // replicated admission sheds
+    std::int64_t p50_ns = 0;
+    std::int64_t p99_ns = 0;
+    double goodput_per_s = 0.0;
+  };
+
+  /// Records a curve point under `curve` (e.g. "attack_controller_on").
+  /// Keyed by (curve, rate): benchmark repeat iterations overwrite rather
+  /// than duplicate their rate points.
+  void add_curve_point(const std::string& curve, const CurvePoint& point) {
+    auto& points = curves_[curve];
+    for (CurvePoint& existing : points) {
+      if (existing.rate_per_s == point.rate_per_s) {
+        existing = point;
+        return;
+      }
+    }
+    points.push_back(point);
+  }
 
   /// Merges the simulator's registry into the report (call before the
   /// simulator is destroyed).
@@ -101,6 +132,34 @@ class BenchReport {
     }
     out << "\n  },\n";
 
+    // Latency-vs-offered-load curves (optional: only offered-load benches
+    // record them; their absence keeps every older report schema-valid).
+    if (!curves_.empty()) {
+      out << "  \"curves\": {";
+      sep = "";
+      for (const auto& [curve, points] : curves_) {
+        out << sep << "\n    \"" << curve << "\": [";
+        const char* psep = "";
+        for (const CurvePoint& p : points) {
+          char rate[64];
+          char goodput[64];
+          std::snprintf(rate, sizeof(rate), "%.3f", p.rate_per_s);
+          std::snprintf(goodput, sizeof(goodput), "%.3f", p.goodput_per_s);
+          out << psep << "\n      {\"rate_per_s\": " << rate
+              << ", \"offered\": " << p.offered << ", \"ok\": " << p.ok
+              << ", \"overloaded\": " << p.overloaded
+              << ", \"failed\": " << p.failed << ", \"starved\": " << p.starved
+              << ", \"sheds\": " << p.sheds << ", \"p50_ns\": " << p.p50_ns
+              << ", \"p99_ns\": " << p.p99_ns
+              << ", \"goodput_per_s\": " << goodput << "}";
+          psep = ",";
+        }
+        out << "\n    ]";
+        sep = ",";
+      }
+      out << "\n  },\n";
+    }
+
     // Per-layer rollup: counter totals keyed on the first name segment
     // ("bft", "smiop", "queue", "vote", "gm", "net", ...).
     std::map<std::string, std::uint64_t> layers;
@@ -120,6 +179,7 @@ class BenchReport {
  private:
   BenchReport() = default;
   telemetry::MetricsRegistry registry_;
+  std::map<std::string, std::vector<CurvePoint>> curves_;
 };
 
 /// RAII host-clock sampler: records wall-clock nanoseconds from construction

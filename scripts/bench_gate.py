@@ -18,8 +18,17 @@ number of counted copies per invocation, and a jump past --copies-per-op
 means an owning-buffer copy crept back in. Advisory means warn-only unless
 --strict.
 
+Reports that carry offered-load curves (the e11 bench exports a "curves"
+block of latency-vs-offered-load points) get an ADVISORY p99 ceiling at a
+named offered rate: --p99-ceiling-at-load RATE:NS requires that at RATE
+requests/s at least one recorded configuration (curve) holds its p99
+latency under NS simulated nanoseconds — i.e. the system, with its best
+available response configuration, can still sustain that load. Curves
+without a point at exactly RATE are skipped.
+
 usage: bench_gate.py --baseline DIR [--strict] [--tolerance 0.25]
-                     [--mttr-ceiling-ns N] [--copies-per-op N] BENCH_*.json
+                     [--mttr-ceiling-ns N] [--copies-per-op N]
+                     [--p99-ceiling-at-load RATE:NS] BENCH_*.json
 
 Exit status: 0 OK (or warnings without --strict), 1 regression under
 --strict, 2 usage error. Missing baseline files are never an error — first
@@ -53,6 +62,54 @@ COPIES_COUNTER = "buf.copies"
 BYTES_COPIED_COUNTER = "buf.bytes_copied"
 OPS_COUNTER = "e9.ops"
 DEFAULT_COPIES_PER_OP = 1500
+
+
+# Advisory offered-load ceiling: at this offered rate (requests/s), the best
+# configuration's p99 must stay under this many simulated nanoseconds. The
+# default pins the e11 sweep's pre-knee rate with generous headroom over the
+# controller-on curve.
+DEFAULT_P99_AT_LOAD = "1600:50000000"
+
+
+def parse_rate_spec(spec):
+    """Parses "RATE:NS" into (float, int); raises ValueError on junk."""
+    rate_text, _, ns_text = spec.partition(":")
+    if not ns_text:
+        raise ValueError(f"expected RATE:NS, got {spec!r}")
+    return float(rate_text), int(ns_text)
+
+
+def check_p99_at_load(path, rate, ceiling_ns):
+    """Returns (checked, violation_message_or_None) for one report."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        return False, None
+    curves = report.get("curves")
+    if not curves:
+        return False, None
+    # "Best configuration wins": the claim gated here is that the system CAN
+    # sustain the rate, not that every (deliberately crippled) configuration
+    # does — the controller-off curve collapsing past the knee is the point.
+    best_curve, best_p99 = None, None
+    for name, points in sorted(curves.items()):
+        for point in points:
+            if point.get("rate_per_s") != rate:
+                continue
+            p99 = point.get("p99_ns", 0)
+            if best_p99 is None or p99 < best_p99:
+                best_curve, best_p99 = name, p99
+    if best_p99 is None:
+        return False, None
+    status = "VIOLATION" if best_p99 > ceiling_ns else "ok"
+    print(f"  {os.path.basename(path)} p99@{rate:g}req/s: {best_p99} ns "
+          f"[{best_curve}] (ceiling {ceiling_ns} ns, {status})")
+    if best_p99 > ceiling_ns:
+        return True, (f"{os.path.basename(path)} best p99 at {rate:g} req/s "
+                      f"is {best_p99} ns [{best_curve}], advisory ceiling "
+                      f"{ceiling_ns} ns")
+    return True, None
 
 
 def check_copies_per_op(path, ceiling):
@@ -129,8 +186,18 @@ def main():
                         help="advisory ceiling on counted buffer copies per "
                              "benchmark op (reports with buf.copies + "
                              "e9.ops counters)")
+    parser.add_argument("--p99-ceiling-at-load", default=DEFAULT_P99_AT_LOAD,
+                        metavar="RATE:NS",
+                        help="advisory ceiling on the best curve's p99 "
+                             "latency at RATE requests/s (reports with a "
+                             "curves block)")
     parser.add_argument("reports", nargs="+")
     args = parser.parse_args()
+    try:
+        load_rate, load_ceiling_ns = parse_rate_spec(args.p99_ceiling_at_load)
+    except ValueError as exc:
+        print(f"bench_gate: bad --p99-ceiling-at-load: {exc}", file=sys.stderr)
+        return 2
 
     mttr_failures = []
     mttr_checked = 0
@@ -165,6 +232,24 @@ def main():
     elif copies_checked:
         print(f"bench_gate: {copies_checked} report(s) within the "
               f"{args.copies_per_op} copies/op advisory ceiling")
+
+    load_warnings = []
+    load_checked = 0
+    for path in args.reports:
+        checked, violation = check_p99_at_load(path, load_rate,
+                                               load_ceiling_ns)
+        load_checked += checked
+        if violation:
+            load_warnings.append(violation)
+    if load_warnings:
+        verb = "FAIL" if args.strict else "WARN"
+        for message in load_warnings:
+            print(f"bench_gate {verb}: {message}", file=sys.stderr)
+        if args.strict:
+            return 1
+    elif load_checked:
+        print(f"bench_gate: {load_checked} report(s) within the p99 ceiling "
+              f"at {load_rate:g} req/s")
 
     regressions = []
     compared = 0

@@ -53,6 +53,7 @@ BENCHES=(
   "e9_large_messages:BM_E9PayloadSweep/1024/"
   "a1_ablations:BM_A1Adaptive\$"
   "e10_recovery:BM_E10ExpelToRestored/"
+  "e11_offered_load:BM_E11Attack"
 )
 
 for entry in "${BENCHES[@]}"; do
@@ -74,12 +75,14 @@ done
 python3 "${REPO_ROOT}/scripts/validate_bench_json.py" --schema "${SCHEMA}" BENCH_*.json
 echo "bench smoke OK: ${#BENCHES[@]} reports validated against $(basename "${SCHEMA}")"
 
-# Perf gate: delivery-delay tails (p95/p99) vs the previous smoke run, plus
-# an absolute MTTR ceiling on the e10 recovery report (repair must land well
-# inside the watchdog deadline). Warn by default; --strict makes a regression
-# fail the test. The baseline is then refreshed so the next run compares
-# against this one.
+# Perf gate: delivery-delay tails (p95/p99) vs the previous smoke run, an
+# absolute MTTR ceiling on the e10 recovery report (repair must land well
+# inside the watchdog deadline), and an advisory p99-at-offered-load ceiling
+# on the e11 curves (the pre-knee rate must stay servable). Warn by default;
+# --strict makes a regression fail the test. The baseline is then refreshed
+# so the next run compares against this one.
 BASELINE_DIR="${ITDOS_BENCH_BASELINE_DIR:-${BUILD_DIR}/bench_baseline}"
 mkdir -p "${BASELINE_DIR}"
-python3 "${REPO_ROOT}/scripts/bench_gate.py" --baseline "${BASELINE_DIR}" ${STRICT} BENCH_*.json
+python3 "${REPO_ROOT}/scripts/bench_gate.py" --baseline "${BASELINE_DIR}" \
+  --p99-ceiling-at-load 1600:50000000 ${STRICT} BENCH_*.json
 cp BENCH_*.json "${BASELINE_DIR}/"

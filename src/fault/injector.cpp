@@ -26,13 +26,17 @@ void FaultInjector::trace_inject(NodeId node, InjectKind kind,
               static_cast<std::uint64_t>(kind), detail);
 }
 
+void FaultInjector::ensure_intercepted(NodeId node) {
+  if (intercepted_.insert(node).second) {
+    net_.set_interceptor(node, [this](const net::Packet& packet) {
+      return intercept(packet);
+    });
+  }
+}
+
 void FaultInjector::arm_links() {
   for (const LinkFault& fault : plan_.link_faults) {
-    if (intercepted_.insert(fault.from_node).second) {
-      net_.set_interceptor(fault.from_node, [this](const net::Packet& packet) {
-        return intercept(packet);
-      });
-    }
+    ensure_intercepted(fault.from_node);
   }
   for (const PartitionWindow& window : plan_.partitions) {
     net_.sim().schedule_at(window.form, [this, &window] {
@@ -55,6 +59,34 @@ void FaultInjector::arm_links() {
 std::optional<BufView> FaultInjector::intercept(const net::Packet& packet) {
   if (reinjecting_) return packet.payload;  // our own delayed/dup view
   const SimTime now = net_.sim().now();
+  for (const AdaptiveState& st : adaptive_) {
+    if (st.target.value == 0 || !st.targets.contains(packet.from) ||
+        !st.spec.window.contains(now)) {
+      continue;
+    }
+    if (st.spec.drop > 0.0 && rng_.chance(st.spec.drop)) {
+      dropped_->inc();
+      trace_inject(packet.from, InjectKind::kDrop, packet.to.value);
+      return std::nullopt;
+    }
+    if (st.spec.delay_probability > 0.0 &&
+        rng_.chance(st.spec.delay_probability)) {
+      const std::int64_t lag =
+          rng_.next_in(st.spec.delay_min_ns, st.spec.delay_max_ns);
+      const NodeId from = packet.from;
+      const NodeId to = packet.to;
+      const BufView payload = packet.payload;
+      net_.sim().schedule_after(lag, [this, from, to, payload] {
+        reinjecting_ = true;
+        net_.send(from, to, payload);
+        reinjecting_ = false;
+      });
+      delayed_->inc();
+      trace_inject(packet.from, InjectKind::kDelay,
+                   static_cast<std::uint64_t>(lag));
+      return std::nullopt;
+    }
+  }
   for (const LinkFault& fault : plan_.link_faults) {
     if (!fault.applies_to(packet.from, packet.to, now)) continue;
     // Copy-on-write: the sealed payload is shared with other recipients, so
@@ -191,6 +223,64 @@ void FaultInjector::arm_client(const ClientFault& fault,
     trace_inject(target->smiop_node(), InjectKind::kClientFault,
                  static_cast<std::uint64_t>(spec.kind));
   });
+}
+
+void FaultInjector::arm_adaptive(const AdaptiveFault& fault,
+                                 core::ItdosSystem& system, DomainId domain) {
+  AdaptiveState state;
+  state.spec = fault;
+  state.domain = domain;
+  state.system = &system;
+  adaptive_.push_back(state);
+  const std::size_t index = adaptive_.size() - 1;
+  // Interceptors must exist before the first packet the adversary might
+  // touch; cover every current element now, fresh identities on retarget.
+  if (const core::DomainInfo* info = system.directory().find_domain(domain)) {
+    for (NodeId node : info->smiop_nodes()) ensure_intercepted(node);
+  }
+  net_.sim().schedule_at(fault.window.from,
+                         [this, index] { adaptive_tick(index); });
+}
+
+void FaultInjector::adaptive_tick(std::size_t index) {
+  AdaptiveState& st = adaptive_[index];
+  const SimTime now = net_.sim().now();
+  if (!st.spec.window.contains(now)) {
+    st.target = NodeId();  // stand down once the window closes
+    return;
+  }
+  const core::DomainInfo* info = st.system->directory().find_domain(st.domain);
+  if (info != nullptr) {
+    // Deepest replicated queue wins; ties go to the lowest rank (the first
+    // strictly-greater rule below). Identities come from the LIVE directory,
+    // so a mid-run replacement is immediately targetable.
+    NodeId best;
+    NodeId best_bft;
+    std::int64_t best_depth = -1;
+    const auto& gauges = tel_->metrics().gauges();
+    for (const core::ElementInfo& element : info->elements) {
+      std::int64_t depth = 0;
+      const auto it =
+          gauges.find("queue." + element.smiop_node.to_string() + ".depth");
+      if (it != gauges.end()) depth = it->second.value();
+      if (depth > best_depth) {
+        best_depth = depth;
+        best = element.smiop_node;
+        best_bft = element.bft_node;
+      }
+    }
+    if (best.value != 0 && best != st.target) {
+      st.target = best;
+      st.targets = {best, best_bft};
+      ensure_intercepted(best);
+      ensure_intercepted(best_bft);
+      ++retargets_;
+      tel_->trace(telemetry::TraceKind::kAdversaryRetarget, best, 0, best.value,
+                  static_cast<std::uint64_t>(best_depth));
+    }
+  }
+  net_.sim().schedule_after(st.spec.interval_ns,
+                            [this, index] { adaptive_tick(index); });
 }
 
 void FaultInjector::arm_gm(const GmFault& fault, core::ItdosSystem& system) {

@@ -41,18 +41,41 @@ class FaultInjector {
   /// Applies a ClientFault to a singleton client party at its start time.
   void arm_client(const ClientFault& fault, core::ItdosClient& client);
 
+  /// Arms an adaptive adversary against `domain`: every interval inside the
+  /// fault's window it reads the live queue.<node>.depth gauges and re-aims
+  /// the configured link degradation at the deepest-queue element (ties go
+  /// to the lowest rank). Interceptors follow the target, including fresh
+  /// identities admitted by recovery mid-run.
+  void arm_adaptive(const AdaptiveFault& fault, core::ItdosSystem& system,
+                    DomainId domain);
+
+  /// Retargets performed by adaptive adversaries so far.
+  std::uint64_t retargets() const { return retargets_; }
+
   const FaultPlan& plan() const { return plan_; }
   std::uint64_t injected() const { return injected_->value(); }
 
  private:
+  struct AdaptiveState {
+    AdaptiveFault spec;
+    DomainId domain;
+    core::ItdosSystem* system = nullptr;
+    NodeId target;              // SMIOP identity (value 0: not aimed yet)
+    std::set<NodeId> targets;   // every endpoint degraded: SMIOP + BFT node
+  };
+
   std::optional<BufView> intercept(const net::Packet& packet);
   void trace_inject(NodeId node, InjectKind kind, std::uint64_t detail);
+  void ensure_intercepted(NodeId node);
+  void adaptive_tick(std::size_t index);
 
   net::Network& net_;
   FaultPlan plan_;
   Rng rng_;
   std::set<NodeId> intercepted_;  // nodes whose interceptor we installed
   bool reinjecting_ = false;      // delayed/duplicated copies pass through
+  std::vector<AdaptiveState> adaptive_;
+  std::uint64_t retargets_ = 0;
 
   telemetry::Hub* tel_;
   telemetry::Counter* injected_;    // fault.injected (all effects)

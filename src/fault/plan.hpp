@@ -112,6 +112,24 @@ struct GmFault {
   SimTime at{0};
 };
 
+/// An ADAPTIVE adversary: instead of a scripted target, it reads the same
+/// live telemetry the §6f feedback controller does (the replicated
+/// queue.<node>.depth gauges) every `interval_ns` and re-aims its link
+/// degradation at whichever element of the domain currently has the deepest
+/// queue — the worst possible victim, since delaying the most-loaded
+/// element's traffic compounds its backlog and makes it look like a
+/// laggard. Each retarget is traced (adversary.retarget), so the duel
+/// between this adversary and the response controller is replayable.
+struct AdaptiveFault {
+  TimeWindow window;
+  std::int64_t interval_ns = millis(50);  // retarget cadence
+  // Degradation applied to the current target's OUTBOUND traffic.
+  double drop = 0.0;
+  double delay_probability = 0.0;
+  std::int64_t delay_min_ns = 0;
+  std::int64_t delay_max_ns = 0;
+};
+
 /// Codes carried in kFaultInject trace events (field `a`).
 enum class InjectKind : std::uint64_t {
   kDrop = 1,
@@ -125,6 +143,7 @@ enum class InjectKind : std::uint64_t {
   kElementFault = 9,
   kGmFault = 10,
   kClientFault = 11,
+  kAdaptiveRetarget = 12,
 };
 
 /// The adversary's full script for one run.
@@ -136,6 +155,7 @@ struct FaultPlan {
   std::vector<ElementFault> element_faults;
   std::vector<GmFault> gm_faults;
   std::vector<ClientFault> client_faults;
+  std::vector<AdaptiveFault> adaptive_faults;
 
   /// When the last injected fault is over: the oracle's liveness check
   /// demands every correct-client request completes after this point.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "bft/harness.hpp"
+#include "control/controller.hpp"
 #include "fault/injector.hpp"
 #include "itdos/system.hpp"
 #include "recovery/proactive.hpp"
@@ -775,6 +776,266 @@ ScenarioResult scenario_client_replay_storm(std::uint64_t seed) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Admission-control & feedback-response scenarios (DESIGN.md §6f): an
+// adaptive adversary that re-aims at the deepest-queue element from live
+// telemetry, with and without the response controller fighting back.
+// ---------------------------------------------------------------------------
+
+std::uint64_t sum_shed_gauges(const telemetry::MetricsRegistry& registry) {
+  std::uint64_t total = 0;
+  for (const auto& [gauge_name, gauge] : registry.gauges()) {
+    if (gauge_name.starts_with("admission.") && gauge_name.ends_with(".shed")) {
+      total += static_cast<std::uint64_t>(gauge.value());
+    }
+  }
+  return total;
+}
+
+ScenarioResult scenario_adaptive_adversary_overload(std::uint64_t seed) {
+  // Bounded admission under concurrent overload, hunted by an adaptive
+  // adversary that delays whichever element currently has the deepest
+  // replicated queue. Every element must shed the SAME requests (the voter
+  // needs f+1 matching OVERLOAD exceptions for the client to see one), no
+  // safety invariant may bend, and once the burst drains the domain must
+  // serve plain requests again — admission control may say "no", but it may
+  // not say it forever.
+  core::SystemOptions options;
+  options.seed = seed;
+  options.timing.ack_interval = 2;         // tight GC: drained queues reopen fast
+  options.timing.admission_max_depth = 12; // well above the post-drain residual
+  core::ItdosSystem system(options);
+  const DomainId domain = system.add_domain(
+      1, core::VotePolicy::exact(), [](orb::ObjectAdapter& adapter, int) {
+        // Key 1 is free in a freshly built domain; activation cannot fail.
+        (void)adapter.activate_with_key(ObjectId(1),
+                                        std::make_shared<SumServant>());
+      });
+
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{millis(500)};
+  AdaptiveFault adaptive;
+  adaptive.window.until = plan.heal_time;
+  adaptive.interval_ns = millis(20);
+  adaptive.delay_probability = 0.4;
+  adaptive.delay_min_ns = micros(200);
+  adaptive.delay_max_ns = millis(2);
+  plan.adaptive_faults.push_back(adaptive);
+
+  FaultInjector injector(system.network(), plan);
+  injector.arm_links();
+  for (const AdaptiveFault& fault : injector.plan().adaptive_faults) {
+    injector.arm_adaptive(fault, system, domain);
+  }
+
+  Oracle oracle(system.sim().telemetry());
+  for (int i = 0; i < system.gm_n(); ++i) {
+    oracle.watch_replica(0, system.gm_element(i).replica());
+    oracle.watch_gm(system.gm_element(i));
+  }
+  for (int rank = 0; rank < system.domain_n(domain); ++rank) {
+    // The adversary only touches the network; every element stays correct
+    // and stays watched.
+    oracle.watch_replica(1, system.element(domain, rank).replica());
+  }
+
+  constexpr int kConcurrentClients = 16;
+  constexpr int kRounds = 4;
+  std::vector<core::ItdosClient*> clients;
+  for (int i = 0; i < kConcurrentClients; ++i) {
+    clients.push_back(&system.add_client());
+    oracle.watch_party(clients.back()->party());
+  }
+  const orb::ObjectRef ref =
+      system.object_ref(domain, ObjectId(1), "IDL:fault/Sum:1.0");
+
+  std::size_t sent = 0;
+  auto ok = std::make_shared<std::size_t>(0);
+  auto overloaded = std::make_shared<std::size_t>(0);
+  for (int round = 0; round < kRounds; ++round) {
+    // The whole pool fires at once: depth at the replicated queues spikes
+    // past max_depth and admission MUST kick in — deterministically.
+    auto round_done = std::make_shared<int>(0);
+    for (core::ItdosClient* client : clients) {
+      ++sent;
+      client->orb().invoke(
+          ref, "add",
+          cdr::Value::sequence({cdr::Value::int64(round), cdr::Value::int64(7)}),
+          [ok, overloaded, round_done](Result<cdr::Value> r) {
+            ++*round_done;
+            if (r.is_ok()) {
+              ++*ok;
+            } else if (r.status().code() == Errc::kResourceExhausted) {
+              ++*overloaded;
+            }
+          });
+    }
+    const SimTime deadline = system.sim().now() + seconds(20);
+    while (*round_done < kConcurrentClients && system.sim().now() < deadline) {
+      if (!system.sim().step()) break;
+    }
+  }
+
+  // Past the adversary's window and with the burst drained, a plain serial
+  // request must get a real answer — shed-forever IS starvation.
+  system.sim().run_until(SimTime{plan.heal_time.ns + millis(50)});
+  for (int i = 0; i < 2; ++i) {
+    ++sent;
+    const Result<cdr::Value> result = safe_invoke(
+        system, *clients[0], ref, "add",
+        cdr::Value::sequence({cdr::Value::int64(1), cdr::Value::int64(2)}),
+        seconds(30));
+    if (result.is_ok() && result.value().as_int64() == 3) ++*ok;
+  }
+  system.settle();
+
+  // An explicit OVERLOAD reply is a deterministic, voted answer: for the
+  // liveness rule it counts as completion (the request was not lost, it was
+  // refused — and the refusal itself cleared f+1 matching ballots).
+  oracle.check_liveness(*ok + *overloaded, sent);
+  oracle.check_expulsions(system.gm_element(0).state());
+
+  const telemetry::Hub& hub = system.sim().telemetry();
+  ScenarioResult result;
+  result.name = "adaptive_adversary_overload";
+  result.seed = seed;
+  result.violations = oracle.violations();
+  result.requests_sent = sent;
+  result.requests_completed = *ok + *overloaded;
+  result.expulsions = system.gm_element(0).state().expulsions();
+  result.detection = result.expulsions > 0;
+  result.rekeys = hub.tracer().count(telemetry::TraceKind::kGmRekey);
+  result.view_changes = hub.tracer().count(telemetry::TraceKind::kBftNewView);
+  result.sheds = sum_shed_gauges(hub.metrics());
+  result.overloads = *overloaded;
+  result.adaptive_retargets = injector.retargets();
+  result.trace_jsonl = hub.tracer().export_jsonl();
+  return result;
+}
+
+ScenarioResult scenario_adaptive_adversary_vs_controller(std::uint64_t seed) {
+  // The full duel: a dissenting element plus an adaptive link adversary on
+  // one side; proactive recovery, the GM strike policy and the §6f feedback
+  // controller on the other. The controller starts conservative (2 strikes,
+  // resting rejuvenation period), turns aggressive when the dissent shows up
+  // in the suspicion counters, and stands back down once the domain is calm
+  // — every move ordered through the GM and traced.
+  core::SystemOptions options;
+  options.seed = seed;
+  core::ItdosSystem system(options);
+  const DomainId domain = system.add_domain(
+      1, core::VotePolicy::exact(), [](orb::ObjectAdapter& adapter, int) {
+        // Key 1 is free in a freshly built domain; activation cannot fail.
+        (void)adapter.activate_with_key(ObjectId(1),
+                                        std::make_shared<PersistentSum>());
+      });
+
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{0};  // expulsion + replacement IS the heal
+  ElementFault dissent;
+  dissent.rank = 2;
+  dissent.kind = ElementFault::Kind::kDissentingReplies;
+  dissent.at = SimTime{millis(20)};
+  plan.element_faults.push_back(dissent);
+  AdaptiveFault adaptive;
+  adaptive.window.until = SimTime{millis(800)};
+  adaptive.interval_ns = millis(25);
+  adaptive.delay_probability = 0.3;
+  adaptive.delay_min_ns = micros(100);
+  adaptive.delay_max_ns = millis(1);
+  plan.adaptive_faults.push_back(adaptive);
+
+  FaultInjector injector(system.network(), plan);
+  injector.arm_links();
+  for (const ElementFault& fault : injector.plan().element_faults) {
+    injector.arm_element(fault, system, domain);
+  }
+  for (const AdaptiveFault& fault : injector.plan().adaptive_faults) {
+    injector.arm_adaptive(fault, system, domain);
+  }
+
+  recovery::RecoveryManager manager(system);
+  manager.watch();
+  recovery::ProactiveScheduler scheduler(manager, seconds(1));
+  scheduler.add_domain(domain, system.domain_n(domain));
+  scheduler.start();
+
+  control::ResponseControllerOptions copts;
+  copts.interval_ns = millis(50);
+  copts.law.min_period_ns = millis(300);  // floor the rotation rate: a short
+                                          // run must not thrash recovery
+  control::ResponseController controller(system, manager, scheduler, copts);
+  controller.start();
+
+  Oracle oracle(system.sim().telemetry());
+  oracle.watch_recovery(manager);
+  for (int i = 0; i < system.gm_n(); ++i) {
+    oracle.watch_replica(0, system.gm_element(i).replica());
+    oracle.watch_gm(system.gm_element(i));
+  }
+  for (int rank = 0; rank < system.domain_n(domain); ++rank) {
+    if (rank != dissent.rank) {
+      oracle.watch_replica(1, system.element(domain, rank).replica());
+    }
+  }
+
+  core::ItdosClient& client = system.add_client();
+  oracle.watch_party(client.party());
+  const orb::ObjectRef ref =
+      system.object_ref(domain, ObjectId(1), "IDL:fault/PSum:1.0");
+
+  std::size_t sent = 0;
+  std::size_t completed = 0;
+  // Traffic interleaved with idle windows: the duel needs wall-clock (sim
+  // time) for retargets, control ticks and recovery cycles to play out.
+  for (int round = 0; round < 8; ++round) {
+    ++sent;
+    const Result<cdr::Value> result = safe_invoke(
+        system, client, ref, "add",
+        cdr::Value::sequence({cdr::Value::int64(1)}), seconds(30));
+    if (result.is_ok()) ++completed;
+    system.sim().run_for(millis(100));
+  }
+  scheduler.stop();
+  controller.stop();
+  system.settle();
+  ++sent;
+  const Result<cdr::Value> last = safe_invoke(
+      system, client, ref, "add", cdr::Value::sequence({cdr::Value::int64(1)}),
+      seconds(30));
+  if (last.is_ok()) ++completed;
+  system.settle();
+
+  oracle.check_liveness(completed, sent);
+  oracle.check_expulsions(system.gm_element(0).state());
+  oracle.check_membership(system.gm_element(0).state(), system.directory());
+
+  const telemetry::Hub& hub = system.sim().telemetry();
+  ScenarioResult result;
+  result.name = "adaptive_adversary_vs_controller";
+  result.seed = seed;
+  result.violations = oracle.violations();
+  result.requests_sent = sent;
+  result.requests_completed = completed;
+  result.expulsions = system.gm_element(0).state().expulsions();
+  result.detection = result.expulsions > 0;
+  result.rekeys = hub.tracer().count(telemetry::TraceKind::kGmRekey);
+  result.view_changes = hub.tracer().count(telemetry::TraceKind::kBftNewView);
+  result.membership_updates =
+      hub.tracer().count(telemetry::TraceKind::kGmMembershipUpdate);
+  result.recoveries_started = manager.stats().started;
+  result.recoveries_completed = manager.stats().completed;
+  result.recoveries_aborted = manager.stats().aborted;
+  result.last_mttr_ns = manager.stats().last_mttr_ns;
+  result.sheds = sum_shed_gauges(hub.metrics());
+  result.adaptive_retargets = injector.retargets();
+  result.control_adjustments = controller.adjustments();
+  result.trace_jsonl = hub.tracer().export_jsonl();
+  return result;
+}
+
 struct ScenarioEntry {
   const char* name;
   ScenarioResult (*run)(std::uint64_t seed);
@@ -801,6 +1062,8 @@ constexpr ScenarioEntry kScenarios[] = {
     {"recovery_partition_onboarding", scenario_recovery_partition_onboarding},
     {"client_replay_storm", scenario_client_replay_storm},
     {"proactive_rejuvenation", scenario_proactive_rejuvenation},
+    {"adaptive_adversary_overload", scenario_adaptive_adversary_overload},
+    {"adaptive_adversary_vs_controller", scenario_adaptive_adversary_vs_controller},
 };
 
 }  // namespace

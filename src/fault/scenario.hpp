@@ -39,6 +39,12 @@ struct ScenarioResult {
   // duplicates/replays must be discarded IDENTICALLY at every element.
   std::vector<std::uint64_t> element_discards;
 
+  // Admission-control / adaptive-adversary scenarios (§6f).
+  std::uint64_t sheds = 0;            // replicated admission sheds (any element)
+  std::uint64_t overloads = 0;        // explicit OVERLOAD replies clients saw
+  std::uint64_t adaptive_retargets = 0;  // adversary.retarget events
+  std::uint64_t control_adjustments = 0; // control.adjust events
+
   std::string trace_jsonl;  // full causal trace (byte-stable per seed)
 
   bool clean() const { return violations.empty(); }

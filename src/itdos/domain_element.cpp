@@ -101,11 +101,13 @@ DomainElement::DomainElement(net::Network& net,
   queue_options.n = domain_info.n();
   queue_options.f = domain_info.f;
   queue_options.members = domain_info.smiop_nodes();
+  queue_options.max_depth = directory_->timing().admission_max_depth;
   queue_options.telemetry = &net_.sim().telemetry();
   queue_options.self = info_.smiop_node;
   auto queue = std::make_unique<QueueStateMachine>(queue_options);
   queue_ = queue.get();
   queue_->set_delivery_hook([this] { schedule_consume(); });
+  queue_->set_shed_hook([this](const BufView& entry) { handle_shed(entry); });
   queue_->set_laggard_hook([this](NodeId laggard) {
     if (laggard == info_.smiop_node) return;
     // Virtual synchrony (§3.1): an element that stops participating in
@@ -391,9 +393,12 @@ void DomainElement::execute_request(const OrderedMsg& meta,
 void DomainElement::finish_request(OrderedMsg meta, cdr::ReplyMessage reply) {
   ++stats_.requests_executed;
   if (reply_mutator_) reply = reply_mutator_(std::move(reply));
+  seal_and_send_reply(meta.conn, meta.rid, meta.epoch, std::move(reply));
+}
 
-  const crypto::SymmetricKey* key =
-      party_->conn_table().key_for(meta.conn, meta.epoch);
+void DomainElement::seal_and_send_reply(ConnectionId conn, RequestId rid,
+                                        KeyEpoch epoch, cdr::ReplyMessage reply) {
+  const crypto::SymmetricKey* key = party_->conn_table().key_for(conn, epoch);
   if (key == nullptr) return;  // rekeyed away mid-execution; drop
 
   // Heterogeneity: this element marshals in its OWN byte order (§3.6 — this
@@ -402,13 +407,13 @@ void DomainElement::finish_request(OrderedMsg meta, cdr::ReplyMessage reply) {
       cdr::encode_giop(cdr::GiopMessage(std::move(reply)), info_.byte_order);
   const crypto::Digest digest = crypto::sha256(ByteView(plain));
   DirectReplyMsg direct;
-  direct.conn = meta.conn;
-  direct.rid = meta.rid;
+  direct.conn = conn;
+  direct.rid = rid;
   direct.element = info_.smiop_node;
-  direct.epoch = meta.epoch;
+  direct.epoch = epoch;
   direct.plain_signature = smiop_key_.sign(DirectReplyMsg::signed_region(
-      meta.conn, meta.rid, info_.smiop_node, meta.epoch, digest));
-  const Bytes aad = seal_aad(meta.conn, meta.rid, meta.epoch, /*is_reply=*/true);
+      conn, rid, info_.smiop_node, epoch, digest));
+  const Bytes aad = seal_aad(conn, rid, epoch, /*is_reply=*/true);
   direct.sealed_giop = crypto::seal(
       *key, crypto::make_nonce(info_.smiop_node.value, reply_nonce_++), aad, plain);
   // One wire frame, shared by every recipient (the fan-out below bumps the
@@ -417,7 +422,7 @@ void DomainElement::finish_request(OrderedMsg meta, cdr::ReplyMessage reply) {
 
   // Send to the requesting party: the singleton client, or every element of
   // the calling domain (each votes independently).
-  const ConnTable::Entry* entry = party_->conn_table().find(meta.conn);
+  const ConnTable::Entry* entry = party_->conn_table().find(conn);
   if (entry == nullptr) return;
   if (entry->record.client_domain.value == 0) {
     net_.send(info_.smiop_node, entry->record.client_node, wire);
@@ -430,7 +435,42 @@ void DomainElement::finish_request(OrderedMsg meta, cdr::ReplyMessage reply) {
     }
   }
   ITDOS_DEBUG(kLog) << "element " << info_.smiop_node.to_string() << " replied on conn "
-                    << meta.conn.to_string() << " rid " << meta.rid.to_string();
+                    << conn.to_string() << " rid " << rid.to_string();
+}
+
+void DomainElement::handle_shed(const BufView& entry) {
+  // Every correct element sheds the same entries (the decision is part of
+  // the replicated queue state machine), so the OVERLOAD replies built here
+  // are value-identical across the domain and the requester's voter reaches
+  // its f+1 matching exception ballots — overload is an explicit, observable
+  // outcome, not a timeout.
+  ConnectionId conn;
+  RequestId rid;
+  KeyEpoch epoch;
+  const Result<QueueEntryKind> kind = queue_entry_kind(entry);
+  if (!kind.is_ok()) return;
+  if (kind.value() == QueueEntryKind::kRequest) {
+    const Result<OrderedMsg> msg = OrderedMsg::decode(entry);
+    if (!msg.is_ok()) return;
+    conn = msg.value().conn;
+    rid = msg.value().rid;
+    epoch = msg.value().epoch;
+  } else if (kind.value() == QueueEntryKind::kFragment) {
+    const Result<FragmentMsg> msg = FragmentMsg::decode(entry);
+    if (!msg.is_ok()) return;
+    if (msg.value().index != 0) return;  // one OVERLOAD per shed message
+    conn = msg.value().conn;
+    rid = msg.value().rid;
+    epoch = msg.value().epoch;
+  } else {
+    return;
+  }
+  ++stats_.requests_shed;
+  cdr::ReplyMessage reply;
+  reply.request_id = rid;
+  reply.status = cdr::ReplyStatus::kSystemException;
+  reply.exception_detail = "ITDOS-OVERLOAD: admission control shed the request";
+  seal_and_send_reply(conn, rid, epoch, std::move(reply));
 }
 
 void DomainElement::maybe_send_ack() {

@@ -29,6 +29,7 @@ struct ElementStats {
   std::uint64_t bundles_sent = 0;        // replacement sync bundles produced
   std::uint64_t bundles_received = 0;
   std::uint64_t requests_reassembled = 0;  // large requests rebuilt (§4)
+  std::uint64_t requests_shed = 0;       // admission control sheds (§6f)
 };
 
 class DomainElement {
@@ -95,6 +96,13 @@ class DomainElement {
   bool process_fragment(const BufView& entry);
   void execute_request(const OrderedMsg& meta, cdr::RequestMessage request);
   void finish_request(OrderedMsg meta, cdr::ReplyMessage reply);
+  /// Seals `reply`, signs its digest and sends the DirectReplyMsg back to the
+  /// requester (singleton client or every element of the calling domain).
+  void seal_and_send_reply(ConnectionId conn, RequestId rid, KeyEpoch epoch,
+                           cdr::ReplyMessage reply);
+  /// Admission-shed hook: sends the requester an explicit OVERLOAD system
+  /// exception so open-loop overload degrades gracefully (DESIGN.md §6f).
+  void handle_shed(const BufView& entry);
   void begin_key_wait(ConnectionId conn);
   void maybe_send_ack();
 

@@ -143,6 +143,8 @@ Bytes GmStateMachine::execute(const BufView& request, NodeId client, SeqNum seq)
     result = handle_resend(std::get<ResendSharesMsg>(command.value()));
   } else if (std::holds_alternative<MembershipUpdateMsg>(command.value())) {
     result = handle_membership(std::get<MembershipUpdateMsg>(command.value()), client);
+  } else if (std::holds_alternative<SetResponsePolicyMsg>(command.value())) {
+    result = handle_policy(std::get<SetResponsePolicyMsg>(command.value()), client);
   } else {
     result = handle_change(std::get<ChangeRequestMsg>(command.value()), client);
   }
@@ -359,6 +361,16 @@ GmCommandResult GmStateMachine::handle_change(const ChangeRequestMsg& msg,
       result.detail = "recorded; awaiting quorum";
       return result;
     }
+    // Quorum complete: one strike. The response policy (§6f) decides how
+    // many DISTINCT completed strikes a suspicion-only expulsion needs —
+    // conservative mode demands repeated independent evidence. The tally is
+    // consumed so the same (conn, rid) incident cannot strike twice.
+    tallies_.erase({msg.accused_element, msg.conn.value, msg.rid.value});
+    if (++strike_counts_[msg.accused_element] < policy_strikes_) {
+      result.accepted = true;
+      result.detail = "strike recorded; below expulsion threshold";
+      return result;
+    }
   }
 
   expel(msg.accused_domain, msg.accused_element);
@@ -438,6 +450,29 @@ GmCommandResult GmStateMachine::handle_membership(const MembershipUpdateMsg& msg
   result.accepted = true;
   result.epoch = KeyEpoch(view.epoch);
   result.detail = "admitted";
+  return result;
+}
+
+GmCommandResult GmStateMachine::handle_policy(const SetResponsePolicyMsg& msg,
+                                              NodeId submitter) {
+  GmCommandResult result;
+  // Same authorization as membership updates: only the recovery authority
+  // (the feedback controller's actuator) may retune the response policy.
+  const NodeId authority = directory_->recovery_authority();
+  if (authority.value == 0 || submitter != authority) {
+    result.detail = "submitter is not the recovery authority";
+    return result;
+  }
+  if (msg.laggard_strikes == 0) {
+    result.detail = "laggard_strikes must be at least 1";
+    return result;
+  }
+  policy_strikes_ = msg.laggard_strikes;
+  trace(telemetry::TraceKind::kGmPolicy, 0, policy_strikes_);
+  ITDOS_INFO(kLog) << "response policy: suspicion expulsions now need "
+                   << policy_strikes_ << " strike(s)";
+  result.accepted = true;
+  result.detail = "policy set";
   return result;
 }
 
@@ -525,6 +560,12 @@ Bytes GmStateMachine::snapshot() const {
     enc.write_uint32(static_cast<std::uint32_t>(reporters.size()));
     for (NodeId reporter : reporters) enc.write_uint64(reporter.value);
   }
+  enc.write_uint64(policy_strikes_);
+  enc.write_uint32(static_cast<std::uint32_t>(strike_counts_.size()));
+  for (const auto& [element, strikes] : strike_counts_) {
+    enc.write_uint64(element.value);
+    enc.write_uint64(strikes);
+  }
   return enc.take();
 }
 
@@ -599,6 +640,13 @@ Status GmStateMachine::restore(ByteView snapshot) {
       tally.insert(NodeId(reporter));
     }
   }
+  ITDOS_ASSIGN_OR_RETURN(fresh.policy_strikes_, dec.read_uint64());
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t strike_count, dec.read_uint32());
+  for (std::uint32_t i = 0; i < strike_count; ++i) {
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t element, dec.read_uint64());
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t strikes, dec.read_uint64());
+    fresh.strike_counts_[NodeId(element)] = strikes;
+  }
   next_conn_ = fresh.next_conn_;
   expulsions_ = fresh.expulsions_;
   membership_generation_ = fresh.membership_generation_;
@@ -606,6 +654,8 @@ Status GmStateMachine::restore(ByteView snapshot) {
   views_ = std::move(fresh.views_);
   expelled_ = std::move(fresh.expelled_);
   tallies_ = std::move(fresh.tallies_);
+  policy_strikes_ = fresh.policy_strikes_;
+  strike_counts_ = std::move(fresh.strike_counts_);
   return Status::ok();
 }
 

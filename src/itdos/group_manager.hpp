@@ -119,6 +119,10 @@ class GmStateMachine : public bft::StateMachine {
   /// sub-keys of this generation.
   std::uint64_t membership_generation() const { return membership_generation_; }
 
+  /// Suspicion-expulsion aggressiveness currently in force (DESIGN.md §6f):
+  /// completed f+1 quorum tallies required before a no-proof expulsion.
+  std::uint64_t laggard_strikes() const { return policy_strikes_; }
+
   /// Observer fired whenever an identity leaves a communication group — via
   /// expulsion or via membership_update retirement (the fault oracle asserts
   /// retired identities never rejoin; the recovery manager reacts to
@@ -136,6 +140,7 @@ class GmStateMachine : public bft::StateMachine {
   GmCommandResult handle_resend(const ResendSharesMsg& msg);
   GmCommandResult handle_change(const ChangeRequestMsg& msg, NodeId submitter);
   GmCommandResult handle_membership(const MembershipUpdateMsg& msg, NodeId submitter);
+  GmCommandResult handle_policy(const SetResponsePolicyMsg& msg, NodeId submitter);
   Status verify_proof(const ChangeRequestMsg& msg) const;
   void expel(DomainId domain, NodeId element_smiop);
   void retire(DomainId domain, NodeId element_smiop, bool count_expulsion);
@@ -173,6 +178,12 @@ class GmStateMachine : public bft::StateMachine {
   // Domain-quorum change_request tallies: (accused, conn, rid) -> reporters.
   std::map<std::tuple<NodeId, std::uint64_t, std::uint64_t>, std::set<NodeId>> tallies_;
   std::uint64_t expulsions_ = 0;
+  // Intrusion-response policy (§6f): quorum strikes before a suspicion-based
+  // expulsion, and completed strikes per accused element. Replicated — the
+  // feedback controller only changes it via ordered SetResponsePolicy
+  // commands submitted by the recovery authority.
+  std::uint64_t policy_strikes_ = 1;
+  std::map<NodeId, std::uint64_t> strike_counts_;
   std::vector<ExpulsionObserver> expulsion_observers_;  // not replicated state
 };
 

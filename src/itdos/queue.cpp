@@ -8,13 +8,24 @@ namespace itdos::core {
 
 namespace {
 const Bytes kAckReply = to_bytes("ITDOS-ACK");  // the paper's "static reply"
+// The deterministic admission-shed reply: like kAckReply it is identical at
+// every correct element, so the submitting BFT client still gets its f+1
+// matching replies and does not retry a shed entry.
+const Bytes kShedReply = to_bytes("ITDOS-SHED");
+
+/// Composite fragment-stream key for the shed set.
+std::uint64_t stream_key(ConnectionId conn, RequestId rid) {
+  return (conn.value << 32) | (rid.value & 0xFFFFFFFFULL);
 }
+}  // namespace
 
 QueueStateMachine::QueueStateMachine(QueueOptions options) : options_(std::move(options)) {
   if (options_.telemetry != nullptr) {
     const std::string prefix = "queue." + options_.self.to_string() + ".";
     depth_gauge_ = &options_.telemetry->metrics().gauge(prefix + "depth");
     collected_counter_ = &options_.telemetry->metrics().counter(prefix + "entries_collected");
+    shed_gauge_ =
+        &options_.telemetry->metrics().gauge("admission." + options_.self.to_string() + ".shed");
   }
 }
 
@@ -59,6 +70,21 @@ Bytes QueueStateMachine::execute(const BufView& request, NodeId client, SeqNum s
     return kAckReply;
   }
 
+  // Admission control (DESIGN.md §6f): data entries arriving while the
+  // replicated depth is at the bound are shed deterministically — the
+  // decision reads only replicated state + static config, so every correct
+  // element sheds the same entries and checkpoint digests keep agreeing.
+  // Sync points are never shed (recovery must make progress under overload).
+  if ((kind.value() == QueueEntryKind::kRequest ||
+       kind.value() == QueueEntryKind::kFragment) &&
+      should_shed(request, kind.value())) {
+    ++sheds_;
+    if (shed_gauge_ != nullptr) shed_gauge_->set(static_cast<std::int64_t>(sheds_));
+    trace(telemetry::TraceKind::kAdmissionShed, trace_of(request), size(), options_.max_depth);
+    if (on_shed_) on_shed_(request);
+    return kShedReply;
+  }
+
   // kRequest and kSyncPoint entries are both delivered to the consumer (the
   // sync point marks the exact queue position peers snapshot at). The entry
   // is a view into the BFT wire buffer — retained, not copied.
@@ -67,6 +93,27 @@ Bytes QueueStateMachine::execute(const BufView& request, NodeId client, SeqNum s
   update_depth();
   if (on_delivery_) on_delivery_();
   return kAckReply;
+}
+
+bool QueueStateMachine::should_shed(const BufView& request, QueueEntryKind kind) {
+  const bool over = options_.max_depth > 0 && size() >= options_.max_depth;
+  if (kind == QueueEntryKind::kRequest) return over;
+
+  // Fragments: admission is per message, decided at the first fragment. A
+  // shed stream's continuations shed too (otherwise reassembly would stall
+  // forever on a hole); an admitted stream's continuations are always
+  // admitted so the already-queued fragments can complete.
+  const Result<FragmentMsg> msg = FragmentMsg::decode(request);
+  if (!msg.is_ok()) return false;  // malformed; let the consumer discard it
+  const std::uint64_t key = stream_key(msg.value().conn, msg.value().rid);
+  const bool last = msg.value().index + 1 >= msg.value().total;
+  if (shed_streams_.contains(key)) {
+    if (last) shed_streams_.erase(key);
+    return true;
+  }
+  if (msg.value().index != 0 || !over) return false;
+  if (!last) shed_streams_.insert(key);
+  return true;
 }
 
 void QueueStateMachine::advance_base() {
@@ -174,6 +221,8 @@ Bytes QueueStateMachine::snapshot() const {
     enc.write_uint64(element.value);
     enc.write_uint64(index);
   }
+  enc.write_uint32(static_cast<std::uint32_t>(shed_streams_.size()));
+  for (const std::uint64_t key : shed_streams_) enc.write_uint64(key);
   return enc.take();
 }
 
@@ -198,6 +247,12 @@ Status QueueStateMachine::restore(ByteView snapshot) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t index, dec.read_uint64());
     acks[NodeId(element)] = index;
   }
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t shed_count, dec.read_uint32());
+  std::set<std::uint64_t> shed_streams;
+  for (std::uint32_t i = 0; i < shed_count; ++i) {
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t key, dec.read_uint64());
+    shed_streams.insert(key);
+  }
 
   // Virtual synchrony: we can only adopt the queue if our consumption point
   // is still inside the retained window — otherwise the entries we would
@@ -215,6 +270,7 @@ Status QueueStateMachine::restore(ByteView snapshot) {
   base_ = base;
   next_index_ = next;
   acks_ = std::move(acks);
+  shed_streams_ = std::move(shed_streams);
   update_depth();
   if (bootstrap_ && consumed_ < base_) consumed_ = base_;  // placeholder cursor
   if (on_delivery_ && has_next()) on_delivery_();

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "bft/app.hpp"
@@ -37,6 +38,13 @@ struct QueueOptions {
   int n = 4;                      // domain size (3f+1)
   int f = 1;
   std::uint64_t lag_window = 64;  // acks this far behind base flag a laggard
+
+  /// Admission control (DESIGN.md §6f): when > 0, data entries arriving
+  /// while the replicated depth (next_index - base) is at or past this bound
+  /// are shed deterministically — every correct element makes the identical
+  /// decision because it is a function of replicated state and static
+  /// config only. 0 = unbounded (the paper's baseline).
+  std::uint64_t max_depth = 0;
 
   /// The domain's element identities (SMIOP nodes). Acks from anyone else
   /// are ignored — otherwise a rogue could fabricate n-f acks and force GC
@@ -67,6 +75,15 @@ class QueueStateMachine : public bft::StateMachine {
   void set_laggard_hook(std::function<void(NodeId)> hook) {
     on_laggard_ = std::move(hook);
   }
+
+  /// Fires (element-locally) when admission control sheds a data entry; the
+  /// element uses it to send the requester an explicit OVERLOAD reply. The
+  /// view is the shed entry (still tagged with its QueueEntryKind).
+  void set_shed_hook(std::function<void(const BufView&)> hook) {
+    on_shed_ = std::move(hook);
+  }
+
+  std::uint64_t sheds() const { return sheds_; }
 
   // --- bft::StateMachine (deterministic, identical on every element) ---
   Bytes execute(const BufView& request, NodeId client, SeqNum seq) override;
@@ -118,18 +135,27 @@ class QueueStateMachine : public bft::StateMachine {
   void trace(telemetry::TraceKind kind, std::uint64_t trace_id, std::uint64_t a = 0,
              std::uint64_t b = 0) const;
   void update_depth() const;
+  /// Replicated shed decision for a data entry (kRequest / kFragment).
+  /// Mutates shed_streams_ so every fragment of a shed message sheds.
+  bool should_shed(const BufView& request, QueueEntryKind kind);
 
   QueueOptions options_;
   telemetry::Gauge* depth_gauge_ = nullptr;        // queue.<self>.depth
+  telemetry::Gauge* shed_gauge_ = nullptr;         // admission.<self>.shed (cumulative)
   telemetry::Counter* collected_counter_ = nullptr;  // queue.<self>.entries_collected
   std::function<void()> on_delivery_;
   std::function<void(NodeId)> on_laggard_;
+  std::function<void(const BufView&)> on_shed_;
+  std::uint64_t sheds_ = 0;  // element-local mirror of the shed gauge
 
   // Ordered (replicated) state:
   std::map<std::uint64_t, BufView> entries_;  // index -> data entry (retained view)
   std::uint64_t next_index_ = 0;            // next index to assign
   std::uint64_t base_ = 0;                  // lowest retained index (GC floor)
   std::map<NodeId, std::uint64_t> acks_;    // element -> consumed index
+  // Fragment streams whose first fragment was shed: continuations shed too
+  // (key = conn << 32 | rid). Part of replicated state (snapshot/restore).
+  std::set<std::uint64_t> shed_streams_;
 
   // Element-local state:
   std::uint64_t consumed_ = 0;

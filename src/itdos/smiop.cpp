@@ -124,6 +124,7 @@ SmiopParty::SmiopParty(net::Network& net,
   metrics_.faults_detected = &reg.counter(prefix + "faults_detected");
   metrics_.change_requests_sent = &reg.counter(prefix + "change_requests_sent");
   metrics_.fragmented_requests = &reg.counter(prefix + "fragmented_requests");
+  metrics_.overloads_observed = &reg.counter(prefix + "overloads_observed");
   metrics_.request_latency_ns = &reg.histogram("smiop.request_latency_ns");
   metrics_.connect_latency_ns = &reg.histogram("smiop.connect_latency_ns");
   gm_client_ = std::make_unique<bft::Client>(
@@ -179,6 +180,7 @@ PartyStats SmiopParty::stats() const {
       .faults_detected = metrics_.faults_detected->value(),
       .change_requests_sent = metrics_.change_requests_sent->value(),
       .fragmented_requests = metrics_.fragmented_requests->value(),
+      .overloads_observed = metrics_.overloads_observed->value(),
   };
 }
 
@@ -482,6 +484,12 @@ void SmiopParty::handle_direct_reply(const DirectReplyMsg& msg) {
 
 void SmiopParty::complete_round(ConnState& state, Result<cdr::ReplyMessage> result) {
   if (!state.round || !state.round->done) return;
+  if (result.is_ok() && result.value().status == cdr::ReplyStatus::kSystemException &&
+      result.value().exception_detail.starts_with("ITDOS-OVERLOAD")) {
+    // Admission control shed the request at every correct element: the f+1
+    // matching exception ballots make overload an explicit outcome (§6f).
+    metrics_.overloads_observed->inc();
+  }
   if (state.round->timer_armed) {
     net_.sim().cancel(state.round->timer);
     state.round->timer_armed = false;

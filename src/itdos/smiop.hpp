@@ -62,6 +62,7 @@ struct PartyStats {
   std::uint64_t faults_detected = 0;     // dissenting elements observed
   std::uint64_t change_requests_sent = 0;
   std::uint64_t fragmented_requests = 0; // large requests split (§4)
+  std::uint64_t overloads_observed = 0;  // voted OVERLOAD replies (§6f sheds)
 };
 
 /// The client half of an ITDOS party. Owns the GM/ordering BFT clients, the
@@ -194,6 +195,7 @@ class SmiopParty {
     telemetry::Counter* faults_detected;
     telemetry::Counter* change_requests_sent;
     telemetry::Counter* fragmented_requests;
+    telemetry::Counter* overloads_observed;
     telemetry::Histogram* request_latency_ns;  // send_on -> voted reply
     telemetry::Histogram* connect_latency_ns;  // connect_to -> key installed
   } metrics_{};

@@ -304,6 +304,7 @@ constexpr std::uint8_t kCmdOpen = 1;
 constexpr std::uint8_t kCmdChange = 2;
 constexpr std::uint8_t kCmdResend = 3;
 constexpr std::uint8_t kCmdMembership = 4;
+constexpr std::uint8_t kCmdSetPolicy = 5;
 }  // namespace
 
 Bytes encode_gm_command(const GmCommand& cmd) {
@@ -329,6 +330,10 @@ Bytes encode_gm_command(const GmCommand& cmd) {
     enc.write_uint64(update.admitted_gm_client.value);
     enc.write_uint64(update.admitted_self_client.value);
     enc.write_uint64(update.expected_epoch);
+  } else if (std::holds_alternative<SetResponsePolicyMsg>(cmd)) {
+    const auto& policy = std::get<SetResponsePolicyMsg>(cmd);
+    enc.write_octet(kCmdSetPolicy);
+    enc.write_uint64(policy.laggard_strikes);
   } else {
     const auto& change = std::get<ChangeRequestMsg>(cmd);
     enc.write_octet(kCmdChange);
@@ -419,6 +424,12 @@ Result<GmCommand> decode_gm_command(ByteView data) {
     ITDOS_ASSIGN_OR_RETURN(update.expected_epoch, dec.read_uint64());
     ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "MembershipUpdateMsg"));
     return GmCommand(update);
+  }
+  if (tag == kCmdSetPolicy) {
+    SetResponsePolicyMsg policy;
+    ITDOS_ASSIGN_OR_RETURN(policy.laggard_strikes, dec.read_uint64());
+    ITDOS_RETURN_IF_ERROR(check_exhausted(dec, "SetResponsePolicyMsg"));
+    return GmCommand(policy);
   }
   return error(Errc::kMalformedMessage, "unknown GM command tag");
 }

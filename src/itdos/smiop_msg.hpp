@@ -250,8 +250,23 @@ struct MembershipUpdateMsg {
   bool operator==(const MembershipUpdateMsg&) const = default;
 };
 
+/// Totally-ordered intrusion-response policy update (DESIGN.md §6f): sets how
+/// aggressively the GM acts on suspicion-based (no-proof, f+1-tally) change
+/// requests. `laggard_strikes` is the number of DISTINCT completed quorum
+/// tallies against one element before it is expelled: 1 = expel on the first
+/// quorum (the baseline), higher values demand repeated independent evidence
+/// (conservative mode the feedback controller uses when suspicion is low).
+/// Proof-carrying change requests always expel immediately — cryptographic
+/// evidence is not policy-tunable. Only the recovery authority may submit
+/// one; replicated like every other GM decision.
+struct SetResponsePolicyMsg {
+  std::uint64_t laggard_strikes = 1;
+
+  bool operator==(const SetResponsePolicyMsg&) const = default;
+};
+
 using GmCommand = std::variant<OpenRequestMsg, ChangeRequestMsg, ResendSharesMsg,
-                               MembershipUpdateMsg>;
+                               MembershipUpdateMsg, SetResponsePolicyMsg>;
 
 Bytes encode_gm_command(const GmCommand& cmd);
 Result<GmCommand> decode_gm_command(ByteView data);

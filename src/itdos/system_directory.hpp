@@ -57,6 +57,14 @@ struct ProtocolTiming {
 
   /// Backoff between an aborted recovery attempt and its retry.
   std::int64_t recovery_retry_backoff_ns = millis(100);
+
+  /// Admission control: replicated queue depth past which further ordered
+  /// requests are shed deterministically with an explicit OVERLOAD reply
+  /// (DESIGN.md §6f). 0 disables shedding (unbounded queues, the paper's
+  /// baseline behaviour). Static config, identical at every element — the
+  /// shed decision is part of the replicated state machine and must not be
+  /// retuned at runtime.
+  std::uint64_t admission_max_depth = 0;
 };
 
 struct DomainInfo {

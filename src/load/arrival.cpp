@@ -1,0 +1,109 @@
+#include "load/arrival.hpp"
+
+#include <cmath>
+
+namespace itdos::load {
+
+namespace {
+
+/// Exponential variate with the given mean, in ns. Uses -mean*ln(1-u) with
+/// u in [0,1): the argument to log is in (0,1], never zero.
+std::int64_t exp_ns(Rng& rng, double mean_ns) {
+  const double u = rng.next_double();
+  const double v = -mean_ns * std::log(1.0 - u);
+  // Quantize to whole nanoseconds; at least 1ns so time always advances.
+  const double clamped = v < 1.0 ? 1.0 : v;
+  return static_cast<std::int64_t>(clamped);
+}
+
+std::vector<std::int64_t> fixed_rate(const ArrivalConfig& config, Rng& rng) {
+  std::vector<std::int64_t> schedule;
+  const double mean_gap_ns = 1e9 / config.rate_per_s;
+  std::int64_t t = exp_ns(rng, mean_gap_ns);
+  while (t < config.horizon_ns) {
+    schedule.push_back(t);
+    t += exp_ns(rng, mean_gap_ns);
+  }
+  return schedule;
+}
+
+std::vector<std::int64_t> bursty(const ArrivalConfig& config, Rng& rng) {
+  std::vector<std::int64_t> schedule;
+  const double base_rate =
+      config.rate_per_s > 0.0 ? config.rate_per_s : 1.0;
+  const double burst_rate =
+      config.peak_rate_per_s > 0.0 ? config.peak_rate_per_s : base_rate;
+  bool in_burst = false;
+  std::int64_t t = 0;
+  std::int64_t phase_end =
+      exp_ns(rng, static_cast<double>(config.idle_mean_ns));
+  while (t < config.horizon_ns) {
+    const double rate = in_burst ? burst_rate : base_rate;
+    const std::int64_t next = t + exp_ns(rng, 1e9 / rate);
+    if (next >= phase_end) {
+      // Phase flip. Restart the inter-arrival clock at the boundary: the
+      // memoryless property makes discarding the partial gap exact.
+      t = phase_end;
+      in_burst = !in_burst;
+      phase_end =
+          t + exp_ns(rng, static_cast<double>(in_burst ? config.burst_mean_ns
+                                                       : config.idle_mean_ns));
+      continue;
+    }
+    t = next;
+    if (t < config.horizon_ns) schedule.push_back(t);
+  }
+  return schedule;
+}
+
+std::vector<std::int64_t> ramp(const ArrivalConfig& config, Rng& rng) {
+  std::vector<std::int64_t> schedule;
+  const double start_rate = config.rate_per_s;
+  const double end_rate =
+      config.peak_rate_per_s > 0.0 ? config.peak_rate_per_s : start_rate;
+  const double max_rate = start_rate > end_rate ? start_rate : end_rate;
+  // Lewis-Shedler thinning against the envelope rate: candidate arrivals at
+  // max_rate, each accepted with probability rate(t)/max_rate.
+  std::int64_t t = 0;
+  const double horizon = static_cast<double>(config.horizon_ns);
+  while (true) {
+    t += exp_ns(rng, 1e9 / max_rate);
+    if (t >= config.horizon_ns) break;
+    const double frac = static_cast<double>(t) / horizon;
+    const double rate = start_rate + (end_rate - start_rate) * frac;
+    if (rng.next_double() * max_rate < rate) schedule.push_back(t);
+  }
+  return schedule;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> arrival_schedule(const ArrivalConfig& config,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  if (config.rate_per_s <= 0.0 || config.horizon_ns <= 0) return {};
+  switch (config.kind) {
+    case ArrivalKind::kFixedRate:
+      return fixed_rate(config, rng);
+    case ArrivalKind::kBursty:
+      return bursty(config, rng);
+    case ArrivalKind::kRamp:
+      return ramp(config, rng);
+  }
+  return {};
+}
+
+std::vector<std::uint8_t> schedule_bytes(
+    const std::vector<std::int64_t>& schedule) {
+  std::vector<std::uint8_t> out;
+  out.reserve(schedule.size() * 8);
+  for (const std::int64_t t : schedule) {
+    const auto u = static_cast<std::uint64_t>(t);
+    for (int shift = 0; shift < 64; shift += 8) {
+      out.push_back(static_cast<std::uint8_t>((u >> shift) & 0xFF));
+    }
+  }
+  return out;
+}
+
+}  // namespace itdos::load

@@ -1,0 +1,58 @@
+// Seed-deterministic arrival processes for the open-loop load harness
+// (DESIGN.md §6f). Every existing bench is closed-loop — the next request
+// waits for the previous reply — so the system is never driven past
+// saturation. An OPEN-loop generator fires requests on a schedule that does
+// not care whether the system keeps up, which is how a very large client
+// population looks to a server: offered load is an input, not a consequence.
+//
+// Three processes, all pure functions of (config, seed) through the shared
+// Rng (DET-001: the only allowed randomness):
+//   * fixed-rate — Poisson arrivals at a constant rate (a large population
+//     of independent clients aggregates to this);
+//   * bursty     — a two-phase Markov-modulated Poisson process (MMPP):
+//     exponentially distributed sojourns alternate between a base-rate phase
+//     and a burst-rate phase;
+//   * ramp       — Poisson arrivals whose instantaneous rate climbs linearly
+//     from `rate_per_s` to `peak_rate_per_s` across the horizon (generated
+//     by thinning against the peak rate).
+//
+// Schedules are materialized up front: the generator schedules every arrival
+// on the simulator before the run starts, so the arrival pattern cannot be
+// perturbed by what the system under test does with it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace itdos::load {
+
+enum class ArrivalKind : std::uint8_t {
+  kFixedRate = 1,
+  kBursty = 2,
+  kRamp = 3,
+};
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kFixedRate;
+  double rate_per_s = 1000.0;       // fixed rate / MMPP base rate / ramp start
+  double peak_rate_per_s = 0.0;     // MMPP burst rate / ramp end (0 = rate_per_s)
+  std::int64_t horizon_ns = millis(500);  // arrivals generated inside [0, horizon)
+  // MMPP phase sojourns (means of the exponential phase durations).
+  std::int64_t burst_mean_ns = millis(20);
+  std::int64_t idle_mean_ns = millis(20);
+};
+
+/// Materializes the arrival schedule: offsets in nanoseconds from the start
+/// of the window, strictly non-decreasing, all inside [0, horizon_ns). Same
+/// (config, seed) — same bytes, on every process kind.
+std::vector<std::int64_t> arrival_schedule(const ArrivalConfig& config,
+                                           std::uint64_t seed);
+
+/// Canonical little-endian serialization of a schedule — what the
+/// byte-stability tests compare across repeated generations.
+std::vector<std::uint8_t> schedule_bytes(const std::vector<std::int64_t>& schedule);
+
+}  // namespace itdos::load

@@ -1,0 +1,117 @@
+#include "load/generator.hpp"
+
+#include "common/log.hpp"
+
+namespace itdos::load {
+
+namespace {
+constexpr std::string_view kLog = "itdos.load";
+}  // namespace
+
+LoadGenerator::LoadGenerator(core::ItdosSystem& system, orb::ObjectRef target,
+                             LoadOptions options)
+    : system_(system),
+      target_(std::move(target)),
+      options_(std::move(options)),
+      rng_(options_.seed ^ 0x6f70656e6c6f6f64ULL) {  // decorrelate from net seed
+  if (options_.clients < 1) options_.clients = 1;
+  if (options_.max_client_backlog < 1) options_.max_client_backlog = 1;
+  if (options_.mix.empty()) options_.mix.push_back(LoadOp{});
+  pool_.reserve(static_cast<std::size_t>(options_.clients));
+  for (int i = 0; i < options_.clients; ++i) {
+    pool_.push_back(&system_.add_client(core::ClientOptions{}));
+  }
+  backlog_.assign(pool_.size(), 0);
+}
+
+void LoadGenerator::start() {
+  if (started_) return;
+  started_ = true;
+  start_time_ = system_.sim().now();
+  const std::vector<std::int64_t> schedule =
+      arrival_schedule(options_.arrival, options_.seed);
+  counts_.offered = schedule.size();
+  for (const std::int64_t t : schedule) {
+    system_.sim().schedule_after(t, [this, alive = alive_, t] {
+      if (!*alive) return;
+      dispatch(t);
+    });
+  }
+  ITDOS_INFO(kLog) << "open-loop run: " << schedule.size() << " arrivals over "
+                   << options_.arrival.horizon_ns << "ns across "
+                   << pool_.size() << " clients";
+}
+
+const LoadOp& LoadGenerator::pick_op() {
+  if (options_.mix.size() == 1) return options_.mix.front();
+  double total = 0.0;
+  for (const LoadOp& op : options_.mix) total += op.weight;
+  double roll = rng_.next_double() * total;
+  for (const LoadOp& op : options_.mix) {
+    roll -= op.weight;
+    if (roll < 0.0) return op;
+  }
+  return options_.mix.back();
+}
+
+void LoadGenerator::dispatch(std::int64_t arrival_ns) {
+  // Round-robin from a moving cursor; first client under its backlog cap
+  // wins. All caps hit => the arrival is starved (the "population" walked
+  // away), which keeps client-side queues bounded without closing the loop.
+  std::size_t slot = pool_.size();
+  for (std::size_t probe = 0; probe < pool_.size(); ++probe) {
+    const std::size_t i = (cursor_ + probe) % pool_.size();
+    if (backlog_[i] < options_.max_client_backlog) {
+      slot = i;
+      break;
+    }
+  }
+  cursor_ = (cursor_ + 1) % pool_.size();
+  if (slot == pool_.size()) {
+    ++counts_.starved;
+    return;
+  }
+  ++counts_.dispatched;
+  ++backlog_[slot];
+  const LoadOp& op = pick_op();
+  const SimTime arrived_at = start_time_ + arrival_ns;
+  pool_[slot]->orb().invoke(
+      target_, op.operation, op.argument,
+      [this, alive = alive_, slot, arrived_at](Result<cdr::Value> result) {
+        if (!*alive) return;
+        --backlog_[slot];
+        latency_.record(system_.sim().now() - arrived_at);
+        if (result.is_ok()) {
+          ++counts_.ok;
+        } else if (result.status().code() == Errc::kResourceExhausted) {
+          ++counts_.overloaded;
+        } else {
+          ++counts_.failed;
+        }
+      });
+}
+
+bool LoadGenerator::done() const {
+  if (!started_) return false;
+  return counts_.ok + counts_.overloaded + counts_.failed + counts_.starved >=
+         counts_.offered;
+}
+
+void LoadGenerator::run_to_completion(std::int64_t max_extra_ns) {
+  const SimTime deadline = start_time_ + options_.arrival.horizon_ns + max_extra_ns;
+  while (!done() && system_.sim().now() < deadline && !system_.sim().idle()) {
+    system_.sim().step();
+  }
+}
+
+LoadReport LoadGenerator::report() const {
+  LoadReport out = counts_;
+  out.p50_latency_ns = static_cast<std::int64_t>(latency_.percentile(50.0));
+  out.p99_latency_ns = static_cast<std::int64_t>(latency_.percentile(99.0));
+  const double window_s =
+      static_cast<double>(options_.arrival.horizon_ns) / 1e9;
+  out.goodput_per_s = window_s > 0.0 ? static_cast<double>(out.ok) / window_s : 0.0;
+  return out;
+}
+
+}  // namespace itdos::load

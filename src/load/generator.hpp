@@ -1,0 +1,103 @@
+// Open-loop load generator (DESIGN.md §6f). Drives an ItdosSystem with a
+// pre-materialized arrival schedule (arrival.hpp) through a pool of K real
+// ItdosClients — the full proxy/enclave path: SMIOP sealing, BFT ordering,
+// replicated execution, reply voting. K bounds CONCURRENCY (each Orb
+// serializes per connection, queueing further invokes client-side), not
+// offered load: arrivals keep coming whether or not the system keeps up,
+// and latency is measured from the SCHEDULED arrival time, so client-side
+// queueing delay — the open-loop signature of saturation — is part of every
+// sample. Offered load beyond what K concurrent sessions can even enqueue
+// is counted as `starved` rather than silently dropped.
+//
+// Outcome classification:
+//   * ok        — a voted reply with a value;
+//   * overloaded — the explicit ITDOS-OVERLOAD admission-control reply
+//     (Errc::kResourceExhausted at the Orb): the system said no, fast;
+//   * failed    — everything else (vote timeouts, transport errors).
+// Goodput = ok completions per second of the arrival window.
+#pragma once
+
+#include <functional>
+
+#include "itdos/system.hpp"
+#include "load/arrival.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace itdos::load {
+
+/// One entry of the request mix: an operation plus its ready-made argument
+/// and a selection weight. Mixes are sampled per-arrival from the
+/// generator's own Rng stream, so the op sequence is seed-deterministic.
+struct LoadOp {
+  std::string operation = "work";
+  cdr::Value argument;
+  double weight = 1.0;
+};
+
+struct LoadOptions {
+  ArrivalConfig arrival;
+  std::uint64_t seed = 1;
+  int clients = 32;                    // concurrent sessions (Orb pool size)
+  int max_client_backlog = 64;         // queued invokes tolerated per client
+  std::vector<LoadOp> mix;             // empty: "work" with empty args
+};
+
+struct LoadReport {
+  std::uint64_t offered = 0;      // arrivals in the schedule
+  std::uint64_t dispatched = 0;   // arrivals handed to an Orb
+  std::uint64_t starved = 0;      // arrivals dropped: every client at backlog cap
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;   // explicit admission-control replies
+  std::uint64_t failed = 0;       // vote timeouts / transport errors
+  double goodput_per_s = 0.0;     // ok / arrival window
+  std::int64_t p50_latency_ns = 0;  // arrival -> completion, all outcomes
+  std::int64_t p99_latency_ns = 0;
+};
+
+class LoadGenerator {
+ public:
+  /// Creates the client pool immediately (clients join `system` and live as
+  /// long as it does); nothing is scheduled until start().
+  LoadGenerator(core::ItdosSystem& system, orb::ObjectRef target,
+                LoadOptions options);
+  ~LoadGenerator() { *alive_ = false; }
+
+  /// Schedules every arrival of the configured window on the sim clock,
+  /// starting at sim().now(). Call at most once.
+  void start();
+
+  /// True once every dispatched arrival has completed (or was starved).
+  bool done() const;
+
+  /// Runs the simulator until done() or `max_extra_ns` past the arrival
+  /// window, whichever first — the drain phase after an overload run.
+  void run_to_completion(std::int64_t max_extra_ns = seconds(10));
+
+  /// Final numbers. Percentiles are computed here, so call after the run.
+  LoadReport report() const;
+
+  const telemetry::Histogram& latency() const { return latency_; }
+
+ private:
+  void dispatch(std::int64_t arrival_ns);
+  const LoadOp& pick_op();
+
+  core::ItdosSystem& system_;
+  orb::ObjectRef target_;
+  LoadOptions options_;
+  Rng rng_;
+  std::vector<core::ItdosClient*> pool_;
+  std::vector<int> backlog_;           // outstanding invokes per pool slot
+  std::size_t cursor_ = 0;             // round-robin start for dispatch
+  SimTime start_time_{};
+  bool started_ = false;
+
+  LoadReport counts_;                  // running totals (percentiles filled late)
+  telemetry::Histogram latency_;       // arrival -> completion, ns
+
+  // Completions can land after the generator is destroyed if a run is cut
+  // short; same guard discipline as every timer-holding class here.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace itdos::load

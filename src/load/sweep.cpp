@@ -1,0 +1,62 @@
+#include "load/sweep.hpp"
+
+#include "common/log.hpp"
+
+namespace itdos::load {
+
+namespace {
+constexpr std::string_view kLog = "itdos.load";
+
+std::uint64_t sum_sheds(const telemetry::MetricsRegistry& registry) {
+  std::uint64_t total = 0;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (name.starts_with("admission.") && name.ends_with(".shed")) {
+      total += static_cast<std::uint64_t>(gauge.value());
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+const std::vector<SweepPoint>& OfferedLoadSweep::run(const Factory& factory) {
+  points_.clear();
+  for (const double rate : options_.rates) {
+    LoadOptions load;
+    load.arrival = options_.arrival;
+    load.arrival.rate_per_s = rate;
+    load.seed = options_.seed;
+    load.clients = options_.clients;
+    load.max_client_backlog = options_.max_client_backlog;
+    load.mix = options_.mix;
+
+    bool ran = false;
+    factory(rate, load, [&](core::ItdosSystem& system, LoadGenerator& gen) {
+      ran = true;
+      gen.start();
+      gen.run_to_completion(options_.drain_ns);
+      SweepPoint point;
+      point.rate_per_s = rate;
+      point.report = gen.report();
+      point.sheds = sum_sheds(system.sim().telemetry().metrics());
+      points_.push_back(point);
+      ITDOS_INFO(kLog) << "sweep point " << rate << "req/s: ok="
+                       << point.report.ok << " overloaded="
+                       << point.report.overloaded << " failed="
+                       << point.report.failed << " starved="
+                       << point.report.starved << " p99="
+                       << point.report.p99_latency_ns << "ns sheds="
+                       << point.sheds;
+    });
+    if (!ran) {
+      ITDOS_WARN(kLog) << "sweep factory skipped the body at " << rate
+                       << "req/s; recording an empty point";
+      SweepPoint point;
+      point.rate_per_s = rate;
+      points_.push_back(point);
+    }
+  }
+  return points_;
+}
+
+}  // namespace itdos::load

@@ -1,0 +1,56 @@
+// Offered-load sweep orchestration (DESIGN.md §6f). Runs the open-loop
+// generator at each rate of a ladder and collects the latency-vs-offered-load
+// curve: p50/p99 latency, goodput, explicit-overload and failure rates,
+// starvation. Each rate point runs against a FRESH deployment built by the
+// caller's factory — points are independent experiments, not phases of one
+// run, so a rate that melts the system cannot poison the next point.
+#pragma once
+
+#include "load/generator.hpp"
+
+namespace itdos::load {
+
+/// One point of the latency-vs-offered-load curve.
+struct SweepPoint {
+  double rate_per_s = 0.0;        // configured offered rate
+  LoadReport report;              // outcome counts, percentiles, goodput
+  std::uint64_t sheds = 0;        // replicated admission sheds, summed over
+                                  // every admission.*.shed gauge in the run
+};
+
+struct SweepOptions {
+  std::vector<double> rates;      // the ladder, in offered requests/s
+  ArrivalConfig arrival;          // template; rate_per_s overridden per point
+  std::uint64_t seed = 1;         // same seed for every point (comparability)
+  int clients = 32;
+  int max_client_backlog = 64;
+  std::vector<LoadOp> mix;
+  std::int64_t drain_ns = seconds(5);  // post-window completion budget
+};
+
+class OfferedLoadSweep {
+ public:
+  /// The factory builds a fresh deployment for one rate point and hands
+  /// (system, target, generator) to `body` — which runs it. The indirection
+  /// keeps deployment shape (domains, servants, attacks, controllers) the
+  /// caller's business while the sweep owns pacing and bookkeeping.
+  using Body = std::function<void(core::ItdosSystem& system, LoadGenerator& gen)>;
+  using Factory = std::function<void(double rate_per_s, const LoadOptions& load,
+                                     const Body& body)>;
+
+  explicit OfferedLoadSweep(SweepOptions options) : options_(std::move(options)) {}
+
+  /// Runs every rate of the ladder through `factory`. The factory must call
+  /// the provided Body exactly once with a generator built from the given
+  /// LoadOptions; the sweep starts it, runs to completion, and records the
+  /// point. Returns the curve in ladder order.
+  const std::vector<SweepPoint>& run(const Factory& factory);
+
+  const std::vector<SweepPoint>& points() const { return points_; }
+
+ private:
+  SweepOptions options_;
+  std::vector<SweepPoint> points_;
+};
+
+}  // namespace itdos::load

@@ -97,8 +97,15 @@ void Orb::pump(DomainId domain) {
               break;
             case cdr::ReplyStatus::kSystemException:
               ++stats_.replies_exception;
-              done(error(Errc::kInternal,
-                         "system exception: " + reply.exception_detail));
+              // Admission-control sheds surface as a dedicated error code so
+              // open-loop callers can tell backpressure from server faults.
+              if (reply.exception_detail.starts_with("ITDOS-OVERLOAD")) {
+                done(error(Errc::kResourceExhausted,
+                           "overload: " + reply.exception_detail));
+              } else {
+                done(error(Errc::kInternal,
+                           "system exception: " + reply.exception_detail));
+              }
               break;
           }
         }

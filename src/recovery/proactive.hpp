@@ -34,6 +34,12 @@ class ProactiveScheduler {
   /// Rejuvenations initiated so far.
   std::uint64_t initiated() const { return initiated_; }
 
+  /// Runtime retune (the §6f feedback controller's local actuator): the new
+  /// period takes effect when the CURRENT tick re-arms — never mid-wait, so
+  /// the schedule stays a pure function of the adjustment history.
+  void set_period(std::int64_t period_ns) { period_ns_ = period_ns; }
+  std::int64_t period_ns() const { return period_ns_; }
+
  private:
   void tick();
 

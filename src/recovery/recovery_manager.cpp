@@ -55,6 +55,26 @@ void RecoveryManager::on_expulsion(DomainId domain, NodeId identity) {
   recover_now(domain, rank);
 }
 
+void RecoveryManager::set_response_policy(std::uint64_t laggard_strikes) {
+  if (laggard_strikes == 0) laggard_strikes = 1;
+  if (laggard_strikes == response_policy_) return;  // no-op; spare the GM
+  response_policy_ = laggard_strikes;
+  core::SetResponsePolicyMsg msg;
+  msg.laggard_strikes = laggard_strikes;
+  authority_->invoke(
+      core::encode_gm_command(core::GmCommand(msg)),
+      [alive = alive_, laggard_strikes](Result<Bytes> r) {
+        if (!*alive) return;
+        if (!r.is_ok()) return;  // BFT client retries internally until quorum
+        Result<core::GmCommandResult> result =
+            core::GmCommandResult::decode(r.value());
+        if (result.is_ok() && !result.value().accepted) {
+          ITDOS_WARN(kLog) << "GM rejected response policy "
+                           << laggard_strikes << ": " << result.value().detail;
+        }
+      });
+}
+
 void RecoveryManager::recover_now(DomainId domain, int rank) {
   if (busy(domain)) {
     // At most one element per domain recovers at a time: taking a second

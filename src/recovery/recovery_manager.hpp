@@ -114,6 +114,15 @@ class RecoveryManager {
   /// replicated epoch exactly).
   std::uint64_t epoch(DomainId domain) const;
 
+  /// Submits an ordered SetResponsePolicy command to the GM (the §6f
+  /// feedback controller's global actuator): suspicion-based expulsions will
+  /// need `laggard_strikes` completed f+1 quorum tallies. Only this manager
+  /// holds the recovery-authority identity the GM accepts it from.
+  void set_response_policy(std::uint64_t laggard_strikes);
+
+  /// Last policy submitted through set_response_policy (1 = baseline).
+  std::uint64_t response_policy() const { return response_policy_; }
+
  private:
   struct Active {
     int rank = 0;
@@ -141,6 +150,7 @@ class RecoveryManager {
   std::map<DomainId, Active> active_;
   std::map<DomainId, std::deque<int>> queued_;          // ranks awaiting a slot
   std::map<DomainId, std::uint64_t> epochs_;            // driven membership epochs
+  std::uint64_t response_policy_ = 1;                   // last submitted strikes
   std::set<std::pair<DomainId, NodeId>> handled_;       // dedup observer echoes
   std::vector<Listener> listeners_;
   RecoveryStats stats_;

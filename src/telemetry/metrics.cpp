@@ -137,6 +137,9 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const auto& [name, g] : other.gauges_) {
     Gauge& mine = gauge(name);
     mine.add(g.value());
+    // A merged run's high-water mark survives even when its gauge drained
+    // back to zero before the harvest (peaks max, they don't add).
+    mine.peak_ = std::max(mine.peak_, g.peak_);
     // Carry the source's history across (bench aggregation: each simulated
     // system restarts at t=0, so the merged series is a concatenation of
     // runs, re-decimated to stay within the sample cap).

@@ -82,6 +82,14 @@ std::string_view trace_kind_name(TraceKind kind) {
       return "recovery.abort";
     case TraceKind::kRecoveryProactive:
       return "recovery.proactive";
+    case TraceKind::kAdmissionShed:
+      return "admission.shed";
+    case TraceKind::kControlAdjust:
+      return "control.adjust";
+    case TraceKind::kAdversaryRetarget:
+      return "adversary.retarget";
+    case TraceKind::kGmPolicy:
+      return "gm.policy";
   }
   return "unknown";
 }

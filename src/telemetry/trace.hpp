@@ -67,6 +67,11 @@ enum class TraceKind : std::uint8_t {
   kRecoveryComplete,   // a=admitted node, b=MTTR ns
   kRecoveryAbort,      // a=failed fresh node, b=attempt number
   kRecoveryProactive,  // a=domain, b=rank scheduled for rejuvenation
+  // Admission control & feedback response (src/itdos/queue.cpp, src/control/).
+  kAdmissionShed,      // a=queue depth at shed, b=configured max depth
+  kControlAdjust,      // a=new rejuvenation period ns, b=new laggard strikes
+  kAdversaryRetarget,  // a=new target node, b=observed queue depth there
+  kGmPolicy,           // a=laggard strikes now in force
 };
 
 std::string_view trace_kind_name(TraceKind kind);

@@ -123,9 +123,57 @@ TEST(FaultScenarioDetail, UnknownScenarioThrows) {
 
 TEST(FaultScenarioDetail, ScenarioListIsStable) {
   const std::vector<std::string> names = scenario_names();
-  EXPECT_GE(names.size(), 20u);
+  EXPECT_GE(names.size(), 22u);
   EXPECT_EQ(names.front(), "drop_storm");
-  EXPECT_EQ(names.back(), "proactive_rejuvenation");
+  EXPECT_EQ(names.back(), "adaptive_adversary_vs_controller");
+}
+
+TEST(FaultScenarioDetail, AdmissionShedsUnderOverloadWithoutStarving) {
+  // Admission control must actually fire (the burst is sized past
+  // max_depth), every shed must surface as a voted OVERLOAD — and the
+  // scenario's post-heal serial requests prove shedding ended with the
+  // burst: "no" is allowed, "no forever" is starvation.
+  const ScenarioResult result = run_scenario("adaptive_adversary_overload", 1);
+  EXPECT_TRUE(result.clean()) << describe(result);
+  EXPECT_EQ(result.requests_completed, result.requests_sent)
+      << describe(result);
+  EXPECT_GT(result.sheds, 0u) << "overload burst never tripped admission";
+  EXPECT_GT(result.overloads, 0u)
+      << "sheds were not voted through to any client";
+  EXPECT_GE(result.adaptive_retargets, 1u);
+  EXPECT_NE(result.trace_jsonl.find("\"ev\":\"admission.shed\""),
+            std::string::npos);
+  EXPECT_NE(result.trace_jsonl.find("\"ev\":\"adversary.retarget\""),
+            std::string::npos);
+}
+
+TEST(FaultScenarioDetail, ControllerAdjustsUnderAdaptiveAdversary) {
+  // The feedback controller must take at least its baseline action plus a
+  // reaction to the dissent-driven suspicion, each ordered through the GM
+  // (gm.policy) and traced (control.adjust).
+  const ScenarioResult result =
+      run_scenario("adaptive_adversary_vs_controller", 1);
+  EXPECT_TRUE(result.clean()) << describe(result);
+  EXPECT_GE(result.control_adjustments, 2u) << describe(result);
+  EXPECT_GE(result.expulsions, 1u) << "the dissenting element survived";
+  EXPECT_NE(result.trace_jsonl.find("\"ev\":\"control.adjust\""),
+            std::string::npos);
+  EXPECT_NE(result.trace_jsonl.find("\"ev\":\"gm.policy\""),
+            std::string::npos);
+}
+
+TEST(FaultScenarioDetail, AdaptiveScenarioTracesAreByteStablePerSeed) {
+  // The adversary aims off live gauges and the controller actuates off live
+  // histograms — both still have to replay byte-identically from the seed.
+  for (const char* name :
+       {"adaptive_adversary_overload", "adaptive_adversary_vs_controller"}) {
+    const ScenarioResult first = run_scenario(name, 3);
+    const ScenarioResult second = run_scenario(name, 3);
+    EXPECT_EQ(first.trace_jsonl, second.trace_jsonl)
+        << name << ": same-seed runs diverged";
+    EXPECT_EQ(first.sheds, second.sheds) << name;
+    EXPECT_EQ(first.adaptive_retargets, second.adaptive_retargets) << name;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,30 @@
+// Fixture: a feedback-controller header breaking the message-path rules.
+// src/control/ is on the request path (its actuations are ordered GM
+// commands), so BUF-001's zero-copy contract and the DET rules apply to its
+// headers exactly as they do in src/itdos/.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace itdos::fixture {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class FeedbackActuator {
+ public:
+  // BAD (BUF-001): the encoded policy command is copied per actuation.
+  void submit_policy_command(Bytes command);
+
+  // BAD (BUF-001): spelled-out owning vector, second position.
+  void replay_adjustment(int interval, std::vector<std::uint8_t> frame);
+
+  // BAD (DET-001): a control law sampling the host clock diverges run to
+  // run — controller inputs must come from the sim clock / telemetry.
+  std::int64_t now_ns() const {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+};
+
+}  // namespace itdos::fixture

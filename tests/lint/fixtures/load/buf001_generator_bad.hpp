@@ -1,0 +1,16 @@
+// Fixture: a load-harness header breaking the zero-copy contract. The
+// generator drives real SMIOP connections, so src/load/ headers are
+// message-path headers for BUF-001.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace itdos::fixture {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// BAD (BUF-001): per-arrival payload copy on the dispatch path.
+void dispatch_arrival(std::int64_t at_ns, Bytes payload);
+
+}  // namespace itdos::fixture

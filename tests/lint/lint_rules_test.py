@@ -107,6 +107,25 @@ class RuleFires(unittest.TestCase):
                                   "--no-trace-check")
         self.assertEqual(code, 0, findings)
 
+    def test_buf001_covers_control_loop_headers(self):
+        # src/control/ actuates via ordered GM commands — its headers are
+        # message-path headers, and the DET rules bite there too.
+        hits = self.assert_rule(
+            "BUF-001", fixture("control", "buf001_controller_bad.hpp"),
+            min_count=2)
+        messages = " ".join(h["message"] for h in hits)
+        for needle in ("command", "frame"):
+            self.assertIn(f"`{needle}`", messages)
+        _, findings = run_lint(
+            fixture("control", "buf001_controller_bad.hpp"),
+            "--no-trace-check")
+        self.assertIn("DET-001", rules_of(findings),
+                      "host-clock read in a control-loop header not flagged")
+
+    def test_buf001_covers_load_harness_headers(self):
+        self.assert_rule("BUF-001",
+                         fixture("load", "buf001_generator_bad.hpp"))
+
     def test_meta001_fires_on_unexplained_suppression(self):
         self.assert_rule("META-001", fixture("unexplained.cpp"))
 

@@ -1,0 +1,111 @@
+// Arrival processes are the randomness boundary of the load harness: every
+// schedule must be a pure function of (config, seed) — byte-stable across
+// repeated generation — or offered-load experiments stop being replayable.
+#include "load/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace itdos::load {
+namespace {
+
+ArrivalConfig config_for(ArrivalKind kind) {
+  ArrivalConfig config;
+  config.kind = kind;
+  config.rate_per_s = 2000.0;
+  config.peak_rate_per_s = 8000.0;
+  config.horizon_ns = millis(200);
+  config.burst_mean_ns = millis(10);
+  config.idle_mean_ns = millis(15);
+  return config;
+}
+
+class ArrivalProcessTest : public ::testing::TestWithParam<ArrivalKind> {};
+
+TEST_P(ArrivalProcessTest, SameSeedSameBytes) {
+  const ArrivalConfig config = config_for(GetParam());
+  const auto first = arrival_schedule(config, 42);
+  const auto second = arrival_schedule(config, 42);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(schedule_bytes(first), schedule_bytes(second))
+      << "same-seed schedules diverged";
+}
+
+TEST_P(ArrivalProcessTest, DifferentSeedDifferentSchedule) {
+  const ArrivalConfig config = config_for(GetParam());
+  const auto a = arrival_schedule(config, 42);
+  const auto b = arrival_schedule(config, 43);
+  EXPECT_NE(schedule_bytes(a), schedule_bytes(b))
+      << "seed does not perturb the process";
+}
+
+TEST_P(ArrivalProcessTest, OffsetsSortedAndInsideHorizon) {
+  const ArrivalConfig config = config_for(GetParam());
+  const auto schedule = arrival_schedule(config, 7);
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_TRUE(std::is_sorted(schedule.begin(), schedule.end()));
+  EXPECT_GE(schedule.front(), 0);
+  EXPECT_LT(schedule.back(), config.horizon_ns);
+}
+
+TEST_P(ArrivalProcessTest, CountTracksTheConfiguredRate) {
+  // Poisson counts concentrate tightly at this size; a factor-of-two band
+  // catches a rate-units bug without flaking on distribution tails.
+  const ArrivalConfig config = config_for(GetParam());
+  const auto schedule = arrival_schedule(config, 11);
+  const double window_s = static_cast<double>(config.horizon_ns) / 1e9;
+  const double low = config.rate_per_s * window_s / 2.0;
+  // Bursty/ramp run up to the peak rate, so bound above by it.
+  const double high = config.peak_rate_per_s * window_s * 2.0;
+  EXPECT_GT(static_cast<double>(schedule.size()), low);
+  EXPECT_LT(static_cast<double>(schedule.size()), high);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ArrivalProcessTest,
+                         ::testing::Values(ArrivalKind::kFixedRate,
+                                           ArrivalKind::kBursty,
+                                           ArrivalKind::kRamp),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ArrivalKind::kFixedRate: return "FixedRate";
+                             case ArrivalKind::kBursty: return "Bursty";
+                             case ArrivalKind::kRamp: return "Ramp";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ArrivalScheduleTest, EmptyOnNonPositiveRateOrHorizon) {
+  ArrivalConfig config = config_for(ArrivalKind::kFixedRate);
+  config.rate_per_s = 0.0;
+  EXPECT_TRUE(arrival_schedule(config, 1).empty());
+  config = config_for(ArrivalKind::kFixedRate);
+  config.horizon_ns = 0;
+  EXPECT_TRUE(arrival_schedule(config, 1).empty());
+}
+
+TEST(ArrivalScheduleTest, ScheduleBytesIsCanonicalLittleEndian) {
+  const std::vector<std::int64_t> schedule = {0, 1, 0x0102030405060708};
+  const std::vector<std::uint8_t> bytes = schedule_bytes(schedule);
+  ASSERT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(bytes[0], 0u);
+  EXPECT_EQ(bytes[8], 1u);
+  EXPECT_EQ(bytes[16], 0x08u);
+  EXPECT_EQ(bytes[23], 0x01u);
+}
+
+TEST(ArrivalScheduleTest, RampEndsDenserThanItStarts) {
+  ArrivalConfig config = config_for(ArrivalKind::kRamp);
+  config.rate_per_s = 500.0;
+  config.peak_rate_per_s = 8000.0;
+  const auto schedule = arrival_schedule(config, 5);
+  const std::int64_t half = config.horizon_ns / 2;
+  const auto split =
+      std::lower_bound(schedule.begin(), schedule.end(), half);
+  const auto first_half = static_cast<std::size_t>(split - schedule.begin());
+  EXPECT_GT(schedule.size() - first_half, first_half)
+      << "ramp should put most arrivals in the second half";
+}
+
+}  // namespace
+}  // namespace itdos::load
