@@ -55,8 +55,8 @@ load::SweepOptions sweep_options() {
   options.seed = kSeed;
   options.clients = 24;
   options.max_client_backlog = 48;
-  options.mix.push_back(load::LoadOp{"add", int_args(2, 3), 3.0});
-  options.mix.push_back(load::LoadOp{"echo", payload_of_size(64), 1.0});
+  options.mix.push_back(load::LoadOp{"add", int_args(2, 3), 3.0, {}});
+  options.mix.push_back(load::LoadOp{"echo", payload_of_size(64), 1.0, {}});
   options.drain_ns = seconds(5);
   return options;
 }

@@ -3,31 +3,54 @@
 // full replicated round trip (ordered request copies voted at the target,
 // direct replies voted at every caller element) while the caller's queue
 // consumption is paused — the two-actor model's cost.
+//
+// The terminal hop is CROSS-DOMAIN in the sharded sense: the calculator's
+// key is registered in the system shard map and the last forwarder invokes
+// it through a routed ref (shard::ShardRouter), so the bench exercises the
+// same location-transparent resolution path the bank workload uses. Every
+// forwarder element also records the simulated latency of ITS nested round
+// trip into the registry ("e8.d<depth>.hop<k>.latency_ns"), so the BENCH
+// json carries a per-hop latency histogram alongside the end-to-end number.
 #include "bench_util.hpp"
+
+#include "shard/shard_map.hpp"
 
 namespace itdos::bench {
 namespace {
 
 class ChainForwarder : public orb::Servant {
  public:
-  explicit ChainForwarder(orb::ObjectRef next) : next_(std::move(next)) {}
+  /// `hop_histogram` names the per-hop latency series this forwarder's
+  /// elements record their nested round trips into.
+  ChainForwarder(core::ItdosSystem& system, orb::ObjectRef next,
+                 std::string hop_histogram)
+      : system_(system), next_(std::move(next)),
+        hop_histogram_(std::move(hop_histogram)) {}
+
   std::string interface_name() const override { return "IDL:bench/Fwd:1.0"; }
+
   void dispatch(const std::string& operation, const cdr::Value& arguments,
                 orb::ServerContext& context, orb::ReplySinkPtr sink) override {
     if (operation != "relay") {
       sink->reply(error(Errc::kInvalidArgument, "unknown op"));
       return;
     }
-    const std::string next_op = next_.interface_name == "IDL:bench/Calc:1.0"
-                                    ? "add"
-                                    : "relay";
-    context.invoke_nested(next_, next_op, arguments, [sink](Result<cdr::Value> r) {
-      sink->reply(std::move(r));
-    });
+    const std::string next_op =
+        next_.interface_name == "IDL:bench/Calc:1.0" ? "add" : "relay";
+    const SimTime sent = system_.sim().now();
+    context.invoke_nested(
+        next_, next_op, arguments,
+        [this, sink, sent](Result<cdr::Value> r) {
+          system_.sim().telemetry().metrics().histogram(hop_histogram_)
+              .record(system_.sim().now() - sent);
+          sink->reply(std::move(r));
+        });
   }
 
  private:
+  core::ItdosSystem& system_;
   orb::ObjectRef next_;
+  std::string hop_histogram_;
 };
 
 void BM_E8NestedDepth(benchmark::State& state) {
@@ -38,16 +61,26 @@ void BM_E8NestedDepth(benchmark::State& state) {
 
   const DomainId calc_domain =
       system.add_domain(1, core::VotePolicy::exact(), calculator_installer());
-  orb::ObjectRef next = system.object_ref(calc_domain, ObjectId(1), "IDL:bench/Calc:1.0");
-  for (int hop = 0; hop < depth; ++hop) {
+  // The terminal hop resolves through the shard map: the whole key space is
+  // owned by the calculator domain, and callers carry a routed ref.
+  system.shards().partition_evenly({calc_domain});
+  orb::ObjectRef next =
+      system.routed_ref(ObjectId(1), "IDL:bench/Calc:1.0");
+  // Hops are numbered from the CLIENT side: hop 1 is the forwarder the
+  // client calls, hop `depth` makes the routed terminal call.
+  for (int hop = depth; hop >= 1; --hop) {
+    const std::string histogram = "e8.d" + std::to_string(depth) + ".hop" +
+                                  std::to_string(hop) + ".latency_ns";
     const DomainId fwd = system.add_domain(
-        1, core::VotePolicy::exact(), [next](orb::ObjectAdapter& adapter, int) {
-          (void)adapter.activate_with_key(ObjectId(1),
-                                          std::make_shared<ChainForwarder>(next));
+        1, core::VotePolicy::exact(),
+        [&system, next, histogram](orb::ObjectAdapter& adapter, int) {
+          // Key 1 is free in a freshly built domain; activation cannot fail.
+          (void)adapter.activate_with_key(
+              ObjectId(1),
+              std::make_shared<ChainForwarder>(system, next, histogram));
         });
     next = system.object_ref(fwd, ObjectId(1), "IDL:bench/Fwd:1.0");
   }
-
   core::ItdosClient& client = system.add_client();
   const std::string op = depth == 0 ? "add" : "relay";
   // Warm all connections along the chain.

@@ -26,9 +26,18 @@ latency under NS simulated nanoseconds — i.e. the system, with its best
 available response configuration, can still sustain that load. Curves
 without a point at exactly RATE are skipped.
 
+Reports whose curves are named "shards_<n>" (the e12 sharded-bank bench)
+get an ADVISORY horizontal-scaling floor: at the top offered rate the two
+curve families share, the largest shard count's goodput must be at least
+--min-shard-goodput-scaling times the single-shard goodput. The single
+domain saturating its admission bound while four domains absorb the same
+stream IS the sharding claim; a ratio collapse means routing stopped
+spreading the key mix.
+
 usage: bench_gate.py --baseline DIR [--strict] [--tolerance 0.25]
                      [--mttr-ceiling-ns N] [--copies-per-op N]
-                     [--p99-ceiling-at-load RATE:NS] BENCH_*.json
+                     [--p99-ceiling-at-load RATE:NS]
+                     [--min-shard-goodput-scaling X] BENCH_*.json
 
 Exit status: 0 OK (or warnings without --strict), 1 regression under
 --strict, 2 usage error. Missing baseline files are never an error — first
@@ -70,6 +79,12 @@ DEFAULT_COPIES_PER_OP = 1500
 # controller-on curve.
 DEFAULT_P99_AT_LOAD = "1600:50000000"
 
+# Advisory sharding floor: goodput at the top shared rate, largest shard
+# count vs one shard. The e12 ladder tops out past the single-domain knee,
+# where measured scaling is ~4.5x; 2.0 leaves room for admission-tuning
+# drift while still catching a routing layer that stopped fanning out.
+DEFAULT_SHARD_SCALING = 2.0
+
 
 def parse_rate_spec(spec):
     """Parses "RATE:NS" into (float, int); raises ValueError on junk."""
@@ -109,6 +124,41 @@ def check_p99_at_load(path, rate, ceiling_ns):
         return True, (f"{os.path.basename(path)} best p99 at {rate:g} req/s "
                       f"is {best_p99} ns [{best_curve}], advisory ceiling "
                       f"{ceiling_ns} ns")
+    return True, None
+
+
+def check_shard_scaling(path, floor):
+    """Returns (checked, violation_message_or_None) for one report."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        return False, None
+    shard_curves = {}
+    for name, points in (report.get("curves") or {}).items():
+        prefix, _, count_text = name.partition("_")
+        if prefix != "shards" or not count_text.isdigit() or not points:
+            continue
+        shard_curves[int(count_text)] = {p["rate_per_s"]: p.get("goodput_per_s", 0.0)
+                                         for p in points}
+    if len(shard_curves) < 2:
+        return False, None
+    low, high = min(shard_curves), max(shard_curves)
+    shared_rates = set(shard_curves[low]) & set(shard_curves[high])
+    if not shared_rates:
+        return False, None
+    top_rate = max(shared_rates)
+    base = shard_curves[low][top_rate]
+    scaled = shard_curves[high][top_rate]
+    ratio = scaled / base if base > 0 else float("inf")
+    status = "VIOLATION" if ratio < floor else "ok"
+    print(f"  {os.path.basename(path)} goodput@{top_rate:g}req/s: "
+          f"shards_{low}={base:.0f}/s -> shards_{high}={scaled:.0f}/s "
+          f"({ratio:.2f}x, floor {floor:g}x, {status})")
+    if ratio < floor:
+        return True, (f"{os.path.basename(path)} goodput scaled only "
+                      f"{ratio:.2f}x from {low} to {high} shards at "
+                      f"{top_rate:g} req/s (advisory floor {floor:g}x)")
     return True, None
 
 
@@ -191,6 +241,11 @@ def main():
                         help="advisory ceiling on the best curve's p99 "
                              "latency at RATE requests/s (reports with a "
                              "curves block)")
+    parser.add_argument("--min-shard-goodput-scaling", type=float,
+                        default=DEFAULT_SHARD_SCALING, metavar="X",
+                        help="advisory floor on goodput scaling from the "
+                             "smallest to the largest shard count (reports "
+                             "with shards_<n> curves)")
     parser.add_argument("reports", nargs="+")
     args = parser.parse_args()
     try:
@@ -250,6 +305,24 @@ def main():
     elif load_checked:
         print(f"bench_gate: {load_checked} report(s) within the p99 ceiling "
               f"at {load_rate:g} req/s")
+
+    shard_warnings = []
+    shards_checked = 0
+    for path in args.reports:
+        checked, violation = check_shard_scaling(
+            path, args.min_shard_goodput_scaling)
+        shards_checked += checked
+        if violation:
+            shard_warnings.append(violation)
+    if shard_warnings:
+        verb = "FAIL" if args.strict else "WARN"
+        for message in shard_warnings:
+            print(f"bench_gate {verb}: {message}", file=sys.stderr)
+        if args.strict:
+            return 1
+    elif shards_checked:
+        print(f"bench_gate: {shards_checked} report(s) above the "
+              f"{args.min_shard_goodput_scaling:g}x shard-scaling floor")
 
     regressions = []
     compared = 0

@@ -54,6 +54,7 @@ BENCHES=(
   "a1_ablations:BM_A1Adaptive\$"
   "e10_recovery:BM_E10ExpelToRestored/"
   "e11_offered_load:BM_E11Attack"
+  "e12_sharded_bank:BM_E12"
 )
 
 for entry in "${BENCHES[@]}"; do

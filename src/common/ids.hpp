@@ -41,6 +41,18 @@ using RequestId = detail::StrongId<struct RequestIdTag>;
 /// A CORBA object within a replication domain.
 using ObjectId = detail::StrongId<struct ObjectIdTag>;
 
+/// DomainId 0 is reserved. As a PARTY domain it marks a singleton
+/// (unreplicated) client — no replication domain backs it, so the GM keys
+/// its connections to a single endpoint and replies need no vote quorum
+/// from it. As an ObjectRef TARGET it marks a routed reference resolved
+/// through the shard map (shard::kRoutedDomain). Use these helpers instead
+/// of comparing against a literal 0.
+inline constexpr DomainId kSingletonDomain{0};
+
+inline constexpr bool is_singleton_domain(DomainId domain) {
+  return domain == kSingletonDomain;
+}
+
 /// BFT view number (Castro-Liskov).
 using ViewId = detail::StrongId<struct ViewIdTag>;
 

@@ -9,6 +9,7 @@
 #include "fault/injector.hpp"
 #include "itdos/system.hpp"
 #include "recovery/proactive.hpp"
+#include "shard/bank.hpp"
 
 namespace itdos::fault {
 namespace {
@@ -777,6 +778,232 @@ ScenarioResult scenario_client_replay_storm(std::uint64_t seed) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded multi-domain scenarios (DESIGN.md §6g): the bank of src/shard/ —
+// replicated tellers in a front domain issuing nested invocations into
+// hash-sharded account domains — under inter-domain partitions and callee
+// expulsions. These are the cross-domain counterparts of the single-domain
+// scenarios above: the fault lands on the SECOND hop of a nested call.
+// ---------------------------------------------------------------------------
+
+/// Every per-element node of a domain — the static ones from the directory
+/// (BFT, SMIOP, the element's own client endpoints) AND each party's lazily
+/// allocated per-target ordering client nodes: one side of a partition that
+/// cuts ALL of the domain's traffic toward the other side while leaving
+/// intra-domain and GM traffic untouched. Missing the dynamic client nodes
+/// would let sealed nested requests tunnel through the cut while the
+/// replies starve unrecoverably (DirectReplies are never re-sent).
+std::set<NodeId> domain_nodes(core::ItdosSystem& system, DomainId domain) {
+  std::set<NodeId> nodes;
+  const core::DomainInfo* info = system.directory().find_domain(domain);
+  for (const core::ElementInfo& element : info->elements) {
+    nodes.insert(element.bft_node);
+    nodes.insert(element.smiop_node);
+    nodes.insert(element.gm_client_node);
+    nodes.insert(element.self_client_node);
+  }
+  for (int rank = 0; rank < system.domain_n(domain); ++rank) {
+    for (const NodeId node : system.element(domain, rank).party().transport_nodes()) {
+      nodes.insert(node);
+    }
+  }
+  return nodes;
+}
+
+cdr::Value bank_args(std::initializer_list<std::int64_t> values) {
+  std::vector<cdr::Value> elems;
+  for (const std::int64_t v : values) elems.push_back(cdr::Value::int64(v));
+  return cdr::Value::sequence(std::move(elems));
+}
+
+ScenarioResult scenario_cross_domain_partition_mid_call(std::uint64_t seed) {
+  // An inter-domain partition forms while a teller's nested transfer is in
+  // flight: the client's request is already ordered in the teller domain,
+  // but the nested withdraw toward the `from` account's domain cannot
+  // cross. The callers' SMIOP machinery must keep the pending nested call
+  // alive (BFT client retransmission carries it over the heal), the
+  // transfer must complete exactly once afterwards, and nobody may be
+  // expelled for a stall the NETWORK caused.
+  core::SystemOptions options;
+  options.seed = seed;
+  // The pending cross-domain vote must out-wait the partition window, not
+  // be GC'd into an error halfway through it.
+  options.timing.reply_vote_timeout_ns = seconds(5);
+  core::ItdosSystem system(options);
+
+  shard::BankSpec spec;
+  spec.shards = 2;
+  spec.tellers = 1;
+  spec.clients = 1;
+  spec.accounts = 8;
+  shard::Bank bank = shard::Bank::build(system, spec);
+
+  const ObjectId from = bank.accounts_of_shard(0).front();
+  const ObjectId to = bank.accounts_of_shard(1).front();
+  const DomainId teller = bank.topology().front_domains().front();
+  const DomainId callee = bank.topology().route(from);
+
+  Oracle oracle(system.sim().telemetry());
+  for (int i = 0; i < system.gm_n(); ++i) {
+    oracle.watch_replica(0, system.gm_element(i).replica());
+    oracle.watch_gm(system.gm_element(i));
+  }
+  int group = 1;
+  for (const DomainId domain :
+       {teller, bank.topology().shard_domains()[0],
+        bank.topology().shard_domains()[1]}) {
+    for (int rank = 0; rank < system.domain_n(domain); ++rank) {
+      oracle.watch_replica(group, system.element(domain, rank).replica());
+    }
+    ++group;
+  }
+  oracle.watch_party(bank.client().party());
+
+  std::size_t sent = 0;
+  std::size_t completed = 0;
+  std::int64_t from_balance = spec.initial_balance;
+  const auto transfer = [&](std::int64_t timeout_ns) {
+    ++sent;
+    const Result<cdr::Value> result = safe_invoke(
+        system, bank.client(), bank.teller_ref(), "transfer",
+        bank_args({static_cast<std::int64_t>(from.value),
+                   static_cast<std::int64_t>(to.value), 50}),
+        timeout_ns);
+    from_balance -= 50;
+    if (result.is_ok() && result.value().as_int64() == from_balance) {
+      ++completed;
+    }
+  };
+
+  // Warm-up: routes the full nested path once (GM virtual connections on
+  // both hops) and measures the round-trip the partition must interrupt.
+  const SimTime before = system.sim().now();
+  transfer(seconds(10));
+  const std::int64_t round_trip = system.sim().now().ns - before.ns;
+
+  // Cut teller <-> callee traffic from halfway into the next transfer's
+  // round-trip: the client->teller hop is already ordered, the nested hop
+  // is mid-flight. Heal well within the (raised) vote timeout.
+  PartitionWindow window;
+  window.side_a = domain_nodes(system, teller);
+  window.side_b = domain_nodes(system, callee);
+  window.form = SimTime{system.sim().now().ns + round_trip / 2};
+  window.heal = SimTime{window.form.ns + 2 * round_trip + millis(150)};
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.partitions.push_back(window);
+  plan.heal_time = window.heal;
+  FaultInjector injector(system.network(), plan);
+  injector.arm_links();
+
+  transfer(seconds(30));  // rides through the partition, completes post-heal
+  transfer(seconds(10));  // post-heal: the cross-domain route is live again
+
+  system.settle();
+  oracle.check_liveness(completed, sent);
+  oracle.check_expulsions(system.gm_element(0).state());
+
+  const telemetry::Hub& hub = system.sim().telemetry();
+  ScenarioResult result;
+  result.name = "cross_domain_partition_mid_call";
+  result.seed = seed;
+  result.violations = oracle.violations();
+  result.requests_sent = sent;
+  result.requests_completed = completed;
+  result.expulsions = system.gm_element(0).state().expulsions();
+  result.detection = result.expulsions > 0;
+  result.rekeys = hub.tracer().count(telemetry::TraceKind::kGmRekey);
+  result.view_changes = hub.tracer().count(telemetry::TraceKind::kBftNewView);
+  result.trace_jsonl = hub.tracer().export_jsonl();
+  return result;
+}
+
+ScenarioResult scenario_callee_expulsion_mid_nested_call(std::uint64_t seed) {
+  // A dissenting element in the CALLEE (account) domain mutates every reply
+  // while the replicated tellers wait on their nested deposits. The teller
+  // elements' voters mask the dissent (f+1 matching honest replies), each
+  // element files its own change_request, and the GM's f+1-matching-reports
+  // rule for replicated reporters (§3.6) expels the callee element — all
+  // while the client's deposits keep completing with right answers.
+  core::SystemOptions options;
+  options.seed = seed;
+  core::ItdosSystem system(options);
+
+  shard::BankSpec spec;
+  spec.shards = 2;
+  spec.tellers = 1;
+  spec.clients = 1;
+  spec.accounts = 8;
+  shard::Bank bank = shard::Bank::build(system, spec);
+
+  const ObjectId account = bank.accounts_of_shard(0).front();
+  const DomainId teller = bank.topology().front_domains().front();
+  const DomainId callee = bank.topology().route(account);
+  const DomainId other = bank.topology().shard_domains()[1];
+
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{0};  // misbehavior is sticky; expulsion IS the heal
+  ElementFault fault;
+  fault.rank = 2;
+  fault.kind = ElementFault::Kind::kDissentingReplies;
+  plan.element_faults.push_back(fault);
+
+  FaultInjector injector(system.network(), plan);
+  injector.arm_links();
+  for (const ElementFault& element_fault : injector.plan().element_faults) {
+    injector.arm_element(element_fault, system, callee);
+  }
+
+  Oracle oracle(system.sim().telemetry());
+  for (int i = 0; i < system.gm_n(); ++i) {
+    oracle.watch_replica(0, system.gm_element(i).replica());
+    oracle.watch_gm(system.gm_element(i));
+  }
+  for (int rank = 0; rank < system.domain_n(teller); ++rank) {
+    oracle.watch_replica(1, system.element(teller, rank).replica());
+  }
+  for (int rank = 0; rank < system.domain_n(callee); ++rank) {
+    if (rank == fault.rank) continue;  // the dissenter is not "correct"
+    oracle.watch_replica(2, system.element(callee, rank).replica());
+  }
+  for (int rank = 0; rank < system.domain_n(other); ++rank) {
+    oracle.watch_replica(3, system.element(other, rank).replica());
+  }
+  oracle.watch_party(bank.client().party());
+
+  std::size_t sent = 0;
+  std::size_t completed = 0;
+  for (int round = 1; round <= 6; ++round) {
+    ++sent;
+    const Result<cdr::Value> result = safe_invoke(
+        system, bank.client(), bank.teller_ref(), "deposit",
+        bank_args({static_cast<std::int64_t>(account.value), 7}), seconds(30));
+    if (result.is_ok() &&
+        result.value().as_int64() == spec.initial_balance + 7 * round) {
+      ++completed;
+    }
+  }
+  system.settle();
+
+  oracle.check_liveness(completed, sent);
+  oracle.check_expulsions(system.gm_element(0).state());
+
+  const telemetry::Hub& hub = system.sim().telemetry();
+  ScenarioResult result;
+  result.name = "callee_expulsion_mid_nested_call";
+  result.seed = seed;
+  result.violations = oracle.violations();
+  result.requests_sent = sent;
+  result.requests_completed = completed;
+  result.expulsions = system.gm_element(0).state().expulsions();
+  result.detection = result.expulsions > 0;
+  result.rekeys = hub.tracer().count(telemetry::TraceKind::kGmRekey);
+  result.view_changes = hub.tracer().count(telemetry::TraceKind::kBftNewView);
+  result.trace_jsonl = hub.tracer().export_jsonl();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 // Admission-control & feedback-response scenarios (DESIGN.md §6f): an
 // adaptive adversary that re-aims at the deepest-queue element from live
 // telemetry, with and without the response controller fighting back.
@@ -1061,6 +1288,8 @@ constexpr ScenarioEntry kScenarios[] = {
     {"recovery_corrupt_state_offer", scenario_recovery_corrupt_state_offer},
     {"recovery_partition_onboarding", scenario_recovery_partition_onboarding},
     {"client_replay_storm", scenario_client_replay_storm},
+    {"cross_domain_partition_mid_call", scenario_cross_domain_partition_mid_call},
+    {"callee_expulsion_mid_nested_call", scenario_callee_expulsion_mid_nested_call},
     {"proactive_rejuvenation", scenario_proactive_rejuvenation},
     {"adaptive_adversary_overload", scenario_adaptive_adversary_overload},
     {"adaptive_adversary_vs_controller", scenario_adaptive_adversary_vs_controller},

@@ -251,7 +251,7 @@ bool DomainElement::process_sealed_request(const OrderedMsg& msg) {
     return true;
   }
 
-  if (msg.origin_domain.value != 0) {
+  if (!is_singleton_domain(msg.origin_domain)) {
     // Replicated caller: vote on the ordered copies (§2 — "other servers
     // receiving a faulty request" detect faults; §3.6's mechanism).
     const ConnTable::Entry* conn_entry = party_->conn_table().find(msg.conn);
@@ -424,7 +424,7 @@ void DomainElement::seal_and_send_reply(ConnectionId conn, RequestId rid,
   // the calling domain (each votes independently).
   const ConnTable::Entry* entry = party_->conn_table().find(conn);
   if (entry == nullptr) return;
-  if (entry->record.client_domain.value == 0) {
+  if (is_singleton_domain(entry->record.client_domain)) {
     net_.send(info_.smiop_node, entry->record.client_node, wire);
     ++stats_.replies_sent;
   } else if (const DomainInfo* caller =

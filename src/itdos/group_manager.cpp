@@ -119,7 +119,7 @@ std::vector<NodeId> GmStateMachine::recipients_for(const ConnRecord& record) con
   if (const DomainInfo* target = directory_->find_domain(record.target)) {
     for (NodeId node : active_elements(*target)) recipients.push_back(node);
   }
-  if (record.client_domain.value == 0) {
+  if (is_singleton_domain(record.client_domain)) {
     recipients.push_back(record.client_node);
   } else if (const DomainInfo* client = directory_->find_domain(record.client_domain)) {
     for (NodeId node : active_elements(*client)) recipients.push_back(node);
@@ -162,12 +162,12 @@ GmCommandResult GmStateMachine::handle_open(const OpenRequestMsg& msg) {
     result.detail = "invalid client node";
     return result;
   }
-  if (msg.client_domain.value != 0 &&
+  if (!is_singleton_domain(msg.client_domain) &&
       directory_->find_domain(msg.client_domain) == nullptr) {
     result.detail = "unknown client domain";
     return result;
   }
-  if (msg.client_domain.value != 0) {
+  if (!is_singleton_domain(msg.client_domain)) {
     // §3.3: all members of a replication domain share ONE connection to the
     // target. The first element's open_request creates it; the others join
     // it (shares are redistributed so a late or lossy element still keys).
@@ -331,7 +331,7 @@ GmCommandResult GmStateMachine::handle_change(const ChangeRequestMsg& msg,
     return result;
   }
 
-  if (msg.reporter_domain.value == 0) {
+  if (is_singleton_domain(msg.reporter_domain)) {
     // Singleton reporter: proof required (§3.6 — "a potential vulnerability
     // is that the client is malicious and is attempting to expel correct
     // processes").

@@ -87,6 +87,13 @@ class SmiopParty::Protocol : public orb::PluggableProtocol {
  public:
   explicit Protocol(SmiopParty& party) : party_(party) {}
   std::string_view name() const override { return "smiop"; }
+  DomainId resolve(const orb::ObjectRef& ref) const override {
+    // Location transparency: routed refs (domain 0) resolve to the owner of
+    // their key's shard range. The directory's table is identical at every
+    // party, so replicated callers resolve identically (§3.6 voting needs
+    // their copies to agree on the target).
+    return party_.directory_->resolve_target(ref.domain, ref.key);
+  }
   void connect(const orb::ObjectRef& ref, ConnectCompletion done) override {
     party_.connect_to(ref, std::move(done));
   }
@@ -212,8 +219,25 @@ bft::Client& SmiopParty::target_client(DomainId domain) {
   return *it->second;
 }
 
+std::vector<NodeId> SmiopParty::transport_nodes() const {
+  std::vector<NodeId> nodes = {config_.smiop_node, config_.gm_client_node};
+  for (const auto& [domain, client] : target_clients_) {
+    nodes.push_back(client->id());
+  }
+  return nodes;
+}
+
 void SmiopParty::connect_to(const orb::ObjectRef& ref,
                             orb::PluggableProtocol::ConnectCompletion done) {
+  if (shard::is_routed(ref.domain)) {
+    // The Orb resolves routed refs before connecting; reaching here means
+    // the key fell outside every registered shard range (or no shard map
+    // exists in this deployment).
+    done(error(Errc::kNotFound,
+               "unroutable object key " + ref.key.to_string() +
+                   " (no shard range owns it)"));
+    return;
+  }
   const DomainInfo* target = directory_->find_domain(ref.domain);
   if (target == nullptr) {
     done(error(Errc::kNotFound, "unknown target domain " + ref.domain.to_string()));
@@ -508,7 +532,7 @@ void SmiopParty::maybe_report_dissenters(ConnState& state) {
   const std::vector<NodeId> dissenters = vote->dissenters();
   if (dissenters.empty()) return;
   // Singleton reporters need a 2f+1-strong proof for the GM's own vote.
-  const bool singleton = config_.my_domain.value == 0;
+  const bool singleton = is_singleton_domain(config_.my_domain);
   if (singleton &&
       static_cast<int>(state.round->proof.size()) < 2 * state.target_f + 1) {
     return;  // keep collecting; a later reply may complete the proof

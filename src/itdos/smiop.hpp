@@ -98,6 +98,13 @@ class SmiopParty {
   const PartyConfig& config() const { return config_; }
   bft::Client& gm_client() { return *gm_client_; }
 
+  /// Every transport endpoint this party currently owns: its SMIOP node,
+  /// its GM client node, and the lazily created per-target ordering client
+  /// nodes. Fault plans that partition "everything this party says" need
+  /// the dynamic ones too — an inter-domain cut that misses the ordering
+  /// client node lets sealed requests tunnel through the partition.
+  std::vector<NodeId> transport_nodes() const;
+
   /// Installs a vote audit (fault::Oracle) on every current and future
   /// connection voter of this party.
   void set_vote_audit(ConnectionVoter::DecisionAudit audit);

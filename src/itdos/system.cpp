@@ -29,7 +29,7 @@ ItdosClient::ItdosClient(net::Network& net,
   PartyConfig config;
   config.smiop_node = allocator->next();
   config.gm_client_node = allocator->next();
-  config.my_domain = DomainId(0);  // singleton
+  config.my_domain = kSingletonDomain;
   config.byte_order = options.byte_order;
   config.auto_report = options.auto_report;
   config.policy_override = options.policy_override;
@@ -37,7 +37,7 @@ ItdosClient::ItdosClient(net::Network& net,
 
   party_ = std::make_unique<SmiopParty>(net, std::move(directory), config, keys,
                                         std::move(keystore), std::move(allocator));
-  orb_ = std::make_unique<orb::Orb>(DomainId(0), party_->make_protocol());
+  orb_ = std::make_unique<orb::Orb>(kSingletonDomain, party_->make_protocol());
   endpoint_ = std::make_unique<Endpoint>(net, smiop_node_, *party_);
 }
 
@@ -155,6 +155,11 @@ orb::ObjectRef ItdosSystem::object_ref(DomainId domain, ObjectId key,
   ref.key = key;
   ref.interface_name = std::move(interface_name);
   return ref;
+}
+
+orb::ObjectRef ItdosSystem::routed_ref(ObjectId key,
+                                       std::string interface_name) const {
+  return shard::ShardRouter::routed_ref(key, std::move(interface_name));
 }
 
 void ItdosSystem::crash_element(DomainId domain, int rank) {

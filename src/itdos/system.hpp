@@ -90,6 +90,14 @@ class ItdosSystem {
   orb::ObjectRef object_ref(DomainId domain, ObjectId key,
                             std::string interface_name) const;
 
+  /// Builds a ROUTED reference: the hosting domain is resolved per-invoke
+  /// from the shard map (location transparency across sharded domains).
+  orb::ObjectRef routed_ref(ObjectId key, std::string interface_name) const;
+
+  /// The shard routing table (mutable: deployment-time registration only;
+  /// ShardTopology::build populates it).
+  shard::ShardMap& shards() { return directory_->mutable_shards(); }
+
   // --- fault injection ---
 
   /// Crash-stops an element (both its replica and SMIOP endpoint vanish).

@@ -27,6 +27,7 @@
 #include "cdr/codec.hpp"
 #include "crypto/dprf.hpp"
 #include "itdos/voting.hpp"
+#include "shard/shard_map.hpp"
 
 namespace itdos::core {
 
@@ -102,6 +103,22 @@ class SystemDirectory {
 
   const std::map<DomainId, DomainInfo>& domains() const { return domains_; }
 
+  /// The shard routing table: hash-partitioned object-key ranges, each
+  /// owned by one replication domain. Empty in unsharded deployments.
+  const shard::ShardMap& shards() const { return shards_; }
+
+  /// Only the deployment layer (ItdosSystem / ShardTopology) mutates the
+  /// table, before traffic starts; parties read it on the invocation path.
+  shard::ShardMap& mutable_shards() { return shards_; }
+
+  /// The lookup API for invocation targets: a routed ref (domain 0) maps to
+  /// the owner of its key's shard range; a concrete domain is returned
+  /// unchanged. Returns kRoutedDomain (0) for a routed key with no shard
+  /// table — the caller surfaces that as "unroutable".
+  DomainId resolve_target(DomainId domain, ObjectId key) const {
+    return shard::is_routed(domain) ? shards_.route(key) : domain;
+  }
+
   /// Recovery-driven identity swap: install fresh identities for one rank of
   /// a domain. Only the deployment layer (ItdosSystem) holds a non-const
   /// handle; ordered GM decisions never read the result directly (they use
@@ -124,6 +141,7 @@ class SystemDirectory {
   DomainInfo gm_;
   ProtocolTiming timing_;
   std::map<DomainId, DomainInfo> domains_;
+  shard::ShardMap shards_;
   NodeId recovery_authority_;
 };
 

@@ -76,7 +76,7 @@ void LoadGenerator::dispatch(std::int64_t arrival_ns) {
   const LoadOp& op = pick_op();
   const SimTime arrived_at = start_time_ + arrival_ns;
   pool_[slot]->orb().invoke(
-      target_, op.operation, op.argument,
+      op.target ? *op.target : target_, op.operation, op.argument,
       [this, alive = alive_, slot, arrived_at](Result<cdr::Value> result) {
         if (!*alive) return;
         --backlog_[slot];

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "itdos/system.hpp"
 #include "load/arrival.hpp"
@@ -28,10 +29,14 @@ namespace itdos::load {
 /// One entry of the request mix: an operation plus its ready-made argument
 /// and a selection weight. Mixes are sampled per-arrival from the
 /// generator's own Rng stream, so the op sequence is seed-deterministic.
+/// An op may override the generator's target ref — a sharded key mix is a
+/// set of ops whose routed refs hash to different replication domains, so
+/// one arrival stream spreads across shards by key.
 struct LoadOp {
   std::string operation = "work";
   cdr::Value argument;
   double weight = 1.0;
+  std::optional<orb::ObjectRef> target;  // else the generator's target
 };
 
 struct LoadOptions {

@@ -15,13 +15,19 @@ Orb::Orb(DomainId local_domain, std::unique_ptr<PluggableProtocol> protocol)
 
 void Orb::invoke(const ObjectRef& ref, const std::string& operation,
                  cdr::Value arguments, InvokeCompletion done) {
-  DomainChannel& channel = channels_[ref.domain];
+  // Resolve the hosting domain before touching the connection cache: a
+  // routed ref (shard routing) and a concrete ref to the same domain must
+  // share one channel, and the whole cache is keyed by resolved domain.
+  ObjectRef target = ref;
+  target.domain = protocol_->resolve(ref);
+  const DomainId domain = target.domain;
+  DomainChannel& channel = channels_[domain];
   channel.queue.push_back(
-      PendingInvoke{ref, operation, std::move(arguments), std::move(done)});
+      PendingInvoke{std::move(target), operation, std::move(arguments), std::move(done)});
   if (channel.connection == nullptr && !channel.connecting) {
-    start_connect(ref.domain);
+    start_connect(domain);
   } else {
-    pump(ref.domain);
+    pump(domain);
   }
 }
 

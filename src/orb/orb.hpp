@@ -38,8 +38,9 @@ class Orb {
   PluggableProtocol& protocol() { return *protocol_; }
   const OrbStats& stats() const { return stats_; }
 
-  /// Invokes `operation` on the object `ref` with `arguments`. Reuses the
-  /// cached connection to ref.domain or establishes one. Exceptions carried
+  /// Invokes `operation` on the object `ref` with `arguments`. The hosting
+  /// domain is resolved through the protocol (routed refs become concrete
+  /// here); the cached connection to it is reused or established. Exceptions carried
   /// in the reply surface as error Status (kPermissionDenied for user
   /// exceptions, kInternal for system exceptions).
   void invoke(const ObjectRef& ref, const std::string& operation, cdr::Value arguments,

@@ -43,6 +43,15 @@ class PluggableProtocol {
 
   virtual std::string_view name() const = 0;
 
+  /// Resolves the replication domain that hosts `ref`. The Orb calls this
+  /// before choosing a connection, so protocols can make references
+  /// LOCATION TRANSPARENT: SMIOP resolves routed refs (domain 0) through
+  /// the system directory's shard map; the default is the identity (the ref
+  /// already names its domain). Must be deterministic — replicated caller
+  /// elements resolve independently and their nested-invocation copies must
+  /// all land on the same target.
+  virtual DomainId resolve(const ObjectRef& ref) const { return ref.domain; }
+
   /// Establishes (or fails to establish) a connection to the domain that
   /// hosts `ref`. Asynchronous: ITDOS connection establishment runs the
   /// Figure-3 exchange with the Group Manager.

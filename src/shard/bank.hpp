@@ -1,0 +1,106 @@
+// The paper's motivating application (§2): a bank whose teller objects live
+// in one replication domain and whose accounts are sharded across others.
+// Tellers are replicated elements acting as clients — a "transfer" upcall
+// issues nested invocations into the account domains through the full
+// proxy/SMIOP/BFT path. Every teller element of the 3f+1 group makes the
+// same nested call; the callee's request vote (domain_element.cpp) executes
+// the f+1-matching copies exactly once, which is what keeps a replicated
+// caller from depositing 3f+1 times.
+#pragma once
+
+#include "shard/topology.hpp"
+
+namespace itdos::shard {
+
+inline constexpr std::string_view kAccountInterface = "IDL:bank/Account:1.0";
+inline constexpr std::string_view kTellerInterface = "IDL:bank/Teller:1.0";
+
+/// The object key tellers are activated under (within their own domain; the
+/// account key space is disjoint because accounts live in shard domains).
+inline constexpr ObjectId kTellerKey{1};
+
+/// One account: a replicated balance with persistence (element replacement
+/// moves balances through the f+1 byte-identical bundle certification).
+/// Ops: "deposit" [amount] -> new balance; "withdraw" [amount] -> new
+/// balance or a user exception on insufficient funds; "balance" -> balance.
+class AccountServant : public orb::Servant {
+ public:
+  explicit AccountServant(std::int64_t initial) : balance_(initial) {}
+
+  std::string interface_name() const override {
+    return std::string(kAccountInterface);
+  }
+  void dispatch(const std::string& operation, const cdr::Value& arguments,
+                orb::ServerContext& context, orb::ReplySinkPtr sink) override;
+
+  Result<Bytes> save_state() const override;
+  Status load_state(ByteView state) override;
+
+  std::int64_t balance() const { return balance_; }
+
+ private:
+  std::int64_t balance_ = 0;
+};
+
+/// The replicated front tier. Ops (account keys travel in the arguments;
+/// the teller resolves them to routed refs, so it never learns — or cares —
+/// which domain holds an account):
+///   "deposit"  [account, amount]      -> new balance (one nested call)
+///   "balance"  [account]              -> balance (one nested call)
+///   "transfer" [from, to, amount]     -> remaining balance of `from`
+///     (withdraw at `from`, then deposit at `to`: two sequential nested
+///     calls, typically into two DIFFERENT shard domains)
+class TellerServant : public orb::Servant {
+ public:
+  std::string interface_name() const override {
+    return std::string(kTellerInterface);
+  }
+  void dispatch(const std::string& operation, const cdr::Value& arguments,
+                orb::ServerContext& context, orb::ReplySinkPtr sink) override;
+
+  // Tellers are stateless; persistence is trivially empty.
+  Result<Bytes> save_state() const override { return Bytes{}; }
+  Status load_state(ByteView) override { return Status::ok(); }
+};
+
+/// Declarative bank deployment on a sharded topology.
+struct BankSpec {
+  int shards = 2;       // account domains
+  int tellers = 1;      // teller (front) domains; 0 = clients call accounts
+  int f = 1;
+  int clients = 1;
+  int accounts = 16;    // account object ids 1..accounts, sharded by key hash
+  std::int64_t initial_balance = 1000;
+  core::VotePolicy policy = core::VotePolicy::exact();
+};
+
+class Bank {
+ public:
+  static Bank build(core::ItdosSystem& system, const BankSpec& spec);
+
+  ShardTopology& topology() { return topo_; }
+  const ShardTopology& topology() const { return topo_; }
+  core::ItdosClient& client(std::size_t i = 0) { return topo_.client(i); }
+
+  /// Routed reference to an account — valid from any party in the system.
+  orb::ObjectRef account_ref(ObjectId account) const {
+    return ShardRouter::routed_ref(account, std::string(kAccountInterface));
+  }
+
+  /// Concrete reference to teller domain `index`.
+  orb::ObjectRef teller_ref(int index = 0) const;
+
+  /// All account ids (1..spec.accounts).
+  const std::vector<ObjectId>& account_ids() const { return accounts_; }
+
+  /// Account ids owned by shard `index` (the even_slice assignment).
+  std::vector<ObjectId> accounts_of_shard(int index) const;
+
+ private:
+  core::ItdosSystem* system_ = nullptr;
+  ShardTopology topo_;
+  BankSpec spec_;
+  std::vector<ObjectId> accounts_;
+};
+
+}  // namespace itdos::shard

@@ -1,0 +1,91 @@
+#include "shard/shard_map.hpp"
+
+#include <algorithm>
+
+namespace itdos::shard {
+
+namespace {
+
+/// Width of one of `count` equal slices of the 64-bit hash space. Computed
+/// without 128-bit arithmetic: 2^64 / count, rounding so count slices cover
+/// the space (the last slice absorbs the remainder).
+constexpr std::uint64_t slice_width(std::size_t count) {
+  return count <= 1 ? 0 : (~0ULL / count) + 1;
+}
+
+}  // namespace
+
+std::size_t ShardMap::even_slice(ObjectId key, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  const std::size_t slice = shard_hash(key) / slice_width(shard_count);
+  // The division can land on shard_count when the last slice absorbed the
+  // rounding remainder; clamp into range.
+  return slice < shard_count ? slice : shard_count - 1;
+}
+
+void ShardMap::partition_evenly(const std::vector<DomainId>& owners) {
+  ranges_.clear();
+  const std::uint64_t width = slice_width(owners.size());
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    ranges_[i * width] = owners[i];
+  }
+  ++generation_;
+}
+
+void ShardMap::add_range(std::uint64_t begin, DomainId owner) {
+  ranges_[begin] = owner;
+  ++generation_;
+}
+
+std::size_t ShardMap::reassign(DomainId from, DomainId to) {
+  std::size_t moved = 0;
+  for (auto& [begin, owner] : ranges_) {
+    if (owner == from) {
+      owner = to;
+      ++moved;
+    }
+  }
+  if (moved != 0) ++generation_;
+  return moved;
+}
+
+DomainId ShardMap::route(ObjectId key) const {
+  return owner_of_hash(shard_hash(key));
+}
+
+DomainId ShardMap::owner_of_hash(std::uint64_t hash) const {
+  if (ranges_.empty()) return kRoutedDomain;
+  // Last range with begin <= hash; hashes below the first boundary wrap to
+  // the highest range (the table is a ring over the hash space).
+  auto it = ranges_.upper_bound(hash);
+  if (it == ranges_.begin()) return ranges_.rbegin()->second;
+  return std::prev(it)->second;
+}
+
+std::vector<DomainId> ShardMap::owners() const {
+  std::vector<DomainId> result;
+  for (const auto& [begin, owner] : ranges_) {
+    bool seen = false;
+    for (const DomainId known : result) seen = seen || known == owner;
+    if (!seen) result.push_back(owner);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::uint64_t ShardMap::table_digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& [begin, owner] : ranges_) {
+    mix(begin);
+    mix(owner.value);
+  }
+  return h;
+}
+
+}  // namespace itdos::shard

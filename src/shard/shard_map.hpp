@@ -1,0 +1,118 @@
+// Shard routing: the deterministic object-key -> replication-domain map that
+// gives ITDOS location transparency across many domains (the paper's bank:
+// tellers call accounts without knowing which replication domain holds each
+// account). The hash space [0, 2^64) is partitioned into contiguous ranges,
+// each owned by one replication domain; a ref whose domain is kRoutedDomain
+// is resolved by hashing its object key into the table.
+//
+// The map is part of the SystemDirectory (deployment configuration): it is
+// built once by the topology layer, identical at every party, and consulted
+// read-only on the invocation path. Routing must be deterministic and
+// byte-order independent — every replicated caller element of a domain must
+// resolve the same key to the same target domain, or their nested-invocation
+// copies would diverge and never vote out (§3.6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "orb/object.hpp"
+
+namespace itdos::shard {
+
+/// DomainId 0 in an ObjectRef marks a ROUTED reference: the target domain is
+/// resolved from the object key through the shard map. (As a *party* domain,
+/// 0 still means "singleton client" — see core::kSingletonDomain.)
+inline constexpr DomainId kRoutedDomain{0};
+
+inline constexpr bool is_routed(DomainId domain) {
+  return domain == kRoutedDomain;
+}
+
+/// Deterministic 64-bit key mixer (splitmix64 finalizer). Pure arithmetic on
+/// the key value: no pointers, no platform byte order, no global state.
+constexpr std::uint64_t shard_hash(ObjectId key) {
+  std::uint64_t x = key.value;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash-partitioned key ranges, each owned by one replication domain.
+class ShardMap {
+ public:
+  /// `shard_count` equal slices of the hash space; returns which slice a key
+  /// falls in. Static so deployment code can assign objects to shard INDICES
+  /// before the owning domains (and their ids) exist — partition_evenly()
+  /// over the eventual domain list produces exactly this assignment.
+  static std::size_t even_slice(ObjectId key, std::size_t shard_count);
+
+  bool empty() const { return ranges_.empty(); }
+  std::size_t range_count() const { return ranges_.size(); }
+
+  /// Bumped on every mutation; lets cached routing decisions detect staleness.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Replaces the table with one equal hash-space slice per owner, in order.
+  void partition_evenly(const std::vector<DomainId>& owners);
+
+  /// Registers one range starting at `begin` (extends to the next range's
+  /// begin, or wraps to the lowest range). Overwrites an existing boundary.
+  void add_range(std::uint64_t begin, DomainId owner);
+
+  /// Rebalance primitive: hands every range owned by `from` to `to`.
+  /// Returns how many ranges moved.
+  std::size_t reassign(DomainId from, DomainId to);
+
+  /// Routes a key to its owning domain; kRoutedDomain (0) when the table is
+  /// empty, i.e. "unroutable".
+  DomainId route(ObjectId key) const;
+
+  /// The owner of a raw hash value (route() is owner_of_hash(shard_hash(k))).
+  DomainId owner_of_hash(std::uint64_t hash) const;
+
+  /// Range table, begin-of-range -> owner (ascending).
+  const std::map<std::uint64_t, DomainId>& ranges() const { return ranges_; }
+
+  /// Distinct owners, ascending (for enumeration and rebalance planning).
+  std::vector<DomainId> owners() const;
+
+  /// Byte-stable FNV-1a digest over the range table — two parties with equal
+  /// digests route every key identically (determinism tests compare these).
+  std::uint64_t table_digest() const;
+
+ private:
+  std::map<std::uint64_t, DomainId> ranges_;  // begin of range -> owner
+  std::uint64_t generation_ = 0;
+};
+
+/// The client-proxy-side view: resolves a ref's target domain, consulting
+/// the shard map only for routed refs. Both singleton clients and domain
+/// elements making nested invocations resolve through this (the SMIOP
+/// pluggable protocol holds one), so cross-domain calls stay location
+/// transparent on every tier.
+class ShardRouter {
+ public:
+  explicit ShardRouter(const ShardMap& map) : map_(&map) {}
+
+  DomainId resolve(const orb::ObjectRef& ref) const {
+    return is_routed(ref.domain) ? map_->route(ref.key) : ref.domain;
+  }
+
+  /// Builds a routed reference (the form handed to clients out of band).
+  static orb::ObjectRef routed_ref(ObjectId key, std::string interface_name) {
+    orb::ObjectRef ref;
+    ref.domain = kRoutedDomain;
+    ref.key = key;
+    ref.interface_name = std::move(interface_name);
+    return ref;
+  }
+
+ private:
+  const ShardMap* map_;
+};
+
+}  // namespace itdos::shard

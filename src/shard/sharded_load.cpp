@@ -1,0 +1,52 @@
+#include "shard/sharded_load.hpp"
+
+namespace itdos::shard {
+
+namespace {
+
+load::LoadOp deposit_op(const Bank& bank, ObjectId account, std::int64_t amount) {
+  load::LoadOp op;
+  op.operation = "deposit";
+  op.argument = cdr::Value::sequence({cdr::Value::int64(amount)});
+  op.weight = 1.0;
+  op.target = bank.account_ref(account);
+  return op;
+}
+
+}  // namespace
+
+std::vector<load::LoadOp> bank_deposit_mix(const Bank& bank,
+                                           std::int64_t amount) {
+  std::vector<load::LoadOp> mix;
+  mix.reserve(bank.account_ids().size());
+  for (const ObjectId account : bank.account_ids()) {
+    mix.push_back(deposit_op(bank, account, amount));
+  }
+  return mix;
+}
+
+std::vector<load::LoadOp> shard_deposit_mix(const Bank& bank, int index,
+                                            std::int64_t amount) {
+  std::vector<load::LoadOp> mix;
+  for (const ObjectId account : bank.accounts_of_shard(index)) {
+    mix.push_back(deposit_op(bank, account, amount));
+  }
+  return mix;
+}
+
+load::LoadOptions sharded_load_options(std::vector<load::LoadOp> mix,
+                                       double rate_per_s,
+                                       std::int64_t horizon_ns, int clients,
+                                       std::uint64_t seed) {
+  load::LoadOptions options;
+  options.arrival.kind = load::ArrivalKind::kFixedRate;
+  options.arrival.rate_per_s = rate_per_s;
+  options.arrival.horizon_ns = horizon_ns;
+  options.seed = seed;
+  options.clients = clients;
+  options.max_client_backlog = clients;
+  options.mix = std::move(mix);
+  return options;
+}
+
+}  // namespace itdos::shard

@@ -1,0 +1,31 @@
+// Bridges src/load's open-loop arrival streams onto a sharded deployment:
+// mixes whose ops carry routed per-account refs, so one seed-deterministic
+// arrival schedule spreads across every shard domain by key hash. The
+// generator itself is unchanged — sharding is entirely in the mix.
+#pragma once
+
+#include "load/generator.hpp"
+#include "shard/bank.hpp"
+
+namespace itdos::shard {
+
+/// One equally-weighted "deposit [amount]" op per bank account, each with a
+/// routed ref. Sampling the mix per-arrival reproduces the key distribution
+/// (uniform over accounts), and the routed refs fan the stream out across
+/// shard domains.
+std::vector<load::LoadOp> bank_deposit_mix(const Bank& bank,
+                                           std::int64_t amount = 1);
+
+/// The same mix restricted to the accounts owned by shard `index` (per-shard
+/// saturation probes).
+std::vector<load::LoadOp> shard_deposit_mix(const Bank& bank, int index,
+                                            std::int64_t amount = 1);
+
+/// Load options pre-filled for a sharded run: the given mix, arrival rate
+/// and horizon; client pool sized `clients`.
+load::LoadOptions sharded_load_options(std::vector<load::LoadOp> mix,
+                                       double rate_per_s,
+                                       std::int64_t horizon_ns, int clients,
+                                       std::uint64_t seed);
+
+}  // namespace itdos::shard

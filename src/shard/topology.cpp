@@ -1,0 +1,46 @@
+#include "shard/topology.hpp"
+
+#include "common/log.hpp"
+
+namespace itdos::shard {
+
+namespace {
+constexpr std::string_view kLog = "itdos.shard";
+}  // namespace
+
+ShardTopology ShardTopology::build(core::ItdosSystem& system,
+                                   const ShardSpec& spec) {
+  ShardTopology topo;
+  topo.system_ = &system;
+
+  for (int i = 0; i < spec.shards; ++i) {
+    topo.shard_domains_.push_back(
+        system.add_domain(spec.f, spec.policy, spec.shard_servants(i)));
+  }
+  // Register the key ranges BEFORE any front-tier servant can run: slice i
+  // of the hash space belongs to shard i, matching even_slice().
+  system.shards().partition_evenly(topo.shard_domains_);
+
+  for (int i = 0; i < spec.front_domains; ++i) {
+    topo.front_domains_.push_back(
+        system.add_domain(spec.f, spec.policy, spec.front_servants(i)));
+  }
+  for (int i = 0; i < spec.client_enclaves; ++i) {
+    topo.clients_.push_back(&system.add_client());
+  }
+
+  ITDOS_INFO(kLog) << "sharded topology up: " << spec.shards << " shard + "
+                   << spec.front_domains << " front domains, "
+                   << spec.client_enclaves << " client enclaves, digest "
+                   << system.directory().shards().table_digest();
+  return topo;
+}
+
+int ShardTopology::shard_index_of(DomainId domain) const {
+  for (std::size_t i = 0; i < shard_domains_.size(); ++i) {
+    if (shard_domains_[i] == domain) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace itdos::shard

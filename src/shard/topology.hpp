@@ -1,0 +1,67 @@
+// Declarative sharded deployments: a ShardSpec names how many key-owning
+// domains to stand up (shards × group size × vote policy), how many
+// front-tier domains sit before them, and how many singleton client
+// enclaves drive the system; ShardTopology::build instantiates all of it on
+// an ItdosSystem and registers the key ranges in the SystemDirectory. The
+// Group Manager needs no special casing — each (party domain, target
+// domain) pair becomes one virtual connection, so an S-shard, T-teller
+// deployment exercises O(S·T + clients·S) connections through the ordinary
+// open_request path.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "itdos/system.hpp"
+#include "shard/shard_map.hpp"
+
+namespace itdos::shard {
+
+struct ShardSpec {
+  int shards = 2;  // key-owning replication domains (the partitioned tier)
+  int f = 1;       // per-domain intrusion budget (3f+1 elements each)
+  core::VotePolicy policy = core::VotePolicy::exact();
+
+  int front_domains = 0;    // front-tier domains (tellers): call into shards
+  int client_enclaves = 1;  // singleton clients attached at build time
+
+  /// Servant installer for shard `index` (0-based). Required. The installer
+  /// sees the shard INDEX, not the DomainId — use ShardMap::even_slice to
+  /// decide which objects the shard owns before its DomainId exists.
+  std::function<core::DomainElement::ServantInstaller(int index)> shard_servants;
+
+  /// Servant installer for front-tier domain `index`; required when
+  /// front_domains > 0.
+  std::function<core::DomainElement::ServantInstaller(int index)> front_servants;
+};
+
+/// The instantiated deployment: domain ids per tier, the attached clients,
+/// and routing helpers bound to the system's shard map.
+class ShardTopology {
+ public:
+  /// Adds the domains and clients to `system` and registers one equal hash
+  /// slice per shard in the directory's shard map (slice i -> shard i, the
+  /// same assignment ShardMap::even_slice computes from an index alone).
+  static ShardTopology build(core::ItdosSystem& system, const ShardSpec& spec);
+
+  const std::vector<DomainId>& shard_domains() const { return shard_domains_; }
+  const std::vector<DomainId>& front_domains() const { return front_domains_; }
+  const std::vector<core::ItdosClient*>& clients() const { return clients_; }
+  core::ItdosClient& client(std::size_t i = 0) { return *clients_.at(i); }
+
+  DomainId route(ObjectId key) const { return system_->directory().shards().route(key); }
+  orb::ObjectRef routed_ref(ObjectId key, std::string interface_name) const {
+    return ShardRouter::routed_ref(key, std::move(interface_name));
+  }
+
+  /// Index of a shard domain in shard_domains(), or -1.
+  int shard_index_of(DomainId domain) const;
+
+ private:
+  core::ItdosSystem* system_ = nullptr;
+  std::vector<DomainId> shard_domains_;
+  std::vector<DomainId> front_domains_;
+  std::vector<core::ItdosClient*> clients_;
+};
+
+}  // namespace itdos::shard

@@ -108,6 +108,29 @@ TEST(FaultScenarioDetail, BogusChangeRequestNeverExpelsTheVictim) {
   EXPECT_FALSE(result.detection);
 }
 
+TEST(FaultScenarioDetail, CrossDomainPartitionHealsWithoutExpulsion) {
+  // The stall is the NETWORK's fault: once the inter-domain partition heals
+  // the pending nested transfer must complete, and no element of either
+  // domain may have been expelled for lagging through it.
+  const ScenarioResult result = run_scenario("cross_domain_partition_mid_call", 1);
+  EXPECT_TRUE(result.clean()) << describe(result);
+  EXPECT_EQ(result.requests_completed, result.requests_sent) << describe(result);
+  EXPECT_EQ(result.expulsions, 0u) << describe(result);
+  EXPECT_FALSE(result.detection);
+}
+
+TEST(FaultScenarioDetail, CalleeDissenterIsExpelledWhileCallerWaits) {
+  // Replicated tellers are the REPORTERS here: each element's voter sees
+  // the callee dissenter, and the GM's f+1-matching-reports rule turns the
+  // reports into an expulsion — without the client ever seeing a wrong
+  // balance.
+  const ScenarioResult result = run_scenario("callee_expulsion_mid_nested_call", 1);
+  EXPECT_TRUE(result.clean()) << describe(result);
+  EXPECT_TRUE(result.detection) << describe(result);
+  EXPECT_GE(result.expulsions, 1u) << describe(result);
+  EXPECT_GE(result.rekeys, 1u) << describe(result);
+}
+
 TEST(FaultScenarioDetail, ViewSpansAppearInClusterTraces) {
   // Every replica opens its view-0 span at construction; a forced view
   // change closes it and opens the next (telemetry satellites).

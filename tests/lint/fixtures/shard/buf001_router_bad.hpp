@@ -1,0 +1,27 @@
+// Fixture: a shard-routing header breaking the message-path contracts.
+// The router sits on every client invocation (the Orb resolves routed refs
+// before the channel lookup), so src/shard/ headers are message-path
+// headers for BUF-001 — and routing must be a pure function of the key for
+// the replicated callers to agree, so the DET rules bite here too.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace itdos::fixture {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// BAD (BUF-001): per-invocation copy of the sealed request on the routing
+// path.
+void route_sealed(std::uint64_t key, Bytes sealed);
+
+// BAD (DET-001): host-clock tiebreak in owner selection — two elements
+// routing the same key at different wall times would disagree.
+inline std::uint64_t owner_tiebreak() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace itdos::fixture

@@ -126,6 +126,18 @@ class RuleFires(unittest.TestCase):
         self.assert_rule("BUF-001",
                          fixture("load", "buf001_generator_bad.hpp"))
 
+    def test_buf001_covers_shard_routing_headers(self):
+        # src/shard/ resolves every routed invocation, so its headers are
+        # message-path headers — and routing must be deterministic, so a
+        # host-clock read there is a DET finding too.
+        hits = self.assert_rule(
+            "BUF-001", fixture("shard", "buf001_router_bad.hpp"))
+        self.assertIn("`sealed`", hits[0]["message"])
+        _, findings = run_lint(fixture("shard", "buf001_router_bad.hpp"),
+                               "--no-trace-check")
+        self.assertIn("DET-001", rules_of(findings),
+                      "host-clock read in a shard-routing header not flagged")
+
     def test_meta001_fires_on_unexplained_suppression(self):
         self.assert_rule("META-001", fixture("unexplained.cpp"))
 

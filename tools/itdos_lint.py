@@ -36,9 +36,10 @@ Rules (stable IDs — suppressions and docs refer to them):
             exactly one `case`, every wire name unique.
   BUF-001   owning byte-vector parameter (`Bytes` / std::vector<uint8_t>
             by value) in a message-path header (src/cdr, src/net, src/bft,
-            src/itdos, src/fault, src/crypto, src/load, src/control —
-            the load generator and response controller sit on the
-            request path). The zero-copy contract
+            src/itdos, src/fault, src/crypto, src/load, src/control,
+            src/shard — the load generator, response controller and shard
+            routing/bank layer sit on the request path). The zero-copy
+            contract
             (common/buffer.hpp) passes sealed payloads as BufView/ByteView;
             a by-value vector parameter re-introduces a per-hop copy.
             References and rvalue-reference sinks are fine.
@@ -427,7 +428,7 @@ def check_proto002(tokens: list[Token], path: str) -> list[Finding]:
 
 
 _MESSAGE_PATH_DIRS = ("/cdr/", "/net/", "/bft/", "/itdos/", "/fault/",
-                      "/crypto/", "/load/", "/control/")
+                      "/crypto/", "/load/", "/control/", "/shard/")
 _HEADER_EXTENSIONS = (".hpp", ".hh", ".h")
 
 
