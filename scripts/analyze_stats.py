@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Emit itdos_analyze run statistics as a schema-valid BENCH_analyze.json.
+
+Runs the static analyzer programmatically (tools/itdos_analyze) over the
+given paths and writes the same report shape every bench binary emits via
+ITDOS_BENCH_MAIN, so scripts/validate_bench_json.py and the bench tooling
+can consume analyzer health like any other benchmark:
+
+  counters    files / functions scanned, wall time (µs), per-rule finding
+              counts (analyze.rule.<RULE-ID>), baselined vs unbaselined
+  histograms  functions-per-file distribution (analyzer workload shape)
+  layers      scanned files per top-level src/ subdirectory
+
+Usage: analyze_stats.py [--out BENCH_analyze.json] [paths...]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "tools"))
+
+from itdos_analyze import driver  # noqa: E402
+from itdos_analyze.baseline import Baseline  # noqa: E402
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile over a non-empty sorted list."""
+    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil without math
+    return sorted_values[int(rank) - 1]
+
+
+def histogram_of(values):
+    vals = sorted(values)
+    return {
+        "count": len(vals),
+        "min": vals[0],
+        "max": vals[-1],
+        "mean": round(sum(vals) / len(vals), 3),
+        "p50": percentile(vals, 50),
+        "p95": percentile(vals, 95),
+        "p99": percentile(vals, 99),
+    }
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        default=[os.path.join(REPO, "src")])
+    parser.add_argument("--out", default="BENCH_analyze.json")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "libclang", "internal"])
+    args = parser.parse_args(argv)
+
+    findings, stats, file_lines = driver.analyze(args.paths,
+                                                 backend=args.backend)
+    base = Baseline.load(driver.DEFAULT_BASELINE)
+    unbaselined, baselined = base.apply(findings, driver.REPO_ROOT, file_lines)
+
+    # Re-derive per-file function counts + layer membership for the report.
+    backend_name, lex_fn = driver.pick_backend(args.backend)
+    files = driver.LINT.collect_files(args.paths)
+    models, _ = driver.build_file_models(files, lex_fn, backend_name)
+
+    counters = {
+        "analyze.files": stats["files"],
+        "analyze.functions": stats["functions"],
+        "analyze.wall_us": int(stats["wall_s"] * 1e6),
+        "analyze.parse_us": int(stats["parse_s"] * 1e6),
+        "analyze.rules_us": int(stats["rules_s"] * 1e6),
+        "analyze.findings.unbaselined": len(unbaselined),
+        "analyze.findings.baselined": len(baselined),
+    }
+    for rule, n in stats["per_rule"].items():
+        counters[f"analyze.rule.{rule}"] = n
+
+    layers = {}
+    for fm in models:
+        rel = os.path.relpath(fm.path, driver.REPO_ROOT)
+        parts = rel.replace(os.sep, "/").split("/")
+        layer = parts[1] if len(parts) > 2 and parts[0] == "src" else parts[0]
+        layers[layer] = layers.get(layer, 0) + 1
+
+    report = {
+        "schema_version": 1,
+        "bench": "analyze",
+        "counters": counters,
+        "gauges": {},
+        "histograms": {
+            "functions_per_file": histogram_of(
+                [len(fm.functions) for fm in models] or [0]),
+        },
+        "layers": layers or {"src": 0},
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"analyze_stats: {stats['files']} file(s), "
+          f"{len(unbaselined)} unbaselined finding(s) -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,5 +1,7 @@
 #include "bft/client.hpp"
 
+#include "common/counters.hpp"
+
 namespace itdos::bft {
 
 std::optional<Bytes> MatchingReplyCollector::add(NodeId replica, const Bytes& result) {
@@ -80,7 +82,7 @@ void Client::on_packet(const net::Packet& packet) {
   if (msg.replica != env.sender || msg.client != id()) return;
 
   // Track the view so retransmissions target the right primary.
-  if (msg.view.value > view_estimate_.value) view_estimate_ = msg.view;
+  if (counters::after(msg.view.value, view_estimate_.value)) view_estimate_ = msg.view;
 
   if (!current_ || msg.timestamp != current_timestamp_) return;  // late/duplicate
   if (!replied_.insert(msg.replica).second) return;  // one vote per replica

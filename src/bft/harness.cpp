@@ -87,6 +87,9 @@ Bytes LogStateMachine::snapshot() const {
 Status LogStateMachine::restore(ByteView snapshot) {
   cdr::Decoder dec(snapshot, cdr::ByteOrder::kLittleEndian);
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t count, dec.read_uint32());
+  if (count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile snapshot entry count");
+  }
   std::vector<Bytes> entries;
   entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/counters.hpp"
 #include "common/log.hpp"
 #include "crypto/sha256.hpp"
 
@@ -182,8 +183,8 @@ void Replica::enter_view(ViewId view) {
 // ---------------------------------------------------------------------------
 
 bool Replica::in_window(std::uint64_t seq) const {
-  return seq > stable_seq_ &&
-         seq <= stable_seq_ + static_cast<std::uint64_t>(config_.watermark_window());
+  return counters::in_window(seq, stable_seq_,
+                             static_cast<std::uint64_t>(config_.watermark_window()));
 }
 
 void Replica::handle_request(const Envelope& env) {
@@ -201,7 +202,7 @@ void Replica::handle_request(const Envelope& env) {
   tel_->trace(telemetry::TraceKind::kBftRequest, id(), app_->trace_of(request.payload));
 
   ClientRecord& record = clients_[request.client];
-  if (request.timestamp <= record.last_timestamp) {
+  if (counters::before_eq(request.timestamp, record.last_timestamp)) {
     // Old or duplicate: retransmit the cached reply for the latest request.
     if (request.timestamp == record.last_timestamp && record.reply_valid) {
       ReplyMsg reply;
@@ -218,13 +219,13 @@ void Replica::handle_request(const Envelope& env) {
   if (in_view_change_) return;  // client will retransmit
 
   if (is_primary()) {
-    if (request.timestamp <= record.last_proposed) return;  // already in pipeline
+    if (counters::before_eq(request.timestamp, record.last_proposed)) return;  // already in pipeline
     record.last_proposed = request.timestamp;
     assign_and_propose(request, env.body);
   } else {
     // Relay the (still client-authenticated) request to the primary and
     // hold the primary accountable for ordering it.
-    if (request.timestamp > record.last_forwarded) {
+    if (counters::after(request.timestamp, record.last_forwarded)) {
       record.last_forwarded = request.timestamp;
       if (!byz_.silent) send_to(config_.primary_for(view_), env.encode_into(arena()));
       arm_request_timer();
@@ -319,7 +320,7 @@ void Replica::handle_pre_prepare(const Envelope& env) {
   }
 
   LogEntry& entry = log_[seq];
-  if (entry.pre_prepare && entry.pre_prepare->view.value < pp.view.value &&
+  if (entry.pre_prepare && counters::before(entry.pre_prepare->view.value, pp.view.value) &&
       !entry.committed) {
     // The logged proposal is from a DEAD view and never committed. The
     // current view's primary owns this seq now; without superseding the
@@ -439,7 +440,7 @@ void Replica::try_execute() {
   // Liveness timer: keep it armed while ordered-but-unexecuted work exists.
   bool pending = false;
   for (const auto& [seq, entry] : log_) {
-    if (seq > last_executed_ && entry.pre_prepare) {
+    if (counters::after(seq, last_executed_) && entry.pre_prepare) {
       pending = true;
       break;
     }
@@ -466,7 +467,7 @@ void Replica::execute_entry(std::uint64_t seq, LogEntry& entry) {
     if (decoded.is_ok()) {
       const RequestMsg& request = decoded.value();
       ClientRecord& record = clients_[request.client];
-      if (request.timestamp > record.last_timestamp) {
+      if (counters::after(request.timestamp, record.last_timestamp)) {
         record.last_reply = app_->execute(request.payload, request.client, SeqNum(seq));
         record.last_timestamp = request.timestamp;
         record.reply_valid = true;
@@ -518,6 +519,9 @@ Status Replica::install_snapshot(std::uint64_t seq, const Digest& digest,
   }
   cdr::Decoder dec(snapshot, cdr::ByteOrder::kLittleEndian);
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t client_count, dec.read_uint32());
+  if (client_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile snapshot client count");
+  }
   std::map<NodeId, ClientRecord> clients;
   for (std::uint32_t i = 0; i < client_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t client, dec.read_uint64());
@@ -571,7 +575,7 @@ void Replica::handle_checkpoint(const Envelope& env) {
   }
   const CheckpointMsg msg = std::move(decoded).take();
   if (msg.replica != env.sender) return;
-  if (msg.seq.value <= stable_seq_) return;
+  if (counters::before_eq(msg.seq.value, stable_seq_)) return;
   process_checkpoint_vote(msg);
 }
 
@@ -579,7 +583,7 @@ void Replica::process_checkpoint_vote(const CheckpointMsg& msg) {
   auto& votes = checkpoint_votes_[msg.seq.value][msg.state_digest];
   votes.insert(msg.replica);
   if (static_cast<int>(votes.size()) < config_.quorum()) return;
-  if (msg.seq.value <= stable_seq_) return;
+  if (counters::before_eq(msg.seq.value, stable_seq_)) return;
 
   const auto local = pending_snapshots_.find(msg.seq.value);
   if (local != pending_snapshots_.end() &&
@@ -604,7 +608,7 @@ void Replica::make_stable(std::uint64_t seq, const Digest& digest) {
 }
 
 void Replica::request_state_transfer(std::uint64_t seq, const Digest& digest) {
-  if (state_transfer_target_ && state_transfer_target_->first >= seq) return;
+  if (state_transfer_target_ && counters::after_eq(state_transfer_target_->first, seq)) return;
   state_transfer_target_ = {seq, digest};
   // Ask a replica that vouched for this checkpoint.
   const auto votes = checkpoint_votes_.find(seq);
@@ -633,13 +637,13 @@ void Replica::handle_state_request(const Envelope& env) {
   StateResponseMsg response;
   response.replica = id();
   response.view = view_;
-  if (stable_seq_ >= msg.seq.value && !stable_snapshot_.empty()) {
+  if (counters::after_eq(stable_seq_, msg.seq.value) && !stable_snapshot_.empty()) {
     // Prefer the stable checkpoint: identical across correct replicas, so
     // requesters assemble the f+1 weak certificate immediately.
     response.seq = SeqNum(stable_seq_);
     response.state_digest = stable_digest_;
     response.snapshot = stable_snapshot_;
-  } else if (last_executed_ >= msg.seq.value) {
+  } else if (counters::after_eq(last_executed_, msg.seq.value)) {
     // Catch-up beyond the last stable checkpoint: a fresh snapshot of the
     // current execution point (peers at the same point produce identical
     // bytes, so the weak certificate still forms).
@@ -661,7 +665,7 @@ void Replica::request_catch_up() {
 
 void Replica::observe_seq(std::uint64_t seq) {
   max_observed_seq_ = std::max(max_observed_seq_, seq);
-  if (in_window(seq) || seq <= stable_seq_) return;
+  if (in_window(seq) || counters::before_eq(seq, stable_seq_)) return;
   if (catch_up_cooldown_) return;
   // Authenticated traffic beyond our window: the group has moved on without
   // us. Ask for state (f+1 matching responses certify it) and back off.
@@ -710,7 +714,7 @@ void Replica::after_install(ViewId sender_view) {
   // risk — our stale VIEW-CHANGE being used in a later NEW-VIEW — is
   // mitigated by recipients keeping only the LATEST view-change per sender;
   // see DESIGN.md.)
-  if (in_view_change_ || sender_view.value > view_.value) {
+  if (in_view_change_ || counters::after(sender_view.value, view_.value)) {
     view_ = sender_view;
   }
   in_view_change_ = false;
@@ -727,7 +731,7 @@ void Replica::handle_state_response(const Envelope& env) {
     return;
   }
   const StateResponseMsg msg = std::move(decoded).take();
-  if (msg.seq.value < last_executed_) return;  // nothing new
+  if (counters::before(msg.seq.value, last_executed_)) return;  // nothing new
   if (msg.seq.value == last_executed_ && !in_view_change_) return;
   // seq == last_executed_ while in a view change is the "stuck but current"
   // case: our spurious timeout started a view change nobody joined; f+1
@@ -751,8 +755,9 @@ void Replica::handle_state_response(const Envelope& env) {
   if (!certified) {
     // Weak certificate: f+1 distinct replicas offering the same snapshot
     // digest — at least one of them is correct.
-    if (!in_window(msg.seq.value) && msg.seq.value > stable_seq_ + 2 *
-        static_cast<std::uint64_t>(config_.watermark_window())) {
+    if (!in_window(msg.seq.value) &&
+        counters::after(msg.seq.value, stable_seq_ + 2 *
+        static_cast<std::uint64_t>(config_.watermark_window()))) {
       return;  // hostile far-future offer; bound memory
     }
     auto& per_seq = state_offers_[msg.seq.value];
@@ -803,8 +808,8 @@ void Replica::on_request_timeout() {
 }
 
 void Replica::start_view_change(ViewId new_view) {
-  if (new_view.value <= view_.value && in_view_change_) return;
-  if (new_view.value <= highest_view_change_sent_.value) return;
+  if (counters::before_eq(new_view.value, view_.value) && in_view_change_) return;
+  if (counters::before_eq(new_view.value, highest_view_change_sent_.value)) return;
   highest_view_change_sent_ = new_view;
   view_ = new_view;
   in_view_change_ = true;
@@ -816,7 +821,7 @@ void Replica::start_view_change(ViewId new_view) {
   msg.stable_digest = stable_digest_;
   msg.replica = id();
   for (const auto& [seq, entry] : log_) {
-    if (seq <= stable_seq_) continue;
+    if (counters::before_eq(seq, stable_seq_)) continue;
     if (!entry_prepared(entry)) continue;
     PreparedProof proof;
     proof.view = entry.pre_prepare->view;
@@ -862,7 +867,7 @@ void Replica::handle_view_change(const Envelope& env) {
   }
   const ViewChangeMsg msg = std::move(decoded).take();
   if (msg.replica != env.sender) return;
-  if (msg.new_view.value <= view_.value && !in_view_change_) return;
+  if (counters::before_eq(msg.new_view.value, view_.value) && !in_view_change_) return;
 
   SignedViewChange svc;
   svc.msg = msg;
@@ -880,9 +885,9 @@ void Replica::handle_view_change(const Envelope& env) {
   // Join rule: f+1 replicas ahead of us means our timer is just slow.
   bool joined = false;
   for (const auto& [target_view, msgs] : view_change_msgs_) {
-    if (target_view.value <= view_.value) continue;
+    if (counters::before_eq(target_view.value, view_.value)) continue;
     if (static_cast<int>(msgs.size()) >= config_.f + 1 &&
-        target_view.value > highest_view_change_sent_.value) {
+        counters::after(target_view.value, highest_view_change_sent_.value)) {
       start_view_change(target_view);
       joined = true;
       break;
@@ -895,8 +900,8 @@ void Replica::handle_view_change(const Envelope& env) {
   // joining — either it missed messages we will never retransmit through
   // the normal case, or its timeout was spurious and it is stuck. Offer it
   // our state (f+1 such offers certify it / prove the group is live).
-  if (!joined && !in_view_change_ && msg.new_view.value > view_.value &&
-      last_executed_ >= msg.stable_seq.value) {
+  if (!joined && !in_view_change_ && counters::after(msg.new_view.value, view_.value) &&
+      counters::after_eq(last_executed_, msg.stable_seq.value)) {
     help_laggard(env.sender);
   }
 }
@@ -929,7 +934,7 @@ std::vector<PrePrepareMsg> Replica::compute_new_view_pre_prepares(
     for (const SignedViewChange& svc : vcs) {
       for (const PreparedProof& proof : svc.msg.prepared) {
         if (proof.seq.value != seq) continue;
-        if (best == nullptr || proof.view.value > best->view.value) best = &proof;
+        if (best == nullptr || counters::after(proof.view.value, best->view.value)) best = &proof;
       }
     }
     PrePrepareMsg pp;
@@ -981,7 +986,7 @@ void Replica::handle_new_view(const Envelope& env) {
   const NewViewMsg msg = std::move(decoded).take();
   if (msg.primary != env.sender) return;
   if (config_.primary_for(msg.view) != env.sender) return;
-  if (msg.view.value < view_.value) return;
+  if (counters::before(msg.view.value, view_.value)) return;
   if (msg.view == view_ && !in_view_change_) return;
 
   // Validate the view-change certificate.
@@ -1044,7 +1049,7 @@ void Replica::adopt_new_view(const NewViewMsg& msg) {
 
   for (const PrePrepareMsg& pp : pre_prepares) {
     const std::uint64_t seq = pp.seq.value;
-    if (seq <= last_executed_) continue;  // already executed (committed earlier)
+    if (counters::before_eq(seq, last_executed_)) continue;  // already executed (committed earlier)
     // Requests the new view re-proposes ARE in flight: restore their dedup
     // marks so client retransmissions are not double-assigned.
     std::uint64_t trace = 0;
@@ -1080,7 +1085,7 @@ void Replica::adopt_new_view(const NewViewMsg& msg) {
 
   // Forget view-change state for this and older views.
   for (auto it = view_change_msgs_.begin(); it != view_change_msgs_.end();) {
-    if (it->first.value <= view_.value) {
+    if (counters::before_eq(it->first.value, view_.value)) {
       it = view_change_msgs_.erase(it);
     } else {
       ++it;

@@ -159,6 +159,10 @@ Result<GiopMessage> parse_giop(ByteView data) {
       }
       return GiopMessage(CloseConnectionMessage{});
     }
+    case GiopMsgType::kMessageError:
+      // A peer reporting a protocol error; there is no body to act on and
+      // replicated servants never originate one, so surface it as malformed.
+      return error(Errc::kMalformedMessage, "peer sent GIOP MessageError");
     default:
       return error(Errc::kMalformedMessage, "unknown GIOP message type");
   }

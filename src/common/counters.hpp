@@ -1,0 +1,47 @@
+#pragma once
+
+// Wraparound-safe ordering for wrapping protocol counters (sequence
+// numbers, views, key epochs, request ids, client timestamps).
+//
+// Raw `<` / `>` on a uint64 counter silently inverts once the counter wraps:
+// after seq 2^64-1 comes 0, and `0 < 2^64-1` says the new message is
+// ancient, wedging windows and replay filters forever. RFC 1982 serial
+// arithmetic sidesteps this: compare the *signed distance*, which is exact
+// whenever the two values are within 2^63 of each other — astronomically
+// true for any real window. EPOCH-001 (tools/itdos_analyze) flags raw
+// relational operators on counter-named values and points here.
+
+#include <cstdint>
+
+namespace itdos::counters {
+
+// a is strictly older than b (a happened before b, modulo wrap).
+constexpr bool before(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<std::int64_t>(a - b) < 0;
+}
+
+// a is strictly newer than b.
+constexpr bool after(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<std::int64_t>(a - b) > 0;
+}
+
+constexpr bool before_eq(std::uint64_t a, std::uint64_t b) noexcept {
+  return !after(a, b);
+}
+
+constexpr bool after_eq(std::uint64_t a, std::uint64_t b) noexcept {
+  return !before(a, b);
+}
+
+// Signed distance from b to a; positive when a is newer.
+constexpr std::int64_t distance(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<std::int64_t>(a - b);
+}
+
+// a in the half-open window (low, low + span]: the PBFT watermark check.
+constexpr bool in_window(std::uint64_t a, std::uint64_t low,
+                         std::uint64_t span) noexcept {
+  return after(a, low) && before_eq(a, low + span);
+}
+
+}  // namespace itdos::counters

@@ -1,5 +1,6 @@
 #include "itdos/domain_element.hpp"
 
+#include "common/counters.hpp"
 #include "common/log.hpp"
 #include "crypto/sha256.hpp"
 
@@ -195,7 +196,7 @@ bool DomainElement::process_head(const BufView& entry) {
   if (party_->conn_table().key_for(msg.conn, msg.epoch) == nullptr) {
     if (const ConnTable::Entry* known = party_->conn_table().find(msg.conn);
         known != nullptr &&
-        known->record.epoch.value > msg.epoch.value + kMaxRetainedEpochs) {
+        counters::after(known->record.epoch.value, msg.epoch.value + kMaxRetainedEpochs)) {
       // Sealed under an epoch beyond the retained window: pruned everywhere
       // and no longer re-servable by the GM, so waiting can never succeed.
       // Every element prunes on the same installs, so the discard is
@@ -227,7 +228,7 @@ bool DomainElement::process_sealed_request(const OrderedMsg& msg) {
     return true;
   }
   const auto conn_key = msg.conn.value;
-  if (msg.rid.value <= last_rid_[conn_key]) {
+  if (counters::before_eq(msg.rid.value, last_rid_[conn_key])) {
     ++stats_.entries_discarded;  // stale or duplicate request id (§3.6)
     return true;
   }
@@ -311,7 +312,7 @@ bool DomainElement::process_fragment(const BufView& entry) {
 
   const auto buffer_key =
       std::make_tuple(fragment.conn.value, fragment.origin.value, fragment.rid.value);
-  if (fragment.rid.value <= last_rid_[fragment.conn.value]) {
+  if (counters::before_eq(fragment.rid.value, last_rid_[fragment.conn.value])) {
     fragment_buffers_.erase(buffer_key);
     ++stats_.entries_discarded;  // stale request id
     return true;
@@ -526,6 +527,9 @@ Status DomainElement::install_bundle_plain(ByteView plain,
     return error(Errc::kMalformedMessage, "bundle index mismatch");
   }
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t rid_count, dec.read_uint32());
+  if (rid_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile bundle rid count");
+  }
   std::map<std::uint64_t, std::uint64_t> rids;
   for (std::uint32_t i = 0; i < rid_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t conn, dec.read_uint64());
@@ -533,6 +537,9 @@ Status DomainElement::install_bundle_plain(ByteView plain,
     rids[conn] = rid;
   }
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t servant_count, dec.read_uint32());
+  if (servant_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile bundle servant count");
+  }
   std::map<ObjectId, Bytes> states;
   for (std::uint32_t i = 0; i < servant_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t key, dec.read_uint64());

@@ -576,6 +576,9 @@ Status GmStateMachine::restore(ByteView snapshot) {
   ITDOS_ASSIGN_OR_RETURN(fresh.expulsions_, dec.read_uint64());
   ITDOS_ASSIGN_OR_RETURN(fresh.membership_generation_, dec.read_uint64());
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t conn_count, dec.read_uint32());
+  if (conn_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile snapshot conn count");
+  }
   for (std::uint32_t i = 0; i < conn_count; ++i) {
     ConnRecord record;
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t conn, dec.read_uint64());
@@ -601,6 +604,9 @@ Status GmStateMachine::restore(ByteView snapshot) {
     fresh.conns_[record.conn] = record;
   }
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t view_count, dec.read_uint32());
+  if (view_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile snapshot view count");
+  }
   for (std::uint32_t i = 0; i < view_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t domain, dec.read_uint64());
     MembershipView view;
@@ -620,20 +626,32 @@ Status GmStateMachine::restore(ByteView snapshot) {
     fresh.views_.emplace(DomainId(domain), std::move(view));
   }
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t domain_count, dec.read_uint32());
+  if (domain_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile snapshot domain count");
+  }
   for (std::uint32_t i = 0; i < domain_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t domain, dec.read_uint64());
     ITDOS_ASSIGN_OR_RETURN(std::uint32_t element_count, dec.read_uint32());
+    if (element_count > dec.remaining()) {
+      return error(Errc::kMalformedMessage, "hostile snapshot element count");
+    }
     for (std::uint32_t j = 0; j < element_count; ++j) {
       ITDOS_ASSIGN_OR_RETURN(std::uint64_t element, dec.read_uint64());
       fresh.expelled_[DomainId(domain)].insert(NodeId(element));
     }
   }
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t tally_count, dec.read_uint32());
+  if (tally_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile snapshot tally count");
+  }
   for (std::uint32_t i = 0; i < tally_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t accused, dec.read_uint64());
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t conn, dec.read_uint64());
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t rid, dec.read_uint64());
     ITDOS_ASSIGN_OR_RETURN(std::uint32_t reporter_count, dec.read_uint32());
+    if (reporter_count > dec.remaining()) {
+      return error(Errc::kMalformedMessage, "hostile snapshot reporter count");
+    }
     auto& tally = fresh.tallies_[{NodeId(accused), conn, rid}];
     for (std::uint32_t j = 0; j < reporter_count; ++j) {
       ITDOS_ASSIGN_OR_RETURN(std::uint64_t reporter, dec.read_uint64());
@@ -642,6 +660,9 @@ Status GmStateMachine::restore(ByteView snapshot) {
   }
   ITDOS_ASSIGN_OR_RETURN(fresh.policy_strikes_, dec.read_uint64());
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t strike_count, dec.read_uint32());
+  if (strike_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile snapshot strike count");
+  }
   for (std::uint32_t i = 0; i < strike_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t element, dec.read_uint64());
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t strikes, dec.read_uint64());
@@ -699,7 +720,7 @@ class GmElement::Distributor : public ShareDistributor {
           keys_.key_for(my_node, recipient));
       msg.sealed_share = crypto::seal(channel_key,
                                       crypto::make_nonce(my_node.value, nonce_ctr_++),
-                                      /*aad=*/{}, share_wire);
+                                      /*aad=*/msg.framing_aad(), share_wire);
       net_.send(my_node, recipient, msg.encode());
     }
   }

@@ -1,5 +1,7 @@
 #include "itdos/key_agent.hpp"
 
+#include "common/counters.hpp"
+
 namespace itdos::core {
 
 Status KeyAgent::handle_share(const KeyShareMsg& msg) {
@@ -13,7 +15,8 @@ Status KeyAgent::handle_share(const KeyShareMsg& msg) {
   // this party hold the channel key.
   const auto channel_key =
       crypto::SymmetricKey::from_bytes(keys_.key_for(gm_node, my_node_));
-  Result<Bytes> opened = crypto::open(channel_key, /*aad=*/{}, msg.sealed_share);
+  Result<Bytes> opened =
+      crypto::open(channel_key, /*aad=*/msg.framing_aad(), msg.sealed_share);
   if (!opened.is_ok()) {
     ++shares_rejected_;
     return error(Errc::kAuthFailure, "key share failed channel authentication");
@@ -56,7 +59,7 @@ Status KeyAgent::handle_share(const KeyShareMsg& msg) {
     // Keep the combiner so late shares can still be checked for misbehaviour;
     // prune older epochs of the same connection.
     for (auto prune = pending_.begin(); prune != pending_.end();) {
-      if (prune->first.first == msg.conn.value && prune->first.second < msg.epoch.value) {
+      if (prune->first.first == msg.conn.value && counters::before(prune->first.second, msg.epoch.value)) {
         prune = pending_.erase(prune);
       } else {
         ++prune;

@@ -233,6 +233,9 @@ Status QueueStateMachine::restore(ByteView snapshot) {
   ITDOS_ASSIGN_OR_RETURN(base, dec.read_uint64());
   ITDOS_ASSIGN_OR_RETURN(next, dec.read_uint64());
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t entry_count, dec.read_uint32());
+  if (entry_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile queue entry count");
+  }
   std::map<std::uint64_t, BufView> entries;
   for (std::uint32_t i = 0; i < entry_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t index, dec.read_uint64());
@@ -241,6 +244,9 @@ Status QueueStateMachine::restore(ByteView snapshot) {
     entries[index] = BufView(std::move(data));
   }
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t ack_count, dec.read_uint32());
+  if (ack_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile queue ack count");
+  }
   std::map<NodeId, std::uint64_t> acks;
   for (std::uint32_t i = 0; i < ack_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t element, dec.read_uint64());
@@ -248,6 +254,9 @@ Status QueueStateMachine::restore(ByteView snapshot) {
     acks[NodeId(element)] = index;
   }
   ITDOS_ASSIGN_OR_RETURN(std::uint32_t shed_count, dec.read_uint32());
+  if (shed_count > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile queue shed count");
+  }
   std::set<std::uint64_t> shed_streams;
   for (std::uint32_t i = 0; i < shed_count; ++i) {
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t key, dec.read_uint64());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/counters.hpp"
 #include "common/log.hpp"
 #include "crypto/sha256.hpp"
 
@@ -32,7 +33,7 @@ std::optional<cdr::Value> reply_ballot_value(ByteView plain_giop, RequestId rid)
 void ConnTable::install(const ConnRecord& record, const crypto::SymmetricKey& key) {
   Entry& entry = entries_[record.conn.value];
   entry.keys[record.epoch.value] = key;
-  if (record.epoch.value >= entry.record.epoch.value) entry.record = record;
+  if (counters::after_eq(record.epoch.value, entry.record.epoch.value)) entry.record = record;
   // Epoch hygiene: discard keys older than the retained window so frames
   // sealed before an expulsion long past cannot be replayed indefinitely.
   while (entry.keys.size() > kMaxRetainedEpochs + 1) {
@@ -147,7 +148,7 @@ SmiopParty::SmiopParty(net::Network& net,
     if (const ConnTable::Entry* prev = table_.find(record.conn); prev == nullptr) {
       tel_->trace(telemetry::TraceKind::kSmiopConnectOpen, config_.smiop_node, 0,
                   record.conn.value, record.epoch.value);
-    } else if (record.epoch.value > prev->record.epoch.value) {
+    } else if (counters::after(record.epoch.value, prev->record.epoch.value)) {
       tel_->trace(telemetry::TraceKind::kSmiopEpochAdvance, config_.smiop_node, 0,
                   record.conn.value, record.epoch.value);
       // Span event: this party's traffic on `conn` now seals under the new

@@ -271,6 +271,18 @@ Bytes KeyShareMsg::encode() const {
   return enc.take();
 }
 
+Bytes KeyShareMsg::framing_aad() const {
+  cdr::Encoder enc(kWire);
+  enc.write_uint64(conn.value);
+  enc.write_uint64(epoch.value);
+  enc.write_uint64(target_domain.value);
+  enc.write_uint64(client_node.value);
+  enc.write_uint64(client_domain.value);
+  enc.write_uint32(gm_index);
+  enc.write_uint64(member_epoch);
+  return enc.take();
+}
+
 Result<KeyShareMsg> KeyShareMsg::decode(const BufView& data) {
   cdr::Decoder dec(data, kWire);
   ITDOS_ASSIGN_OR_RETURN(std::uint8_t type, dec.read_octet());

@@ -145,6 +145,10 @@ struct KeyShareMsg {
 
   bool operator==(const KeyShareMsg&) const = default;
   Bytes encode() const;  // includes the SmiopType tag
+  /// AAD binding the framing fields into the share's seal: a share sealed
+  /// for one (conn, epoch, domain, sender) context cannot be replayed under
+  /// spliced framing, because open() then fails authentication.
+  Bytes framing_aad() const;
   static Result<KeyShareMsg> decode(const BufView& data);
 };
 

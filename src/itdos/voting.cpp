@@ -44,9 +44,15 @@ bool values_equivalent(const cdr::Value& a, const cdr::Value& b,
       }
       return true;
     }
-    default:
+    case cdr::TypeKind::kVoid:
+    case cdr::TypeKind::kBoolean:
+    case cdr::TypeKind::kOctet:
+    case cdr::TypeKind::kInt32:
+    case cdr::TypeKind::kInt64:
+    case cdr::TypeKind::kString:
       return a == b;  // discrete kinds: exact comparison
   }
+  return a == b;  // unreachable; kinds are exhaustive above
 }
 
 bool Vote::equivalent_at(const Ballot& a, const Ballot& b, double epsilon) const {

@@ -82,6 +82,7 @@ class Simulator {
 
     bool operator>(const Event& other) const {
       if (when != other.when) return when > other.when;
+      // itdos-lint: allow(EPOCH-001) local event tiebreaker; seq is assigned by this simulator and cannot wrap within a run
       return seq > other.seq;
     }
   };

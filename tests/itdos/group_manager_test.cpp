@@ -657,7 +657,7 @@ class KeyAgentTest : public GmStateMachineTest {
     const auto channel = crypto::SymmetricKey::from_bytes(
         session_keys_->key_for(gm_node, recipient));
     msg.sealed_share = crypto::seal(channel, crypto::make_nonce(gm_node.value, nonce_++),
-                                    {}, share.encode());
+                                    msg.framing_aad(), share.encode());
     return msg;
   }
 

@@ -1,0 +1,31 @@
+// BUF-002 fixture: borrowed (non-owning) views escaping their storage.
+#include <cstdint>
+
+namespace fixture {
+
+// BAD: the member outlives the call; the borrow aliases caller storage.
+void Cache::hold(ByteView wire) {
+  BufView view = BufView::borrow(wire);
+  held_ = view;
+}
+
+// BAD: pushing a borrow into a long-lived container.
+void Cache::enqueue(ByteView wire) {
+  BufView view = BufView::borrow(wire);
+  queue_.push_back(view);
+}
+
+// BAD: the local dies with this frame.
+BufView make_view() {
+  Bytes local = encode_something();
+  BufView view = BufView::borrow(local);
+  return view;
+}
+
+// BAD: direct return of a borrow of a local.
+BufView make_view_direct() {
+  Bytes local = encode_something();
+  return BufView::borrow(local);
+}
+
+}  // namespace fixture

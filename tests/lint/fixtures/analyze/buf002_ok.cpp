@@ -1,0 +1,25 @@
+// BUF-002 fixture: the safe patterns — scoped borrows, Arena-sealed views.
+#include <cstdint>
+
+namespace fixture {
+
+// ok: the borrow never escapes the statement scope.
+bool parses(ByteView wire) {
+  const BufView scoped = BufView::borrow(wire);
+  return Decoder(scoped).is_ok();
+}
+
+// ok: sealing through the Arena refcounts the storage; holding is safe.
+void Cache::hold(Arena& arena, ByteView wire) {
+  BufView sealed = arena.seal(wire);
+  held_ = sealed;
+}
+
+// ok: returning a sealed view transfers a refcount, not an alias.
+BufView roundtrip(Arena& arena) {
+  Bytes local = encode_something();
+  BufView sealed = arena.seal(local);
+  return sealed;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// EPOCH-001 fixture: raw relational operators on wrapping counters.
+#include <cstdint>
+
+namespace fixture {
+
+bool stale(const Msg& msg, std::uint64_t current_epoch) {
+  return msg.epoch < current_epoch;                 // BAD
+}
+
+bool Window::admits(const Record& record) const {
+  if (record.seq > high_water) {                    // BAD
+    return false;
+  }
+  return record.view >= view_;                      // BAD
+}
+
+bool newer(const Entry& a, const Entry& b) {
+  return a.timestamp <= b.timestamp;                // BAD
+}
+
+}  // namespace fixture

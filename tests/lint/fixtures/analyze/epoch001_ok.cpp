@@ -1,0 +1,30 @@
+// EPOCH-001 fixture: the patterns the rule must NOT flag.
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+bool stale(const Msg& msg, std::uint64_t current_epoch) {
+  return counters::before(msg.epoch, current_epoch);  // ok: serial arithmetic
+}
+
+void iterate(std::uint64_t lo, std::uint64_t hi) {
+  for (std::uint64_t seq = lo; seq < hi; ++seq) {     // ok: for-loop header
+    touch(seq);
+  }
+}
+
+bool bounded(const std::map<std::uint64_t, std::uint64_t>& epochs) {
+  // ok: the closing `>` of a template argument list is not a comparison.
+  std::map<std::uint64_t, std::uint64_t> epoch_history;
+  if (epochs.size() > kMaxRetained) {                 // ok: .size(), not a counter
+    return false;
+  }
+  return epoch_history.size() > kMaxRetained;
+}
+
+bool nonzero(std::uint64_t view) {
+  return view > 0;                                    // ok: emptiness check
+}
+
+}  // namespace fixture

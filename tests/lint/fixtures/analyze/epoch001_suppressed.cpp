@@ -1,0 +1,11 @@
+// EPOCH-001 fixture: an explained allow() silences the finding.
+#include <cstdint>
+
+namespace fixture {
+
+bool Event::operator>(const Event& other) const {
+  // itdos-lint: allow(EPOCH-001) local tiebreaker; seq is assigned in-process and cannot wrap in a run
+  return seq > other.seq;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// TAINT-002 fixture: protocol state mutated before the MAC verify.
+#include <cstdint>
+
+namespace fixture {
+
+Status Handler::on_envelope(const bft::Envelope& env) {
+  last_sender_ = env.sender;              // BAD: assignment before verify
+  pending_.push_back(env.digest);         // BAD: container mutation
+  seen_[env.seq] = true;                  // BAD: map insert-or-assign
+  delivered_++;                           // BAD: counter-ish but protocol state
+  if (!verify(env)) {
+    return error(Errc::kBadSignature, "bad envelope MAC");
+  }
+  applied_ = env.seq;
+  return Status::ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// TAINT-002 fixture: telemetry before verify is fine; state moves after.
+#include <cstdint>
+
+namespace fixture {
+
+Status Handler::on_envelope(const bft::Envelope& env) {
+  rejected_malformed_++;                  // ok: telemetry member
+  stats_.observe(env.size());             // ok: member of telemetry object
+  if (!verify(env)) {
+    dropped_++;                           // ok: telemetry member
+    return error(Errc::kBadSignature, "bad envelope MAC");
+  }
+  last_sender_ = env.sender;              // ok: after the verify
+  pending_.push_back(env.digest);
+  return Status::ok();
+}
+
+Status Handler::no_boundary(const bft::Envelope& env) {
+  // No verify call in this function: it is not the verification boundary,
+  // so pre-verify ordering does not apply.
+  queued_.push_back(env.digest);
+  return Status::ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// TAINT-002 fixture: an explained allow() silences the finding.
+#include <cstdint>
+
+namespace fixture {
+
+Status Handler::on_envelope(const bft::Envelope& env) {
+  // itdos-lint: allow(TAINT-002) replay cache is keyed pre-verify by design; poisoned entries age out
+  replay_window_ = env.seq;
+  if (!verify(env)) {
+    return error(Errc::kBadSignature, "bad envelope MAC");
+  }
+  return Status::ok();
+}
+
+}  // namespace fixture

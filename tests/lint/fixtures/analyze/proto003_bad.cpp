@@ -1,0 +1,35 @@
+// PROTO-003 fixture: non-exhaustive switches over protocol kind enums.
+#include <cstdint>
+
+namespace fixture {
+
+enum class WireMsgKind : std::uint8_t {
+  kRequest = 0,
+  kReply = 1,
+  kHeartbeat = 2,
+  kShutdown = 3,
+};
+
+enum class FrameType : std::uint8_t {
+  kData = 0,
+  kControl = 1,
+};
+
+// BAD: kHeartbeat and kShutdown unhandled.
+int route(WireMsgKind kind) {
+  switch (kind) {
+    case WireMsgKind::kRequest: return 1;
+    case WireMsgKind::kReply: return 2;
+  }
+  return 0;
+}
+
+// BAD: a default: label does not count as coverage.
+int classify(FrameType type) {
+  switch (type) {
+    case FrameType::kData: return 1;
+    default: return 0;
+  }
+}
+
+}  // namespace fixture

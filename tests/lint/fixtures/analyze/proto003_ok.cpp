@@ -1,0 +1,40 @@
+// PROTO-003 fixture: exhaustive switches stay silent; non-Kind/Type enums
+// and enums defined outside the scanned tree are out of scope.
+#include <cstdint>
+
+namespace fixture {
+
+enum class WireMsgKind : std::uint8_t {
+  kRequest = 0,
+  kReply = 1,
+};
+
+enum class Color : std::uint8_t {  // not a *Kind/*Type name: out of scope
+  kRed = 0,
+  kGreen = 1,
+  kBlue = 2,
+};
+
+int route(WireMsgKind kind) {
+  switch (kind) {
+    case WireMsgKind::kRequest: return 1;
+    case WireMsgKind::kReply: return 2;
+  }
+  return 0;
+}
+
+int paint(Color c) {
+  switch (c) {
+    case Color::kRed: return 1;
+    default: return 0;
+  }
+}
+
+int external(ExternalKind k) {
+  switch (k) {  // enum not defined in the scanned files: stay silent
+    case ExternalKind::kOne: return 1;
+  }
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// TAINT-001 fixture: every sink class reached by an unguarded decoder read.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fixture {
+
+Status decode_unguarded(cdr::Decoder& dec, Bytes& out) {
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t count, dec.read_uint32());
+  out.resize(count);                              // BAD: resize sink
+  std::vector<Entry> entries;
+  entries.reserve(count);                         // BAD: reserve sink
+  for (std::uint32_t i = 0; i < count; ++i) {     // BAD: loop-bound sink
+    entries.push_back(Entry{});
+  }
+  return Status::ok();
+}
+
+Status copy_unguarded(cdr::Decoder& dec, std::uint8_t* scratch) {
+  std::uint32_t len = dec.read_uint32();
+  std::memcpy(scratch, dec.peek(), len);          // BAD: memcpy length sink
+  auto* heap = new std::uint8_t[len];             // BAD: array-new sink
+  scratch[len] = 0;                               // BAD: buffer index sink
+  delete[] heap;
+  return Status::ok();
+}
+
+Status slice_unguarded(cdr::Decoder& dec, ByteView raw) {
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t n, dec.read_uint32());
+  ByteView head = raw.subspan(0, n);              // BAD: span-length sink
+  (void)head;
+  return Status::ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// TAINT-001 fixture: every kill class — guarded reads must not be flagged.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fixture {
+
+Status decode_guarded(cdr::Decoder& dec, Bytes& out) {
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t count, dec.read_uint32());
+  if (count > dec.remaining()) {                  // kill: relational guard
+    return error(Errc::kMalformedMessage, "hostile count");
+  }
+  out.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out[i] = 0;
+  }
+  return Status::ok();
+}
+
+Status copy_clamped(cdr::Decoder& dec, std::uint8_t* scratch) {
+  std::uint32_t len = dec.read_uint32();
+  len = std::min(len, kMaxChunk);                 // kill: std::min re-bound
+  std::memcpy(scratch, dec.peek(), len);
+  return Status::ok();
+}
+
+Status copy_checked(cdr::Decoder& dec, Bytes& out) {
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t n, dec.read_uint32());
+  ITDOS_RETURN_IF_ERROR(check_length(dec, n));    // kill: guard helper
+  out.resize(n);
+  return Status::ok();
+}
+
+Status reassigned_clean(cdr::Decoder& dec, Bytes& out) {
+  std::uint32_t n = dec.read_uint32();
+  n = kFixedSize;                                 // kill: clean reassignment
+  out.resize(n);
+  return Status::ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Cross-TU fixture, TU 2: taint introduced here flows through the helpers
+// defined in wire_helpers.cpp — one hop per direction.
+#include <cstdint>
+
+namespace fixture {
+
+Status consume(cdr::Decoder& dec, Bytes& out) {
+  std::uint32_t n = read_wire_count(dec);   // tainted via callee summary
+  fill_scratch(out, n);                     // BAD: callee sinks param unguarded
+  fill_checked(out, n);                     // ok: callee guards its param
+  out.reserve(n);                           // BAD: local sink, summary-tainted n
+  return Status::ok();
+}
+
+Status consume_guarded(cdr::Decoder& dec, Bytes& out) {
+  std::uint32_t n = read_wire_count(dec);
+  if (n > dec.remaining()) {
+    return error(Errc::kMalformedMessage, "hostile count");
+  }
+  fill_scratch(out, n);                     // ok: guarded before the call
+  return Status::ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Cross-TU fixture, TU 1: helpers whose summaries carry the taint.
+#include <cstdint>
+
+namespace fixture {
+
+// Summary: returns_tainted — the value is a raw decoder read.
+std::uint32_t read_wire_count(cdr::Decoder& dec) {
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t count, dec.read_uint32());
+  return count;
+}
+
+// Summary: param `n` reaches a resize sink unguarded.
+void fill_scratch(Bytes& out, std::uint32_t n) {
+  out.resize(n);
+}
+
+// No summary: the parameter is validated before use.
+void fill_checked(Bytes& out, std::uint32_t n) {
+  if (n > kMaxChunk) {
+    return;
+  }
+  out.resize(n);
+}
+
+}  // namespace fixture

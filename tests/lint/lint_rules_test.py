@@ -15,6 +15,7 @@ import unittest
 HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(os.path.dirname(HERE))
 LINT = os.path.join(REPO, "tools", "itdos_lint.py")
+ANALYZE = os.path.join(REPO, "tools", "itdos_analyze")
 FIXTURES = os.path.join(HERE, "fixtures")
 
 
@@ -22,6 +23,18 @@ def run_lint(*args):
     """Returns (exit_code, findings) from a --json lint run."""
     proc = subprocess.run(
         [sys.executable, LINT, "--json", *args],
+        capture_output=True, text=True, check=False)
+    findings = json.loads(proc.stdout) if proc.stdout.strip() else []
+    return proc.returncode, findings
+
+
+def run_analyze(*args, baseline=False):
+    """Returns (exit_code, findings) from a --json itdos_analyze run.
+    Fixture runs skip the checked-in baseline (it describes src/, not them)."""
+    extra = () if baseline else ("--no-baseline",)
+    proc = subprocess.run(
+        [sys.executable, ANALYZE, "--json", "--no-trace-check",
+         *extra, *args],
         capture_output=True, text=True, check=False)
     findings = json.loads(proc.stdout) if proc.stdout.strip() else []
     return proc.returncode, findings
@@ -140,6 +153,129 @@ class RuleFires(unittest.TestCase):
 
     def test_meta001_fires_on_unexplained_suppression(self):
         self.assert_rule("META-001", fixture("unexplained.cpp"))
+
+
+class AnalyzerRuleFires(unittest.TestCase):
+    """tools/itdos_analyze: each rule fires on its bad fixture, stays quiet
+    on its good fixture, and is silenced by an explained allow()."""
+
+    def assert_triplet(self, rule, bad, good, suppressed, min_count=1):
+        code, findings = run_analyze(fixture("analyze", bad))
+        hits = [f for f in findings if f["rule"] == rule]
+        self.assertEqual(code, 1, f"expected findings in {bad}: {findings}")
+        self.assertGreaterEqual(len(hits), min_count,
+                                f"{rule} did not fire on {bad}: {findings}")
+        code_off, findings_off = run_analyze(fixture("analyze", bad),
+                                             "--disable", rule)
+        self.assertNotIn(rule, rules_of(findings_off),
+                         f"{rule} fired despite --disable")
+        code_ok, findings_ok = run_analyze(fixture("analyze", good))
+        self.assertEqual(code_ok, 0, f"{good} must be clean: {findings_ok}")
+        code_sup, findings_sup = run_analyze(fixture("analyze", suppressed))
+        self.assertEqual(code_sup, 0,
+                         f"allow() did not silence {rule}: {findings_sup}")
+        return hits
+
+    def test_taint001_covers_every_sink_class(self):
+        hits = self.assert_triplet(
+            "TAINT-001", "taint001_bad.cpp", "taint001_ok.cpp",
+            "taint001_suppressed.cpp", min_count=7)
+        messages = " ".join(h["message"] for h in hits)
+        for needle in (".resize()", ".reserve()", "loop bound", "memcpy",
+                       "array-new", "scratch[...]", ".subspan()"):
+            self.assertIn(needle, messages)
+
+    def test_taint001_tracks_flows_across_tus(self):
+        code, findings = run_analyze(fixture("analyze", "xtu"))
+        self.assertEqual(code, 1, findings)
+        hits = [f for f in findings if f["rule"] == "TAINT-001"]
+        # Exactly the two BAD lines in wire_caller.cpp: the summary-reported
+        # callee sink and the local sink fed by a tainted-returning callee.
+        self.assertEqual(len(hits), 2, hits)
+        messages = " ".join(h["message"] for h in hits)
+        self.assertIn("fill_scratch", messages)   # sink-param summary
+        self.assertIn("wire_helpers.cpp", messages)  # points into the other TU
+        self.assertTrue(all("wire_caller.cpp" in h["file"] for h in hits),
+                        hits)
+
+    def test_taint002_fires_per_premature_mutation(self):
+        hits = self.assert_triplet(
+            "TAINT-002", os.path.join("itdos", "taint002_bad.cpp"),
+            os.path.join("itdos", "taint002_ok.cpp"),
+            os.path.join("itdos", "taint002_suppressed.cpp"), min_count=4)
+        messages = " ".join(h["message"] for h in hits)
+        for needle in ("last_sender_", "pending_", "seen_", "delivered_"):
+            self.assertIn(f"`{needle}`", messages)
+
+    def test_proto003_fires_with_and_without_default(self):
+        hits = self.assert_triplet(
+            "PROTO-003", "proto003_bad.cpp", "proto003_ok.cpp",
+            "proto003_suppressed.cpp", min_count=2)
+        messages = " ".join(h["message"] for h in hits)
+        self.assertIn("kHeartbeat", messages)
+        self.assertIn("`default:` label does not count", messages)
+
+    def test_buf002_fires_per_escape_shape(self):
+        hits = self.assert_triplet(
+            "BUF-002", "buf002_bad.cpp", "buf002_ok.cpp",
+            "buf002_suppressed.cpp", min_count=4)
+        messages = " ".join(h["message"] for h in hits)
+        for needle in ("`held_`", "`queue_`", "local `local`"):
+            self.assertIn(needle, messages)
+
+    def test_epoch001_fires_per_raw_relop(self):
+        hits = self.assert_triplet(
+            "EPOCH-001", "epoch001_bad.cpp", "epoch001_ok.cpp",
+            "epoch001_suppressed.cpp", min_count=4)
+        messages = " ".join(h["message"] for h in hits)
+        for op in ("`<`", "`>`", "`<=`", "`>=`"):
+            self.assertIn(op, messages)
+
+
+class AnalyzerTreeAndCli(unittest.TestCase):
+    def test_src_analyzes_clean_under_checked_in_baseline(self):
+        code, findings = run_analyze(os.path.join(REPO, "src"),
+                                     baseline=True)
+        self.assertEqual(code, 0,
+                         "src/ must stay analyzer-clean:\n" +
+                         "\n".join(f"{f['file']}:{f['line']} {f['rule']} "
+                                   f"{f['message']}" for f in findings))
+
+    def test_with_lint_unifies_both_gates(self):
+        # One invocation, both tools' rules: a lint-only fixture must fail
+        # through the analyzer driver too.
+        code, findings = run_analyze(fixture("det001_bad.cpp"), "--with-lint")
+        self.assertEqual(code, 1)
+        self.assertIn("DET-001", rules_of(findings))
+
+    def test_unknown_rule_is_a_usage_error(self):
+        code, _ = run_analyze(fixture("analyze", "proto003_ok.cpp"),
+                              "--disable", "NOPE-999")
+        self.assertEqual(code, 2)
+
+    def test_list_rules_names_every_stable_id(self):
+        proc = subprocess.run([sys.executable, ANALYZE, "--list-rules"],
+                              capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("TAINT-001", "TAINT-002", "PROTO-003", "BUF-002",
+                     "EPOCH-001", "DET-001", "BUF-001"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_sarif_artifact_is_well_formed(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            sarif_path = os.path.join(tmp, "out.sarif")
+            code, _ = run_analyze(fixture("analyze", "epoch001_bad.cpp"),
+                                  "--sarif", sarif_path)
+            self.assertEqual(code, 1)
+            with open(sarif_path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            self.assertEqual(doc["version"], "2.1.0")
+            run = doc["runs"][0]
+            rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+            self.assertIn("EPOCH-001", rules)
+            self.assertTrue(any(r["ruleId"] == "EPOCH-001"
+                                for r in run["results"]))
 
 
 class SuppressionsWork(unittest.TestCase):

@@ -1,0 +1,74 @@
+"""itdos_analyze — trust-boundary static analyzer for the ITDOS tree.
+
+Where tools/itdos_lint.py is a tokenizer-grade style gate, this package is a
+dataflow pass: it parses every C++ file into a function model, tracks taint
+from wire-decode *sources* to memory-shaping *sinks*, and flags flows with no
+dominating guard. DESIGN.md §6h is the long-form model; the stable rule ids:
+
+  TAINT-001  a tainted length/count reaches an allocation, copy or loop
+             bound with no dominating bounds guard
+  TAINT-002  protocol state mutated from a message before its MAC/signature
+             is verified
+  PROTO-003  non-exhaustive switch over a protocol message/kind enum
+             (a `default:` label does not count as coverage)
+  BUF-002    a borrowed (non-owning) BufView escapes the scope that keeps
+             its storage alive (returned or stored into a member)
+  EPOCH-001  raw </> comparison of epoch/seq/view/generation counters
+             instead of the wraparound-safe helpers (common/counters.hpp)
+
+Suppressions reuse the itdos_lint syntax verbatim:
+  // itdos-lint: allow(TAINT-001) <reason>
+on the offending line or alone on the line above. A reason is mandatory
+(META-001, enforced by the shared driver).
+
+Backends: libclang (python `clang` bindings + compile_commands.json) when
+importable — exact token streams and AST function extents — else a built-in
+degraded mode that lexes and extracts functions heuristically. Both feed the
+same dataflow engine and report identical findings on well-formed code; the
+fixture suite runs under whichever backend the host has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ANALYZE_RULES = {
+    "TAINT-001": "unguarded tainted length/count at an allocation or copy sink",
+    "TAINT-002": "protocol state mutated before MAC/signature verification",
+    "PROTO-003": "non-exhaustive switch over a protocol message/kind enum",
+    "BUF-002": "borrowed BufView escaping its storage's scope",
+    "EPOCH-001": "raw </> comparison of a wrapping protocol counter",
+}
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+    # Extra context for baselining/SARIF: the function the finding is in and
+    # the normalized text of the offending source line.
+    function: str = ""
+    context: str = ""
+    baselined: bool = False
+    baseline_reason: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+
+@dataclass
+class FileModel:
+    """Everything the rules need to know about one file."""
+    path: str
+    text: str
+    tokens: list = field(default_factory=list)      # itdos_lint.Token
+    comments: dict = field(default_factory=dict)    # line -> comment text
+    functions: list = field(default_factory=list)   # model.Function
+    enums: dict = field(default_factory=dict)       # name -> model.Enum
+    switches: list = field(default_factory=list)    # model.Switch
+    backend: str = "internal"

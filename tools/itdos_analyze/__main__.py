@@ -1,0 +1,19 @@
+"""Entry point: `python3 tools/itdos_analyze [args...]`.
+
+When invoked by path, Python puts the package directory itself on
+sys.path and leaves __package__ empty; bootstrap the parent (tools/) so
+absolute imports of the package resolve.
+"""
+
+import os
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    from itdos_analyze import driver
+else:
+    from . import driver
+
+if __name__ == "__main__":
+    sys.exit(driver.main(sys.argv[1:]))

@@ -1,0 +1,91 @@
+"""Baseline: known, documented-safe findings the gate must tolerate.
+
+Fingerprints are (rule, relpath, normalized source-line text, occurrence
+index) — deliberately NOT line numbers, so unrelated edits above a finding
+don't churn the baseline. The occurrence index disambiguates identical
+lines (e.g. two `seq < low` checks in one file).
+
+The checked-in file (tools/itdos_analyze/baseline.json) carries a `reason`
+per entry: a baseline without a reason is rejected, mirroring META-001 for
+inline suppressions. `--update-baseline` rewrites the file from the current
+findings, preserving reasons for entries that survive and stamping
+`TODO: justify` on new ones — CI rejects TODO reasons, so an update is
+always followed by a human pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+
+def _normalize(line_text: str) -> str:
+    return re.sub(r"\s+", " ", line_text.strip())
+
+
+def fingerprint(finding, repo_root: str, file_lines: dict) -> tuple:
+    rel = os.path.relpath(finding.path, repo_root).replace(os.sep, "/")
+    lines = file_lines.get(finding.path, [])
+    text = _normalize(lines[finding.line - 1]) \
+        if 0 < finding.line <= len(lines) else ""
+    return (finding.rule, rel, text)
+
+
+class Baseline:
+    def __init__(self, entries=None):
+        # key (rule, rel, text) -> list of reasons (one per occurrence)
+        self.entries: dict = {}
+        for e in entries or []:
+            key = (e["rule"], e["file"], e["line_text"])
+            self.entries.setdefault(key, []).append(e.get("reason", ""))
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls()
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+        return cls(data.get("findings", []))
+
+    def invalid_reasons(self):
+        bad = []
+        for (rule, rel, text), reasons in sorted(self.entries.items()):
+            for reason in reasons:
+                if not reason.strip() or reason.strip().startswith("TODO"):
+                    bad.append((rule, rel, text))
+        return bad
+
+    def apply(self, findings, repo_root: str, file_lines: dict):
+        """Split findings into (new, baselined). Matching consumes
+        occurrences, so a baseline entry covers exactly as many findings
+        as it has occurrences."""
+        budget = {k: list(v) for k, v in self.entries.items()}
+        new, matched = [], []
+        for f in findings:
+            key = fingerprint(f, repo_root, file_lines)
+            if budget.get(key):
+                f.baselined = True
+                f.baseline_reason = budget[key].pop(0)
+                matched.append(f)
+            else:
+                new.append(f)
+        return new, matched
+
+    @staticmethod
+    def write(path: str, findings, repo_root: str, file_lines: dict,
+              old: "Baseline") -> None:
+        budget = {k: list(v) for k, v in old.entries.items()}
+        out = []
+        for f in sorted(findings, key=lambda f: f.sort_key()):
+            rule, rel, text = fingerprint(f, repo_root, file_lines)
+            reasons = budget.get((rule, rel, text), [])
+            reason = reasons.pop(0) if reasons else "TODO: justify"
+            out.append({"rule": rule, "file": rel, "line_text": text,
+                        "reason": reason})
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"comment": "Known, documented-safe analyzer findings."
+                       " Update with --update-baseline, then replace every"
+                       " TODO reason; the gate rejects TODOs.",
+                       "findings": out}, fh, indent=2)
+            fh.write("\n")

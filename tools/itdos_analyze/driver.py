@@ -1,0 +1,258 @@
+"""CLI driver: file collection, backends, baseline gate, unified lint run.
+
+`python3 tools/itdos_analyze [paths...]` analyzes the tree (default: src/)
+and exits 0 clean / 1 findings / 2 usage error — same contract as
+itdos_lint.py. `--with-lint` additionally runs every itdos_lint rule
+through this driver, so one invocation (and one ctest) covers both tools
+with one suppression syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from . import ANALYZE_RULES, FileModel, Finding
+from . import model as model_mod
+from .baseline import Baseline
+from .model import LINT, Suppressions
+from .rules import ProgramModel, run_rules
+from .sarif import write_sarif
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "baseline.json")
+
+
+def pick_backend(requested: str):
+    """Returns (name, lex_fn) — lex_fn(path, text) -> (tokens, comments)."""
+    have_libclang = LINT._CINDEX is not None
+    if requested == "libclang" and not have_libclang:
+        raise SystemExit(
+            "error: --backend libclang requested but the clang python "
+            "bindings are not importable; install libclang or use "
+            "--backend internal")
+    if requested == "internal" or (requested == "auto" and not have_libclang):
+        return "internal", lambda path, text: LINT._fallback_lex(text)
+    return "libclang", LINT.lex
+
+
+def load_compile_commands(path: str):
+    """File set from compile_commands.json (the CI-accurate mode): absolute
+    paths of every TU the build actually compiles."""
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    files = []
+    for e in entries:
+        p = e.get("file", "")
+        if not os.path.isabs(p):
+            p = os.path.normpath(os.path.join(e.get("directory", "."), p))
+        files.append(p)
+    return files
+
+
+def build_file_models(files, lex_fn, backend_name):
+    models, file_lines = [], {}
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as exc:
+            print(f"warning: cannot read {path}: {exc}", file=sys.stderr)
+            continue
+        file_lines[path] = text.split("\n")
+        tokens, comments = lex_fn(path, text)
+        fm = FileModel(path=path, text=text, tokens=tokens,
+                       comments=comments, backend=backend_name)
+        fm.functions = model_mod.extract_functions(tokens, path)
+        fm.enums = model_mod.extract_enums(text, path)
+        fm.switches = model_mod.extract_switches(tokens, path)
+        models.append(fm)
+    return models, file_lines
+
+
+def analyze(paths, enabled=None, backend="auto", compile_commands=None):
+    """Programmatic entry point (used by scripts/analyze_stats.py).
+    Returns (findings, stats, file_lines)."""
+    enabled = set(ANALYZE_RULES) if enabled is None else enabled
+    t0 = time.monotonic()
+    backend_name, lex_fn = pick_backend(backend)
+    files = LINT.collect_files(paths)
+    if compile_commands:
+        listed = set(load_compile_commands(compile_commands))
+        known = set(files)
+        roots = [os.path.abspath(p) for p in paths]
+        for p in sorted(listed):
+            if p in known or not os.path.exists(p):
+                continue
+            if any(os.path.abspath(p).startswith(r + os.sep) for r in roots):
+                files.append(p)
+    models, file_lines = build_file_models(files, lex_fn, backend_name)
+    t_parse = time.monotonic()
+    program = ProgramModel(models)
+    findings = run_rules(program, enabled)
+
+    # Inline suppressions (same syntax + semantics as itdos_lint).
+    by_path = {fm.path: fm for fm in models}
+    kept = []
+    for f in findings:
+        fm = by_path.get(f.path)
+        if fm is not None:
+            suppress = Suppressions(fm.text, fm.comments)
+            if suppress.covers(f.rule, f.line):
+                continue
+        kept.append(f)
+    kept.sort(key=lambda f: f.sort_key())
+    t1 = time.monotonic()
+    stats = {
+        "backend": backend_name,
+        "files": len(models),
+        "functions": sum(len(fm.functions) for fm in models),
+        "parse_s": round(t_parse - t0, 4),
+        "rules_s": round(t1 - t_parse, 4),
+        "wall_s": round(t1 - t0, 4),
+        "per_rule": {rule: sum(1 for f in kept if f.rule == rule)
+                     for rule in sorted(enabled)},
+    }
+    return kept, stats, file_lines
+
+
+def run_lint_rules(paths, disabled, no_trace_check, trace_hpp, trace_cpp):
+    """itdos_lint's rules through this driver (`--with-lint`)."""
+    enabled = set(LINT.ALL_RULES) - disabled
+    findings = []
+    for path in LINT.collect_files(paths):
+        findings += LINT.lint_file(path, enabled)
+    if "TRACE-001" in enabled and not no_trace_check:
+        hpp = trace_hpp or os.path.join(REPO_ROOT, "src", "telemetry",
+                                        "trace.hpp")
+        cpp = trace_cpp or os.path.join(REPO_ROOT, "src", "telemetry",
+                                        "trace.cpp")
+        if os.path.exists(hpp) and os.path.exists(cpp):
+            findings += LINT.check_trace001(hpp, cpp)
+    return [Finding(f.rule, f.path, f.line, f.message) for f in findings]
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="itdos_analyze",
+        description="ITDOS trust-boundary static analyzer "
+                    "(taint dataflow, protocol-state rules)")
+    parser.add_argument("paths", nargs="*",
+                        default=[os.path.join(REPO_ROOT, "src")],
+                        help="files or directories (default: src/)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit unbaselined findings as a JSON array")
+    parser.add_argument("--sarif", metavar="FILE",
+                        help="write SARIF 2.1 (all findings; baselined ones "
+                        "carry suppressions) to FILE")
+    parser.add_argument("--baseline", metavar="FILE", default=DEFAULT_BASELINE,
+                        help="baseline file (default: the checked-in one)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline (report everything)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings, "
+                        "preserving reasons for surviving entries")
+    parser.add_argument("--with-lint", action="store_true",
+                        help="also run every itdos_lint rule (unified gate)")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="RULE", help="disable a rule id "
+                        "(repeatable, comma-separated ok)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--backend", choices=["auto", "libclang", "internal"],
+                        default="auto",
+                        help="token/AST backend (auto: libclang when the "
+                        "python bindings import, else internal)")
+    parser.add_argument("--compile-commands", metavar="FILE",
+                        help="compile_commands.json: analyze every TU the "
+                        "build compiles (CI mode)")
+    parser.add_argument("--stats-json", metavar="FILE",
+                        help="write per-rule counts + timings to FILE")
+    parser.add_argument("--no-trace-check", action="store_true",
+                        help="with --with-lint: skip the global TRACE-001 "
+                        "table check (fixture runs)")
+    parser.add_argument("--trace-hpp", default=None)
+    parser.add_argument("--trace-cpp", default=None)
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, summary in ANALYZE_RULES.items():
+            print(f"{rule}  {summary}")
+        for rule, summary in LINT.ALL_RULES.items():
+            print(f"{rule}  {summary}  [itdos_lint, via --with-lint]")
+        return 0
+
+    disabled = {r.strip() for spec in args.disable for r in spec.split(",")}
+    known = set(ANALYZE_RULES) | set(LINT.ALL_RULES)
+    unknown = disabled - known
+    if unknown:
+        print(f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+    enabled = set(ANALYZE_RULES) - disabled
+
+    try:
+        findings, stats, file_lines = analyze(
+            args.paths, enabled, args.backend, args.compile_commands)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        old = Baseline.load(args.baseline)
+        Baseline.write(args.baseline, findings, REPO_ROOT, file_lines, old)
+        print(f"itdos_analyze: baseline rewritten with {len(findings)} "
+              f"finding(s) -> {args.baseline}", file=sys.stderr)
+        return 0
+
+    baselined = []
+    if not args.no_baseline:
+        base = Baseline.load(args.baseline)
+        bad = base.invalid_reasons()
+        if bad:
+            for rule, rel, text in bad:
+                print(f"error: baseline entry without a real reason: "
+                      f"{rule} {rel} `{text}`", file=sys.stderr)
+            return 2
+        findings, baselined = base.apply(findings, REPO_ROOT, file_lines)
+
+    lint_findings = []
+    if args.with_lint:
+        lint_findings = run_lint_rules(
+            args.paths, disabled, args.no_trace_check,
+            args.trace_hpp, args.trace_cpp)
+        lint_findings.sort(key=lambda f: f.sort_key())
+
+    gating = findings + lint_findings
+    gating.sort(key=lambda f: f.sort_key())
+
+    if args.sarif:
+        all_rules = dict(ANALYZE_RULES)
+        if args.with_lint:
+            all_rules.update(LINT.ALL_RULES)
+        write_sarif(args.sarif, gating + baselined, all_rules, REPO_ROOT)
+
+    if args.stats_json:
+        stats["baselined"] = len(baselined)
+        stats["unbaselined"] = len(findings)
+        stats["lint_findings"] = len(lint_findings)
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+
+    if args.json:
+        print(json.dumps(
+            [{"rule": f.rule, "file": f.path, "line": f.line,
+              "message": f.message} for f in gating], indent=2))
+    else:
+        for f in gating:
+            print(f.render())
+        print(f"itdos_analyze: {stats['files']} file(s), "
+              f"{len(gating)} finding(s), {len(baselined)} baselined "
+              f"[{stats['backend']} backend, {stats['wall_s']}s]",
+              file=sys.stderr)
+    return 1 if gating else 0

@@ -1,0 +1,337 @@
+"""Source model: functions, enums and switches extracted from C++ files.
+
+Reuses tools/itdos_lint.py's lexer (libclang token stream when the bindings
+are importable, built-in tokenizer otherwise) so both tools see the same
+(kind, text, line) stream and honour the same suppression comments. On top
+of that stream this module recovers a *function model* — name, parameters,
+body token range — which is what the dataflow engine in taint.py walks.
+
+The extractor is heuristic, not a full parser: it looks for
+`name(params) [quals] [: ctor-inits] {` at namespace/class scope, skipping
+control-flow keywords. That is exact enough for this codebase's style (and
+for the fixtures), and the libclang backend feeds it the same token kinds,
+so findings are identical across backends.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import re
+from dataclasses import dataclass, field
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_lint():
+    import sys
+    if "itdos_lint" in sys.modules:
+        return sys.modules["itdos_lint"]
+    spec = importlib.util.spec_from_file_location(
+        "itdos_lint", os.path.join(_TOOLS_DIR, "itdos_lint.py"))
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["itdos_lint"] = mod     # dataclass decorators look this up
+    spec.loader.exec_module(mod)
+    return mod
+
+
+LINT = _load_lint()
+Token = LINT.Token
+Suppressions = LINT.Suppressions
+
+# Keywords that look like `name ( ... ) {` but are not function definitions.
+_CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "else", "do", "new", "delete", "case", "static_assert",
+    "assert", "throw", "co_return", "co_await", "co_yield", "constexpr",
+    "alignas", "defined", "__attribute__",
+}
+
+# Tokens allowed between `)` and the body `{`: cv/ref qualifiers, noexcept,
+# trailing return types, override/final, requires-clauses.
+_POST_PAREN_OK = {"const", "noexcept", "override", "final", "mutable", "&",
+                  "&&", "->", "::", "throw", "requires", "<", ">", ",", "(",
+                  ")", "[", "]", ".", "..."}
+
+
+@dataclass
+class Param:
+    name: str
+    type_text: str
+
+
+@dataclass
+class Function:
+    name: str            # unqualified: "decode_envelope"
+    qual_name: str       # "Envelope::decode" when class-qualified
+    path: str
+    line: int
+    params: list = field(default_factory=list)   # [Param]
+    body: list = field(default_factory=list)     # tokens between the braces
+    is_method: bool = False
+
+
+@dataclass
+class Enum:
+    name: str
+    path: str
+    line: int
+    enumerators: list = field(default_factory=list)
+
+
+@dataclass
+class Switch:
+    path: str
+    line: int
+    enum_name: str       # deduced from `case Qual::enumerator` labels
+    cases: set = field(default_factory=set)
+    has_default: bool = False
+    subject_text: str = ""
+
+
+def match_paren(tokens, i: int) -> int:
+    """tokens[i] is '('; index of the matching ')', or -1."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def match_brace(tokens, i: int) -> int:
+    """tokens[i] is '{'; index of the matching '}', or -1."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def _skip_ctor_inits(tokens, j: int) -> int:
+    """tokens[j] is the first token after a ctor's `:`; returns the index of
+    the body `{` after the member-initializer list, or -1."""
+    n = len(tokens)
+    while j < n:
+        while j < n and (tokens[j].kind == "id"
+                         or tokens[j].text in {"::", "<", ">", ",", "."}):
+            j += 1
+        if j >= n:
+            return -1
+        if tokens[j].text == "(":
+            close = match_paren(tokens, j)
+        elif tokens[j].text == "{":
+            close = match_brace(tokens, j)
+        else:
+            return -1
+        if close < 0:
+            return -1
+        j = close + 1
+        while j < n and tokens[j].text == ".":  # pack expansion `...`
+            j += 1
+        if j < n and tokens[j].text == ",":
+            j += 1
+            continue
+        return j if j < n and tokens[j].text == "{" else -1
+    return -1
+
+
+def _find_body_open(tokens, j: int) -> int:
+    """Walk from just past a parameter list's `)` to the body `{`.
+    Returns -1 for declarations (`;`), deleted/defaulted members (`=`), and
+    anything else that is not a definition."""
+    n = len(tokens)
+    steps = 0
+    while j < n and steps < 128:
+        t = tokens[j].text
+        if t == "{":
+            return j
+        if t in {";", "=", "}"}:
+            return -1
+        if t == ":" :
+            return _skip_ctor_inits(tokens, j + 1)
+        if tokens[j].kind == "id" or t in _POST_PAREN_OK:
+            if j + 1 < n and tokens[j + 1].text == "(":
+                close = match_paren(tokens, j + 1)
+                if close < 0:
+                    return -1
+                j = close + 1
+            else:
+                j += 1
+            steps += 1
+            continue
+        return -1
+    return -1
+
+
+def _qualified_name(tokens, k: int):
+    """tokens[k] is the name identifier just before '('."""
+    parts = [tokens[k].text]
+    j = k - 1
+    if j >= 0 and tokens[j].text == "~":
+        parts[0] = "~" + parts[0]
+        j -= 1
+    while j >= 1 and tokens[j].text == "::" and tokens[j - 1].kind == "id":
+        parts.insert(0, tokens[j - 1].text)
+        j -= 2
+    return parts[-1], "::".join(parts)
+
+
+_NOT_PARAM_NAMES = {"const", "void", "int", "char", "bool", "float", "double",
+                    "long", "short", "unsigned", "signed", "auto"}
+
+
+def _make_param(chunk):
+    toks = list(chunk)
+    for idx, t in enumerate(toks):
+        if t.text == "=":          # strip default argument
+            toks = toks[:idx]
+            break
+    if not toks:
+        return None
+    name_tok = None
+    if (len(toks) >= 2 and toks[-1].kind == "id"
+            and toks[-1].text not in _NOT_PARAM_NAMES):
+        name_tok = toks[-1]
+    type_toks = toks[:-1] if name_tok else toks
+    return Param(name=name_tok.text if name_tok else "",
+                 type_text=" ".join(t.text for t in type_toks))
+
+
+def _parse_params(tokens, open_i: int, close_i: int):
+    params, chunk, depth = [], [], 0
+    for j in range(open_i + 1, close_i):
+        t = tokens[j].text
+        if t in {"(", "<", "[", "{"}:
+            depth += 1
+        elif t in {")", ">", "]", "}"}:
+            depth -= 1
+        if t == "," and depth == 0:
+            params.append(_make_param(chunk))
+            chunk = []
+        else:
+            chunk.append(tokens[j])
+    if chunk:
+        params.append(_make_param(chunk))
+    return [p for p in params if p is not None]
+
+
+def extract_functions(tokens, path: str):
+    out = []
+    i, n = 0, len(tokens)
+    while i < n:
+        if tokens[i].text != "(":
+            i += 1
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        if (prev is None or prev.kind != "id"
+                or prev.text in _CONTROL_KEYWORDS):
+            i += 1
+            continue
+        p2 = tokens[i - 2] if i >= 2 else None
+        if p2 is not None and p2.text in {".", "->"}:
+            i += 1            # member call, not a definition
+            continue
+        close = match_paren(tokens, i)
+        if close < 0:
+            i += 1
+            continue
+        body_open = _find_body_open(tokens, close + 1)
+        if body_open < 0:
+            i = close + 1
+            continue
+        body_close = match_brace(tokens, body_open)
+        if body_close < 0:
+            i = close + 1
+            continue
+        name, qual = _qualified_name(tokens, i - 1)
+        out.append(Function(
+            name=name, qual_name=qual, path=path, line=prev.line,
+            params=_parse_params(tokens, i, close),
+            body=tokens[body_open + 1: body_close],
+            is_method="::" in qual))
+        i = body_close + 1     # nested lambdas stay part of the body
+    return out
+
+
+_ENUM_DEF_RE = re.compile(
+    r"enum\s+class\s+([A-Za-z_]\w*)\s*(?::[^{(;]*)?\{(.*?)\}\s*;", re.DOTALL)
+
+
+def extract_enums(text: str, path: str):
+    enums = {}
+    for m in _ENUM_DEF_RE.finditer(text):
+        name, body = m.group(1), m.group(2)
+        body = re.sub(r"//[^\n]*", "", body)
+        body = re.sub(r"/\*.*?\*/", "", body, flags=re.DOTALL)
+        enumerators = []
+        for piece in body.split(","):
+            im = re.match(r"\s*([A-Za-z_]\w*)", piece)
+            if im:
+                enumerators.append(im.group(1))
+        if enumerators:
+            enums[name] = Enum(name=name, path=path,
+                               line=text[:m.start()].count("\n") + 1,
+                               enumerators=enumerators)
+    return enums
+
+
+def extract_switches(tokens, path: str):
+    out = []
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id" or tok.text != "switch":
+            continue
+        if i + 1 >= n or tokens[i + 1].text != "(":
+            continue
+        close = match_paren(tokens, i + 1)
+        if close < 0 or close + 1 >= n or tokens[close + 1].text != "{":
+            continue
+        bclose = match_brace(tokens, close + 1)
+        if bclose < 0:
+            continue
+        cases, has_default, enum_name = set(), False, None
+        j = close + 2
+        while j < bclose:
+            t = tokens[j]
+            # Skip nested switches: their cases belong to themselves (the
+            # outer scan still visits them in their own right).
+            if (t.kind == "id" and t.text == "switch" and j + 1 < bclose
+                    and tokens[j + 1].text == "("):
+                c2 = match_paren(tokens, j + 1)
+                if c2 > 0 and c2 + 1 < bclose and tokens[c2 + 1].text == "{":
+                    b2 = match_brace(tokens, c2 + 1)
+                    if b2 > 0:
+                        j = b2 + 1
+                        continue
+            if (t.kind == "id" and t.text == "default" and j + 1 < n
+                    and tokens[j + 1].text == ":"):
+                has_default = True
+            if t.kind == "id" and t.text == "case":
+                k = j + 1
+                chain = []
+                while k < bclose and (tokens[k].kind in {"id", "num"}
+                                      or tokens[k].text == "::"):
+                    chain.append(tokens[k].text)
+                    k += 1
+                if len(chain) >= 3 and chain[-2] == "::":
+                    enum_name = chain[-3]
+                    cases.add(chain[-1])
+                j = k
+                continue
+            j += 1
+        if enum_name and cases:
+            out.append(Switch(path=path, line=tok.line, enum_name=enum_name,
+                              cases=cases, has_default=has_default,
+                              subject_text=" ".join(
+                                  t.text for t in tokens[i + 2:close])))
+    return out

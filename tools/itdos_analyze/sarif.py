@@ -1,0 +1,74 @@
+"""SARIF 2.1.0 export — the CI artifact format code-scanning UIs ingest.
+
+Baselined findings are included with a `suppressions` entry (kind
+"external") so they render as suppressed rather than vanishing; the gate
+itself only fails on unsuppressed results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_descriptor(rule_id: str, summary: str) -> dict:
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": summary},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def to_sarif(findings, all_rules: dict, repo_root: str,
+             tool_name: str = "itdos_analyze",
+             tool_version: str = "1.0.0") -> dict:
+    used = sorted({f.rule for f in findings} | set(all_rules))
+    results = []
+    for f in sorted(findings, key=lambda f: f.sort_key()):
+        rel = os.path.relpath(f.path, repo_root).replace(os.sep, "/")
+        result = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": rel,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        }
+        if f.baselined:
+            result["suppressions"] = [{
+                "kind": "external",
+                "justification": f.baseline_reason or "baselined",
+            }]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "version": tool_version,
+                "informationUri":
+                    "https://example.invalid/itdos/tools/itdos_analyze",
+                "rules": [_rule_descriptor(r, all_rules.get(r, r))
+                          for r in used],
+            }},
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file://" + repo_root.rstrip("/") + "/"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: str, findings, all_rules: dict, repo_root: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(findings, all_rules, repo_root), fh, indent=2)
+        fh.write("\n")

@@ -1,0 +1,502 @@
+"""Taint dataflow: decoder bytes -> memory-shaping sinks (TAINT-001).
+
+Model (see DESIGN.md §6h):
+
+  sources   integral reads off the wire: `dec.read_uint32()` etc., usually
+            landing in a local via ITDOS_ASSIGN_OR_RETURN, plus calls to
+            *source-like* functions (functions whose return value derives
+            from an unguarded decoder read — computed as a summary).
+  kills     a mention of the tainted variable inside an `if`/`while`
+            condition that compares it (the codebase's early-return guard
+            idiom), std::min/std::clamp re-bounding, passing it to a
+            check_*/validate*/verify* helper (including through
+            ITDOS_RETURN_IF_ERROR), or plain reassignment from clean data.
+  sinks     container resize/reserve, memcpy/memmove/memset length,
+            `new T[n]`, span subspan/first/last lengths, for-loop upper
+            bounds, and indexing into raw buffers.
+
+Flow sensitivity is linear: a guard kills taint for everything after it in
+token order. That matches the decode style enforced elsewhere (guards are
+early returns before use) and keeps the engine exact on both backends.
+
+Interprocedural analysis is summary-based and cross-TU: every scanned file
+contributes its functions to one global table keyed by (unqualified) name.
+Summaries — "returns tainted" and "param #i reaches a sink unguarded" —
+are iterated to a fixpoint, so a count read in one TU that flows through a
+helper defined in another TU still reaches its sink report.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from . import Finding
+
+_READ_RE = re.compile(r"^read_(u?int(8|16|32|64)|size|count|len|length)$")
+_GUARD_CALL_RE = re.compile(r"^(check|validate|ensure|require|verify|clamp)")
+_RESIZE_SINKS = {"resize", "reserve", "assign"}
+_SPAN_SINKS = {"subspan", "first", "last", "substr"}
+_COPY_SINKS = {"memcpy", "memmove", "memset"}
+_BUFFERISH_RE = re.compile(r"(buf|bytes|data|raw|arr|scratch)", re.I)
+
+# Origin labels: "src" = derives from a decoder read in this function;
+# "param:<name>" = derives from the named parameter (used for summaries).
+SRC = "src"
+
+
+@dataclass
+class Summary:
+    returns_tainted: bool = False
+    # param name -> (sink description, path, line) of the unguarded use
+    sink_params: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Site:
+    """A would-be finding, kept with its origins so the final pass can
+    decide whether it is a local finding or only a summary contribution."""
+    line: int
+    message: str
+    origins: set
+
+
+def _integral_param(p) -> bool:
+    t = p.type_text
+    return bool(re.search(r"(u?int\d+_t|size_t|size_type|unsigned|int|long)",
+                          t)) and "*" not in t and "vector" not in t
+
+
+class FunctionAnalysis:
+    """One linear pass over a function body under a given summary table."""
+
+    def __init__(self, func, summaries):
+        self.func = func
+        self.summaries = summaries
+        self.tainted: dict[str, set] = {}
+        self.sites: list[_Site] = []
+        self.returns: set = set()   # origins of returned tainted values
+        toks = func.body
+        self.toks = toks
+        self.n = len(toks)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _ids_in(self, lo, hi):
+        return [t for t in self.toks[lo:hi] if t.kind == "id"]
+
+    def _origins_in(self, lo, hi):
+        origins = set()
+        for t in self.toks[lo:hi]:
+            if t.kind == "id" and t.text in self.tainted:
+                origins |= self.tainted[t.text]
+        return origins
+
+    def _kill_all_in(self, lo, hi):
+        for t in self.toks[lo:hi]:
+            if t.kind == "id":
+                self.tainted.pop(t.text, None)
+
+    def _match_paren(self, i):
+        depth = 0
+        for j in range(i, self.n):
+            t = self.toks[j].text
+            if t == "(":
+                depth += 1
+            elif t == ")":
+                depth -= 1
+                if depth == 0:
+                    return j
+        return -1
+
+    def _stmt_end(self, i):
+        for j in range(i, min(i + 256, self.n)):
+            if self.toks[j].text in {";", "{", "}"}:
+                return j
+        return min(i + 256, self.n)
+
+    def _top_level_args(self, open_i, close_i):
+        """Split a call's argument tokens on top-level commas; returns a
+        list of (lo, hi) index ranges."""
+        ranges, depth, lo = [], 0, open_i + 1
+        for j in range(open_i + 1, close_i):
+            t = self.toks[j].text
+            if t in {"(", "[", "{", "<"}:
+                depth += 1
+            elif t in {")", "]", "}", ">"}:
+                depth -= 1
+            elif t == "," and depth == 0:
+                ranges.append((lo, j))
+                lo = j + 1
+        ranges.append((lo, close_i))
+        return ranges
+
+    def _source_expr(self, lo, hi):
+        """Does toks[lo:hi] introduce taint? Returns origins (possibly from
+        a source-like callee) or an empty set."""
+        origins = set()
+        for j in range(lo, hi):
+            t = self.toks[j]
+            if t.kind != "id":
+                continue
+            nxt = self.toks[j + 1] if j + 1 < self.n else None
+            if _READ_RE.match(t.text) and nxt is not None and nxt.text == "(":
+                origins.add(SRC)
+            elif nxt is not None and nxt.text == "(":
+                summ = self.summaries.get(t.text)
+                if summ is not None and summ.returns_tainted:
+                    origins.add(SRC)
+            if t.text in self.tainted:
+                origins |= self.tainted[t.text]
+        return origins
+
+    # -- the walk ---------------------------------------------------------
+
+    def run(self):
+        for p in self.func.params:
+            if p.name and _integral_param(p):
+                self.tainted.setdefault(p.name, set()).add(f"param:{p.name}")
+        i = 0
+        while i < self.n:
+            t = self.toks[i]
+            nxt = self.toks[i + 1] if i + 1 < self.n else None
+            if t.kind != "id":
+                i += 1
+                continue
+
+            if t.text == "ITDOS_ASSIGN_OR_RETURN" and nxt and nxt.text == "(":
+                i = self._handle_assign_or_return(i + 1)
+                continue
+            if (t.text in {"if", "while"} and nxt and nxt.text == "("):
+                i = self._handle_condition(i + 1)
+                continue
+            if t.text == "for" and nxt and nxt.text == "(":
+                i = self._handle_for(i + 1)
+                continue
+            if t.text == "ITDOS_RETURN_IF_ERROR" and nxt and nxt.text == "(":
+                i = self._handle_guard_macro(i + 1)
+                continue
+            if t.text == "return":
+                i = self._handle_return(i + 1)
+                continue
+            if t.text == "new":
+                i = self._handle_new(i + 1)
+                continue
+            if t.text in _COPY_SINKS and nxt and nxt.text == "(":
+                i = self._handle_copy(i, i + 1)
+                continue
+            if nxt and nxt.text == "(":
+                i = self._handle_call(i, i + 1)
+                continue
+            if nxt and nxt.text == "=" :
+                i = self._handle_assign(i)
+                continue
+            if nxt and nxt.text == "[":
+                i = self._handle_index(i)
+                continue
+            i += 1
+        return self
+
+    def _handle_assign_or_return(self, open_i):
+        close = self._match_paren(open_i)
+        if close < 0:
+            return open_i + 1
+        args = self._top_level_args(open_i, close)
+        if len(args) < 2:
+            return close + 1
+        decl_lo, decl_hi = args[0]
+        decl_ids = self._ids_in(decl_lo, decl_hi)
+        name = decl_ids[-1].text if decl_ids else None
+        origins = set()
+        for lo, hi in args[1:]:
+            origins |= self._source_expr(lo, hi)
+        if name:
+            if origins:
+                self.tainted[name] = set(origins)
+            else:
+                self.tainted.pop(name, None)
+        return close + 1
+
+    def _handle_condition(self, open_i):
+        """`if (...)` / `while (...)`: comparing a tainted var kills it —
+        the codebase guard idiom is an early return right after."""
+        close = self._match_paren(open_i)
+        if close < 0:
+            return open_i + 1
+        has_relop = any(self.toks[j].text in {"<", ">", "<=", ">=", "==", "!="}
+                        for j in range(open_i + 1, close))
+        guard_call = any(
+            self.toks[j].kind == "id" and _GUARD_CALL_RE.match(self.toks[j].text)
+            and j + 1 < close and self.toks[j + 1].text == "("
+            for j in range(open_i + 1, close))
+        if has_relop or guard_call:
+            self._kill_all_in(open_i + 1, close)
+        return close + 1
+
+    def _handle_for(self, open_i):
+        """A for-loop bounded by a tainted count is itself a sink; the
+        header does NOT count as a guard."""
+        close = self._match_paren(open_i)
+        if close < 0:
+            return open_i + 1
+        semis = [j for j in range(open_i + 1, close)
+                 if self.toks[j].text == ";"]
+        if len(semis) == 2:
+            cond_lo, cond_hi = semis[0] + 1, semis[1]
+            if any(self.toks[j].text in {"<", "<=", ">", ">="}
+                   for j in range(cond_lo, cond_hi)):
+                origins = self._origins_in(cond_lo, cond_hi)
+                if origins:
+                    self.sites.append(_Site(
+                        self.toks[cond_lo].line,
+                        "loop bound uses a wire-derived count with no "
+                        "dominating bounds check", origins))
+        return close + 1
+
+    def _handle_guard_macro(self, open_i):
+        """ITDOS_RETURN_IF_ERROR(check_xxx(dec, n, ...)): passing a tainted
+        var through a guard helper validates it."""
+        close = self._match_paren(open_i)
+        if close < 0:
+            return open_i + 1
+        guard_call = any(
+            self.toks[j].kind == "id"
+            and _GUARD_CALL_RE.match(self.toks[j].text)
+            and j + 1 < close and self.toks[j + 1].text == "("
+            for j in range(open_i + 1, close))
+        if guard_call:
+            self._kill_all_in(open_i + 1, close)
+        return close + 1
+
+    def _handle_return(self, i):
+        end = self._stmt_end(i)
+        self.returns |= self._origins_in(i, end)
+        self.returns |= self._source_expr(i, end) - self._origins_in(i, end)
+        return end + 1
+
+    def _handle_new(self, i):
+        """`new T[n]` with tainted n."""
+        j = i
+        while j < self.n and (self.toks[j].kind == "id"
+                              or self.toks[j].text in {"::", "<", ">"}):
+            j += 1
+        if j < self.n and self.toks[j].text == "[":
+            end = j
+            depth = 0
+            for k in range(j, self.n):
+                if self.toks[k].text == "[":
+                    depth += 1
+                elif self.toks[k].text == "]":
+                    depth -= 1
+                    if depth == 0:
+                        end = k
+                        break
+            origins = self._origins_in(j + 1, end)
+            if origins:
+                self.sites.append(_Site(
+                    self.toks[j].line,
+                    "array-new sized by a wire-derived value with no "
+                    "dominating bounds check", origins))
+            return end + 1
+        return i
+
+    def _handle_copy(self, name_i, open_i):
+        close = self._match_paren(open_i)
+        if close < 0:
+            return open_i + 1
+        args = self._top_level_args(open_i, close)
+        if len(args) >= 3:
+            origins = self._origins_in(*args[2])
+            if origins:
+                self.sites.append(_Site(
+                    self.toks[name_i].line,
+                    f"`{self.toks[name_i].text}` length is wire-derived with "
+                    "no dominating bounds check", origins))
+        return close + 1
+
+    def _handle_call(self, name_i, open_i):
+        name = self.toks[name_i].text
+        close = self._match_paren(open_i)
+        if close < 0:
+            return open_i + 1
+        prev = self.toks[name_i - 1] if name_i >= 1 else None
+        is_member = prev is not None and prev.text in {".", "->"}
+        args = self._top_level_args(open_i, close)
+
+        if is_member and name in _RESIZE_SINKS | _SPAN_SINKS:
+            # x.resize(n) / x.assign(n, v) / span.subspan(off, n)
+            for lo, hi in args:
+                origins = self._origins_in(lo, hi)
+                if origins:
+                    self.sites.append(_Site(
+                        self.toks[name_i].line,
+                        f"`.{name}()` sized by a wire-derived value with no "
+                        "dominating bounds check", origins))
+                    break
+            return close + 1
+
+        if name in {"min", "clamp"}:
+            # std::min(n, cap) re-bounds n.
+            self._kill_all_in(open_i + 1, close)
+            return close + 1
+
+        if _GUARD_CALL_RE.match(name):
+            self._kill_all_in(open_i + 1, close)
+            return close + 1
+
+        summ = self.summaries.get(name) if not is_member else None
+        if summ is not None and summ.sink_params:
+            params = [p.name for p in self.summaries_params(name)]
+            for pos, (lo, hi) in enumerate(args):
+                pname = params[pos] if pos < len(params) else None
+                if pname is None or pname not in summ.sink_params:
+                    continue
+                origins = self._origins_in(lo, hi)
+                if origins:
+                    what, spath, sline = summ.sink_params[pname]
+                    self.sites.append(_Site(
+                        self.toks[name_i].line,
+                        f"wire-derived value passed to `{name}()`, which "
+                        f"uses it unguarded ({what} at {spath}:{sline})",
+                        origins))
+        return close + 1
+
+    def summaries_params(self, name):
+        func = self.summaries.get(name)
+        return func.params if func is not None and hasattr(func, "params") \
+            else self._callee_params.get(name, [])
+
+    _callee_params: dict = {}
+
+    def _scan_sinks(self, lo, hi):
+        """Sinks inside an expression range (assignment RHS): the main walk
+        consumes whole statements on `=`, so `p = new T[n]` and
+        `auto v = raw.subspan(0, n)` would otherwise never reach a sink
+        handler."""
+        j = lo
+        while j < hi:
+            t = self.toks[j]
+            nxt = self.toks[j + 1] if j + 1 < self.n else None
+            if t.kind != "id":
+                j += 1
+                continue
+            if t.text == "new":
+                j = self._handle_new(j + 1)
+                continue
+            if t.text in _COPY_SINKS and nxt is not None and nxt.text == "(":
+                j = self._handle_copy(j, j + 1)
+                continue
+            if nxt is not None and nxt.text == "(":
+                j = self._handle_call(j, j + 1)
+                continue
+            if nxt is not None and nxt.text == "[":
+                j = self._handle_index(j)
+                continue
+            j += 1
+
+    def _handle_assign(self, name_i):
+        name = self.toks[name_i].text
+        prev = self.toks[name_i - 1] if name_i >= 1 else None
+        if prev is not None and prev.text in {".", "->"}:
+            return name_i + 2          # member assign: not a local var
+        end = self._stmt_end(name_i + 2)
+        # Sinks (and min/clamp kills) in the RHS see the pre-store state;
+        # the origin set is taken after, so `n = std::min(n, cap)` cleans n.
+        self._scan_sinks(name_i + 2, end)
+        origins = self._source_expr(name_i + 2, end)
+        if origins:
+            self.tainted[name] = set(origins)
+        else:
+            self.tainted.pop(name, None)   # reassigned from clean data
+        return end + 1
+
+    def _handle_index(self, name_i):
+        """buf[n] with tainted n, for raw-buffer-ish bases only (map
+        indexing with a wire key is safe and must not be flagged)."""
+        name = self.toks[name_i].text
+        if not _BUFFERISH_RE.search(name):
+            return name_i + 1
+        open_i = name_i + 1
+        depth, end = 0, -1
+        for k in range(open_i, self.n):
+            if self.toks[k].text == "[":
+                depth += 1
+            elif self.toks[k].text == "]":
+                depth -= 1
+                if depth == 0:
+                    end = k
+                    break
+        if end < 0:
+            return name_i + 1
+        origins = self._origins_in(open_i + 1, end)
+        if origins:
+            self.sites.append(_Site(
+                self.toks[name_i].line,
+                f"`{name}[...]` indexed by a wire-derived value with no "
+                "dominating bounds check", origins))
+        return end + 1
+
+
+class TaintEngine:
+    """Whole-program driver: summary fixpoint, then the reporting pass."""
+
+    def __init__(self, functions):
+        self.functions = functions                  # list[model.Function]
+        self.by_name: dict[str, object] = {}
+        counts: dict[str, int] = {}
+        for f in functions:
+            counts[f.name] = counts.get(f.name, 0) + 1
+        for f in functions:
+            # Cross-TU matching is by unqualified name; ambiguous names
+            # (overloads, same name in two classes) are dropped from the
+            # table rather than guessed at.
+            if counts[f.name] == 1:
+                self.by_name[f.name] = f
+        self.summaries: dict[str, Summary] = {}
+
+    def _summary_table(self):
+        """What FunctionAnalysis sees: name -> Summary, plus callee params
+        for positional matching."""
+        FunctionAnalysis._callee_params = {
+            name: f.params for name, f in self.by_name.items()}
+        return self.summaries
+
+    def _analyze(self, func):
+        return FunctionAnalysis(func, self._summary_table()).run()
+
+    def fixpoint(self, max_iter: int = 8):
+        for _ in range(max_iter):
+            changed = False
+            for func in self.functions:
+                if func.name not in self.by_name:
+                    continue
+                fa = self._analyze(func)
+                summ = Summary()
+                summ.returns_tainted = SRC in fa.returns
+                for site in fa.sites:
+                    for origin in sorted(site.origins):
+                        if origin.startswith("param:"):
+                            pname = origin.split(":", 1)[1]
+                            summ.sink_params.setdefault(
+                                pname, (site.message, func.path, site.line))
+                old = self.summaries.get(func.name)
+                if (old is None
+                        or old.returns_tainted != summ.returns_tainted
+                        or set(old.sink_params) != set(summ.sink_params)):
+                    self.summaries[func.name] = summ
+                    changed = True
+            if not changed:
+                break
+        return self
+
+    def findings(self):
+        out = []
+        for func in self.functions:
+            fa = self._analyze(func)
+            for site in fa.sites:
+                if SRC not in site.origins:
+                    continue    # param-only flow: summary, not a finding
+                out.append(Finding(
+                    "TAINT-001", func.path, site.line, site.message,
+                    function=func.qual_name))
+        return out
