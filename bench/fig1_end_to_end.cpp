@@ -6,6 +6,8 @@
 // with the replication degree (quantified further in e1/e7).
 #include "bench_util.hpp"
 
+#include <algorithm>
+
 namespace itdos::bench {
 namespace {
 
@@ -48,6 +50,63 @@ void BM_Fig1EndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig1EndToEnd)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond)
     ->Iterations(30);
+
+void BM_Fig1EndToEndBatched(benchmark::State& state) {
+  // The same stack with batch formation + pipelined agreement enabled in
+  // every domain (ProtocolTiming knobs). Serial invocations measure the
+  // LOW-LOAD cost of batching: each lone request rides out at most one
+  // formation hold, so sim_us_per_call here vs BM_Fig1EndToEnd/1 is the
+  // latency price of leaving batching on (acceptance: p99 within 1.5x).
+  core::SystemOptions options;
+  options.seed = 42;
+  options.timing.batch_max_entries = 4;
+  // A serial lone request always rides out the full hold; 60us keeps the
+  // low-load latency price under 1.5x while still coalescing under load.
+  options.timing.batch_max_hold_ns = micros(60);
+  options.timing.pipeline_depth = 4;
+  core::ItdosSystem system(options);
+  const DomainId domain =
+      system.add_domain(1, core::VotePolicy::exact(), calculator_installer());
+  core::ItdosClient& client = system.add_client();
+  const orb::ObjectRef ref =
+      system.object_ref(domain, ObjectId(1), "IDL:bench/Calc:1.0");
+
+  if (!system.invoke_sync(client, ref, "add", int_args(1, 1), seconds(30)).is_ok()) {
+    state.SkipWithError("warmup invocation failed");
+    return;
+  }
+
+  std::int64_t total_sim_ns = 0;
+  std::vector<std::int64_t> latencies;
+  for (auto _ : state) {
+    const SimTime before = system.sim().now();
+    const Result<cdr::Value> result =
+        system.invoke_sync(client, ref, "add", int_args(20, 22), seconds(30));
+    if (!result.is_ok() || result.value().as_int64() != 42) {
+      state.SkipWithError("invocation failed");
+      return;
+    }
+    const std::int64_t elapsed = system.sim().now() - before;
+    total_sim_ns += elapsed;
+    latencies.push_back(elapsed);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  state.counters["sim_us_per_call"] = benchmark::Counter(
+      static_cast<double>(total_sim_ns) / 1e3 / static_cast<double>(state.iterations()));
+  state.counters["p99_us"] = benchmark::Counter(
+      static_cast<double>(latencies[latencies.size() * 99 / 100]) / 1e3);
+  BenchReport::CurvePoint point;
+  point.rate_per_s = 1;  // serial: one request in flight
+  point.offered = latencies.size();
+  point.ok = latencies.size();
+  point.p50_ns = latencies[latencies.size() / 2];
+  point.p99_ns = latencies[latencies.size() * 99 / 100];
+  point.goodput_per_s =
+      static_cast<double>(latencies.size()) * 1e9 / static_cast<double>(total_sim_ns);
+  BenchReport::instance().add_curve_point("fig1_batched_lowload", point);
+  BenchReport::instance().harvest(system.sim());
+}
+BENCHMARK(BM_Fig1EndToEndBatched)->Unit(benchmark::kMillisecond)->Iterations(30);
 
 }  // namespace
 }  // namespace itdos::bench

@@ -34,10 +34,17 @@ domain saturating its admission bound while four domains absorb the same
 stream IS the sharding claim; a ratio collapse means routing stopped
 spreading the key mix.
 
+Reports with batch_<n> curves (the e1 batch-size x pipeline-depth sweep)
+get an ADVISORY batched-speedup floor: the best batched+pipelined goodput
+must be at least --min-batch-speedup times the single-slot baseline
+(batch_1 at depth 1). A collapse means batch formation quietly stopped
+coalescing (or pipelining stopped overlapping agreement instances).
+
 usage: bench_gate.py --baseline DIR [--strict] [--tolerance 0.25]
                      [--mttr-ceiling-ns N] [--copies-per-op N]
                      [--p99-ceiling-at-load RATE:NS]
-                     [--min-shard-goodput-scaling X] BENCH_*.json
+                     [--min-shard-goodput-scaling X]
+                     [--min-batch-speedup X] BENCH_*.json
 
 Exit status: 0 OK (or warnings without --strict), 1 regression under
 --strict, 2 usage error. Missing baseline files are never an error — first
@@ -84,6 +91,13 @@ DEFAULT_P99_AT_LOAD = "1600:50000000"
 # where measured scaling is ~4.5x; 2.0 leaves room for admission-tuning
 # drift while still catching a routing layer that stopped fanning out.
 DEFAULT_SHARD_SCALING = 2.0
+
+# Advisory batching floor: reports with batch_<n> curves (the e1 batch-size
+# x pipeline-depth sweep) must show the best batched+pipelined goodput at
+# least this many times the single-slot baseline (batch_1 at depth 1). The
+# measured sweep peaks >10x; 2.0 catches a formation layer that silently
+# stopped coalescing without flapping on scheduler noise.
+DEFAULT_BATCH_SPEEDUP = 2.0
 
 
 def parse_rate_spec(spec):
@@ -159,6 +173,48 @@ def check_shard_scaling(path, floor):
         return True, (f"{os.path.basename(path)} goodput scaled only "
                       f"{ratio:.2f}x from {low} to {high} shards at "
                       f"{top_rate:g} req/s (advisory floor {floor:g}x)")
+    return True, None
+
+
+def check_batch_speedup(path, floor):
+    """Returns (checked, violation_message_or_None) for one report."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        return False, None
+    batch_curves = {}
+    for name, points in (report.get("curves") or {}).items():
+        prefix, _, count_text = name.partition("_")
+        if prefix != "batch" or not count_text.isdigit() or not points:
+            continue
+        batch_curves[int(count_text)] = points
+    if 1 not in batch_curves or len(batch_curves) < 2:
+        return False, None
+    # Single-slot baseline: no formation, depth-1 clients (rate_per_s keys
+    # the pipeline depth on these curves).
+    baseline = next((p.get("goodput_per_s", 0.0) for p in batch_curves[1]
+                     if p.get("rate_per_s") == 1), 0.0)
+    if baseline <= 0:
+        return False, None
+    best_goodput, best_label = 0.0, None
+    for entries, points in sorted(batch_curves.items()):
+        if entries == 1:
+            continue
+        for point in points:
+            goodput = point.get("goodput_per_s", 0.0)
+            if goodput > best_goodput:
+                best_goodput = goodput
+                best_label = f"batch_{entries}@depth{point.get('rate_per_s'):g}"
+    ratio = best_goodput / baseline
+    status = "VIOLATION" if ratio < floor else "ok"
+    print(f"  {os.path.basename(path)} batched goodput: {best_goodput:.0f}/s "
+          f"[{best_label}] vs single-slot {baseline:.0f}/s "
+          f"({ratio:.2f}x, floor {floor:g}x, {status})")
+    if ratio < floor:
+        return True, (f"{os.path.basename(path)} batched+pipelined goodput "
+                      f"is only {ratio:.2f}x the single-slot baseline "
+                      f"(advisory floor {floor:g}x)")
     return True, None
 
 
@@ -246,6 +302,11 @@ def main():
                         help="advisory floor on goodput scaling from the "
                              "smallest to the largest shard count (reports "
                              "with shards_<n> curves)")
+    parser.add_argument("--min-batch-speedup", type=float,
+                        default=DEFAULT_BATCH_SPEEDUP, metavar="X",
+                        help="advisory floor on best batched+pipelined "
+                             "goodput vs the single-slot baseline (reports "
+                             "with batch_<n> curves)")
     parser.add_argument("reports", nargs="+")
     args = parser.parse_args()
     try:
@@ -323,6 +384,23 @@ def main():
     elif shards_checked:
         print(f"bench_gate: {shards_checked} report(s) above the "
               f"{args.min_shard_goodput_scaling:g}x shard-scaling floor")
+
+    batch_warnings = []
+    batch_checked = 0
+    for path in args.reports:
+        checked, violation = check_batch_speedup(path, args.min_batch_speedup)
+        batch_checked += checked
+        if violation:
+            batch_warnings.append(violation)
+    if batch_warnings:
+        verb = "FAIL" if args.strict else "WARN"
+        for message in batch_warnings:
+            print(f"bench_gate {verb}: {message}", file=sys.stderr)
+        if args.strict:
+            return 1
+    elif batch_checked:
+        print(f"bench_gate: {batch_checked} report(s) above the "
+              f"{args.min_batch_speedup:g}x batched-speedup floor")
 
     regressions = []
     compared = 0

@@ -42,7 +42,7 @@ BENCHES=(
   "fig1_end_to_end:BM_Fig1EndToEnd/1/"
   "fig2_stack_breakdown:BM_Layer_Marshal/64\$"
   "fig3_connection_establishment:BM_Fig3WarmConnection/1/"
-  "e1_group_size_scaling:BM_E1OrderingCost/1/"
+  "e1_group_size_scaling:BM_E1OrderingCost/1/|BM_E1BatchPipelineSweep"
   "e2_voting:BM_E2ExactUnmarshalled/4\$"
   "e3_state_sync:BM_E3SnapshotStateTransfer/1024\$"
   "e4_threshold_keys:BM_E4TraditionalKeygen\$"
@@ -78,12 +78,15 @@ echo "bench smoke OK: ${#BENCHES[@]} reports validated against $(basename "${SCH
 
 # Perf gate: delivery-delay tails (p95/p99) vs the previous smoke run, an
 # absolute MTTR ceiling on the e10 recovery report (repair must land well
-# inside the watchdog deadline), and an advisory p99-at-offered-load ceiling
-# on the e11 curves (the pre-knee rate must stay servable). Warn by default;
+# inside the watchdog deadline), an advisory p99-at-offered-load ceiling
+# on the e11 curves (the pre-knee rate must stay servable), and an advisory
+# batched-speedup floor on the e1 batch sweep (batching + pipelining must
+# keep beating the single-slot baseline at saturation). Warn by default;
 # --strict makes a regression fail the test. The baseline is then refreshed
 # so the next run compares against this one.
 BASELINE_DIR="${ITDOS_BENCH_BASELINE_DIR:-${BUILD_DIR}/bench_baseline}"
 mkdir -p "${BASELINE_DIR}"
 python3 "${REPO_ROOT}/scripts/bench_gate.py" --baseline "${BASELINE_DIR}" \
-  --p99-ceiling-at-load 1600:50000000 ${STRICT} BENCH_*.json
+  --p99-ceiling-at-load 1600:50000000 --min-batch-speedup 2.0 ${STRICT} \
+  BENCH_*.json
 cp BENCH_*.json "${BASELINE_DIR}/"

@@ -1,0 +1,49 @@
+#include "batch/former.hpp"
+
+namespace itdos::batch {
+
+void Former::enqueue(BufView encoded, bool urgent, std::uint64_t trace, SimTime now) {
+  pending_bytes_ += encoded.size();
+  if (urgent) ++urgent_pending_;
+  pending_.push_back(PendingEntry{std::move(encoded), urgent, trace, now});
+}
+
+bool Former::ripe(SimTime now) const {
+  if (pending_.empty()) return false;
+  if (urgent_pending_ > 0) return true;
+  if (pending_.size() >= static_cast<std::size_t>(policy_.max_entries)) return true;
+  if (pending_bytes_ >= policy_.max_bytes) return true;
+  return now >= pending_.front().enqueued_at + policy_.max_hold_ns;
+}
+
+std::optional<SimTime> Former::deadline() const {
+  if (pending_.empty()) return std::nullopt;
+  return pending_.front().enqueued_at + policy_.max_hold_ns;
+}
+
+std::vector<PendingEntry> Former::form() {
+  std::vector<PendingEntry> out;
+  std::size_t bytes = 0;
+  while (!pending_.empty()) {
+    const PendingEntry& head = pending_.front();
+    if (!out.empty() &&
+        (out.size() >= static_cast<std::size_t>(policy_.max_entries) ||
+         bytes + head.encoded.size() > policy_.max_bytes)) {
+      break;
+    }
+    bytes += head.encoded.size();
+    pending_bytes_ -= head.encoded.size();
+    if (head.urgent) --urgent_pending_;
+    out.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return out;
+}
+
+void Former::clear() {
+  pending_.clear();
+  pending_bytes_ = 0;
+  urgent_pending_ = 0;
+}
+
+}  // namespace itdos::batch

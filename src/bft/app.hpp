@@ -32,6 +32,13 @@ class StateMachine {
   /// payload (0 = untraced). Lets the BFT layer tag its ordering events with
   /// the originating ITDOS request without understanding the payload format.
   virtual std::uint64_t trace_of(ByteView) const { return 0; }
+
+  /// Formation hook: urgent payloads flush the primary's batch former
+  /// immediately instead of waiting for batch-mates (src/batch). ITDOS
+  /// marks queue-management acks and replacement sync points urgent —
+  /// traffic other protocol machinery blocks on must never sit behind a
+  /// hold timer. Default: nothing is urgent.
+  virtual bool urgent(ByteView) const { return false; }
 };
 
 }  // namespace itdos::bft

@@ -18,26 +18,33 @@ Client::Client(net::Network& net, NodeId id, BftConfig config, const SessionKeys
 
 void Client::invoke(BufView payload, Completion done) {
   queue_.push_back(PendingRequest{std::move(payload), std::move(done)});
-  if (!current_) dispatch_next();
+  pump();
 }
 
-void Client::dispatch_next() {
-  if (queue_.empty()) return;
-  current_ = std::move(queue_.front());
-  queue_.pop_front();
-  current_timestamp_ = next_timestamp_++;
-  collector_ = collector_factory_(config_.f);
-  replied_.clear();
-  send_current(/*broadcast=*/false);
-  retry_timer_armed_ = true;
-  retry_timer_ = set_timer(config_.client_retry_ns, [this] { on_retry_timeout(); });
+void Client::pump() {
+  while (!queue_.empty() &&
+         inflight_.size() < static_cast<std::size_t>(config_.pipeline_depth)) {
+    PendingRequest next = std::move(queue_.front());
+    queue_.pop_front();
+    const std::uint64_t timestamp = next_timestamp_++;
+    Inflight& fl = inflight_[timestamp];
+    fl.payload = std::move(next.payload);
+    fl.done = std::move(next.done);
+    fl.collector = collector_factory_(config_.f);
+    send_request(timestamp, fl.payload, /*broadcast=*/false);
+  }
+  if (!inflight_.empty() && !retry_timer_armed_) {
+    retry_timer_armed_ = true;
+    retry_timer_ = set_timer(config_.client_retry_ns, [this] { on_retry_timeout(); });
+  }
 }
 
-void Client::send_current(bool broadcast) {
+void Client::send_request(std::uint64_t timestamp, const BufView& payload,
+                          bool broadcast) {
   RequestMsg request;
   request.client = id();
-  request.timestamp = current_timestamp_;
-  request.payload = current_->payload;
+  request.timestamp = timestamp;
+  request.payload = payload;
   const BufView body = request.encode();
 
   Envelope env;
@@ -60,9 +67,12 @@ void Client::send_current(bool broadcast) {
 
 void Client::on_retry_timeout() {
   retry_timer_armed_ = false;
-  if (!current_) return;
+  if (inflight_.empty()) return;
   ++retransmissions_;
-  send_current(/*broadcast=*/true);  // suspect the primary; tell everyone
+  // Suspect the primary; tell everyone about every outstanding request.
+  for (const auto& [timestamp, fl] : inflight_) {
+    send_request(timestamp, fl.payload, /*broadcast=*/true);
+  }
   retry_timer_armed_ = true;
   retry_timer_ = set_timer(config_.client_retry_ns, [this] { on_retry_timeout(); });
 }
@@ -84,24 +94,27 @@ void Client::on_packet(const net::Packet& packet) {
   // Track the view so retransmissions target the right primary.
   if (counters::after(msg.view.value, view_estimate_.value)) view_estimate_ = msg.view;
 
-  if (!current_ || msg.timestamp != current_timestamp_) return;  // late/duplicate
-  if (!replied_.insert(msg.replica).second) return;  // one vote per replica
+  const auto it = inflight_.find(msg.timestamp);
+  if (it == inflight_.end()) return;  // late/duplicate
+  Inflight& fl = it->second;
+  if (!fl.replied.insert(msg.replica).second) return;  // one vote per replica
 
-  if (std::optional<Bytes> result = collector_->add(msg.replica, msg.result)) {
-    finish(std::move(*result));
+  if (std::optional<Bytes> result = fl.collector->add(msg.replica, msg.result)) {
+    finish(msg.timestamp, std::move(*result));
   }
 }
 
-void Client::finish(Result<Bytes> result) {
-  if (retry_timer_armed_) {
+void Client::finish(std::uint64_t timestamp, Result<Bytes> result) {
+  const auto it = inflight_.find(timestamp);
+  if (it == inflight_.end()) return;
+  const Completion done = std::move(it->second.done);
+  inflight_.erase(it);
+  if (inflight_.empty() && retry_timer_armed_) {
     cancel_timer(retry_timer_);
     retry_timer_armed_ = false;
   }
-  const Completion done = std::move(current_->done);
-  current_.reset();
-  collector_.reset();
   done(std::move(result));
-  dispatch_next();
+  pump();
 }
 
 }  // namespace itdos::bft

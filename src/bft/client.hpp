@@ -52,16 +52,21 @@ class Client : public net::Process {
     collector_factory_ = std::move(factory);
   }
 
-  /// Submits a request. Requests queue internally; one is outstanding at a
-  /// time (the paper's single-threaded model: "only one outstanding request
-  /// can exist for a connection at a time"). The payload view is retained
-  /// across retransmissions without copying.
+  /// Submits a request. Requests queue internally; up to the configured
+  /// pipeline_depth are outstanding at once (depth 1 is the paper's
+  /// single-threaded model: "only one outstanding request can exist for a
+  /// connection at a time"). Completions fire as quorums form — with
+  /// pipelining that can be out of submission order. The payload view is
+  /// retained across retransmissions without copying.
   void invoke(BufView payload, Completion done);
 
   /// Number of requests submitted so far (== last timestamp used).
   std::uint64_t timestamps_used() const { return next_timestamp_ - 1; }
 
   std::uint64_t retransmissions() const { return retransmissions_; }
+
+  /// Requests currently awaiting a reply quorum.
+  std::size_t inflight() const { return inflight_.size(); }
 
  protected:
   void on_packet(const net::Packet& packet) override;
@@ -72,10 +77,19 @@ class Client : public net::Process {
     Completion done;
   };
 
-  void dispatch_next();
-  void send_current(bool broadcast);
+  /// One submitted-but-undecided request.
+  struct Inflight {
+    BufView payload;
+    Completion done;
+    std::unique_ptr<ReplyCollector> collector;
+    std::set<NodeId> replied;  // replicas already counted
+  };
+
+  /// Dispatches queued requests into the pipeline window.
+  void pump();
+  void send_request(std::uint64_t timestamp, const BufView& payload, bool broadcast);
   void on_retry_timeout();
-  void finish(Result<Bytes> result);
+  void finish(std::uint64_t timestamp, Result<Bytes> result);
 
   BftConfig config_;
   const SessionKeys& keys_;
@@ -86,10 +100,7 @@ class Client : public net::Process {
   ViewId view_estimate_;  // updated from replies; guides who we call primary
 
   std::deque<PendingRequest> queue_;
-  std::optional<PendingRequest> current_;
-  std::uint64_t current_timestamp_ = 0;
-  std::unique_ptr<ReplyCollector> collector_;
-  std::set<NodeId> replied_;  // replicas already counted for this request
+  std::map<std::uint64_t, Inflight> inflight_;  // timestamp -> state
   net::EventHandle retry_timer_{};
   bool retry_timer_armed_ = false;
 };

@@ -17,6 +17,12 @@ Status BftConfig::validate() const {
   if (checkpoint_interval < 1) {
     return error(Errc::kInvalidArgument, "checkpoint interval must be >= 1");
   }
+  if (batch.max_entries < 1 || batch.max_bytes < 1) {
+    return error(Errc::kInvalidArgument, "batch caps must be >= 1");
+  }
+  if (pipeline_depth < 1 || pipeline_depth > kMaxPipelineDepth) {
+    return error(Errc::kInvalidArgument, "pipeline depth out of range");
+  }
   return Status::ok();
 }
 

@@ -8,12 +8,19 @@
 
 #include <vector>
 
+#include "batch/former.hpp"
 #include "common/ids.hpp"
 #include "common/result.hpp"
 #include "common/time.hpp"
 #include "crypto/hmac.hpp"
 
 namespace itdos::bft {
+
+/// Ceiling on client pipelining. The replicas' per-client dedup windows
+/// (Replica::TsWindow) hold kMaxPipelineDepth * 2 sparse timestamps, so a
+/// live out-of-order gap can never be pruned out from under a client that
+/// respects this bound.
+inline constexpr int kMaxPipelineDepth = 32;
 
 struct BftConfig {
   int f = 1;
@@ -29,6 +36,16 @@ struct BftConfig {
   /// Backup starts a view change this long after accepting a request whose
   /// execution has not completed.
   std::int64_t view_change_timeout_ns = millis(60);
+
+  /// Request formation at the primary (src/batch): how many queued client
+  /// requests may share one pre-prepare slot, the byte cap, and how long a
+  /// request may be held waiting for batch-mates. max_entries = 1 keeps the
+  /// classic one-request-per-slot path.
+  batch::Policy batch;
+
+  /// Client-side pipelining: requests a bft::Client keeps in flight before
+  /// queueing. 1 = the paper's strict one-outstanding-request model.
+  int pipeline_depth = 1;
 
   int n() const { return static_cast<int>(replicas.size()); }
   int quorum() const { return 2 * f + 1; }

@@ -18,6 +18,8 @@ Cluster::Cluster(ClusterOptions options, const AppFactory& app_factory)
   config_.checkpoint_interval = options.checkpoint_interval;
   config_.client_retry_ns = options.client_retry_ns;
   config_.view_change_timeout_ns = options.view_change_timeout_ns;
+  config_.batch = options.batch;
+  config_.pipeline_depth = options.pipeline_depth;
   for (int i = 0; i < 3 * options.f + 1; ++i) {
     config_.replicas.push_back(NodeId(static_cast<std::uint64_t>(i + 1)));
   }

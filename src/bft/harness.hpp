@@ -20,6 +20,10 @@ struct ClusterOptions {
   std::int64_t checkpoint_interval = 16;
   std::int64_t client_retry_ns = millis(40);
   std::int64_t view_change_timeout_ns = millis(60);
+  /// Batch formation caps (src/batch); default off (one request per slot).
+  batch::Policy batch;
+  /// Client-side in-flight window; default 1 (strictly serial clients).
+  int pipeline_depth = 1;
 };
 
 class Cluster {

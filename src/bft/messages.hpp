@@ -49,12 +49,16 @@ struct RequestMsg {
 
 /// Primary's ordering proposal; carries the full request (piggybacked).
 /// An empty `request` with the null digest is a null request (view-change
-/// filler that executes as a no-op).
+/// filler that executes as a no-op). With `is_batch` set the payload is an
+/// encoded batch::BatchMsg — several client requests agreed as one slot;
+/// the flag is on the wire (not content-sniffed) and travels with the
+/// proposal through view changes, so a batch is re-proposed as a batch.
 struct PrePrepareMsg {
   ViewId view;
   SeqNum seq;
   Digest req_digest{};
-  BufView request;  // encoded RequestMsg; empty for null requests
+  bool is_batch = false;
+  BufView request;  // encoded RequestMsg (or BatchMsg); empty for null requests
 
   bool is_null_request() const { return request.empty(); }
   bool operator==(const PrePrepareMsg&) const = default;
@@ -113,6 +117,7 @@ struct PreparedProof {
   ViewId view;
   SeqNum seq;
   Digest req_digest{};
+  bool is_batch = false;  // preserved so re-proposal keeps batch framing
   BufView request;  // piggybacked so the new primary can re-propose it
 
   bool operator==(const PreparedProof&) const = default;

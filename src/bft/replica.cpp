@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "batch/batch_msg.hpp"
 #include "common/counters.hpp"
 #include "common/log.hpp"
 #include "crypto/sha256.hpp"
@@ -32,7 +33,8 @@ Replica::Replica(net::Network& net, NodeId id, BftConfig config,
       signing_key_(std::move(signing_key)),
       keystore_(std::move(keystore)),
       app_(std::move(app)),
-      tel_(&net.sim().telemetry()) {
+      tel_(&net.sim().telemetry()),
+      former_(config_.batch) {
   assert(config_.validate().is_ok());
   assert(config_.is_replica(id));
   const std::string prefix = "bft." + id.to_string() + ".";
@@ -49,7 +51,11 @@ Replica::Replica(net::Network& net, NodeId id, BftConfig config,
   metrics_.state_transfers = &reg.counter(prefix + "state_transfers");
   metrics_.auth_failures = &reg.counter(prefix + "auth_failures");
   metrics_.malformed = &reg.counter(prefix + "malformed");
+  metrics_.macs_computed = &reg.counter(prefix + "macs_computed");
+  metrics_.inflight = &reg.gauge(prefix + "inflight");
   metrics_.exec_latency_ns = &reg.histogram("bft.exec_latency_ns");
+  metrics_.batch_size = &reg.histogram("batch.size");
+  metrics_.batch_hold_ns = &reg.histogram("batch.hold_ns");
   join(config_.group);
   // The state at seq 0 is the genesis snapshot; it seeds state transfer for
   // replicas that fall behind before the first checkpoint.
@@ -136,6 +142,7 @@ void Replica::multicast_authenticated(MsgType type, BufView body) {
   for (NodeId replica : config_.replicas) {
     if (replica == id()) continue;
     crypto::MacTag tag = keys_.tag(id(), replica, body);
+    metrics_.macs_computed->inc();
     if (byz_.corrupt_macs) tag[0] ^= 0xFF;  // forged HMAC: receivers must reject
     env.auth.emplace_back(replica, tag);
   }
@@ -161,6 +168,7 @@ void Replica::send_authenticated(NodeId to, MsgType type, BufView body) {
   env.sender = id();
   env.body = body;
   crypto::MacTag tag = keys_.tag(id(), to, body);
+  metrics_.macs_computed->inc();
   if (byz_.corrupt_macs) tag[0] ^= 0xFF;
   env.auth.emplace_back(to, tag);
   send_to(to, env.encode_into(arena()));
@@ -202,15 +210,18 @@ void Replica::handle_request(const Envelope& env) {
   tel_->trace(telemetry::TraceKind::kBftRequest, id(), app_->trace_of(request.payload));
 
   ClientRecord& record = clients_[request.client];
-  if (counters::before_eq(request.timestamp, record.last_timestamp)) {
-    // Old or duplicate: retransmit the cached reply for the latest request.
-    if (request.timestamp == record.last_timestamp && record.reply_valid) {
+  if (record.executed.contains(request.timestamp)) {
+    // Duplicate of an executed request: retransmit the cached reply (the
+    // cache is windowed; requests older than it get nothing — the client
+    // has long moved on).
+    const auto cached = record.replies.find(request.timestamp);
+    if (cached != record.replies.end()) {
       ReplyMsg reply;
       reply.view = view_;
       reply.timestamp = request.timestamp;
       reply.client = request.client;
       reply.replica = id();
-      reply.result = record.last_reply;
+      reply.result = cached->second;
       send_authenticated(request.client, MsgType::kReply, reply.encode());
       metrics_.replies_sent->inc();
     }
@@ -219,14 +230,21 @@ void Replica::handle_request(const Envelope& env) {
   if (in_view_change_) return;  // client will retransmit
 
   if (is_primary()) {
-    if (counters::before_eq(request.timestamp, record.last_proposed)) return;  // already in pipeline
-    record.last_proposed = request.timestamp;
-    assign_and_propose(request, env.body);
+    if (record.proposed.contains(request.timestamp)) return;  // already in pipeline
+    record.proposed.insert(request.timestamp);
+    if (config_.batch.enabled()) {
+      former_.enqueue(env.body, app_->urgent(request.payload),
+                      app_->trace_of(request.payload), now());
+      pump_former();
+      arm_request_timer();
+    } else {
+      assign_and_propose(request, env.body);
+    }
   } else {
     // Relay the (still client-authenticated) request to the primary and
     // hold the primary accountable for ordering it.
-    if (counters::after(request.timestamp, record.last_forwarded)) {
-      record.last_forwarded = request.timestamp;
+    if (!record.forwarded.contains(request.timestamp)) {
+      record.forwarded.insert(request.timestamp);
       if (!byz_.silent) send_to(config_.primary_for(view_), env.encode_into(arena()));
       arm_request_timer();
     }
@@ -272,6 +290,7 @@ void Replica::assign_and_propose(const RequestMsg& request, const BufView& encod
     multicast_authenticated(MsgType::kPrePrepare, pp.encode());
   }
   metrics_.pre_prepares_sent->inc();
+  update_inflight_gauge();
   tel_->trace(telemetry::TraceKind::kBftPrePrepare, id(), entry.trace, view_.value, seq);
   arm_request_timer();
 }
@@ -287,6 +306,93 @@ void Replica::drain_proposal_backlog() {
     if (!request.is_ok()) continue;
     assign_and_propose(request.value(), encoded);
   }
+  pump_former();
+}
+
+void Replica::pump_former() {
+  if (is_primary() && !in_view_change_) {
+    while (former_.ripe(now())) {
+      const std::uint64_t seq = std::max(next_seq_, last_executed_) + 1;
+      if (!in_window(seq)) break;  // window full; pumped again on make_stable
+      propose_batch(former_.form());
+    }
+  }
+  // (Re)arm the hold timer for the oldest still-parked entry, so a batch
+  // that never fills its caps still flushes after max_hold_ns.
+  if (hold_timer_armed_) {
+    cancel_timer(hold_timer_);
+    hold_timer_armed_ = false;
+  }
+  if (!is_primary() || in_view_change_) return;
+  if (const std::optional<SimTime> deadline = former_.deadline()) {
+    hold_timer_armed_ = true;
+    hold_timer_ = set_timer(std::max<std::int64_t>(*deadline - now(), 1), [this] {
+      hold_timer_armed_ = false;
+      pump_former();
+    });
+  }
+}
+
+void Replica::propose_batch(std::vector<batch::PendingEntry> entries) {
+  if (entries.empty()) return;
+  const std::uint64_t seq = std::max(next_seq_, last_executed_) + 1;
+  next_seq_ = seq;
+
+  batch::BatchMsg batch;
+  batch.entries.reserve(entries.size());
+  for (const batch::PendingEntry& e : entries) batch.entries.push_back(e.encoded);
+
+  PrePrepareMsg pp;
+  pp.view = view_;
+  pp.seq = SeqNum(seq);
+  pp.is_batch = true;
+  pp.request = batch.encode_into(arena());  // the one marshal of the batch
+  pp.req_digest = crypto::sha256(ByteView(pp.request));
+
+  LogEntry& entry = log_[seq];
+  entry.pre_prepare = pp;
+  entry.first_seen = now();
+  for (const batch::PendingEntry& e : entries) {
+    if (entry.trace == 0) entry.trace = e.trace;
+    metrics_.batch_hold_ns->record(now() - e.enqueued_at);
+  }
+  metrics_.batch_size->record(static_cast<std::int64_t>(entries.size()));
+
+  if (byz_.equivocate) {
+    // Equivocating primary, batch edition: the lie mutates the FIRST entry's
+    // payload (still a decodable batch with a valid digest) so even- and
+    // odd-rank backups prepare conflicting batch contents.
+    batch::BatchMsg lie_batch = batch;
+    if (Result<RequestMsg> first = RequestMsg::decode(batch.entries.front());
+        first.is_ok()) {
+      RequestMsg lie_request = first.value();
+      Bytes lie_payload = lie_request.payload.clone_bytes();  // copy-on-write
+      lie_payload.push_back(0x5a);
+      lie_request.payload = BufView(std::move(lie_payload));
+      lie_batch.entries.front() = BufView(lie_request.encode());
+    }
+    PrePrepareMsg lie = pp;
+    lie.request = lie_batch.encode_into(arena());
+    lie.req_digest = crypto::sha256(ByteView(lie.request));
+    for (int rank = 0; rank < config_.n(); ++rank) {
+      const NodeId backup = config_.replicas[static_cast<std::size_t>(rank)];
+      if (backup == id()) continue;
+      const PrePrepareMsg& variant = (rank % 2 == 0) ? pp : lie;
+      send_authenticated(backup, MsgType::kPrePrepare, variant.encode());
+    }
+  } else {
+    multicast_authenticated(MsgType::kPrePrepare, pp.encode());
+  }
+  metrics_.pre_prepares_sent->inc();
+  update_inflight_gauge();
+  tel_->trace(telemetry::TraceKind::kBftPrePrepare, id(), entry.trace, view_.value, seq);
+  arm_request_timer();
+}
+
+void Replica::update_inflight_gauge() {
+  const std::int64_t inflight =
+      std::max<std::int64_t>(0, counters::distance(next_seq_, last_executed_));
+  metrics_.inflight->set(inflight);
 }
 
 void Replica::handle_pre_prepare(const Envelope& env) {
@@ -311,12 +417,27 @@ void Replica::handle_pre_prepare(const Envelope& env) {
     if (pp.req_digest != Digest{}) return;
   } else {
     if (crypto::sha256(ByteView(pp.request)) != pp.req_digest) return;
-    Result<RequestMsg> request = RequestMsg::decode(pp.request);
-    if (!request.is_ok()) return;
-    trace = app_->trace_of(request.value().payload);
-    // Remember the proposal so retransmissions are not re-forwarded.
-    ClientRecord& record = clients_[request.value().client];
-    record.last_proposed = std::max(record.last_proposed, request.value().timestamp);
+    if (pp.is_batch) {
+      // Every entry must be a decodable request — a batch is accepted (and
+      // later executed) only as a whole.
+      Result<batch::BatchMsg> decoded_batch = batch::BatchMsg::decode(pp.request);
+      if (!decoded_batch.is_ok()) {
+        metrics_.malformed->inc();
+        return;
+      }
+      for (const BufView& entry_bytes : decoded_batch.value().entries) {
+        Result<RequestMsg> request = RequestMsg::decode(entry_bytes);
+        if (!request.is_ok()) return;
+        if (trace == 0) trace = app_->trace_of(request.value().payload);
+        // Remember each proposal so retransmissions are not re-forwarded.
+        clients_[request.value().client].proposed.insert(request.value().timestamp);
+      }
+    } else {
+      Result<RequestMsg> request = RequestMsg::decode(pp.request);
+      if (!request.is_ok()) return;
+      trace = app_->trace_of(request.value().payload);
+      clients_[request.value().client].proposed.insert(request.value().timestamp);
+    }
   }
 
   LogEntry& entry = log_[seq];
@@ -446,11 +567,21 @@ void Replica::try_execute() {
     }
   }
   for (const auto& [client, record] : clients_) {
-    if (record.last_forwarded > record.last_timestamp) {
+    // Relayed (or, on the primary, parked-for-formation) but not executed.
+    if (record.forwarded.floor() != 0 &&
+        !record.executed.contains(record.forwarded.floor())) {
       pending = true;
       break;
     }
+    for (const std::uint64_t ts : record.forwarded.sparse()) {
+      if (!record.executed.contains(ts)) {
+        pending = true;
+        break;
+      }
+    }
+    if (pending) break;
   }
+  if (!pending && is_primary() && !former_.empty()) pending = true;
   if (!pending) disarm_request_timer();
 }
 
@@ -463,22 +594,45 @@ void Replica::execute_entry(std::uint64_t seq, LogEntry& entry) {
   tel_->trace(telemetry::TraceKind::kBftExecute, id(), entry.trace, seq);
   if (execution_observer_) execution_observer_(SeqNum(seq), entry.pre_prepare->req_digest);
   if (!entry.pre_prepare->is_null_request()) {
-    Result<RequestMsg> decoded = RequestMsg::decode(entry.pre_prepare->request);
-    if (decoded.is_ok()) {
-      const RequestMsg& request = decoded.value();
-      ClientRecord& record = clients_[request.client];
-      if (counters::after(request.timestamp, record.last_timestamp)) {
-        record.last_reply = app_->execute(request.payload, request.client, SeqNum(seq));
-        record.last_timestamp = request.timestamp;
-        record.reply_valid = true;
-        metrics_.executed->inc();
+    if (entry.pre_prepare->is_batch) {
+      // Unpack the batch and execute its entries in formation order; each
+      // request gets its own dedup decision and its own REPLY. (The batch
+      // was validated entry-by-entry at pre-prepare time; a decode failure
+      // here would mean the digest check was bypassed, so just skip.)
+      Result<batch::BatchMsg> batch = batch::BatchMsg::decode(entry.pre_prepare->request);
+      if (batch.is_ok()) {
+        for (const BufView& entry_bytes : batch.value().entries) {
+          Result<RequestMsg> decoded = RequestMsg::decode(entry_bytes);
+          if (decoded.is_ok()) execute_request(decoded.value(), seq);
+        }
       }
-      send_reply(request, record.last_reply);
+    } else {
+      Result<RequestMsg> decoded = RequestMsg::decode(entry.pre_prepare->request);
+      if (decoded.is_ok()) execute_request(decoded.value(), seq);
     }
   }
+  update_inflight_gauge();
   if (seq % static_cast<std::uint64_t>(config_.checkpoint_interval) == 0) {
     take_checkpoint(seq);
   }
+}
+
+void Replica::execute_request(const RequestMsg& request, std::uint64_t seq) {
+  ClientRecord& record = clients_[request.client];
+  if (!record.executed.contains(request.timestamp)) {
+    const Bytes result = app_->execute(request.payload, request.client, SeqNum(seq));
+    record.executed.insert(request.timestamp);
+    if (counters::after(request.timestamp, record.last_timestamp)) {
+      record.last_timestamp = request.timestamp;
+    }
+    record.replies[request.timestamp] = result;
+    while (record.replies.size() > kReplyCacheSize) {
+      record.replies.erase(record.replies.begin());
+    }
+    metrics_.executed->inc();
+  }
+  const auto cached = record.replies.find(request.timestamp);
+  send_reply(request, cached != record.replies.end() ? cached->second : Bytes{});
 }
 
 void Replica::send_reply(const RequestMsg& request, const Bytes& result) {
@@ -499,14 +653,22 @@ void Replica::send_reply(const RequestMsg& request, const Bytes& result) {
 Bytes Replica::make_snapshot() const {
   // Snapshot = client table + application state. The client table must be
   // part of the checkpointed state or a recovering replica would re-execute
-  // retransmitted requests.
+  // retransmitted requests. The executed window (floor + sparse set) and
+  // the reply cache are replicated state: every correct replica executes
+  // the same requests in the same order, so the encodings agree byte-wise.
   cdr::Encoder enc(cdr::ByteOrder::kLittleEndian);
   enc.write_uint32(static_cast<std::uint32_t>(clients_.size()));
   for (const auto& [client, record] : clients_) {
     enc.write_uint64(client.value);
     enc.write_uint64(record.last_timestamp);
-    enc.write_boolean(record.reply_valid);
-    enc.write_bytes(record.last_reply);
+    enc.write_uint64(record.executed.floor());
+    enc.write_uint32(static_cast<std::uint32_t>(record.executed.sparse().size()));
+    for (const std::uint64_t ts : record.executed.sparse()) enc.write_uint64(ts);
+    enc.write_uint32(static_cast<std::uint32_t>(record.replies.size()));
+    for (const auto& [ts, reply] : record.replies) {
+      enc.write_uint64(ts);
+      enc.write_bytes(reply);
+    }
   }
   enc.write_bytes(app_->snapshot());
   return enc.take();
@@ -527,10 +689,26 @@ Status Replica::install_snapshot(std::uint64_t seq, const Digest& digest,
     ITDOS_ASSIGN_OR_RETURN(std::uint64_t client, dec.read_uint64());
     ClientRecord record;
     ITDOS_ASSIGN_OR_RETURN(record.last_timestamp, dec.read_uint64());
-    ITDOS_ASSIGN_OR_RETURN(record.reply_valid, dec.read_boolean());
-    ITDOS_ASSIGN_OR_RETURN(record.last_reply, dec.read_bytes());
-    record.last_proposed = record.last_timestamp;
-    record.last_forwarded = record.last_timestamp;
+    ITDOS_ASSIGN_OR_RETURN(std::uint64_t exec_floor, dec.read_uint64());
+    record.executed.reset_to(exec_floor);
+    ITDOS_ASSIGN_OR_RETURN(std::uint32_t sparse_count, dec.read_uint32());
+    if (sparse_count > dec.remaining()) {
+      return error(Errc::kMalformedMessage, "hostile snapshot sparse count");
+    }
+    for (std::uint32_t j = 0; j < sparse_count; ++j) {
+      ITDOS_ASSIGN_OR_RETURN(std::uint64_t ts, dec.read_uint64());
+      record.executed.insert(ts);
+    }
+    ITDOS_ASSIGN_OR_RETURN(std::uint32_t reply_count, dec.read_uint32());
+    if (reply_count > dec.remaining()) {
+      return error(Errc::kMalformedMessage, "hostile snapshot reply count");
+    }
+    for (std::uint32_t j = 0; j < reply_count; ++j) {
+      ITDOS_ASSIGN_OR_RETURN(std::uint64_t ts, dec.read_uint64());
+      ITDOS_ASSIGN_OR_RETURN(record.replies[ts], dec.read_bytes());
+    }
+    record.proposed = record.executed;
+    record.forwarded = record.executed;
     clients[NodeId(client)] = record;
   }
   ITDOS_ASSIGN_OR_RETURN(Bytes app_state, dec.read_bytes());
@@ -814,6 +992,13 @@ void Replica::start_view_change(ViewId new_view) {
   view_ = new_view;
   in_view_change_ = true;
   disarm_request_timer();
+  // Parked formation entries die with the view: their dedup marks are reset
+  // when the new view is adopted, so clients recover them by retransmission.
+  former_.clear();
+  if (hold_timer_armed_) {
+    cancel_timer(hold_timer_);
+    hold_timer_armed_ = false;
+  }
 
   ViewChangeMsg msg;
   msg.new_view = new_view;
@@ -827,6 +1012,7 @@ void Replica::start_view_change(ViewId new_view) {
     proof.view = entry.pre_prepare->view;
     proof.seq = SeqNum(seq);
     proof.req_digest = entry.pre_prepare->req_digest;
+    proof.is_batch = entry.pre_prepare->is_batch;  // atomic re-proposal
     proof.request = entry.pre_prepare->request;
     msg.prepared.push_back(std::move(proof));
   }
@@ -942,6 +1128,7 @@ std::vector<PrePrepareMsg> Replica::compute_new_view_pre_prepares(
     pp.seq = SeqNum(seq);
     if (best != nullptr) {
       pp.req_digest = best->req_digest;
+      pp.is_batch = best->is_batch;
       pp.request = best->request;
     }  // else: null request
     out.push_back(std::move(pp));
@@ -1030,10 +1217,10 @@ void Replica::adopt_new_view(const NewViewMsg& msg) {
   // The proposal/forwarding dedup horizons are VIEW-scoped: a request the
   // old primary proposed but that never prepared is not in O, and without
   // this reset its retransmissions would be ignored forever (the old
-  // last_proposed/last_forwarded marks would blackhole it).
+  // proposed/forwarded marks would blackhole it).
   for (auto& [client, record] : clients_) {
-    record.last_proposed = record.last_timestamp;
-    record.last_forwarded = record.last_timestamp;
+    record.proposed = record.executed;
+    record.forwarded = record.executed;
   }
 
   // If the certificate's stable point is ahead of our execution we must
@@ -1051,14 +1238,27 @@ void Replica::adopt_new_view(const NewViewMsg& msg) {
     const std::uint64_t seq = pp.seq.value;
     if (counters::before_eq(seq, last_executed_)) continue;  // already executed (committed earlier)
     // Requests the new view re-proposes ARE in flight: restore their dedup
-    // marks so client retransmissions are not double-assigned.
+    // marks so client retransmissions are not double-assigned. A batch is
+    // restored entry-by-entry — but proposed as the original whole.
     std::uint64_t trace = 0;
     if (!pp.is_null_request()) {
-      if (Result<RequestMsg> carried = RequestMsg::decode(pp.request); carried.is_ok()) {
-        trace = app_->trace_of(carried.value().payload);
-        ClientRecord& record = clients_[carried.value().client];
-        record.last_proposed = std::max(record.last_proposed, carried.value().timestamp);
-        record.last_forwarded = std::max(record.last_forwarded, carried.value().timestamp);
+      const auto restore_marks = [this, &trace](const BufView& encoded) {
+        if (Result<RequestMsg> carried = RequestMsg::decode(encoded); carried.is_ok()) {
+          if (trace == 0) trace = app_->trace_of(carried.value().payload);
+          ClientRecord& record = clients_[carried.value().client];
+          record.proposed.insert(carried.value().timestamp);
+          record.forwarded.insert(carried.value().timestamp);
+        }
+      };
+      if (pp.is_batch) {
+        if (Result<batch::BatchMsg> carried = batch::BatchMsg::decode(pp.request);
+            carried.is_ok()) {
+          for (const BufView& entry_bytes : carried.value().entries) {
+            restore_marks(entry_bytes);
+          }
+        }
+      } else {
+        restore_marks(pp.request);
       }
     }
     LogEntry& entry = log_[seq];

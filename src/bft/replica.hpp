@@ -26,13 +26,68 @@
 #include <optional>
 #include <set>
 
+#include "batch/former.hpp"
 #include "bft/app.hpp"
 #include "bft/config.hpp"
 #include "bft/messages.hpp"
+#include "common/counters.hpp"
 #include "net/process.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace itdos::bft {
+
+/// Wrap-safe bounded membership set over client timestamps: "has timestamp
+/// t been executed / proposed / forwarded?". A floor (everything at or
+/// below it is a member) plus a sparse set above it. Contiguous prefixes
+/// collapse into the floor, so the sparse set stays empty under in-order
+/// traffic (the classic single-outstanding-request client); with pipelining
+/// it holds at most the out-of-order gap, and pruning raises the floor so
+/// memory stays bounded even under hostile timestamp patterns. The sparse
+/// capacity is 2 * kMaxPipelineDepth: a correct client never has more than
+/// pipeline_depth requests outstanding, so a live gap cannot be pruned.
+class TsWindow {
+ public:
+  static constexpr std::size_t kMaxSparse = 64;
+
+  bool contains(std::uint64_t ts) const {
+    return counters::before_eq(ts, floor_) || sparse_.contains(ts);
+  }
+
+  void insert(std::uint64_t ts) {
+    if (contains(ts)) return;
+    sparse_.insert(ts);
+    collapse();
+  }
+
+  /// Forgets everything and restarts from `floor`.
+  void reset_to(std::uint64_t floor) {
+    floor_ = floor;
+    sparse_.clear();
+  }
+
+  std::uint64_t floor() const { return floor_; }
+  const std::set<std::uint64_t>& sparse() const { return sparse_; }
+
+  bool operator==(const TsWindow&) const = default;
+
+ private:
+  void collapse() {
+    for (;;) {
+      if (!sparse_.empty() && *sparse_.begin() == floor_ + 1) {
+        ++floor_;
+        sparse_.erase(sparse_.begin());
+      } else if (sparse_.size() > kMaxSparse) {
+        floor_ = *sparse_.begin();
+        sparse_.erase(sparse_.begin());
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::uint64_t floor_ = 0;
+  std::set<std::uint64_t> sparse_;
+};
 
 /// Per-replica protocol statistics (benchmarks report these). A by-value
 /// view assembled from the telemetry registry's `bft.<node>.*` counters.
@@ -117,12 +172,17 @@ class Replica : public net::Process {
     SimTime first_seen{-1};       // when the pre-prepare entered the log
   };
 
+  /// Recent replies a client may still retransmit for. Covers at least one
+  /// full pipeline window so every in-flight retransmission can be answered
+  /// from cache.
+  static constexpr std::size_t kReplyCacheSize = 2 * kMaxPipelineDepth;
+
   struct ClientRecord {
-    std::uint64_t last_timestamp = 0;   // highest executed request
-    std::uint64_t last_proposed = 0;    // highest seen in a pre-prepare (dedup)
-    std::uint64_t last_forwarded = 0;   // highest relayed to the primary
-    Bytes last_reply;
-    bool reply_valid = false;
+    TsWindow executed;   // timestamps whose execution completed (dedup)
+    TsWindow proposed;   // primary: timestamps already in the pipeline
+    TsWindow forwarded;  // backup: timestamps already relayed
+    std::uint64_t last_timestamp = 0;        // highest executed timestamp
+    std::map<std::uint64_t, Bytes> replies;  // recent ts -> cached reply
   };
 
   // --- message handlers ---
@@ -139,9 +199,16 @@ class Replica : public net::Process {
   // --- normal case ---
   void assign_and_propose(const RequestMsg& request, const BufView& encoded);
   void drain_proposal_backlog();
+  /// Flushes ripe batches out of the former and (re)arms the hold timer.
+  void pump_former();
+  /// Assigns one sequence slot to a formed batch and multicasts it.
+  void propose_batch(std::vector<batch::PendingEntry> entries);
   void maybe_send_commit(std::uint64_t seq);
   void try_execute();
   void execute_entry(std::uint64_t seq, LogEntry& entry);
+  /// Executes one request of a committed slot (dedup, reply cache, REPLY).
+  void execute_request(const RequestMsg& request, std::uint64_t seq);
+  void update_inflight_gauge();
   void send_reply(const RequestMsg& request, const Bytes& result);
   bool entry_prepared(const LogEntry& entry) const;
   bool entry_committed(const LogEntry& entry) const;
@@ -202,7 +269,11 @@ class Replica : public net::Process {
     telemetry::Counter* state_transfers;
     telemetry::Counter* auth_failures;
     telemetry::Counter* malformed;
+    telemetry::Counter* macs_computed;      // pairwise MAC tags produced
+    telemetry::Gauge* inflight;             // agreement instances in flight
     telemetry::Histogram* exec_latency_ns;  // pre-prepare logged -> executed
+    telemetry::Histogram* batch_size;       // entries per formed batch
+    telemetry::Histogram* batch_hold_ns;    // formation hold per entry
   } metrics_;
 
   // Protocol state.
@@ -221,6 +292,13 @@ class Replica : public net::Process {
   // Requests the primary could not yet assign (window full). Views into the
   // relayed wire buffers — backlogged requests pin their chunks, no copies.
   std::deque<BufView> proposal_backlog_;
+
+  // Batch formation (primary only; unused while config_.batch is off). The
+  // former doubles as the backlog when the watermark window is full:
+  // make_stable / adopt_new_view pump it again.
+  batch::Former former_;
+  net::EventHandle hold_timer_{};
+  bool hold_timer_armed_ = false;
 
   // View change bookkeeping.
   std::map<ViewId, std::map<NodeId, SignedViewChange>> view_change_msgs_;

@@ -23,10 +23,12 @@ constexpr int kClusterRequests = 8;
 
 ScenarioResult run_cluster(const std::string& name, std::uint64_t seed,
                            FaultPlan plan, int requests,
-                           std::int64_t grace_after_heal) {
+                           std::int64_t grace_after_heal,
+                           const std::function<void(bft::ClusterOptions&)>& tune = {}) {
   bft::ClusterOptions options;
   options.f = 1;
   options.seed = seed;
+  if (tune) tune(options);
   bft::Cluster cluster(options, [](int) {
     return std::make_unique<bft::CounterStateMachine>();
   });
@@ -214,6 +216,52 @@ ScenarioResult scenario_equivocating_primary(std::uint64_t seed) {
   plan.replica_faults.push_back(fault);
   return run_cluster("equivocating_primary", seed, std::move(plan),
                      kClusterRequests, seconds(12));
+}
+
+/// Batch-formation + pipelined-agreement knobs for the batched fault
+/// scenarios: multi-entry slots with several agreement instances in flight.
+void batched_tuning(bft::ClusterOptions& options) {
+  options.batch.max_entries = 4;
+  options.batch.max_hold_ns = micros(150);
+  options.pipeline_depth = 8;
+}
+
+ScenarioResult scenario_batch_equivocating_primary(std::uint64_t seed) {
+  // Same documented recovery as equivocating_primary, but the lie is now a
+  // per-backup mutation of a batch ENTRY (digest recomputed, batch still
+  // well-formed): prepare quorums cannot form on conflicting batch digests,
+  // the view change fires, and the whole batch is either re-proposed
+  // atomically by the next primary or retransmitted by the clients. The
+  // oracle asserts no divergent execution and no partial entry survival.
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{seconds(1)};
+  ReplicaFault fault;
+  fault.rank = 0;
+  fault.equivocate = true;
+  fault.window.until = plan.heal_time;
+  plan.replica_faults.push_back(fault);
+  return run_cluster("batch_equivocating_primary", seed, std::move(plan), 16,
+                     seconds(12), batched_tuning);
+}
+
+ScenarioResult scenario_viewchange_mid_pipeline(std::uint64_t seed) {
+  // The view-0 primary is partitioned away AFTER the pipelined batches have
+  // entered flight: several uncommitted agreement instances straddle the
+  // view change. Every parked and in-flight entry must resurface exactly
+  // once under the new primary (re-proposal from prepared proofs or client
+  // retransmission after the dedup-horizon reset).
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.heal_time = SimTime{millis(1500)};
+  PartitionWindow window;
+  window.side_a = cluster_nodes(1, {0});
+  window.side_b = cluster_nodes(1, {1, 2, 3});
+  window.form = SimTime{micros(250)};  // first batches are mid-agreement
+  window.heal = plan.heal_time;
+  plan.partitions.push_back(window);
+  return run_cluster("viewchange_mid_pipeline", seed, std::move(plan), 20,
+                     seconds(12), batched_tuning);
 }
 
 ScenarioResult scenario_stale_view_replay(std::uint64_t seed) {
@@ -1278,6 +1326,8 @@ constexpr ScenarioEntry kScenarios[] = {
     {"silent_replica", scenario_silent_replica},
     {"corrupt_mac_replica", scenario_corrupt_mac_replica},
     {"equivocating_primary", scenario_equivocating_primary},
+    {"batch_equivocating_primary", scenario_batch_equivocating_primary},
+    {"viewchange_mid_pipeline", scenario_viewchange_mid_pipeline},
     {"stale_view_replay", scenario_stale_view_replay},
     {"expel_rekey_e2e", scenario_expel_rekey_e2e},
     {"bogus_change_request", scenario_bogus_change_request},

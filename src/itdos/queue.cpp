@@ -52,6 +52,13 @@ std::uint64_t QueueStateMachine::trace_of(ByteView request) const {
   return 0;
 }
 
+bool QueueStateMachine::urgent(ByteView request) const {
+  const Result<QueueEntryKind> kind = queue_entry_kind(request);
+  if (!kind.is_ok()) return false;
+  return kind.value() == QueueEntryKind::kAck ||
+         kind.value() == QueueEntryKind::kSyncPoint;
+}
+
 Bytes QueueStateMachine::execute(const BufView& request, NodeId client, SeqNum seq) {
   (void)client;
   (void)seq;

@@ -92,6 +92,10 @@ class QueueStateMachine : public bft::StateMachine {
   /// Derives the request-scoped trace id from an ordered queue entry (the
   /// BFT layer tags its pre-prepare/prepare/commit events with it).
   std::uint64_t trace_of(ByteView request) const override;
+  /// Urgent class for batch formation (src/batch): queue-management acks
+  /// (virtual-synchrony GC the whole domain waits on) and replacement sync
+  /// points flush the primary's former immediately.
+  bool urgent(ByteView request) const override;
 
   // --- element-local consumption (the ORB actor side) ---
   bool has_next() const { return !broken_ && !bootstrap_ && consumed_ < next_index_; }

@@ -9,6 +9,10 @@ bft::BftConfig DomainInfo::make_bft_config(const ProtocolTiming& timing) const {
   config.checkpoint_interval = timing.checkpoint_interval;
   config.client_retry_ns = timing.client_retry_ns;
   config.view_change_timeout_ns = timing.view_change_timeout_ns;
+  config.batch.max_entries = timing.batch_max_entries;
+  config.batch.max_bytes = timing.batch_max_bytes;
+  config.batch.max_hold_ns = timing.batch_max_hold_ns;
+  config.pipeline_depth = timing.pipeline_depth;
   for (const ElementInfo& element : elements) {
     config.replicas.push_back(element.bft_node);
   }

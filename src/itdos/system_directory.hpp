@@ -66,6 +66,19 @@ struct ProtocolTiming {
   /// shed decision is part of the replicated state machine and must not be
   /// retuned at runtime.
   std::uint64_t admission_max_depth = 0;
+
+  /// Batch formation at every domain's ordering primary (src/batch,
+  /// DESIGN.md §6i): requests per pre-prepare slot (1 = off), byte cap,
+  /// and the max hold a request waits for batch-mates. Applies uniformly
+  /// to all domains including the Group Manager's.
+  int batch_max_entries = 1;
+  std::size_t batch_max_bytes = 64 * 1024;
+  std::int64_t batch_max_hold_ns = micros(200);
+
+  /// Pipelined agreement: in-flight window of every BFT client endpoint
+  /// (party target clients, element self-clients, GM clients). 1 = the
+  /// paper's one-outstanding-request model.
+  int pipeline_depth = 1;
 };
 
 struct DomainInfo {

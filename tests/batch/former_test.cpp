@@ -1,0 +1,160 @@
+// Former unit tests: dual caps, urgency, deadline arithmetic and the
+// determinism contract (same arrivals + same clock => same batches).
+#include "batch/former.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace itdos::batch {
+namespace {
+
+BufView frame(std::size_t n, char fill = 'x') {
+  return BufView(Bytes(n, static_cast<std::uint8_t>(fill)));
+}
+
+Policy policy(int max_entries, std::size_t max_bytes = 64 * 1024,
+              std::int64_t max_hold_ns = micros(200)) {
+  Policy p;
+  p.max_entries = max_entries;
+  p.max_bytes = max_bytes;
+  p.max_hold_ns = max_hold_ns;
+  return p;
+}
+
+TEST(FormerTest, DefaultPolicyIsDisabled) {
+  EXPECT_FALSE(Policy{}.enabled());
+  EXPECT_TRUE(policy(4).enabled());
+}
+
+TEST(FormerTest, EmptyFormerIsNeverRipe) {
+  Former former(policy(4));
+  EXPECT_TRUE(former.empty());
+  EXPECT_FALSE(former.ripe(SimTime{seconds(99)}));
+  EXPECT_EQ(former.deadline(), std::nullopt);
+}
+
+TEST(FormerTest, CountCapTrips) {
+  Former former(policy(3));
+  const SimTime t0{};
+  former.enqueue(frame(8), false, 0, t0);
+  former.enqueue(frame(8), false, 0, t0);
+  EXPECT_FALSE(former.ripe(t0));
+  former.enqueue(frame(8), false, 0, t0);
+  EXPECT_TRUE(former.ripe(t0));
+}
+
+TEST(FormerTest, ByteCapTrips) {
+  Former former(policy(100, /*max_bytes=*/100));
+  const SimTime t0{};
+  former.enqueue(frame(60), false, 0, t0);
+  EXPECT_FALSE(former.ripe(t0));
+  former.enqueue(frame(60), false, 0, t0);
+  EXPECT_TRUE(former.ripe(t0));
+  EXPECT_EQ(former.pending_bytes(), 120u);
+}
+
+TEST(FormerTest, HoldCapTripsAtDeadline) {
+  Former former(policy(100, 64 * 1024, /*max_hold_ns=*/micros(50)));
+  const SimTime t0{micros(10)};
+  former.enqueue(frame(8), false, 0, t0);
+  ASSERT_TRUE(former.deadline().has_value());
+  EXPECT_EQ(former.deadline()->ns, (t0 + micros(50)).ns);
+  EXPECT_FALSE(former.ripe(t0 + micros(49)));
+  EXPECT_TRUE(former.ripe(t0 + micros(50)));
+}
+
+TEST(FormerTest, DeadlineFollowsOldestEntry) {
+  Former former(policy(100, 64 * 1024, micros(50)));
+  former.enqueue(frame(8), false, 0, SimTime{micros(1)});
+  former.enqueue(frame(8), false, 0, SimTime{micros(40)});
+  EXPECT_EQ(former.deadline()->ns, micros(51));
+  (void)former.form();  // pops both; nothing left
+  EXPECT_EQ(former.deadline(), std::nullopt);
+}
+
+TEST(FormerTest, UrgentEntryIsRipeImmediately) {
+  Former former(policy(100));
+  const SimTime t0{};
+  former.enqueue(frame(8), false, 0, t0);
+  EXPECT_FALSE(former.ripe(t0));
+  former.enqueue(frame(8), /*urgent=*/true, 0, t0);
+  EXPECT_TRUE(former.ripe(t0));
+  // Forming consumes the urgent entry; the remainder is no longer urgent.
+  (void)former.form();
+  EXPECT_FALSE(former.ripe(t0));
+  EXPECT_TRUE(former.empty());
+}
+
+TEST(FormerTest, FormRespectsCountCapAndArrivalOrder) {
+  Former former(policy(2));
+  const SimTime t0{};
+  for (char c = 'a'; c <= 'e'; ++c) {
+    former.enqueue(frame(4, c), false, static_cast<std::uint64_t>(c), t0);
+  }
+  const std::vector<PendingEntry> first = former.form();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].trace, static_cast<std::uint64_t>('a'));
+  EXPECT_EQ(first[1].trace, static_cast<std::uint64_t>('b'));
+  const std::vector<PendingEntry> second = former.form();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].trace, static_cast<std::uint64_t>('c'));
+  EXPECT_EQ(former.size(), 1u);
+}
+
+TEST(FormerTest, FormRespectsByteCap) {
+  Former former(policy(100, /*max_bytes=*/100));
+  const SimTime t0{};
+  former.enqueue(frame(60), false, 1, t0);
+  former.enqueue(frame(60), false, 2, t0);
+  const std::vector<PendingEntry> batch = former.form();
+  // Second entry would blow the byte cap; it stays parked.
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].trace, 1u);
+  EXPECT_EQ(former.size(), 1u);
+  EXPECT_EQ(former.pending_bytes(), 60u);
+}
+
+TEST(FormerTest, OversizedSingletonStillForms) {
+  Former former(policy(100, /*max_bytes=*/16));
+  former.enqueue(frame(4096), false, 7, SimTime{});
+  const std::vector<PendingEntry> batch = former.form();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].encoded.size(), 4096u);
+  EXPECT_TRUE(former.empty());
+}
+
+TEST(FormerTest, ClearDropsEverything) {
+  Former former(policy(4));
+  former.enqueue(frame(8), true, 0, SimTime{});
+  former.enqueue(frame(8), false, 0, SimTime{});
+  former.clear();
+  EXPECT_TRUE(former.empty());
+  EXPECT_EQ(former.pending_bytes(), 0u);
+  EXPECT_FALSE(former.ripe(SimTime{seconds(1)}));
+  // Urgency book-keeping must reset too.
+  former.enqueue(frame(8), false, 0, SimTime{});
+  EXPECT_FALSE(former.ripe(SimTime{}));
+}
+
+TEST(FormerTest, SameArrivalsSameClockSameBatches) {
+  // The formation-determinism contract at the unit level: re-running the
+  // identical enqueue schedule yields identical batch boundaries.
+  const auto run = [] {
+    Former former(policy(3, 200, micros(50)));
+    std::vector<std::size_t> cuts;
+    SimTime now{};
+    for (int i = 0; i < 20; ++i) {
+      now = now + micros(7 * (i % 5));
+      former.enqueue(frame(16 + static_cast<std::size_t>(i)), i % 7 == 0, 0, now);
+      while (former.ripe(now)) cuts.push_back(former.form().size());
+    }
+    return cuts;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace itdos::batch

@@ -491,7 +491,12 @@ class MembershipUpdateTest : public GmStateMachineTest {
     MembershipUpdateMsg msg;
     msg.domain = DomainId(10);
     msg.rank = rank;
-    msg.retired_element = server->elements[rank].smiop_node;
+    // Out-of-range ranks (RankOutOfRangeRejected) must not index the
+    // fixture's element table; the GM rejects them before looking at
+    // the retired identity anyway.
+    msg.retired_element = rank < server->elements.size()
+                              ? server->elements[rank].smiop_node
+                              : NodeId(0);
     msg.admitted_element = NodeId(fresh_base + 1);
     msg.admitted_gm_client = NodeId(fresh_base + 2);
     msg.admitted_self_client = NodeId(fresh_base + 3);

@@ -1,0 +1,39 @@
+// BUF-001 fixture: a batch-formation header (the src/batch/ shape) whose
+// parked-entry API takes owning byte vectors — every enqueue would copy the
+// full request frame that the real Former holds as a zero-copy BufView.
+// The deadline helper also reads the host clock, which breaks formation
+// determinism (DET-001): the former must be fed simulation time by its
+// owner, never consult a clock itself.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace itdos::fixture {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class LeakyFormer {
+ public:
+  // BAD: by-value Bytes — copies the encoded request at every enqueue.
+  void enqueue(Bytes encoded, bool urgent);
+
+  // BAD: `const` still copies into the parameter.
+  void park(const Bytes frame, std::uint64_t trace);
+
+  // BAD: spelled-out vector type, same owning copy.
+  void absorb(std::vector<std::uint8_t> wire);
+
+  // BAD (DET-001): host-clock read in formation logic.
+  bool ripe() const {
+    return std::chrono::steady_clock::now().time_since_epoch().count() > deadline_ns_;
+  }
+
+ private:
+  std::deque<Bytes> pending_;
+  std::int64_t deadline_ns_ = 0;
+};
+
+}  // namespace itdos::fixture

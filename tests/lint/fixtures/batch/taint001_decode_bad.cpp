@@ -1,0 +1,20 @@
+// TAINT-001 fixture: batch-entry decode that trusts a wire entry_count.
+// A Byzantine primary controls this field; every sink below is sized from
+// it without a remaining-bytes or cap guard (the real batch::BatchMsg
+// rejects count > kMaxBatchEntries and count > dec.remaining() / 4 first).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+Status decode_batch_unguarded(cdr::Decoder& dec, std::vector<Entry>& out) {
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t entry_count, dec.read_uint32());
+  out.reserve(entry_count);                            // BAD: reserve sink
+  for (std::uint32_t i = 0; i < entry_count; ++i) {    // BAD: loop-bound sink
+    ITDOS_ASSIGN_OR_RETURN(Entry entry, dec.read_bytes());
+    out.push_back(entry);
+  }
+  return Status::ok();
+}
+
+}  // namespace fixture

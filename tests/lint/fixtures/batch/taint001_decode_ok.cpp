@@ -1,0 +1,22 @@
+// TAINT-001 fixture (clean): the real batch-entry decode shape — the wire
+// entry_count is bounded by the protocol cap AND the remaining payload
+// before any allocation or loop is sized from it.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+Status decode_batch_guarded(cdr::Decoder& dec, std::vector<Entry>& out) {
+  ITDOS_ASSIGN_OR_RETURN(std::uint32_t entry_count, dec.read_uint32());
+  if (entry_count > kMaxBatchEntries || entry_count > dec.remaining() / 4) {
+    return error(Errc::kMalformedMessage, "hostile entry count in BATCH");
+  }
+  out.reserve(entry_count);
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    ITDOS_ASSIGN_OR_RETURN(Entry entry, dec.read_bytes());
+    out.push_back(entry);
+  }
+  return Status::ok();
+}
+
+}  // namespace fixture

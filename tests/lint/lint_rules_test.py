@@ -151,6 +151,19 @@ class RuleFires(unittest.TestCase):
         self.assertIn("DET-001", rules_of(findings),
                       "host-clock read in a shard-routing header not flagged")
 
+    def test_buf001_covers_batch_formation_headers(self):
+        # src/batch/ parks encoded request frames on the ordering hot path;
+        # an owning-Bytes enqueue would copy every frame, and a host-clock
+        # read would break formation determinism.
+        hits = self.assert_rule(
+            "BUF-001", fixture("batch", "buf001_former_bad.hpp"),
+            min_count=3)
+        self.assertIn("`encoded`", hits[0]["message"])
+        _, findings = run_lint(fixture("batch", "buf001_former_bad.hpp"),
+                               "--no-trace-check")
+        self.assertIn("DET-001", rules_of(findings),
+                      "host-clock read in a formation header not flagged")
+
     def test_meta001_fires_on_unexplained_suppression(self):
         self.assert_rule("META-001", fixture("unexplained.cpp"))
 
@@ -184,6 +197,24 @@ class AnalyzerRuleFires(unittest.TestCase):
         for needle in (".resize()", ".reserve()", "loop bound", "memcpy",
                        "array-new", "scratch[...]", ".subspan()"):
             self.assertIn(needle, messages)
+
+    def test_taint001_covers_batch_entry_decode(self):
+        # A Byzantine primary controls a batch's entry_count; sizing the
+        # entry loop from the raw field must fire, and the real guard shape
+        # (cap + remaining-bytes check, as in batch::BatchMsg::decode) must
+        # kill the taint.
+        code, findings = run_analyze(
+            fixture("batch", "taint001_decode_bad.cpp"))
+        self.assertEqual(code, 1, findings)
+        hits = [f for f in findings if f["rule"] == "TAINT-001"]
+        self.assertGreaterEqual(len(hits), 2, findings)
+        messages = " ".join(h["message"] for h in hits)
+        self.assertIn(".reserve()", messages)
+        self.assertIn("loop bound", messages)
+        code_ok, findings_ok = run_analyze(
+            fixture("batch", "taint001_decode_ok.cpp"))
+        self.assertEqual(code_ok, 0,
+                         f"guarded batch decode must be clean: {findings_ok}")
 
     def test_taint001_tracks_flows_across_tus(self):
         code, findings = run_analyze(fixture("analyze", "xtu"))

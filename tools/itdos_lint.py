@@ -428,7 +428,8 @@ def check_proto002(tokens: list[Token], path: str) -> list[Finding]:
 
 
 _MESSAGE_PATH_DIRS = ("/cdr/", "/net/", "/bft/", "/itdos/", "/fault/",
-                      "/crypto/", "/load/", "/control/", "/shard/")
+                      "/crypto/", "/load/", "/control/", "/shard/",
+                      "/batch/")
 _HEADER_EXTENSIONS = (".hpp", ".hh", ".h")
 
 
