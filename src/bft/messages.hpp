@@ -53,6 +53,10 @@ struct RequestMsg {
 /// encoded batch::BatchMsg — several client requests agreed as one slot;
 /// the flag is on the wire (not content-sniffed) and travels with the
 /// proposal through view changes, so a batch is re-proposed as a batch.
+/// `req_digest` covers the flag via a domain byte (replica.cpp's
+/// proposal_digest): PREPARE/COMMIT carry only the digest, so an uncovered
+/// flag would let an equivocating primary commit dual-decodable bytes under
+/// both framings at the same (view, seq, digest).
 struct PrePrepareMsg {
   ViewId view;
   SeqNum seq;

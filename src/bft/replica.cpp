@@ -21,6 +21,35 @@ Digest checkpoint_digest(std::uint64_t seq, ByteView snapshot) {
   return crypto::Sha256().update(ByteView(seq_bytes, 8)).update(snapshot).finish();
 }
 
+/// Digest binding a proposal's request bytes AND their framing. PREPARE and
+/// COMMIT carry only this digest, so the `is_batch` flag must be folded in:
+/// bytes crafted to decode both as a BatchMsg and as a RequestMsg are easy
+/// to build (the batch header doubles as the outer client id), and without
+/// the domain byte an equivocating primary could hand the same bytes to
+/// different backups with the flag flipped — both sets would prepare and
+/// commit the identical (view, seq, digest) yet execute divergent request
+/// sets. The domain byte makes the two framings distinct agreement values.
+Digest proposal_digest(ByteView request, bool is_batch) {
+  const std::uint8_t domain = is_batch ? 0x01 : 0x00;
+  return crypto::Sha256().update(ByteView(&domain, 1)).update(request).finish();
+}
+
+/// Timestamps a correct client could currently be using: clients number
+/// requests sequentially and pipeline at most kMaxPipelineDepth, so a live
+/// timestamp is never more than one sparse-window width past the client's
+/// executed prefix. Requests carried inside a pre-prepare are NOT
+/// client-authenticated, so a Byzantine primary can fabricate timestamps
+/// for a victim client; tracking them would overflow the victim's bounded
+/// TsWindows and prune the floor over live, never-executed timestamps —
+/// the victim's real requests would then read as executed duplicates (with
+/// no cached reply) forever. Implausible timestamps are ignored instead of
+/// tracked: never executed, never marked. The skip is deterministic because
+/// the executed window is replicated state — at a given execution point
+/// every correct replica holds the same floor.
+bool plausible_timestamp(const TsWindow& executed, std::uint64_t ts) {
+  return counters::before_eq(ts, executed.floor() + TsWindow::kMaxSparse);
+}
+
 }  // namespace
 
 Replica::Replica(net::Network& net, NodeId id, BftConfig config,
@@ -262,7 +291,7 @@ void Replica::assign_and_propose(const RequestMsg& request, const BufView& encod
   pp.view = view_;
   pp.seq = SeqNum(seq);
   pp.request = encoded;
-  pp.req_digest = crypto::sha256(ByteView(encoded));
+  pp.req_digest = proposal_digest(ByteView(encoded), /*is_batch=*/false);
   LogEntry& entry = log_[seq];
   entry.pre_prepare = pp;
   entry.trace = app_->trace_of(request.payload);
@@ -279,7 +308,7 @@ void Replica::assign_and_propose(const RequestMsg& request, const BufView& encod
     lie_request.payload = BufView(std::move(lie_payload));
     PrePrepareMsg lie = pp;
     lie.request = lie_request.encode();
-    lie.req_digest = crypto::sha256(ByteView(lie.request));
+    lie.req_digest = proposal_digest(ByteView(lie.request), /*is_batch=*/false);
     for (int rank = 0; rank < config_.n(); ++rank) {
       const NodeId backup = config_.replicas[static_cast<std::size_t>(rank)];
       if (backup == id()) continue;
@@ -347,7 +376,7 @@ void Replica::propose_batch(std::vector<batch::PendingEntry> entries) {
   pp.seq = SeqNum(seq);
   pp.is_batch = true;
   pp.request = batch.encode_into(arena());  // the one marshal of the batch
-  pp.req_digest = crypto::sha256(ByteView(pp.request));
+  pp.req_digest = proposal_digest(ByteView(pp.request), /*is_batch=*/true);
 
   LogEntry& entry = log_[seq];
   entry.pre_prepare = pp;
@@ -373,7 +402,7 @@ void Replica::propose_batch(std::vector<batch::PendingEntry> entries) {
     }
     PrePrepareMsg lie = pp;
     lie.request = lie_batch.encode_into(arena());
-    lie.req_digest = crypto::sha256(ByteView(lie.request));
+    lie.req_digest = proposal_digest(ByteView(lie.request), /*is_batch=*/true);
     for (int rank = 0; rank < config_.n(); ++rank) {
       const NodeId backup = config_.replicas[static_cast<std::size_t>(rank)];
       if (backup == id()) continue;
@@ -411,12 +440,14 @@ void Replica::handle_pre_prepare(const Envelope& env) {
     return;
   }
 
-  // Digest must bind the piggybacked request (or be the null digest).
+  // Digest must bind the piggybacked request AND its framing (or be the
+  // null digest): proposal_digest covers is_batch, so the same bytes cannot
+  // be prepared both as a batch and as a single request.
   std::uint64_t trace = 0;
   if (pp.is_null_request()) {
     if (pp.req_digest != Digest{}) return;
   } else {
-    if (crypto::sha256(ByteView(pp.request)) != pp.req_digest) return;
+    if (proposal_digest(ByteView(pp.request), pp.is_batch) != pp.req_digest) return;
     if (pp.is_batch) {
       // Every entry must be a decodable request — a batch is accepted (and
       // later executed) only as a whole.
@@ -425,18 +456,47 @@ void Replica::handle_pre_prepare(const Envelope& env) {
         metrics_.malformed->inc();
         return;
       }
-      for (const BufView& entry_bytes : decoded_batch.value().entries) {
+      const std::vector<BufView>& entries = decoded_batch.value().entries;
+      // The batch must respect the cluster's formation policy, not just the
+      // protocol-wide ceiling: fairness and per-slot execution cost are
+      // sized to the configured caps, and only a misbehaving primary packs
+      // past them. Mirror the former's cut rule — a single entry may exceed
+      // the byte cap on its own, a multi-entry batch may not.
+      std::size_t batch_bytes = 0;
+      for (const BufView& entry_bytes : entries) batch_bytes += entry_bytes.size();
+      if (entries.size() >
+              static_cast<std::size_t>(std::max(config_.batch.max_entries, 1)) ||
+          (entries.size() > 1 && batch_bytes > config_.batch.max_bytes)) {
+        metrics_.malformed->inc();
+        return;
+      }
+      for (const BufView& entry_bytes : entries) {
         Result<RequestMsg> request = RequestMsg::decode(entry_bytes);
-        if (!request.is_ok()) return;
+        if (!request.is_ok()) {
+          metrics_.malformed->inc();
+          return;
+        }
         if (trace == 0) trace = app_->trace_of(request.value().payload);
-        // Remember each proposal so retransmissions are not re-forwarded.
-        clients_[request.value().client].proposed.insert(request.value().timestamp);
+        // Remember each proposal so retransmissions are not re-forwarded —
+        // but never track fabricated far-future timestamps (see
+        // plausible_timestamp): they would prune the bounded dedup windows
+        // over live requests.
+        ClientRecord& record = clients_[request.value().client];
+        if (plausible_timestamp(record.executed, request.value().timestamp)) {
+          record.proposed.insert(request.value().timestamp);
+        }
       }
     } else {
       Result<RequestMsg> request = RequestMsg::decode(pp.request);
-      if (!request.is_ok()) return;
+      if (!request.is_ok()) {
+        metrics_.malformed->inc();
+        return;
+      }
       trace = app_->trace_of(request.value().payload);
-      clients_[request.value().client].proposed.insert(request.value().timestamp);
+      ClientRecord& record = clients_[request.value().client];
+      if (plausible_timestamp(record.executed, request.value().timestamp)) {
+        record.proposed.insert(request.value().timestamp);
+      }
     }
   }
 
@@ -620,6 +680,14 @@ void Replica::execute_entry(std::uint64_t seq, LogEntry& entry) {
 void Replica::execute_request(const RequestMsg& request, std::uint64_t seq) {
   ClientRecord& record = clients_[request.client];
   if (!record.executed.contains(request.timestamp)) {
+    if (!plausible_timestamp(record.executed, request.timestamp)) {
+      // A fabricated far-future timestamp (only a Byzantine primary can
+      // order one — entries are not client-authenticated). Executing it
+      // would let enough of them prune the executed window's floor over the
+      // client's live timestamps. Skip it entirely: the executed window is
+      // replicated state, so every correct replica skips identically.
+      return;
+    }
     const Bytes result = app_->execute(request.payload, request.client, SeqNum(seq));
     record.executed.insert(request.timestamp);
     if (counters::after(request.timestamp, record.last_timestamp)) {
@@ -631,8 +699,12 @@ void Replica::execute_request(const RequestMsg& request, std::uint64_t seq) {
     }
     metrics_.executed->inc();
   }
+  // Reply only from cache. A duplicate whose cached reply was evicted gets
+  // nothing (like the handle_request retransmit path): correct replicas
+  // evict identically, so answering with an empty placeholder would let
+  // f+1 of them form a bogus quorum at a client still awaiting the result.
   const auto cached = record.replies.find(request.timestamp);
-  send_reply(request, cached != record.replies.end() ? cached->second : Bytes{});
+  if (cached != record.replies.end()) send_reply(request, cached->second);
 }
 
 void Replica::send_reply(const RequestMsg& request, const Bytes& result) {
@@ -1246,6 +1318,10 @@ void Replica::adopt_new_view(const NewViewMsg& msg) {
         if (Result<RequestMsg> carried = RequestMsg::decode(encoded); carried.is_ok()) {
           if (trace == 0) trace = app_->trace_of(carried.value().payload);
           ClientRecord& record = clients_[carried.value().client];
+          // Re-proposed requests are primary-originated, so apply the same
+          // fabricated-timestamp guard as handle_pre_prepare: implausible
+          // marks would prune the bounded windows over live timestamps.
+          if (!plausible_timestamp(record.executed, carried.value().timestamp)) return;
           record.proposed.insert(carried.value().timestamp);
           record.forwarded.insert(carried.value().timestamp);
         }

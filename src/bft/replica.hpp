@@ -45,6 +45,11 @@ namespace itdos::bft {
 /// memory stays bounded even under hostile timestamp patterns. The sparse
 /// capacity is 2 * kMaxPipelineDepth: a correct client never has more than
 /// pipeline_depth requests outstanding, so a live gap cannot be pruned.
+/// Because batch entries are not client-authenticated, the replica refuses
+/// to track timestamps beyond floor + kMaxSparse (see plausible_timestamp
+/// in replica.cpp) — everything it does track fits the sparse set, so a
+/// Byzantine primary fabricating timestamps for a victim client can never
+/// force the prune and raise the floor over live requests.
 class TsWindow {
  public:
   static constexpr std::size_t kMaxSparse = 64;
